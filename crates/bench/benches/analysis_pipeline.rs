@@ -1,0 +1,63 @@
+//! Benchmarks of the characterization pipeline: the cost of turning a trace
+//! into the paper's figures (regions, distributions, components, attribution,
+//! utility) and of the individual figure-family analyses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coldstarts::analysis::attribution::AttributionAnalysis;
+use coldstarts::analysis::components::ComponentAnalysis;
+use coldstarts::analysis::distributions::DistributionAnalysis;
+use coldstarts::pipeline::CharacterizationPipeline;
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::{SyntheticTraceBuilder, TraceScale};
+use fntrace::{Dataset, RegionId};
+
+fn dataset() -> (Dataset, Calibration) {
+    let calibration = Calibration {
+        duration_days: 2,
+        ..Calibration::default()
+    };
+    let dataset = SyntheticTraceBuilder::new()
+        .with_regions(vec![RegionProfile::r1(), RegionProfile::r2()])
+        .with_scale(TraceScale::tiny())
+        .with_calibration(calibration)
+        .with_seed(23)
+        .build();
+    (dataset, calibration)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (dataset, calibration) = dataset();
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("full_report_two_regions_two_days", |b| {
+        let pipeline = CharacterizationPipeline::new()
+            .with_calibration(calibration)
+            .with_region_of_interest(RegionId::new(2));
+        b.iter(|| black_box(pipeline.analyze(black_box(&dataset))))
+    });
+    group.bench_function("distribution_fits", |b| {
+        b.iter(|| black_box(DistributionAnalysis::compute(black_box(&dataset))))
+    });
+    group.bench_function("component_analysis", |b| {
+        b.iter(|| {
+            black_box(ComponentAnalysis::compute(
+                black_box(&dataset),
+                black_box(&calibration),
+            ))
+        })
+    });
+    group.bench_function("attribution_region2", |b| {
+        b.iter(|| {
+            black_box(AttributionAnalysis::compute(
+                black_box(&dataset),
+                RegionId::new(2),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

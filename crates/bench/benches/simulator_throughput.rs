@@ -1,0 +1,58 @@
+//! Benchmarks of the discrete-event platform simulator: events processed per
+//! second under the baseline policies and under the combined mitigation
+//! policies (which add pre-warm ticks and admission-control work).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use coldstarts::evaluation::{PolicyEvaluation, Scenario};
+use faas_platform::{PlatformConfig, Simulator};
+use faas_workload::population::PopulationConfig;
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::WorkloadSpec;
+
+fn workload() -> WorkloadSpec {
+    WorkloadSpec::generate(
+        &RegionProfile::r2(),
+        Calibration {
+            duration_days: 1,
+            ..Calibration::default()
+        },
+        &PopulationConfig {
+            function_scale: 0.005,
+            volume_scale: 5.0e-6,
+            max_requests_per_day: 5_000.0,
+            min_functions: 30,
+        },
+        17,
+    )
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let workload = workload();
+    let events = workload.len() as u64;
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("baseline_one_day_region2", |b| {
+        b.iter(|| {
+            let sim = Simulator::new().with_config(PlatformConfig {
+                record_trace: false,
+                ..PlatformConfig::default()
+            });
+            let (report, _) = sim.run(black_box(&workload));
+            black_box(report.cold_starts)
+        })
+    });
+    group.bench_function("combined_policies_one_day_region2", |b| {
+        let evaluation = PolicyEvaluation::default();
+        b.iter(|| {
+            let report = evaluation.run_scenario(Scenario::Combined, black_box(&workload));
+            black_box(report.cold_starts)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

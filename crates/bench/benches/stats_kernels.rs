@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the statistics substrate: distribution fitting,
+//! ECDF construction, Spearman correlation, and peak detection — the kernels
+//! every figure regeneration runs repeatedly.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use faas_stats::dist::{ContinuousDistribution, LogNormal, Weibull};
+use faas_stats::rng::Xoshiro256pp;
+use faas_stats::timeseries::PeakDetector;
+use faas_stats::{spearman, Ecdf};
+
+fn samples(n: usize) -> Vec<f64> {
+    let dist = LogNormal::from_mean_std(3.24, 7.10).expect("valid parameters");
+    let mut rng = Xoshiro256pp::seed_from_u64(11);
+    dist.sample_n(&mut rng, n)
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let data = samples(50_000);
+    c.bench_function("lognormal_fit_50k", |b| {
+        b.iter(|| LogNormal::fit_mle(black_box(&data)).expect("fit"))
+    });
+    c.bench_function("weibull_fit_50k", |b| {
+        b.iter(|| Weibull::fit_mle(black_box(&data)).expect("fit"))
+    });
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let data = samples(100_000);
+    c.bench_function("ecdf_build_100k", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |d| Ecdf::new(black_box(d)).expect("ecdf"),
+            BatchSize::SmallInput,
+        )
+    });
+    let ecdf = Ecdf::from_slice(&data).expect("ecdf");
+    c.bench_function("ecdf_quantiles", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..100 {
+                acc += ecdf.quantile(i as f64 / 100.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let x = samples(20_000);
+    let y: Vec<f64> = x.iter().map(|v| v * 2.0 + 1.0).collect();
+    c.bench_function("spearman_20k", |b| {
+        b.iter(|| spearman(black_box(&x), black_box(&y)).expect("correlation"))
+    });
+}
+
+fn bench_peaks(c: &mut Criterion) {
+    // Three days of per-minute samples with a diurnal pattern.
+    let series: Vec<f64> = (0..3 * 1440)
+        .map(|i| 100.0 + 80.0 * (i as f64 / 1440.0 * std::f64::consts::TAU).sin())
+        .collect();
+    let detector = PeakDetector::default();
+    c.bench_function("peak_detection_3days_minutes", |b| {
+        b.iter(|| detector.detect(black_box(&series)))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fits, bench_ecdf, bench_correlation, bench_peaks
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Benchmarks of synthetic trace generation: function population sampling,
+//! arrival-stream generation, and full single-region trace synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use faas_stats::rng::Xoshiro256pp;
+use faas_workload::arrivals::ArrivalGenerator;
+use faas_workload::population::{FunctionPopulation, PopulationConfig};
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::{SyntheticTraceBuilder, TraceScale};
+
+fn short_calibration() -> Calibration {
+    Calibration {
+        duration_days: 2,
+        ..Calibration::default()
+    }
+}
+
+fn bench_population(c: &mut Criterion) {
+    let profile = RegionProfile::r2();
+    let calibration = short_calibration();
+    let config = PopulationConfig {
+        function_scale: 0.1,
+        ..PopulationConfig::default()
+    };
+    c.bench_function("population_generate_600_functions", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256pp::seed_from_u64(3);
+            FunctionPopulation::generate(
+                black_box(&profile),
+                black_box(&calibration),
+                black_box(&config),
+                &mut rng,
+            )
+        })
+    });
+}
+
+fn bench_arrivals(c: &mut Criterion) {
+    let profile = RegionProfile::r2();
+    let calibration = short_calibration();
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let population = FunctionPopulation::generate(
+        &profile,
+        &calibration,
+        &PopulationConfig {
+            function_scale: 0.01,
+            ..PopulationConfig::default()
+        },
+        &mut rng,
+    );
+    let generator = ArrivalGenerator::new(profile, calibration);
+    c.bench_function("arrival_streams_60_functions_2_days", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            let mut total = 0usize;
+            for spec in &population.functions {
+                total += generator.generate(spec, &mut rng).len();
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_full_region(c: &mut Criterion) {
+    let builder = SyntheticTraceBuilder::new()
+        .with_regions(vec![RegionProfile::r2()])
+        .with_scale(TraceScale::tiny())
+        .with_calibration(short_calibration())
+        .with_seed(9);
+    c.bench_function("synthesize_region2_tiny_2_days", |b| {
+        b.iter(|| {
+            let dataset = builder.build();
+            black_box(dataset.total_requests())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_population, bench_arrivals, bench_full_region
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p faas-bench --bin figures -- all
+//! cargo run --release -p faas-bench --bin figures -- fig10 fig11 --scale small --seed 7
+//! cargo run --release -p faas-bench --bin figures -- policy-ablation --days 7
+//! ```
+//!
+//! Output is printed to stdout and CSV series are written under `results/`
+//! (override with `--results DIR`, disable with `--no-csv`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use faas_bench::{all_experiments, run_experiment, Experiment, ExperimentContext, OutputSink};
+use faas_workload::profile::Calibration;
+use faas_workload::TraceScale;
+
+struct Args {
+    experiments: Vec<Experiment>,
+    scale: TraceScale,
+    seed: u64,
+    days: u32,
+    results_dir: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = all_experiments().iter().map(|e| e.name()).collect();
+    format!(
+        "usage: figures [EXPERIMENT...|all] [--scale tiny|small|standard] [--seed N] \
+         [--days N] [--results DIR] [--no-csv]\n\nexperiments: {}",
+        names.join(", ")
+    )
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiments = Vec::new();
+    let mut scale = TraceScale::standard();
+    let mut seed = 42u64;
+    let mut days = 31u32;
+    let mut results_dir = Some(PathBuf::from("results"));
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "all" => experiments = all_experiments(),
+            "--scale" => {
+                let value = iter.next().ok_or("--scale needs a value")?;
+                scale = match value.as_str() {
+                    "tiny" => TraceScale::tiny(),
+                    "small" => TraceScale::small(),
+                    "standard" => TraceScale::standard(),
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid seed: {e}"))?;
+            }
+            "--days" => {
+                days = iter
+                    .next()
+                    .ok_or("--days needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid day count: {e}"))?;
+            }
+            "--results" => {
+                results_dir = Some(PathBuf::from(iter.next().ok_or("--results needs a value")?));
+            }
+            "--no-csv" => results_dir = None,
+            "--help" | "-h" => return Err(usage()),
+            name => {
+                let experiment = Experiment::from_name(name)
+                    .ok_or_else(|| format!("unknown experiment {name:?}\n\n{}", usage()))?;
+                experiments.push(experiment);
+            }
+        }
+    }
+    if experiments.is_empty() {
+        experiments = all_experiments();
+    }
+    Ok(Args {
+        experiments,
+        scale,
+        seed,
+        days,
+        results_dir,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let calibration = Calibration {
+        duration_days: args.days,
+        ..Calibration::default()
+    };
+    eprintln!(
+        "generating {}-day trace (seed {}, {} experiments)...",
+        args.days,
+        args.seed,
+        args.experiments.len()
+    );
+    let ctx = ExperimentContext::generate_with_calibration(args.scale, args.seed, calibration);
+    let mut sink = OutputSink::new(args.results_dir.as_deref());
+    for experiment in &args.experiments {
+        run_experiment(*experiment, &ctx, &mut sink);
+    }
+    print!("{}", sink.report());
+    if !sink.files_written().is_empty() {
+        eprintln!("wrote {} CSV files", sink.files_written().len());
+    }
+    ExitCode::SUCCESS
+}

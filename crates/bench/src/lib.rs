@@ -1,0 +1,16 @@
+//! Figure and table regeneration harness.
+//!
+//! Every table and figure of the paper's evaluation maps to one generator in
+//! [`figures`]; the `figures` binary runs one or all of them, printing the
+//! series/rows to stdout and writing CSV files under `results/`. The mapping
+//! from experiment id to generator is listed in `DESIGN.md` and the measured
+//! values are recorded in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod output;
+
+pub use figures::{all_experiments, run_experiment, Experiment, ExperimentContext};
+pub use output::OutputSink;

@@ -1,0 +1,95 @@
+//! Output handling for figure regeneration: stdout plus CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects a textual report and CSV artifacts for one experiment.
+#[derive(Debug, Default)]
+pub struct OutputSink {
+    /// Directory CSV artifacts are written to (`None` disables writing).
+    pub results_dir: Option<PathBuf>,
+    report: String,
+    files_written: Vec<PathBuf>,
+}
+
+impl OutputSink {
+    /// Creates a sink writing CSVs under `results_dir`.
+    pub fn new(results_dir: Option<&Path>) -> Self {
+        Self {
+            results_dir: results_dir.map(|p| p.to_path_buf()),
+            report: String::new(),
+            files_written: Vec::new(),
+        }
+    }
+
+    /// Appends a line to the textual report.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        let _ = writeln!(self.report, "{}", text.as_ref());
+    }
+
+    /// Appends a blank line.
+    pub fn blank(&mut self) {
+        self.report.push('\n');
+    }
+
+    /// Writes a CSV artifact: a header row plus one row per record.
+    pub fn csv(&mut self, name: &str, header: &str, rows: &[String]) {
+        let Some(dir) = &self.results_dir else {
+            return;
+        };
+        let path = dir.join(name);
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        let mut text = String::with_capacity(header.len() + rows.len() * 32);
+        text.push_str(header);
+        text.push('\n');
+        for row in rows {
+            text.push_str(row);
+            text.push('\n');
+        }
+        if fs::write(&path, text).is_ok() {
+            self.files_written.push(path);
+        }
+    }
+
+    /// The accumulated textual report.
+    pub fn report(&self) -> &str {
+        &self.report
+    }
+
+    /// CSV files written so far.
+    pub fn files_written(&self) -> &[PathBuf] {
+        &self.files_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sink_accumulates_report_and_files() {
+        let dir = std::env::temp_dir().join("faas_bench_output_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = OutputSink::new(Some(&dir));
+        sink.line("hello");
+        sink.blank();
+        sink.line("world");
+        sink.csv("sub/test.csv", "a,b", &["1,2".to_string(), "3,4".to_string()]);
+        assert!(sink.report().contains("hello"));
+        assert!(sink.report().contains("world"));
+        assert_eq!(sink.files_written().len(), 1);
+        let written = std::fs::read_to_string(dir.join("sub/test.csv")).unwrap();
+        assert_eq!(written, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sink_without_directory_writes_nothing() {
+        let mut sink = OutputSink::new(None);
+        sink.csv("x.csv", "a", &["1".to_string()]);
+        assert!(sink.files_written().is_empty());
+    }
+}

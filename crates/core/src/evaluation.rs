@@ -1,0 +1,308 @@
+//! Policy evaluation harness.
+//!
+//! Runs a workload through the platform simulator under several named
+//! scenarios (baseline plus the Section 5 mitigations) and reports cold-start
+//! and latency deltas relative to the baseline — the data behind the policy
+//! ablation experiment.
+
+use serde::{Deserialize, Serialize};
+
+use faas_platform::{PlatformConfig, SimReport, Simulator};
+use faas_workload::WorkloadSpec;
+
+use crate::policies::keepalive::{keep_alive_for_scenario, KeepAliveScenario};
+use crate::policies::peak_shaving::AsyncPeakShaving;
+use crate::policies::prewarm::{DemandPrewarm, TimerPrewarm, WorkflowChainPrewarm};
+
+/// Named policy scenarios evaluated by the ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Production baseline: fixed keep-alive, no pre-warming, no shaving.
+    Baseline,
+    /// Adaptive keep-alive only.
+    AdaptiveKeepAlive,
+    /// Timer-aware keep-alive only.
+    TimerAwareKeepAlive,
+    /// Timer-schedule pre-warming only.
+    TimerPrewarm,
+    /// Recent-demand pre-warming only.
+    DemandPrewarm,
+    /// Workflow call-chain pre-warming only.
+    ChainPrewarm,
+    /// Peak shaving of asynchronous triggers only.
+    PeakShaving,
+    /// Everything combined: timer-aware keep-alive, timer pre-warming, and
+    /// peak shaving.
+    Combined,
+}
+
+impl Scenario {
+    /// All scenarios in evaluation order.
+    pub const ALL: [Scenario; 8] = [
+        Scenario::Baseline,
+        Scenario::AdaptiveKeepAlive,
+        Scenario::TimerAwareKeepAlive,
+        Scenario::TimerPrewarm,
+        Scenario::DemandPrewarm,
+        Scenario::ChainPrewarm,
+        Scenario::PeakShaving,
+        Scenario::Combined,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Baseline => "baseline",
+            Scenario::AdaptiveKeepAlive => "adaptive-keep-alive",
+            Scenario::TimerAwareKeepAlive => "timer-aware-keep-alive",
+            Scenario::TimerPrewarm => "timer-prewarm",
+            Scenario::DemandPrewarm => "demand-prewarm",
+            Scenario::ChainPrewarm => "chain-prewarm",
+            Scenario::PeakShaving => "peak-shaving",
+            Scenario::Combined => "combined",
+        }
+    }
+}
+
+/// One scenario's outcome compared with the baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioOutcome {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Full simulator report.
+    pub report: SimReport,
+    /// Cold-start count reduction versus the baseline (1.0 = all removed).
+    pub cold_start_reduction: f64,
+    /// Mean added-latency reduction versus the baseline.
+    pub added_latency_reduction: f64,
+    /// Relative change in idle pod time versus the baseline (positive means
+    /// more idle capacity is being spent).
+    pub idle_time_change: f64,
+}
+
+/// Evaluates policy scenarios on a workload.
+#[derive(Debug, Clone)]
+pub struct PolicyEvaluation {
+    /// Platform configuration shared by every scenario.
+    pub platform: PlatformConfig,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Maximum delay used by the peak shaving scenario, milliseconds.
+    pub peak_shaving_delay_ms: u64,
+}
+
+impl Default for PolicyEvaluation {
+    fn default() -> Self {
+        Self {
+            platform: PlatformConfig {
+                record_trace: false,
+                ..PlatformConfig::default()
+            },
+            seed: 7,
+            peak_shaving_delay_ms: 180_000,
+        }
+    }
+}
+
+impl PolicyEvaluation {
+    /// Builds the simulator for one scenario.
+    fn simulator(&self, scenario: Scenario, workload: &WorkloadSpec) -> Simulator {
+        let specs = &workload.functions;
+        let prewarm_horizon = self.platform.prewarm_interval_ms;
+        let peak_hour = workload.profile.peak_hour;
+        let sim = Simulator::new()
+            .with_config(self.platform.clone())
+            .with_seed(self.seed);
+        match scenario {
+            Scenario::Baseline => sim,
+            Scenario::AdaptiveKeepAlive => sim.with_keep_alive(keep_alive_for_scenario(
+                KeepAliveScenario::Adaptive,
+                specs,
+            )),
+            Scenario::TimerAwareKeepAlive => sim.with_keep_alive(keep_alive_for_scenario(
+                KeepAliveScenario::TimerAware,
+                specs,
+            )),
+            Scenario::TimerPrewarm => {
+                sim.with_prewarm(Box::new(TimerPrewarm::from_specs(specs, prewarm_horizon)))
+            }
+            Scenario::DemandPrewarm => sim.with_prewarm(Box::new(DemandPrewarm::default())),
+            Scenario::ChainPrewarm => {
+                sim.with_prewarm(Box::new(WorkflowChainPrewarm::from_specs(specs)))
+            }
+            Scenario::PeakShaving => sim.with_admission(Box::new(AsyncPeakShaving::new(
+                peak_hour,
+                1.5,
+                self.peak_shaving_delay_ms,
+            ))),
+            Scenario::Combined => sim
+                .with_keep_alive(keep_alive_for_scenario(KeepAliveScenario::TimerAware, specs))
+                .with_prewarm(Box::new(TimerPrewarm::from_specs(specs, prewarm_horizon)))
+                .with_admission(Box::new(AsyncPeakShaving::new(
+                    peak_hour,
+                    1.5,
+                    self.peak_shaving_delay_ms,
+                ))),
+        }
+    }
+
+    /// Runs one scenario.
+    pub fn run_scenario(&self, scenario: Scenario, workload: &WorkloadSpec) -> SimReport {
+        let (report, _) = self.simulator(scenario, workload).run(workload);
+        report
+    }
+
+    /// Runs the given scenarios (always including the baseline first) and
+    /// reports each one's deltas relative to the baseline.
+    pub fn run(&self, workload: &WorkloadSpec, scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
+        let baseline = self.run_scenario(Scenario::Baseline, workload);
+        let mut outcomes = vec![outcome(Scenario::Baseline, baseline.clone(), &baseline)];
+        for &scenario in scenarios {
+            if scenario == Scenario::Baseline {
+                continue;
+            }
+            let report = self.run_scenario(scenario, workload);
+            outcomes.push(outcome(scenario, report, &baseline));
+        }
+        outcomes
+    }
+
+    /// Renders an ablation table.
+    pub fn render(outcomes: &[ScenarioOutcome]) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>10} {:>14} {:>12} {:>12}\n",
+            "scenario", "cold starts", "reduction", "mean added (s)", "latency red.", "idle change"
+        ));
+        for o in outcomes {
+            out.push_str(&format!(
+                "{:<24} {:>12} {:>9.1}% {:>14.4} {:>11.1}% {:>11.1}%\n",
+                o.scenario.name(),
+                o.report.cold_starts,
+                100.0 * o.cold_start_reduction,
+                o.report.mean_added_latency_s,
+                100.0 * o.added_latency_reduction,
+                100.0 * o.idle_time_change,
+            ));
+        }
+        out
+    }
+}
+
+fn outcome(scenario: Scenario, report: SimReport, baseline: &SimReport) -> ScenarioOutcome {
+    let cold_start_reduction = if baseline.cold_starts == 0 {
+        0.0
+    } else {
+        1.0 - report.cold_starts as f64 / baseline.cold_starts as f64
+    };
+    let added_latency_reduction = if baseline.mean_added_latency_s <= 0.0 {
+        0.0
+    } else {
+        1.0 - report.mean_added_latency_s / baseline.mean_added_latency_s
+    };
+    let idle_time_change = if baseline.idle_pod_time_s <= 0.0 {
+        0.0
+    } else {
+        report.idle_pod_time_s / baseline.idle_pod_time_s - 1.0
+    };
+    ScenarioOutcome {
+        scenario,
+        report,
+        cold_start_reduction,
+        added_latency_reduction,
+        idle_time_change,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_workload::population::PopulationConfig;
+    use faas_workload::profile::{Calibration, RegionProfile};
+
+    fn tiny_workload(days: u32, seed: u64) -> WorkloadSpec {
+        WorkloadSpec::generate(
+            &RegionProfile::r2(),
+            Calibration {
+                duration_days: days,
+                ..Calibration::default()
+            },
+            &PopulationConfig {
+                function_scale: 0.003,
+                volume_scale: 2.0e-6,
+                max_requests_per_day: 2_000.0,
+                min_functions: 20,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn scenario_names_are_unique() {
+        let mut names: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Scenario::ALL.len());
+    }
+
+    #[test]
+    fn baseline_outcome_has_zero_deltas() {
+        let workload = tiny_workload(1, 3);
+        let eval = PolicyEvaluation::default();
+        let outcomes = eval.run(&workload, &[Scenario::Baseline]);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].cold_start_reduction, 0.0);
+        assert_eq!(outcomes[0].added_latency_reduction, 0.0);
+        assert_eq!(outcomes[0].idle_time_change, 0.0);
+    }
+
+    #[test]
+    fn prewarm_and_timer_aware_policies_reduce_cold_starts() {
+        let workload = tiny_workload(1, 4);
+        let eval = PolicyEvaluation::default();
+        let outcomes = eval.run(
+            &workload,
+            &[Scenario::TimerPrewarm, Scenario::DemandPrewarm, Scenario::Combined],
+        );
+        assert_eq!(outcomes.len(), 4);
+        let baseline = &outcomes[0];
+        assert!(baseline.report.cold_starts > 0);
+        for o in &outcomes[1..] {
+            // No policy may make cold starts worse, and requests are
+            // conserved across scenarios.
+            assert!(o.report.cold_starts <= baseline.report.cold_starts);
+            assert_eq!(o.report.requests, baseline.report.requests);
+        }
+        // The predictive policies that know the timer schedules must deliver
+        // a strict reduction (demand-only pre-warming cannot anticipate slow
+        // timers, so it is only required not to regress).
+        for o in &outcomes[1..] {
+            if matches!(o.scenario, Scenario::TimerPrewarm | Scenario::Combined) {
+                assert!(
+                    o.report.cold_starts < baseline.report.cold_starts,
+                    "{} did not reduce cold starts ({} vs {})",
+                    o.scenario.name(),
+                    o.report.cold_starts,
+                    baseline.report.cold_starts
+                );
+                assert!(o.cold_start_reduction > 0.0);
+                assert!(o.report.prewarmed_pods > 0);
+            }
+        }
+        let table = PolicyEvaluation::render(&outcomes);
+        assert!(table.contains("baseline"));
+        assert!(table.contains("timer-prewarm"));
+    }
+
+    #[test]
+    fn peak_shaving_delays_async_requests_without_losing_any() {
+        let workload = tiny_workload(1, 5);
+        let eval = PolicyEvaluation::default();
+        let outcomes = eval.run(&workload, &[Scenario::PeakShaving]);
+        let baseline = &outcomes[0];
+        let shaved = &outcomes[1];
+        assert_eq!(shaved.report.requests, baseline.report.requests);
+        assert!(shaved.report.delayed_requests > 0, "no requests were shaved");
+        assert!(shaved.report.total_admission_delay_s > 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Cold-start characterization and mitigation toolkit.
+//!
+//! This is the core crate of the reproduction of *"Serverless Cold Starts and
+//! Where to Find Them"* (EuroSys '25). It turns a multi-region trace — either
+//! synthesized by [`faas_workload`] or produced by the [`faas_platform`]
+//! simulator, both in the Table 1 schema of [`fntrace`] — into every analysis
+//! the paper reports, and implements the mitigation strategies the paper
+//! proposes in its discussion section.
+//!
+//! # Analyses (one module per figure family)
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`analysis::regions`] | Figures 1, 3, 4 — region sizes, per-function load, user concentration |
+//! | [`analysis::peaks`] | Figures 5, 6 — daily peaks, peak-to-trough ratios |
+//! | [`analysis::holiday`] | Figure 7 — holiday effect on pods and CPU |
+//! | [`analysis::composition`] | Figures 8, 9 — pods / cold starts / functions by trigger, runtime, configuration |
+//! | [`analysis::distributions`] | Figure 10 — cold-start duration and inter-arrival distributions and fits |
+//! | [`analysis::components`] | Figures 11, 12, 13 — component time series, correlations, size split |
+//! | [`analysis::attribution`] | Figures 14, 15, 16 — which functions, runtimes, and triggers cause cold starts |
+//! | [`analysis::utility`] | Figure 17 — pod utility ratio |
+//!
+//! # Mitigation policies (Section 5)
+//!
+//! | Module | Strategy |
+//! |---|---|
+//! | [`policies::prewarm`] | Predictive pre-warming (timers, demand, workflow chains) |
+//! | [`policies::keepalive`] | Adaptive and timer-aware keep-alive |
+//! | [`policies::peak_shaving`] | Delaying asynchronous, non-latency-critical requests |
+//! | [`policies::pool_prediction`] | Resource-pool size prediction |
+//! | [`policies::cross_region`] | Cross-region function migration |
+//! | [`policies::concurrency`] | Concurrency adjustment advisor |
+//!
+//! # Quick start
+//!
+//! ```
+//! use coldstarts::pipeline::CharacterizationPipeline;
+//! use faas_workload::{SyntheticTraceBuilder, TraceScale};
+//! use faas_workload::profile::{Calibration, RegionProfile};
+//!
+//! let dataset = SyntheticTraceBuilder::new()
+//!     .with_regions(vec![RegionProfile::r2()])
+//!     .with_scale(TraceScale::tiny())
+//!     .with_calibration(Calibration { duration_days: 2, ..Calibration::default() })
+//!     .with_seed(1)
+//!     .build();
+//! let report = CharacterizationPipeline::new()
+//!     .with_region_of_interest(fntrace::RegionId::new(2))
+//!     .analyze(&dataset);
+//! assert!(report.distributions.overall_fit.sample_count > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod evaluation;
+pub mod pipeline;
+pub mod policies;
+pub mod report;
+
+pub use pipeline::CharacterizationPipeline;
+pub use report::CharacterizationReport;

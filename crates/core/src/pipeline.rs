@@ -1,0 +1,120 @@
+//! End-to-end characterization pipeline.
+//!
+//! Wires the synthetic trace generator (or an externally loaded dataset in
+//! the released CSV format) into the full [`CharacterizationReport`].
+
+use faas_workload::profile::Calibration;
+use faas_workload::{SyntheticTraceBuilder, TraceScale};
+use fntrace::{Dataset, RegionId};
+
+use crate::report::CharacterizationReport;
+
+/// Builder-style pipeline: configure the calibration and region of interest,
+/// then analyse an existing dataset or generate-and-analyse in one call.
+#[derive(Debug, Clone)]
+pub struct CharacterizationPipeline {
+    calibration: Calibration,
+    region_of_interest: RegionId,
+}
+
+impl Default for CharacterizationPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CharacterizationPipeline {
+    /// Creates a pipeline with the paper's calibration (31 days, holiday on
+    /// days 14–23, one-minute keep-alive) and Region 2 as the region of
+    /// interest (the region the paper studies in depth).
+    pub fn new() -> Self {
+        Self {
+            calibration: Calibration::default(),
+            region_of_interest: RegionId::new(2),
+        }
+    }
+
+    /// Overrides the calibration.
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Overrides the region used for the single-region figures (8, 9, 14–17).
+    pub fn with_region_of_interest(mut self, region: RegionId) -> Self {
+        self.region_of_interest = region;
+        self
+    }
+
+    /// The calibration in use.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Analyses an existing dataset.
+    pub fn analyze(&self, dataset: &Dataset) -> CharacterizationReport {
+        CharacterizationReport::compute(dataset, &self.calibration, self.region_of_interest)
+    }
+
+    /// Generates a synthetic dataset at the given scale and seed, then
+    /// analyses it. Returns both the dataset and the report.
+    pub fn generate_and_analyze(
+        &self,
+        scale: TraceScale,
+        seed: u64,
+    ) -> (Dataset, CharacterizationReport) {
+        let dataset = SyntheticTraceBuilder::new()
+            .with_scale(scale)
+            .with_calibration(self.calibration)
+            .with_seed(seed)
+            .build();
+        let report = self.analyze(&dataset);
+        (dataset, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_workload::profile::RegionProfile;
+
+    #[test]
+    fn pipeline_defaults_target_region_2() {
+        let p = CharacterizationPipeline::new();
+        assert_eq!(p.calibration().duration_days, 31);
+        let ds = SyntheticTraceBuilder::new()
+            .with_regions(vec![RegionProfile::r2()])
+            .with_scale(TraceScale::tiny())
+            .with_calibration(Calibration {
+                duration_days: 1,
+                ..Calibration::default()
+            })
+            .with_seed(3)
+            .build();
+        let report = p
+            .clone()
+            .with_calibration(Calibration {
+                duration_days: 1,
+                ..Calibration::default()
+            })
+            .analyze(&ds);
+        assert_eq!(report.region_of_interest, 2);
+        assert!(report.composition.is_some());
+    }
+
+    #[test]
+    fn generate_and_analyze_round_trip() {
+        let calibration = Calibration {
+            duration_days: 1,
+            ..Calibration::default()
+        };
+        let pipeline = CharacterizationPipeline::new()
+            .with_calibration(calibration)
+            .with_region_of_interest(RegionId::new(1));
+        let (dataset, report) = pipeline.generate_and_analyze(TraceScale::tiny(), 9);
+        assert_eq!(dataset.region_count(), 5);
+        assert_eq!(report.region_of_interest, 1);
+        assert_eq!(report.regions.sizes.len(), 5);
+        assert!(report.distributions.overall_fit.sample_count > 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Cross-region function migration.
+//!
+//! The paper finds that the most popular regions consistently have the
+//! longest cold starts while inter-region latency is tens of milliseconds,
+//! and that most users own a single function — so migrating asynchronous,
+//! low-footprint functions from a congested region to a faster one is both
+//! cheap and effective. [`CrossRegionScheduler`] plans such migrations from
+//! two characterized regions and estimates the latency effect; the policy
+//! ablation bench evaluates the plan by re-simulating both regions.
+
+use serde::{Deserialize, Serialize};
+
+use fntrace::{FunctionId, RegionId, RegionTrace, Synchronicity};
+
+/// One planned migration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FunctionMigration {
+    /// The migrated function.
+    pub function: FunctionId,
+    /// Source (congested) region.
+    pub from: RegionId,
+    /// Destination (faster) region.
+    pub to: RegionId,
+    /// The function's cold-start count in the source region.
+    pub cold_starts: u64,
+    /// Mean cold-start time observed in the source region, seconds.
+    pub mean_cold_start_s: f64,
+}
+
+/// The full migration plan between two regions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossRegionPlan {
+    /// Planned migrations.
+    pub migrations: Vec<FunctionMigration>,
+    /// Assumed one-way inter-region network latency, seconds.
+    pub inter_region_latency_s: f64,
+    /// Mean cold-start time of the destination region, seconds.
+    pub destination_mean_cold_start_s: f64,
+}
+
+impl CrossRegionPlan {
+    /// Estimated change in total cold-start delay (seconds) across the
+    /// migrated functions: negative values are improvements. Every migrated
+    /// invocation additionally pays the inter-region latency, which is also
+    /// accounted here using the functions' cold-start counts as a lower bound
+    /// on the affected invocations.
+    pub fn estimated_delay_change_s(&self) -> f64 {
+        self.migrations
+            .iter()
+            .map(|m| {
+                let before = m.mean_cold_start_s * m.cold_starts as f64;
+                let after = (self.destination_mean_cold_start_s + self.inter_region_latency_s)
+                    * m.cold_starts as f64;
+                after - before
+            })
+            .sum()
+    }
+
+    /// Number of migrated functions.
+    pub fn len(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.migrations.is_empty()
+    }
+}
+
+/// Plans migrations of asynchronous functions from a slow region to a fast
+/// region.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossRegionScheduler {
+    /// Assumed one-way inter-region latency in seconds (the paper cites tens
+    /// to a few hundred milliseconds between developed regions).
+    pub inter_region_latency_s: f64,
+    /// Maximum number of functions to migrate.
+    pub max_migrations: usize,
+    /// Only migrate functions whose mean cold start exceeds the destination
+    /// mean by at least this factor.
+    pub min_speedup_factor: f64,
+}
+
+impl Default for CrossRegionScheduler {
+    fn default() -> Self {
+        Self {
+            inter_region_latency_s: 0.05,
+            max_migrations: 100,
+            min_speedup_factor: 1.5,
+        }
+    }
+}
+
+impl CrossRegionScheduler {
+    /// Plans migrations from `source` to `destination`.
+    ///
+    /// Candidates are functions that (a) are asynchronous (latency slack),
+    /// (b) suffer repeated cold starts in the source region, and (c) would
+    /// see their mean cold start shrink by at least the configured factor
+    /// even after paying the inter-region latency. Candidates are ranked by
+    /// total cold-start time saved.
+    pub fn plan(&self, source: &RegionTrace, destination: &RegionTrace) -> CrossRegionPlan {
+        let dest_mean = mean_cold_start_s(destination);
+        let mut candidates: Vec<FunctionMigration> = Vec::new();
+        let cold_per_function = source.cold_starts.cold_starts_per_function();
+        for (&function, &cold_starts) in &cold_per_function {
+            if cold_starts == 0 {
+                continue;
+            }
+            let trigger = source.functions.trigger_of(function);
+            if trigger.synchronicity() != Synchronicity::Asynchronous {
+                continue;
+            }
+            let times: Vec<f64> = source
+                .cold_starts
+                .records()
+                .iter()
+                .filter(|r| r.function == function)
+                .map(|r| r.cold_start_secs())
+                .collect();
+            let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
+            let effective_after = dest_mean + self.inter_region_latency_s;
+            if mean >= self.min_speedup_factor * effective_after {
+                candidates.push(FunctionMigration {
+                    function,
+                    from: source.region,
+                    to: destination.region,
+                    cold_starts,
+                    mean_cold_start_s: mean,
+                });
+            }
+        }
+        candidates.sort_by(|a, b| {
+            let save_a = a.mean_cold_start_s * a.cold_starts as f64;
+            let save_b = b.mean_cold_start_s * b.cold_starts as f64;
+            save_b.partial_cmp(&save_a).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        candidates.truncate(self.max_migrations);
+        CrossRegionPlan {
+            migrations: candidates,
+            inter_region_latency_s: self.inter_region_latency_s,
+            destination_mean_cold_start_s: dest_mean,
+        }
+    }
+}
+
+fn mean_cold_start_s(trace: &RegionTrace) -> f64 {
+    let times = trace.cold_starts.cold_start_secs();
+    if times.is_empty() {
+        0.0
+    } else {
+        times.iter().sum::<f64>() / times.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_workload::profile::{Calibration, RegionProfile};
+    use faas_workload::{SyntheticTraceBuilder, TraceScale};
+
+    fn two_region_dataset() -> fntrace::Dataset {
+        SyntheticTraceBuilder::new()
+            .with_regions(vec![RegionProfile::r1(), RegionProfile::r3()])
+            .with_scale(TraceScale::tiny())
+            .with_calibration(Calibration {
+                duration_days: 2,
+                ..Calibration::default()
+            })
+            .with_seed(6)
+            .build()
+    }
+
+    #[test]
+    fn plan_moves_async_functions_from_slow_to_fast_region() {
+        let ds = two_region_dataset();
+        let r1 = ds.region(RegionId::new(1)).unwrap();
+        let r3 = ds.region(RegionId::new(3)).unwrap();
+        let scheduler = CrossRegionScheduler::default();
+        let plan = scheduler.plan(r1, r3);
+        assert!(!plan.is_empty(), "expected some migrations from R1 to R3");
+        assert!(plan.len() <= scheduler.max_migrations);
+        for m in &plan.migrations {
+            assert_eq!(m.from, RegionId::new(1));
+            assert_eq!(m.to, RegionId::new(3));
+            assert!(m.cold_starts > 0);
+            // Only asynchronous functions are migrated.
+            let trigger = r1.functions.trigger_of(m.function);
+            assert_eq!(trigger.synchronicity(), Synchronicity::Asynchronous);
+        }
+        // R1 cold starts are far slower than R3's, so moving work there
+        // reduces total cold-start delay even with network latency added.
+        assert!(
+            plan.estimated_delay_change_s() < 0.0,
+            "estimated change {}",
+            plan.estimated_delay_change_s()
+        );
+    }
+
+    #[test]
+    fn reverse_plan_is_mostly_empty() {
+        let ds = two_region_dataset();
+        let r1 = ds.region(RegionId::new(1)).unwrap();
+        let r3 = ds.region(RegionId::new(3)).unwrap();
+        // Migrating from the fast region to the slow region should find few
+        // or no candidates that clear the speed-up threshold.
+        let plan = CrossRegionScheduler::default().plan(r3, r1);
+        assert!(
+            plan.len() * 10 <= r3.functions.len(),
+            "unexpectedly many reverse migrations: {}",
+            plan.len()
+        );
+    }
+
+    #[test]
+    fn migration_cap_is_respected() {
+        let ds = two_region_dataset();
+        let r1 = ds.region(RegionId::new(1)).unwrap();
+        let r3 = ds.region(RegionId::new(3)).unwrap();
+        let scheduler = CrossRegionScheduler {
+            max_migrations: 3,
+            ..CrossRegionScheduler::default()
+        };
+        let plan = scheduler.plan(r1, r3);
+        assert!(plan.len() <= 3);
+    }
+}

@@ -1,0 +1,101 @@
+//! Keep-alive policy selection.
+//!
+//! The platform crate implements the keep-alive mechanisms (fixed, adaptive,
+//! timer-aware); this module provides a small factory used by the evaluation
+//! harness and examples to build the policy appropriate for a scenario from
+//! the workload's function specifications.
+
+use faas_platform::{AdaptiveKeepAlive, FixedKeepAlive, KeepAlivePolicy, TimerAwareKeepAlive};
+use faas_workload::FunctionSpec;
+
+/// Named keep-alive scenarios used by the evaluation harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepAliveScenario {
+    /// Production default: fixed 60-second keep-alive.
+    FixedDefault,
+    /// Fixed keep-alive with a custom duration in milliseconds.
+    Fixed(u64),
+    /// Adaptive keep-alive driven by per-function inter-arrival history.
+    Adaptive,
+    /// Timer-aware keep-alive using the known timer periods.
+    TimerAware,
+}
+
+/// Builds a boxed keep-alive policy for a scenario.
+///
+/// The timer-aware scenario needs the workload's function specifications to
+/// learn each timer's period; the other scenarios ignore them.
+pub fn keep_alive_for_scenario(
+    scenario: KeepAliveScenario,
+    specs: &[FunctionSpec],
+) -> Box<dyn KeepAlivePolicy> {
+    match scenario {
+        KeepAliveScenario::FixedDefault => Box::new(FixedKeepAlive::default()),
+        KeepAliveScenario::Fixed(duration_ms) => Box::new(FixedKeepAlive { duration_ms }),
+        KeepAliveScenario::Adaptive => Box::new(AdaptiveKeepAlive::default()),
+        KeepAliveScenario::TimerAware => Box::new(TimerAwareKeepAlive::from_specs(
+            60_000,
+            600_000,
+            2_000,
+            specs
+                .iter()
+                .map(|s| (&s.function, s.triggers.as_slice(), s.timer_period_secs)),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_platform::keepalive::FunctionHistory;
+    use fntrace::{FunctionId, ResourceConfig, Runtime, TriggerType, UserId};
+
+    fn timer_spec(id: u64, period: f64) -> FunctionSpec {
+        FunctionSpec {
+            function: FunctionId::new(id),
+            user: UserId::new(1),
+            runtime: Runtime::Python3,
+            triggers: vec![TriggerType::Timer],
+            config: ResourceConfig::SMALL_300_128,
+            base_requests_per_day: 86_400.0 / period,
+            timer_period_secs: period,
+            diurnal_amplitude: 0.0,
+            peak_offset_hours: 0.0,
+            median_execution_secs: 0.05,
+            cpu_millicores: 100.0,
+            memory_bytes: 64 << 20,
+            has_dependencies: false,
+            concurrency: 1,
+            upstream: None,
+        }
+    }
+
+    #[test]
+    fn scenarios_produce_matching_policies() {
+        let specs = vec![timer_spec(1, 300.0), timer_spec(2, 7200.0)];
+        let history = FunctionHistory::default();
+
+        let fixed = keep_alive_for_scenario(KeepAliveScenario::FixedDefault, &specs);
+        assert_eq!(fixed.keep_alive_ms(FunctionId::new(1), &history), 60_000);
+        assert_eq!(fixed.name(), "fixed");
+
+        let custom = keep_alive_for_scenario(KeepAliveScenario::Fixed(5_000), &specs);
+        assert_eq!(custom.keep_alive_ms(FunctionId::new(1), &history), 5_000);
+
+        let adaptive = keep_alive_for_scenario(KeepAliveScenario::Adaptive, &specs);
+        assert_eq!(adaptive.name(), "adaptive");
+
+        let timer_aware = keep_alive_for_scenario(KeepAliveScenario::TimerAware, &specs);
+        assert_eq!(timer_aware.name(), "timer-aware");
+        // 5-minute timer: retained past the next firing.
+        assert_eq!(
+            timer_aware.keep_alive_ms(FunctionId::new(1), &history),
+            302_000
+        );
+        // 2-hour timer: released quickly.
+        assert_eq!(
+            timer_aware.keep_alive_ms(FunctionId::new(2), &history),
+            2_000
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Mitigation policies from the paper's discussion section (Section 5).
+//!
+//! Each sub-module implements one of the improvement directions the paper
+//! identifies, as a pluggable policy for the [`faas_platform`] simulator or
+//! as a standalone planner/advisor where simulation is not required:
+//!
+//! * [`prewarm`] — predictive pre-warming of pods (timer schedules, recent
+//!   demand, and workflow call chains).
+//! * [`keepalive`] — adaptive and timer-aware keep-alive selection.
+//! * [`peak_shaving`] — delaying asynchronous, non-latency-critical requests
+//!   away from the daily peak.
+//! * [`pool_prediction`] — predicting per-configuration resource-pool sizes.
+//! * [`cross_region`] — migrating functions between regions to exploit the
+//!   differing peak hours and cold-start costs.
+//! * [`concurrency`] — advising per-function concurrency increases.
+
+pub mod concurrency;
+pub mod cross_region;
+pub mod keepalive;
+pub mod peak_shaving;
+pub mod pool_prediction;
+pub mod prewarm;
+
+pub use concurrency::{ConcurrencyAdvisor, ConcurrencyRecommendation};
+pub use cross_region::{CrossRegionPlan, CrossRegionScheduler, FunctionMigration};
+pub use keepalive::keep_alive_for_scenario;
+pub use peak_shaving::AsyncPeakShaving;
+pub use pool_prediction::{PoolDemandPredictor, PoolSizingPlan};
+pub use prewarm::{DemandPrewarm, TimerPrewarm, WorkflowChainPrewarm};

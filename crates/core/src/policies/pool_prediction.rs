@@ -1,0 +1,258 @@
+//! Resource-pool size prediction.
+//!
+//! The platform keeps pools of inactive pods per CPU–memory configuration;
+//! a cold start that misses the pool pays the much slower from-scratch
+//! allocation path. The paper argues that the predictable time-varying
+//! demand per configuration makes it possible to "predict the required
+//! number of reserved pods so that user demand is met without unnecessary
+//! overallocation." [`PoolDemandPredictor`] learns per-configuration,
+//! per-hour-of-day demand from an observed cold-start table and produces a
+//! [`PoolSizingPlan`]; the plan can be compared against any fixed pool size
+//! by replaying the observed demand.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use fntrace::{ColdStartTable, FunctionTable, ResourceConfig, TimeBinner, MILLIS_PER_HOUR};
+
+/// Recommended pool target for one configuration and hour of day.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolSizingPlan {
+    /// Per configuration: 24 hourly pool targets (pods held ready).
+    pub hourly_targets: HashMap<ResourceConfig, [u32; 24]>,
+    /// The quantile of historical demand the targets cover.
+    pub coverage_quantile: f64,
+}
+
+impl PoolSizingPlan {
+    /// The target for a configuration at a given hour (0 when the
+    /// configuration was never observed).
+    pub fn target(&self, config: ResourceConfig, hour: usize) -> u32 {
+        self.hourly_targets
+            .get(&config)
+            .map(|t| t[hour % 24])
+            .unwrap_or(0)
+    }
+
+    /// Mean number of pods held across a day, summed over configurations —
+    /// the reserved-capacity cost of the plan.
+    pub fn mean_reserved_pods(&self) -> f64 {
+        self.hourly_targets
+            .values()
+            .map(|t| t.iter().map(|&x| x as f64).sum::<f64>() / 24.0)
+            .sum()
+    }
+}
+
+/// Outcome of replaying observed demand against a pool sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct PoolReplayOutcome {
+    /// Cold starts whose demand was covered by the pool.
+    pub hits: u64,
+    /// Cold starts that missed the pool (from-scratch creations).
+    pub misses: u64,
+    /// Mean reserved pods across the replay window.
+    pub mean_reserved_pods: f64,
+}
+
+impl PoolReplayOutcome {
+    /// Fraction of demand covered by the pool.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Learns per-configuration, per-hour pool demand from cold-start history.
+#[derive(Debug, Clone)]
+pub struct PoolDemandPredictor {
+    /// Quantile of per-hour demand the recommended targets should cover.
+    pub coverage_quantile: f64,
+    /// Cap on any single hourly target (keeps recommendations bounded).
+    pub max_target: u32,
+}
+
+impl Default for PoolDemandPredictor {
+    fn default() -> Self {
+        Self {
+            coverage_quantile: 0.9,
+            max_target: 512,
+        }
+    }
+}
+
+impl PoolDemandPredictor {
+    /// Per-configuration, per-hour cold-start demand matrix: for every
+    /// configuration, the number of cold starts in each hour of the trace.
+    pub fn hourly_demand(
+        cold_starts: &ColdStartTable,
+        functions: &FunctionTable,
+    ) -> HashMap<ResourceConfig, Vec<f64>> {
+        let Some((lo, hi)) = cold_starts.time_span_ms() else {
+            return HashMap::new();
+        };
+        let binner = TimeBinner::new(lo, hi + 1, MILLIS_PER_HOUR);
+        let mut per_config: HashMap<ResourceConfig, Vec<(u64, f64)>> = HashMap::new();
+        for record in cold_starts.records() {
+            let config = functions.config_of(record.function);
+            per_config
+                .entry(config)
+                .or_default()
+                .push((record.timestamp_ms, 1.0));
+        }
+        per_config
+            .into_iter()
+            .map(|(config, events)| (config, binner.sum(events)))
+            .collect()
+    }
+
+    /// Builds a sizing plan from observed cold starts.
+    pub fn recommend(
+        &self,
+        cold_starts: &ColdStartTable,
+        functions: &FunctionTable,
+    ) -> PoolSizingPlan {
+        let demand = Self::hourly_demand(cold_starts, functions);
+        let mut hourly_targets = HashMap::new();
+        for (config, series) in demand {
+            // Group the hourly series by hour of day and take the coverage
+            // quantile of each group.
+            let mut by_hour: [Vec<f64>; 24] = Default::default();
+            for (i, &v) in series.iter().enumerate() {
+                by_hour[i % 24].push(v);
+            }
+            let mut targets = [0u32; 24];
+            for (hour, values) in by_hour.iter().enumerate() {
+                if values.is_empty() {
+                    continue;
+                }
+                let mut sorted = values.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let idx = ((sorted.len() as f64 * self.coverage_quantile).ceil() as usize)
+                    .clamp(1, sorted.len())
+                    - 1;
+                targets[hour] = (sorted[idx].ceil() as u32).min(self.max_target);
+            }
+            hourly_targets.insert(config, targets);
+        }
+        PoolSizingPlan {
+            hourly_targets,
+            coverage_quantile: self.coverage_quantile,
+        }
+    }
+
+    /// Replays observed hourly demand against a *fixed* per-configuration
+    /// pool size (the baseline the platform uses today).
+    pub fn replay_fixed(
+        cold_starts: &ColdStartTable,
+        functions: &FunctionTable,
+        fixed_target: u32,
+    ) -> PoolReplayOutcome {
+        let demand = Self::hourly_demand(cold_starts, functions);
+        let mut outcome = PoolReplayOutcome::default();
+        let configs = demand.len() as f64;
+        for series in demand.values() {
+            for &d in series {
+                let d = d as u64;
+                outcome.hits += d.min(fixed_target as u64);
+                outcome.misses += d.saturating_sub(fixed_target as u64);
+            }
+        }
+        outcome.mean_reserved_pods = fixed_target as f64 * configs;
+        outcome
+    }
+
+    /// Replays observed hourly demand against a sizing plan.
+    pub fn replay_plan(
+        cold_starts: &ColdStartTable,
+        functions: &FunctionTable,
+        plan: &PoolSizingPlan,
+    ) -> PoolReplayOutcome {
+        let demand = Self::hourly_demand(cold_starts, functions);
+        let mut outcome = PoolReplayOutcome {
+            mean_reserved_pods: plan.mean_reserved_pods(),
+            ..PoolReplayOutcome::default()
+        };
+        for (config, series) in demand {
+            for (i, &d) in series.iter().enumerate() {
+                let target = plan.target(config, i % 24) as u64;
+                let d = d as u64;
+                outcome.hits += d.min(target);
+                outcome.misses += d.saturating_sub(target);
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_workload::profile::{Calibration, RegionProfile};
+    use faas_workload::{SyntheticTraceBuilder, TraceScale};
+    use fntrace::RegionId;
+
+    fn region_tables() -> (ColdStartTable, FunctionTable) {
+        let ds = SyntheticTraceBuilder::new()
+            .with_regions(vec![RegionProfile::r2()])
+            .with_scale(TraceScale::tiny())
+            .with_calibration(Calibration {
+                duration_days: 3,
+                ..Calibration::default()
+            })
+            .with_seed(8)
+            .build();
+        let region = ds.region(RegionId::new(2)).unwrap();
+        (region.cold_starts.clone(), region.functions.clone())
+    }
+
+    #[test]
+    fn demand_matrix_covers_observed_cold_starts() {
+        let (cold, functions) = region_tables();
+        let demand = PoolDemandPredictor::hourly_demand(&cold, &functions);
+        assert!(!demand.is_empty());
+        let total: f64 = demand.values().flat_map(|s| s.iter()).sum();
+        assert_eq!(total as u64, cold.len() as u64);
+    }
+
+    #[test]
+    fn recommended_plan_beats_small_fixed_pools_on_hit_rate() {
+        let (cold, functions) = region_tables();
+        let predictor = PoolDemandPredictor::default();
+        let plan = predictor.recommend(&cold, &functions);
+        assert!(plan.mean_reserved_pods() > 0.0);
+        assert!((plan.coverage_quantile - 0.9).abs() < 1e-12);
+
+        let fixed_small = PoolDemandPredictor::replay_fixed(&cold, &functions, 1);
+        let predicted = PoolDemandPredictor::replay_plan(&cold, &functions, &plan);
+        assert!(
+            predicted.hit_rate() >= fixed_small.hit_rate(),
+            "predicted {} fixed {}",
+            predicted.hit_rate(),
+            fixed_small.hit_rate()
+        );
+        assert!(predicted.hit_rate() > 0.5);
+        // A very large fixed pool also covers demand, but at a much higher
+        // reserved-capacity cost than the plan.
+        let fixed_huge = PoolDemandPredictor::replay_fixed(&cold, &functions, 500);
+        assert!(fixed_huge.hit_rate() >= predicted.hit_rate());
+        assert!(fixed_huge.mean_reserved_pods > predicted.mean_reserved_pods);
+    }
+
+    #[test]
+    fn empty_tables_are_benign() {
+        let cold = ColdStartTable::new();
+        let functions = FunctionTable::new();
+        let predictor = PoolDemandPredictor::default();
+        let plan = predictor.recommend(&cold, &functions);
+        assert_eq!(plan.mean_reserved_pods(), 0.0);
+        assert_eq!(plan.target(ResourceConfig::SMALL_300_128, 3), 0);
+        let outcome = PoolDemandPredictor::replay_fixed(&cold, &functions, 4);
+        assert_eq!(outcome.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cluster routing state.
+//!
+//! A region is split into four clusters (Section 2.1). Requests for a
+//! function are normally routed to one cluster chosen by hashing the function
+//! name; when that cluster is hot (carrying many more in-flight requests than
+//! the least loaded one), new pods are started on the least-loaded cluster
+//! instead, which is the paper's description of inter-cluster load balancing.
+
+use serde::{Deserialize, Serialize};
+
+use fntrace::{ClusterId, FunctionId};
+
+/// Per-cluster load counters for one region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterState {
+    in_flight: Vec<u32>,
+    hot_spot_threshold: u32,
+}
+
+impl ClusterState {
+    /// Creates the state for a region with `clusters` clusters.
+    pub fn new(clusters: u8, hot_spot_threshold: u32) -> Self {
+        Self {
+            in_flight: vec![0; clusters.max(1) as usize],
+            hot_spot_threshold,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> u8 {
+        self.in_flight.len() as u8
+    }
+
+    /// The cluster a function's requests hash to by default.
+    pub fn home_cluster(&self, function: FunctionId) -> ClusterId {
+        (function.raw() % self.in_flight.len() as u64) as ClusterId
+    }
+
+    /// Chooses the cluster for a new pod of `function`: the home cluster
+    /// unless it is hot, in which case the least-loaded cluster is used.
+    pub fn place_pod(&self, function: FunctionId) -> ClusterId {
+        let home = self.home_cluster(function) as usize;
+        let (least_idx, &least_load) = self
+            .in_flight
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &load)| load)
+            .expect("at least one cluster");
+        if self.in_flight[home] >= least_load + self.hot_spot_threshold {
+            least_idx as ClusterId
+        } else {
+            home as ClusterId
+        }
+    }
+
+    /// Records the start of a request on a cluster.
+    pub fn begin_request(&mut self, cluster: ClusterId) {
+        if let Some(c) = self.in_flight.get_mut(cluster as usize) {
+            *c += 1;
+        }
+    }
+
+    /// Records the completion of a request on a cluster.
+    pub fn complete_request(&mut self, cluster: ClusterId) {
+        if let Some(c) = self.in_flight.get_mut(cluster as usize) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Total in-flight requests in the region.
+    pub fn total_in_flight(&self) -> u32 {
+        self.in_flight.iter().sum()
+    }
+
+    /// In-flight requests on one cluster.
+    pub fn in_flight(&self, cluster: ClusterId) -> u32 {
+        self.in_flight.get(cluster as usize).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_stable_and_within_range() {
+        let s = ClusterState::new(4, 16);
+        assert_eq!(s.clusters(), 4);
+        let f = FunctionId::new(10);
+        assert_eq!(s.home_cluster(f), s.home_cluster(f));
+        assert!(s.home_cluster(f) < 4);
+        assert_eq!(s.home_cluster(FunctionId::new(7)), 3);
+    }
+
+    #[test]
+    fn zero_clusters_clamped_to_one() {
+        let s = ClusterState::new(0, 4);
+        assert_eq!(s.clusters(), 1);
+        assert_eq!(s.home_cluster(FunctionId::new(99)), 0);
+    }
+
+    #[test]
+    fn request_counters() {
+        let mut s = ClusterState::new(2, 4);
+        s.begin_request(0);
+        s.begin_request(0);
+        s.begin_request(1);
+        assert_eq!(s.total_in_flight(), 3);
+        assert_eq!(s.in_flight(0), 2);
+        s.complete_request(0);
+        assert_eq!(s.in_flight(0), 1);
+        s.complete_request(1);
+        s.complete_request(1);
+        assert_eq!(s.in_flight(1), 0, "saturating");
+        // Out-of-range clusters are ignored.
+        s.begin_request(9);
+        s.complete_request(9);
+        assert_eq!(s.total_in_flight(), 1);
+    }
+
+    #[test]
+    fn hot_cluster_spills_to_least_loaded() {
+        let mut s = ClusterState::new(4, 8);
+        let f = FunctionId::new(4); // Home cluster 0.
+        assert_eq!(s.home_cluster(f), 0);
+        assert_eq!(s.place_pod(f), 0);
+        for _ in 0..10 {
+            s.begin_request(0);
+        }
+        // Cluster 0 is now hot relative to the empty clusters.
+        let placed = s.place_pod(f);
+        assert_ne!(placed, 0);
+        // Relief: once the home cluster cools down, placement returns home.
+        for _ in 0..10 {
+            s.complete_request(0);
+        }
+        assert_eq!(s.place_pod(f), 0);
+    }
+}

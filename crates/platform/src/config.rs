@@ -1,0 +1,49 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pool::PoolConfig;
+
+/// Static configuration of the simulated platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Number of clusters per region (four in the paper's platform).
+    pub clusters: u8,
+    /// Resource-pool settings.
+    pub pool: PoolConfig,
+    /// Interval between pre-warm policy ticks, in milliseconds.
+    pub prewarm_interval_ms: u64,
+    /// Whether to record a full trace (request + cold-start tables) in
+    /// addition to the aggregate report. Disable for large policy sweeps.
+    pub record_trace: bool,
+    /// A cluster is considered hot when it has this many more in-flight
+    /// requests than the least loaded cluster; hot clusters spill new pods to
+    /// the least-loaded cluster (Section 2.1's load balancing).
+    pub hot_spot_threshold: u32,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            clusters: 4,
+            pool: PoolConfig::default(),
+            prewarm_interval_ms: 60_000,
+            record_trace: true,
+            hot_spot_threshold: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_platform() {
+        let c = PlatformConfig::default();
+        assert_eq!(c.clusters, 4);
+        assert_eq!(c.prewarm_interval_ms, 60_000);
+        assert!(c.record_trace);
+        assert_eq!(c.pool.replenish_interval_ms, 60_000);
+    }
+}

@@ -1,0 +1,171 @@
+//! Simulation events and the event queue.
+//!
+//! The simulator is a classic discrete-event loop: external request arrivals
+//! (already sorted by the workload generator) are merged with internal events
+//! (request completions, pod expiries, periodic policy ticks) drawn from a
+//! priority queue ordered by timestamp with a deterministic sequence-number
+//! tie-break, so simulations are exactly reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use fntrace::{FunctionId, PodId};
+
+/// An internal simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A request finishes executing on a pod.
+    RequestComplete {
+        /// The pod serving the request.
+        pod: PodId,
+        /// How long the request kept the pod busy, in milliseconds.
+        busy_ms: u64,
+    },
+    /// A pod's keep-alive timer fires; the pod is deleted if still idle and
+    /// the expiry generation matches.
+    PodExpire {
+        /// The pod to expire.
+        pod: PodId,
+        /// Generation counter to invalidate stale expiry events.
+        generation: u64,
+    },
+    /// A request whose admission was deferred (peak shaving) becomes runnable.
+    DelayedArrival {
+        /// The function to invoke.
+        function: FunctionId,
+    },
+    /// Periodic tick that lets the pre-warm policy act.
+    PrewarmTick,
+    /// Periodic tick that replenishes the resource pools.
+    PoolReplenishTick,
+}
+
+/// A timestamped event with a deterministic tie-break sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    time_ms: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time_ms
+            .cmp(&self.time_ms)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of internal events ordered by time.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event at the given absolute time.
+    pub fn push(&mut self, time_ms: u64, event: Event) {
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            time_ms,
+            seq: self.seq,
+            event,
+        });
+    }
+
+    /// Time of the next event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|s| s.time_ms)
+    }
+
+    /// Pops the next event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap.pop().map(|s| (s.time_ms, s.event))
+    }
+
+    /// Pops the next event only if it is due at or before `time_ms`.
+    pub fn pop_due(&mut self, time_ms: u64) -> Option<(u64, Event)> {
+        if self.peek_time()? <= time_ms {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, Event::PrewarmTick);
+        q.push(10, Event::PoolReplenishTick);
+        q.push(20, Event::RequestComplete { pod: PodId::new(1), busy_ms: 5 });
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(5, Event::PodExpire { pod: PodId::new(1), generation: 0 });
+        q.push(5, Event::PodExpire { pod: PodId::new(2), generation: 0 });
+        q.push(5, Event::PodExpire { pod: PodId::new(3), generation: 0 });
+        let pods: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::PodExpire { pod, .. } => pod.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pods, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_due_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.push(100, Event::PrewarmTick);
+        q.push(50, Event::PoolReplenishTick);
+        assert_eq!(q.peek_time(), Some(50));
+        assert!(q.pop_due(40).is_none());
+        assert_eq!(q.pop_due(60).unwrap().0, 50);
+        assert!(q.pop_due(60).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(100).unwrap().0, 100);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+        assert!(q.pop_due(1000).is_none());
+        assert_eq!(q.len(), 0);
+    }
+}

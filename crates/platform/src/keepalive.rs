@@ -1,0 +1,318 @@
+//! Keep-alive policies.
+//!
+//! The production platform keeps an idle pod alive for a fixed minute before
+//! deleting it. The paper points out two mismatches (Sections 4.3 and 5):
+//! timer functions firing less often than the keep-alive period pay a cold
+//! start on every invocation while still wasting a minute of idle pod time,
+//! and bursty functions would benefit from longer retention. This module
+//! provides the baseline [`FixedKeepAlive`] plus two of the proposed
+//! improvements: [`AdaptiveKeepAlive`] (per-function inter-arrival histogram)
+//! and [`TimerAwareKeepAlive`] (release timer pods early, retain them just
+//! long enough when the period is close to the default).
+
+use std::collections::HashMap;
+
+use fntrace::{FunctionId, TriggerType};
+
+/// Per-function observation history available to keep-alive policies.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionHistory {
+    /// Recent inter-arrival times in milliseconds (bounded ring).
+    recent_iat_ms: Vec<u64>,
+    /// Timestamp of the most recent arrival.
+    last_arrival_ms: Option<u64>,
+    /// Total arrivals observed.
+    pub arrivals: u64,
+    /// Total cold starts observed.
+    pub cold_starts: u64,
+}
+
+const HISTORY_CAP: usize = 64;
+
+impl FunctionHistory {
+    /// Records an arrival at `now_ms`.
+    pub fn observe_arrival(&mut self, now_ms: u64) {
+        if let Some(last) = self.last_arrival_ms {
+            let iat = now_ms.saturating_sub(last);
+            if self.recent_iat_ms.len() == HISTORY_CAP {
+                self.recent_iat_ms.remove(0);
+            }
+            self.recent_iat_ms.push(iat);
+        }
+        self.last_arrival_ms = Some(now_ms);
+        self.arrivals += 1;
+    }
+
+    /// Records that an arrival caused a cold start.
+    pub fn observe_cold_start(&mut self) {
+        self.cold_starts += 1;
+    }
+
+    /// Timestamp of the most recent arrival, if any.
+    pub fn last_arrival(&self) -> Option<u64> {
+        self.last_arrival_ms
+    }
+
+    /// A high percentile (approximately p90) of the recent inter-arrival
+    /// times, or `None` when fewer than four observations exist.
+    pub fn iat_p90_ms(&self) -> Option<u64> {
+        if self.recent_iat_ms.len() < 4 {
+            return None;
+        }
+        let mut sorted = self.recent_iat_ms.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64) * 0.9).ceil() as usize - 1;
+        Some(sorted[idx.min(sorted.len() - 1)])
+    }
+
+    /// Median of the recent inter-arrival times, if enough history exists.
+    pub fn iat_median_ms(&self) -> Option<u64> {
+        if self.recent_iat_ms.len() < 4 {
+            return None;
+        }
+        let mut sorted = self.recent_iat_ms.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// Decides how long an idle pod of a function should be retained.
+pub trait KeepAlivePolicy {
+    /// Keep-alive duration in milliseconds for an idle pod of `function`.
+    fn keep_alive_ms(&self, function: FunctionId, history: &FunctionHistory) -> u64;
+
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &'static str;
+}
+
+/// The production default: a fixed keep-alive (one minute).
+#[derive(Debug, Clone, Copy)]
+pub struct FixedKeepAlive {
+    /// Keep-alive duration in milliseconds.
+    pub duration_ms: u64,
+}
+
+impl Default for FixedKeepAlive {
+    fn default() -> Self {
+        Self { duration_ms: 60_000 }
+    }
+}
+
+impl KeepAlivePolicy for FixedKeepAlive {
+    fn keep_alive_ms(&self, _function: FunctionId, _history: &FunctionHistory) -> u64 {
+        self.duration_ms
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Adaptive keep-alive: retain idle pods slightly longer than the function's
+/// recent 90th-percentile inter-arrival time, clamped to a configurable
+/// range. Functions with no history fall back to the default.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveKeepAlive {
+    /// Fallback / baseline keep-alive in milliseconds.
+    pub default_ms: u64,
+    /// Lower clamp in milliseconds.
+    pub min_ms: u64,
+    /// Upper clamp in milliseconds.
+    pub max_ms: u64,
+    /// Multiplier applied to the observed p90 inter-arrival time.
+    pub margin: f64,
+}
+
+impl Default for AdaptiveKeepAlive {
+    fn default() -> Self {
+        Self {
+            default_ms: 60_000,
+            min_ms: 5_000,
+            max_ms: 900_000,
+            margin: 1.2,
+        }
+    }
+}
+
+impl KeepAlivePolicy for AdaptiveKeepAlive {
+    fn keep_alive_ms(&self, _function: FunctionId, history: &FunctionHistory) -> u64 {
+        match history.iat_p90_ms() {
+            Some(p90) => (((p90 as f64) * self.margin) as u64).clamp(self.min_ms, self.max_ms),
+            None => self.default_ms,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+/// Timer-aware keep-alive: timer-triggered functions have a known period, so
+/// the pod is either retained just past the next firing (when the period is
+/// within `retain_up_to_ms`) or released almost immediately (when the next
+/// firing is far away and keeping the pod would only waste resources).
+#[derive(Debug, Clone)]
+pub struct TimerAwareKeepAlive {
+    /// Keep-alive for non-timer functions, in milliseconds.
+    pub default_ms: u64,
+    /// Retain a timer pod when its period is at most this long.
+    pub retain_up_to_ms: u64,
+    /// Keep-alive used when the timer period is longer than
+    /// `retain_up_to_ms` (release resources quickly).
+    pub release_ms: u64,
+    /// Timer periods per function, in milliseconds.
+    timer_periods_ms: HashMap<FunctionId, u64>,
+}
+
+impl TimerAwareKeepAlive {
+    /// Creates the policy from the known timer periods of the workload.
+    pub fn new(
+        default_ms: u64,
+        retain_up_to_ms: u64,
+        release_ms: u64,
+        timers: impl IntoIterator<Item = (FunctionId, u64)>,
+    ) -> Self {
+        Self {
+            default_ms,
+            retain_up_to_ms,
+            release_ms,
+            timer_periods_ms: timers.into_iter().collect(),
+        }
+    }
+
+    /// Builds the policy from function metadata: every function whose trigger
+    /// list contains a timer registers its period.
+    pub fn from_specs<'a>(
+        default_ms: u64,
+        retain_up_to_ms: u64,
+        release_ms: u64,
+        specs: impl IntoIterator<Item = (&'a FunctionId, &'a [TriggerType], f64)>,
+    ) -> Self {
+        let timers = specs
+            .into_iter()
+            .filter(|(_, triggers, period)| triggers.contains(&TriggerType::Timer) && *period > 0.0)
+            .map(|(id, _, period)| (*id, (period * 1000.0) as u64))
+            .collect::<Vec<_>>();
+        Self::new(default_ms, retain_up_to_ms, release_ms, timers)
+    }
+}
+
+impl KeepAlivePolicy for TimerAwareKeepAlive {
+    fn keep_alive_ms(&self, function: FunctionId, _history: &FunctionHistory) -> u64 {
+        match self.timer_periods_ms.get(&function) {
+            Some(&period) if period <= self.retain_up_to_ms => period + 2_000,
+            Some(_) => self.release_ms,
+            None => self.default_ms,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "timer-aware"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn history_with_iats(iats: &[u64]) -> FunctionHistory {
+        let mut h = FunctionHistory::default();
+        let mut t = 0;
+        h.observe_arrival(t);
+        for &iat in iats {
+            t += iat;
+            h.observe_arrival(t);
+        }
+        h
+    }
+
+    #[test]
+    fn history_tracks_iats_and_counts() {
+        let mut h = FunctionHistory::default();
+        assert!(h.iat_p90_ms().is_none());
+        h.observe_arrival(0);
+        h.observe_arrival(100);
+        h.observe_cold_start();
+        assert_eq!(h.arrivals, 2);
+        assert_eq!(h.cold_starts, 1);
+        assert!(h.iat_p90_ms().is_none(), "needs more history");
+        let h = history_with_iats(&[100, 200, 300, 400, 500]);
+        assert_eq!(h.iat_median_ms(), Some(300));
+        assert_eq!(h.iat_p90_ms(), Some(500));
+    }
+
+    #[test]
+    fn history_ring_is_bounded() {
+        let mut h = FunctionHistory::default();
+        for i in 0..(HISTORY_CAP as u64 * 3) {
+            h.observe_arrival(i * 10);
+        }
+        assert!(h.recent_iat_ms.len() <= HISTORY_CAP);
+        assert_eq!(h.arrivals, HISTORY_CAP as u64 * 3);
+    }
+
+    #[test]
+    fn fixed_policy_ignores_history() {
+        let p = FixedKeepAlive::default();
+        let h = history_with_iats(&[10, 10, 10, 10]);
+        assert_eq!(p.keep_alive_ms(FunctionId::new(1), &h), 60_000);
+        assert_eq!(p.name(), "fixed");
+    }
+
+    #[test]
+    fn adaptive_policy_tracks_interarrival_times() {
+        let p = AdaptiveKeepAlive::default();
+        let f = FunctionId::new(1);
+        // Rapid arrivals: short keep-alive (but at least the minimum).
+        let fast = history_with_iats(&[1_000; 10]);
+        assert_eq!(p.keep_alive_ms(f, &fast), 5_000);
+        // Five-minute gaps: keep-alive stretches past them.
+        let slow = history_with_iats(&[300_000; 10]);
+        let ka = p.keep_alive_ms(f, &slow);
+        assert!(ka > 300_000 && ka <= 900_000, "ka {ka}");
+        // No history: default.
+        assert_eq!(p.keep_alive_ms(f, &FunctionHistory::default()), 60_000);
+        assert_eq!(p.name(), "adaptive");
+    }
+
+    #[test]
+    fn timer_aware_policy_uses_periods() {
+        let f_fast = FunctionId::new(1);
+        let f_slow = FunctionId::new(2);
+        let f_other = FunctionId::new(3);
+        let p = TimerAwareKeepAlive::new(
+            60_000,
+            300_000,
+            1_000,
+            [(f_fast, 120_000), (f_slow, 3_600_000)],
+        );
+        let h = FunctionHistory::default();
+        // Period within retention range: hold just past the next firing.
+        assert_eq!(p.keep_alive_ms(f_fast, &h), 122_000);
+        // Long period: release quickly instead of idling for a minute.
+        assert_eq!(p.keep_alive_ms(f_slow, &h), 1_000);
+        // Non-timer function: default.
+        assert_eq!(p.keep_alive_ms(f_other, &h), 60_000);
+        assert_eq!(p.name(), "timer-aware");
+    }
+
+    #[test]
+    fn timer_aware_from_specs() {
+        let f1 = FunctionId::new(1);
+        let f2 = FunctionId::new(2);
+        let triggers_timer = [TriggerType::Timer];
+        let triggers_api = [TriggerType::ApigSync];
+        let p = TimerAwareKeepAlive::from_specs(
+            60_000,
+            600_000,
+            2_000,
+            [
+                (&f1, triggers_timer.as_slice(), 300.0),
+                (&f2, triggers_api.as_slice(), 0.0),
+            ],
+        );
+        let h = FunctionHistory::default();
+        assert_eq!(p.keep_alive_ms(f1, &h), 302_000);
+        assert_eq!(p.keep_alive_ms(f2, &h), 60_000);
+    }
+}

@@ -1,0 +1,54 @@
+//! Discrete-event serverless platform simulator.
+//!
+//! This crate models the YuanRong-style platform of Section 2.2 of the paper
+//! closely enough that (a) replaying a generated workload reproduces the
+//! observable events the paper analyses — requests, cold starts with their
+//! four component times, pod lifetimes — and (b) the mitigation strategies of
+//! Section 5 (pre-warming, adaptive keep-alive, peak shaving of asynchronous
+//! triggers, resource-pool prediction) can be evaluated as pluggable
+//! policies.
+//!
+//! The model:
+//!
+//! * Each region has four clusters; requests are routed to a cluster by a
+//!   hash of the function, spilling over to the least-loaded cluster when the
+//!   target is hot (Section 2.1).
+//! * Each cluster keeps pools of idle pods per CPU–memory configuration.
+//!   A cold start takes a pod from the pool when one is available; otherwise
+//!   the pod is created from scratch, which is much slower (the paper's
+//!   explanation for the very long `Custom` runtime cold starts).
+//! * A warm pod serves up to its function's concurrency limit, then waits for
+//!   a keep-alive period (one minute by default) and is deleted if no request
+//!   arrives (Figure 2).
+//! * Cold-start component times are sampled from the calibrated
+//!   [`faas_workload::ColdStartLatencyModel`].
+//!
+//! The simulator emits both a [`SimReport`] (aggregate outcome metrics) and,
+//! optionally, a full [`fntrace::RegionTrace`] so the characterization
+//! pipeline can analyse simulated data exactly like measured data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod config;
+pub mod event;
+pub mod keepalive;
+pub mod pod;
+pub mod policy;
+pub mod pool;
+pub mod report;
+pub mod simulator;
+
+pub use cluster::ClusterState;
+pub use config::PlatformConfig;
+pub use event::{Event, EventQueue};
+pub use keepalive::{AdaptiveKeepAlive, FixedKeepAlive, KeepAlivePolicy, TimerAwareKeepAlive};
+pub use pod::{Pod, PodState};
+pub use policy::{
+    AdmissionPolicy, FunctionView, NoAdmissionControl, NoPrewarm, PlatformView, PrewarmPolicy,
+    PrewarmRequest,
+};
+pub use pool::{PoolConfig, ResourcePools};
+pub use report::{LatencyStats, SimReport};
+pub use simulator::Simulator;

@@ -1,0 +1,241 @@
+//! Pod state tracking.
+//!
+//! A pod follows the life cycle of Figure 2: it is created by a cold start
+//! (or a pre-warm), serves up to its function's concurrency limit, waits for
+//! the keep-alive period when idle, and is deleted if no further request
+//! arrives. The simulator keeps per-pod counters (requests served, busy time)
+//! so pod utility ratios (Figure 17) can be computed from simulation output
+//! too.
+
+use serde::{Deserialize, Serialize};
+
+use fntrace::{ClusterId, FunctionId, PodId, ResourceConfig};
+
+/// Life-cycle state of a pod.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PodState {
+    /// Created by a pre-warm policy and not yet used by any request.
+    Prewarmed,
+    /// At least one request is currently executing on the pod.
+    Busy,
+    /// No request in flight; the pod survives until its keep-alive expires.
+    Idle,
+    /// The pod has been deleted.
+    Terminated,
+}
+
+/// A pod instance bound to one function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pod {
+    /// Unique pod identifier.
+    pub id: PodId,
+    /// Function whose code is deployed in the pod.
+    pub function: FunctionId,
+    /// Cluster hosting the pod.
+    pub cluster: ClusterId,
+    /// Resource configuration of the pod.
+    pub config: ResourceConfig,
+    /// Current state.
+    pub state: PodState,
+    /// Creation time (start of the cold start or pre-warm), milliseconds.
+    pub created_ms: u64,
+    /// Time the pod became ready to serve (cold start finished).
+    pub ready_ms: u64,
+    /// Cold-start duration paid to create this pod, microseconds (zero for
+    /// pods handed over by a pre-warm that completed off the critical path).
+    pub cold_start_us: u64,
+    /// Number of requests currently executing.
+    pub in_flight: u32,
+    /// Total requests served over the pod's lifetime.
+    pub served: u64,
+    /// Accumulated busy time in milliseconds.
+    pub busy_ms: u64,
+    /// Last time the pod finished serving a request (keep-alive anchor).
+    pub last_activity_ms: u64,
+    /// Generation counter for keep-alive expiry events: bumping it
+    /// invalidates previously scheduled expiries.
+    pub expiry_generation: u64,
+    /// Whether the pod was created by a pre-warm policy.
+    pub prewarmed: bool,
+}
+
+impl Pod {
+    /// Creates a pod that has just completed (or is completing) a cold start.
+    pub fn new(
+        id: PodId,
+        function: FunctionId,
+        cluster: ClusterId,
+        config: ResourceConfig,
+        created_ms: u64,
+        cold_start_us: u64,
+        prewarmed: bool,
+    ) -> Self {
+        let ready_ms = created_ms + cold_start_us.div_ceil(1000);
+        Self {
+            id,
+            function,
+            cluster,
+            config,
+            state: if prewarmed {
+                PodState::Prewarmed
+            } else {
+                PodState::Busy
+            },
+            created_ms,
+            ready_ms,
+            cold_start_us,
+            in_flight: 0,
+            served: 0,
+            busy_ms: 0,
+            last_activity_ms: ready_ms,
+            expiry_generation: 0,
+            prewarmed,
+        }
+    }
+
+    /// Marks the start of a request on this pod.
+    pub fn begin_request(&mut self) {
+        self.in_flight += 1;
+        self.served += 1;
+        self.state = PodState::Busy;
+    }
+
+    /// Marks the completion of a request at `now_ms` that ran for
+    /// `busy_ms` milliseconds. Returns `true` when the pod became idle.
+    pub fn complete_request(&mut self, now_ms: u64, busy_ms: u64) -> bool {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.busy_ms += busy_ms;
+        self.last_activity_ms = self.last_activity_ms.max(now_ms);
+        if self.in_flight == 0 {
+            self.state = PodState::Idle;
+            self.expiry_generation += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the pod can accept another request given the function's
+    /// concurrency limit.
+    pub fn has_capacity(&self, concurrency: u32) -> bool {
+        self.state != PodState::Terminated && self.in_flight < concurrency.max(1)
+    }
+
+    /// Marks the pod deleted at `now_ms` and returns its lifetime statistics
+    /// as `(lifetime_ms, served, busy_ms)`.
+    pub fn terminate(&mut self, now_ms: u64) -> (u64, u64, u64) {
+        self.state = PodState::Terminated;
+        let lifetime = now_ms.saturating_sub(self.created_ms);
+        (lifetime, self.served, self.busy_ms)
+    }
+
+    /// Useful lifetime in seconds: time from readiness to termination minus
+    /// the trailing keep-alive wait, as used by the pod utility ratio
+    /// (Section 4.5).
+    pub fn useful_lifetime_secs(&self, terminated_ms: u64, keep_alive_ms: u64) -> f64 {
+        terminated_ms
+            .saturating_sub(keep_alive_ms)
+            .saturating_sub(self.ready_ms) as f64
+            / 1e3
+    }
+
+    /// Pod utility ratio: useful lifetime over cold-start time. Pods created
+    /// for free (pre-warmed, zero cold start) report infinity.
+    pub fn utility_ratio(&self, terminated_ms: u64, keep_alive_ms: u64) -> f64 {
+        let cold_s = self.cold_start_us as f64 / 1e6;
+        if cold_s <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.useful_lifetime_secs(terminated_ms, keep_alive_ms) / cold_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pod() -> Pod {
+        Pod::new(
+            PodId::new(1),
+            FunctionId::new(7),
+            0,
+            ResourceConfig::SMALL_300_128,
+            1_000,
+            500_000,
+            false,
+        )
+    }
+
+    #[test]
+    fn new_pod_is_busy_and_ready_after_cold_start() {
+        let p = pod();
+        assert_eq!(p.state, PodState::Busy);
+        assert_eq!(p.ready_ms, 1_500);
+        assert_eq!(p.cold_start_us, 500_000);
+        assert!(!p.prewarmed);
+        let pre = Pod::new(
+            PodId::new(2),
+            FunctionId::new(7),
+            0,
+            ResourceConfig::SMALL_300_128,
+            0,
+            0,
+            true,
+        );
+        assert_eq!(pre.state, PodState::Prewarmed);
+    }
+
+    #[test]
+    fn request_lifecycle_updates_counters() {
+        let mut p = pod();
+        p.begin_request();
+        assert_eq!(p.in_flight, 1);
+        assert_eq!(p.served, 1);
+        assert!(p.has_capacity(2));
+        assert!(!p.has_capacity(1));
+        p.begin_request();
+        assert_eq!(p.in_flight, 2);
+        assert!(!p.complete_request(2_000, 400));
+        assert_eq!(p.state, PodState::Busy);
+        assert!(p.complete_request(2_500, 900));
+        assert_eq!(p.state, PodState::Idle);
+        assert_eq!(p.busy_ms, 1_300);
+        assert_eq!(p.last_activity_ms, 2_500);
+        assert_eq!(p.expiry_generation, 1);
+    }
+
+    #[test]
+    fn terminate_reports_lifetime() {
+        let mut p = pod();
+        p.begin_request();
+        p.complete_request(61_000, 100);
+        let (lifetime, served, busy) = p.terminate(121_000);
+        assert_eq!(lifetime, 120_000);
+        assert_eq!(served, 1);
+        assert_eq!(busy, 100);
+        assert_eq!(p.state, PodState::Terminated);
+        assert!(!p.has_capacity(8));
+    }
+
+    #[test]
+    fn utility_ratio_matches_definition() {
+        let p = pod();
+        // Ready at 1.5 s, terminated at 182 s, keep-alive 60 s: useful
+        // lifetime 120.5 s over a 0.5 s cold start.
+        let ratio = p.utility_ratio(182_000, 60_000);
+        assert!((ratio - 241.0).abs() < 1e-9);
+        // Shorter than keep-alive: useful lifetime is clamped to zero.
+        assert_eq!(p.utility_ratio(31_000, 60_000), 0.0);
+        // Zero cold start: infinite utility.
+        let free = Pod::new(
+            PodId::new(3),
+            FunctionId::new(1),
+            0,
+            ResourceConfig::SMALL_300_128,
+            0,
+            0,
+            true,
+        );
+        assert!(free.utility_ratio(10_000, 60_000).is_infinite());
+    }
+}

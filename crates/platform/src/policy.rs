@@ -1,0 +1,144 @@
+//! Policy extension points: pre-warming and admission control.
+//!
+//! The mitigation strategies of Section 5 plug into the simulator through two
+//! small traits. The platform crate only provides the no-op baselines; the
+//! `coldstarts` core crate implements the predictive versions evaluated in
+//! the policy-ablation experiments.
+
+use fntrace::{FunctionId, ResourceConfig, Runtime, TriggerType};
+
+/// Read-only view of one function's state exposed to policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FunctionView {
+    /// The function.
+    pub function: FunctionId,
+    /// Runtime language.
+    pub runtime: Runtime,
+    /// Primary trigger.
+    pub trigger: TriggerType,
+    /// Resource configuration.
+    pub config: ResourceConfig,
+    /// Timer period in seconds (0 when not timer-triggered).
+    pub timer_period_secs: f64,
+    /// Number of currently warm (idle or busy, not terminated) pods.
+    pub warm_pods: u32,
+    /// Requests observed so far.
+    pub arrivals: u64,
+    /// Cold starts observed so far.
+    pub cold_starts: u64,
+    /// Arrivals observed in the most recent policy interval.
+    pub recent_arrivals: u64,
+    /// Timestamp of the most recent arrival in milliseconds, if any.
+    pub last_arrival_ms: Option<u64>,
+}
+
+/// Read-only view of the platform state exposed to policies at tick time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformView {
+    /// Current simulation time in milliseconds.
+    pub now_ms: u64,
+    /// Per-function views.
+    pub functions: Vec<FunctionView>,
+    /// Total warm pods across all functions.
+    pub total_warm_pods: u32,
+    /// Total idle pods held in the resource pools.
+    pub pooled_idle_pods: u32,
+}
+
+/// A pre-warm instruction: create a warm pod for `function` ahead of demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrewarmRequest {
+    /// The function to pre-warm.
+    pub function: FunctionId,
+    /// How many pods to pre-warm.
+    pub count: u32,
+}
+
+/// Periodically invoked policy that may pre-warm pods for functions expected
+/// to be invoked soon (timer schedules, diurnal patterns, workflow chains).
+pub trait PrewarmPolicy {
+    /// Called every prewarm tick; returns the pods to create ahead of demand.
+    fn prewarm(&mut self, view: &PlatformView) -> Vec<PrewarmRequest>;
+
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Baseline: never pre-warm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPrewarm;
+
+impl PrewarmPolicy for NoPrewarm {
+    fn prewarm(&mut self, _view: &PlatformView) -> Vec<PrewarmRequest> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "no-prewarm"
+    }
+}
+
+/// Admission policy: may delay the execution of a request (peak shaving of
+/// asynchronous, non-latency-critical triggers).
+pub trait AdmissionPolicy {
+    /// Returns how long (milliseconds) to delay the given arrival; 0 admits
+    /// the request immediately. Synchronous triggers should never be delayed.
+    fn delay_ms(&mut self, view: &FunctionView, now_ms: u64) -> u64;
+
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Baseline: admit everything immediately.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAdmissionControl;
+
+impl AdmissionPolicy for NoAdmissionControl {
+    fn delay_ms(&mut self, _view: &FunctionView, _now_ms: u64) -> u64 {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "no-admission-control"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> FunctionView {
+        FunctionView {
+            function: FunctionId::new(1),
+            runtime: Runtime::Python3,
+            trigger: TriggerType::Obs,
+            config: ResourceConfig::SMALL_300_128,
+            timer_period_secs: 0.0,
+            warm_pods: 0,
+            arrivals: 10,
+            cold_starts: 5,
+            recent_arrivals: 2,
+            last_arrival_ms: Some(1000),
+        }
+    }
+
+    #[test]
+    fn no_prewarm_returns_nothing() {
+        let mut p = NoPrewarm;
+        let platform = PlatformView {
+            now_ms: 0,
+            functions: vec![view()],
+            total_warm_pods: 0,
+            pooled_idle_pods: 8,
+        };
+        assert!(p.prewarm(&platform).is_empty());
+        assert_eq!(p.name(), "no-prewarm");
+    }
+
+    #[test]
+    fn no_admission_control_never_delays() {
+        let mut p = NoAdmissionControl;
+        assert_eq!(p.delay_ms(&view(), 123), 0);
+        assert_eq!(p.name(), "no-admission-control");
+    }
+}

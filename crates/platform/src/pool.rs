@@ -1,0 +1,238 @@
+//! Per-configuration resource pools of inactive pods.
+//!
+//! The platform keeps pools of pre-created, code-less pods for each standard
+//! CPU–memory configuration (Section 2.2). A cold start first tries to take a
+//! pod from the matching pool; if the pool is empty (or the runtime has no
+//! reserved pool at all, as with `Custom` images) the pod is created from
+//! scratch, which is substantially slower. Pools are replenished in the
+//! background towards a target size, which the resource-pool-prediction
+//! policy can adjust over time.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use fntrace::ResourceConfig;
+
+/// Static pool configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Target number of idle pods kept per standard configuration.
+    pub target_per_config: u32,
+    /// How many pods can be added to each pool per replenish tick.
+    pub replenish_per_tick: u32,
+    /// Replenish interval in milliseconds.
+    pub replenish_interval_ms: u64,
+    /// Multiplier applied to the sampled pod-allocation time when a pod has
+    /// to be created from scratch because the pool was empty.
+    pub scratch_allocation_multiplier: f64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            target_per_config: 8,
+            replenish_per_tick: 2,
+            replenish_interval_ms: 60_000,
+            scratch_allocation_multiplier: 4.0,
+        }
+    }
+}
+
+/// Outcome of trying to acquire a pod from the pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolAcquire {
+    /// A pooled pod was available.
+    FromPool,
+    /// The pool was empty (or not maintained); the pod is created from
+    /// scratch and pays the slower allocation path.
+    FromScratch,
+}
+
+/// Idle-pod pools keyed by resource configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourcePools {
+    config: PoolConfig,
+    idle: HashMap<ResourceConfig, u32>,
+    targets: HashMap<ResourceConfig, u32>,
+    /// Cumulative counters for reporting.
+    acquired_from_pool: u64,
+    acquired_from_scratch: u64,
+}
+
+impl ResourcePools {
+    /// Creates pools at their target sizes for the standard configurations.
+    pub fn new(config: PoolConfig) -> Self {
+        let mut idle = HashMap::new();
+        let mut targets = HashMap::new();
+        for cfg in ResourceConfig::STANDARD {
+            idle.insert(cfg, config.target_per_config);
+            targets.insert(cfg, config.target_per_config);
+        }
+        Self {
+            config,
+            idle,
+            targets,
+            acquired_from_pool: 0,
+            acquired_from_scratch: 0,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Number of idle pods currently pooled for a configuration.
+    pub fn idle_count(&self, cfg: ResourceConfig) -> u32 {
+        self.idle.get(&cfg).copied().unwrap_or(0)
+    }
+
+    /// Current replenish target for a configuration.
+    pub fn target(&self, cfg: ResourceConfig) -> u32 {
+        self.targets.get(&cfg).copied().unwrap_or(0)
+    }
+
+    /// Sets the replenish target for a configuration (used by the
+    /// resource-pool-prediction policy).
+    pub fn set_target(&mut self, cfg: ResourceConfig, target: u32) {
+        self.targets.insert(cfg, target);
+        self.idle.entry(cfg).or_insert(0);
+    }
+
+    /// Tries to acquire a pod of the given configuration.
+    ///
+    /// `pooled_runtime` is false for runtimes without reserved pools
+    /// (`Custom` images), which always take the from-scratch path.
+    pub fn acquire(&mut self, cfg: ResourceConfig, pooled_runtime: bool) -> PoolAcquire {
+        if pooled_runtime {
+            if let Some(count) = self.idle.get_mut(&cfg) {
+                if *count > 0 {
+                    *count -= 1;
+                    self.acquired_from_pool += 1;
+                    return PoolAcquire::FromPool;
+                }
+            }
+        }
+        self.acquired_from_scratch += 1;
+        PoolAcquire::FromScratch
+    }
+
+    /// Runs one replenish tick, adding up to `replenish_per_tick` pods to
+    /// each pool that is below target. Returns how many pods were created.
+    pub fn replenish(&mut self) -> u32 {
+        let mut created = 0;
+        for (cfg, target) in self.targets.clone() {
+            let entry = self.idle.entry(cfg).or_insert(0);
+            if *entry < target {
+                let add = (target - *entry).min(self.config.replenish_per_tick);
+                *entry += add;
+                created += add;
+            }
+        }
+        created
+    }
+
+    /// Total pods handed out from pools so far.
+    pub fn pool_hits(&self) -> u64 {
+        self.acquired_from_pool
+    }
+
+    /// Total pods created from scratch so far.
+    pub fn scratch_creations(&self) -> u64 {
+        self.acquired_from_scratch
+    }
+
+    /// Total idle pods across all pools (a measure of reserved capacity).
+    pub fn total_idle(&self) -> u32 {
+        self.idle.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_start_at_target() {
+        let pools = ResourcePools::new(PoolConfig::default());
+        for cfg in ResourceConfig::STANDARD {
+            assert_eq!(pools.idle_count(cfg), 8);
+            assert_eq!(pools.target(cfg), 8);
+        }
+        assert_eq!(pools.idle_count(ResourceConfig::new(2000, 4096)), 0);
+        assert_eq!(pools.total_idle(), 32);
+    }
+
+    #[test]
+    fn acquire_drains_then_falls_back_to_scratch() {
+        let mut pools = ResourcePools::new(PoolConfig {
+            target_per_config: 2,
+            ..PoolConfig::default()
+        });
+        let cfg = ResourceConfig::SMALL_300_128;
+        assert_eq!(pools.acquire(cfg, true), PoolAcquire::FromPool);
+        assert_eq!(pools.acquire(cfg, true), PoolAcquire::FromPool);
+        assert_eq!(pools.acquire(cfg, true), PoolAcquire::FromScratch);
+        assert_eq!(pools.pool_hits(), 2);
+        assert_eq!(pools.scratch_creations(), 1);
+        // Non-standard configurations have no pool.
+        assert_eq!(
+            pools.acquire(ResourceConfig::new(2000, 4096), true),
+            PoolAcquire::FromScratch
+        );
+    }
+
+    #[test]
+    fn custom_runtimes_never_use_pools() {
+        let mut pools = ResourcePools::new(PoolConfig::default());
+        let cfg = ResourceConfig::SMALL_300_128;
+        assert_eq!(pools.acquire(cfg, false), PoolAcquire::FromScratch);
+        assert_eq!(pools.idle_count(cfg), 8, "pool is untouched");
+    }
+
+    #[test]
+    fn replenish_moves_towards_target() {
+        let mut pools = ResourcePools::new(PoolConfig {
+            target_per_config: 4,
+            replenish_per_tick: 1,
+            ..PoolConfig::default()
+        });
+        let cfg = ResourceConfig::MEDIUM_400_256;
+        for _ in 0..4 {
+            pools.acquire(cfg, true);
+        }
+        assert_eq!(pools.idle_count(cfg), 0);
+        assert_eq!(pools.replenish(), 1);
+        assert_eq!(pools.idle_count(cfg), 1);
+        // Replenish never exceeds the target.
+        for _ in 0..10 {
+            pools.replenish();
+        }
+        assert_eq!(pools.idle_count(cfg), 4);
+    }
+
+    #[test]
+    fn set_target_affects_replenish() {
+        let mut pools = ResourcePools::new(PoolConfig {
+            target_per_config: 1,
+            replenish_per_tick: 10,
+            ..PoolConfig::default()
+        });
+        let cfg = ResourceConfig::SMALL_300_128;
+        pools.set_target(cfg, 6);
+        assert_eq!(pools.target(cfg), 6);
+        pools.replenish();
+        assert_eq!(pools.idle_count(cfg), 6);
+        // Lowering the target does not delete pods, but stops replenishment.
+        pools.set_target(cfg, 2);
+        pools.acquire(cfg, true);
+        pools.acquire(cfg, true);
+        pools.acquire(cfg, true);
+        pools.acquire(cfg, true);
+        pools.acquire(cfg, true);
+        assert_eq!(pools.idle_count(cfg), 1);
+        pools.replenish();
+        assert_eq!(pools.idle_count(cfg), 2);
+    }
+}

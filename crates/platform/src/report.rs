@@ -1,0 +1,166 @@
+//! Simulation outcome reporting.
+
+use serde::{Deserialize, Serialize};
+
+use faas_stats::Ecdf;
+
+/// Latency distribution summary (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencyStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean in seconds.
+    pub mean_s: f64,
+    /// Median in seconds.
+    pub p50_s: f64,
+    /// 95th percentile in seconds.
+    pub p95_s: f64,
+    /// 99th percentile in seconds.
+    pub p99_s: f64,
+    /// Maximum in seconds.
+    pub max_s: f64,
+}
+
+impl LatencyStats {
+    /// Computes the summary from raw latencies in seconds. Returns an
+    /// all-zero summary for an empty input.
+    pub fn from_secs(values: &[f64]) -> Self {
+        match Ecdf::from_slice(values) {
+            Ok(ecdf) => Self {
+                count: values.len() as u64,
+                mean_s: ecdf.mean(),
+                p50_s: ecdf.quantile(0.5),
+                p95_s: ecdf.quantile(0.95),
+                p99_s: ecdf.quantile(0.99),
+                max_s: ecdf.max(),
+            },
+            Err(_) => Self::default(),
+        }
+    }
+}
+
+/// Aggregate outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimReport {
+    /// Requests admitted and executed.
+    pub requests: u64,
+    /// Requests served by an already warm pod.
+    pub warm_starts: u64,
+    /// Requests that triggered a cold start.
+    pub cold_starts: u64,
+    /// Pods created by the pre-warm policy.
+    pub prewarmed_pods: u64,
+    /// Pre-warmed pods that served at least one request before expiring.
+    pub prewarmed_pods_used: u64,
+    /// Pods created from the resource pool.
+    pub pool_hits: u64,
+    /// Pods created from scratch because no pooled pod was available.
+    pub scratch_creations: u64,
+    /// Requests delayed by the admission (peak shaving) policy.
+    pub delayed_requests: u64,
+    /// Total delay added by the admission policy, in seconds.
+    pub total_admission_delay_s: f64,
+    /// Cold-start latency distribution (user-visible cold starts only).
+    pub cold_start_latency: LatencyStats,
+    /// End-to-end latency added on top of execution time (cold start plus
+    /// admission delay), averaged over all requests, in seconds.
+    pub mean_added_latency_s: f64,
+    /// Total pod lifetime across all pods, in pod-seconds.
+    pub pod_lifetime_s: f64,
+    /// Total pod time spent idle in keep-alive, in pod-seconds (wasted
+    /// capacity the pool-prediction and keep-alive policies try to reduce).
+    pub idle_pod_time_s: f64,
+    /// Peak number of simultaneously live pods.
+    pub peak_live_pods: u32,
+    /// Name of the keep-alive policy used.
+    pub keep_alive_policy: String,
+    /// Name of the pre-warm policy used.
+    pub prewarm_policy: String,
+    /// Name of the admission policy used.
+    pub admission_policy: String,
+}
+
+impl SimReport {
+    /// Fraction of requests that suffered a cold start.
+    pub fn cold_start_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cold_starts as f64 / self.requests as f64
+        }
+    }
+
+    /// Fraction of pod lifetime spent idle.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.pod_lifetime_s <= 0.0 {
+            0.0
+        } else {
+            (self.idle_pod_time_s / self.pod_lifetime_s).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Renders a short human-readable summary.
+    pub fn render(&self) -> String {
+        format!(
+            "requests {:>9}  cold starts {:>8} ({:>5.1}%)  warm {:>9}  prewarmed {:>6} (used {})\n\
+             cold start p50/p95/p99 {:.3}/{:.3}/{:.3} s  mean added latency {:.4} s\n\
+             pods: pool hits {}  scratch {}  peak live {}  idle fraction {:.1}%\n\
+             policies: keep-alive={} prewarm={} admission={}",
+            self.requests,
+            self.cold_starts,
+            100.0 * self.cold_start_rate(),
+            self.warm_starts,
+            self.prewarmed_pods,
+            self.prewarmed_pods_used,
+            self.cold_start_latency.p50_s,
+            self.cold_start_latency.p95_s,
+            self.cold_start_latency.p99_s,
+            self.mean_added_latency_s,
+            self.pool_hits,
+            self.scratch_creations,
+            self.peak_live_pods,
+            100.0 * self.idle_fraction(),
+            self.keep_alive_policy,
+            self.prewarm_policy,
+            self.admission_policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_from_values() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let stats = LatencyStats::from_secs(&values);
+        assert_eq!(stats.count, 100);
+        assert!((stats.mean_s - 0.505).abs() < 1e-9);
+        assert!((stats.p50_s - 0.5).abs() < 1e-9);
+        assert!((stats.p95_s - 0.95).abs() < 1e-9);
+        assert!((stats.max_s - 1.0).abs() < 1e-9);
+        let empty = LatencyStats::from_secs(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean_s, 0.0);
+    }
+
+    #[test]
+    fn report_rates() {
+        let mut r = SimReport {
+            requests: 1000,
+            cold_starts: 250,
+            ..SimReport::default()
+        };
+        assert!((r.cold_start_rate() - 0.25).abs() < 1e-12);
+        r.pod_lifetime_s = 200.0;
+        r.idle_pod_time_s = 50.0;
+        assert!((r.idle_fraction() - 0.25).abs() < 1e-12);
+        let empty = SimReport::default();
+        assert_eq!(empty.cold_start_rate(), 0.0);
+        assert_eq!(empty.idle_fraction(), 0.0);
+        let text = r.render();
+        assert!(text.contains("cold starts"));
+        assert!(text.contains("25.0%"));
+    }
+}

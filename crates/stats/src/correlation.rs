@@ -1,0 +1,318 @@
+//! Pearson and Spearman correlation with significance testing.
+//!
+//! Figure 12 of the paper shows Spearman correlation matrices between the
+//! per-minute means of cold-start time, its four components, and the number
+//! of cold starts, with an asterisk marking correlations significant at
+//! p < 0.05. [`CorrelationMatrix`] reproduces exactly that artifact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::standard_normal_cdf;
+use crate::StatsError;
+
+/// A correlation coefficient together with its approximate p-value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationResult {
+    /// The correlation coefficient in `[-1, 1]`.
+    pub coefficient: f64,
+    /// Two-sided p-value for the null hypothesis of zero correlation.
+    pub p_value: f64,
+    /// Number of paired observations used.
+    pub n: usize,
+}
+
+impl CorrelationResult {
+    /// Returns `true` if the correlation is significant at the given level
+    /// (the paper uses 0.05 and marks such cells with an asterisk).
+    pub fn is_significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+fn validate_pair(x: &[f64], y: &[f64]) -> Result<(), StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    if x.len() < 3 {
+        return Err(StatsError::NotEnoughData {
+            required: 3,
+            provided: x.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Two-sided p-value for a correlation `r` over `n` pairs using the normal
+/// approximation of the t statistic (adequate for the hundreds to tens of
+/// thousands of time bins we correlate).
+fn correlation_p_value(r: f64, n: usize) -> f64 {
+    if n < 4 {
+        return 1.0;
+    }
+    let r = r.clamp(-0.999_999_999, 0.999_999_999);
+    let t = r * ((n as f64 - 2.0) / (1.0 - r * r)).sqrt();
+    // Treat t as approximately normal for the sample sizes we use.
+    2.0 * (1.0 - standard_normal_cdf(t.abs()))
+}
+
+/// Pearson product-moment correlation.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<CorrelationResult, StatsError> {
+    validate_pair(x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    let coefficient = if sxx <= 0.0 || syy <= 0.0 {
+        0.0
+    } else {
+        (sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0)
+    };
+    Ok(CorrelationResult {
+        coefficient,
+        p_value: correlation_p_value(coefficient, x.len()),
+        n: x.len(),
+    })
+}
+
+/// Assigns average ranks (1-based) to the data, resolving ties by averaging.
+pub fn average_ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman rank correlation (Pearson correlation of average ranks).
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<CorrelationResult, StatsError> {
+    validate_pair(x, y)?;
+    let rx = average_ranks(x);
+    let ry = average_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// A labelled symmetric matrix of pairwise Spearman correlations, mirroring
+/// the panels of Figure 12.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorrelationMatrix {
+    /// Variable labels, in order.
+    pub labels: Vec<String>,
+    /// Row-major matrix of results; entry `[i][j]` correlates variable `i`
+    /// with variable `j`.
+    pub entries: Vec<Vec<CorrelationResult>>,
+}
+
+impl CorrelationMatrix {
+    /// Computes the pairwise Spearman correlation matrix of the given
+    /// variables (each a series of equal length).
+    pub fn spearman(
+        labels: &[&str],
+        series: &[&[f64]],
+    ) -> Result<Self, StatsError> {
+        if labels.len() != series.len() {
+            return Err(StatsError::LengthMismatch {
+                left: labels.len(),
+                right: series.len(),
+            });
+        }
+        if series.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let n = series[0].len();
+        for s in series {
+            if s.len() != n {
+                return Err(StatsError::LengthMismatch {
+                    left: n,
+                    right: s.len(),
+                });
+            }
+        }
+        // Rank once per variable, then correlate ranks pairwise.
+        let ranks: Vec<Vec<f64>> = series.iter().map(|s| average_ranks(s)).collect();
+        let k = series.len();
+        let mut entries = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut row = Vec::with_capacity(k);
+            for (j, rj) in ranks.iter().enumerate() {
+                if i == j {
+                    row.push(CorrelationResult {
+                        coefficient: 1.0,
+                        p_value: 0.0,
+                        n,
+                    });
+                } else {
+                    row.push(pearson(&ranks[i], rj)?);
+                }
+            }
+            entries.push(row);
+        }
+        Ok(Self {
+            labels: labels.iter().map(|s| s.to_string()).collect(),
+            entries,
+        })
+    }
+
+    /// Number of variables.
+    pub fn size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Looks up an entry by index.
+    pub fn get(&self, i: usize, j: usize) -> Option<&CorrelationResult> {
+        self.entries.get(i).and_then(|row| row.get(j))
+    }
+
+    /// Renders the matrix in the paper's style: one line per row, each cell
+    /// formatted as `0.8*` where the asterisk marks `p < 0.05`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .labels
+            .iter()
+            .map(|l| l.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        out.push_str(&format!("{:width$} ", "", width = width));
+        for l in &self.labels {
+            out.push_str(&format!("{l:>width$} ", width = width));
+        }
+        out.push('\n');
+        for (i, l) in self.labels.iter().enumerate() {
+            out.push_str(&format!("{l:width$} ", width = width));
+            for j in 0..self.size() {
+                let e = &self.entries[i][j];
+                let star = if e.is_significant(0.05) { "*" } else { " " };
+                out.push_str(&format!(
+                    "{:>width$} ",
+                    format!("{:.1}{}", e.coefficient, star),
+                    width = width
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!((r.coefficient - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-6);
+        let y_neg: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        let r = pearson(&x, &y_neg).unwrap();
+        assert!((r.coefficient + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        let x = vec![1.0; 10];
+        let y: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(pearson(&x, &y).unwrap().coefficient, 0.0);
+    }
+
+    #[test]
+    fn pearson_independent_is_small() {
+        // Deterministic pseudo-independent sequences.
+        let x: Vec<f64> = (0..2000u64).map(|i| ((i * 7919) % 104_729) as f64).collect();
+        let y: Vec<f64> = (0..2000u64).map(|i| ((i * 15_485_863) % 32_452_843) as f64).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.coefficient.abs() < 0.08, "r = {}", r.coefficient);
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(spearman(&[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let ranks = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(ranks, vec![1.0, 2.5, 2.5, 4.0]);
+        let ranks = average_ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(ranks, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform() {
+        let x: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v.powi(3)).collect();
+        let r = spearman(&x, &y).unwrap();
+        assert!((r.coefficient - 1.0).abs() < 1e-12);
+        let y_exp: Vec<f64> = x.iter().map(|v| (-v * 0.01).exp()).collect();
+        let r = spearman(&x, &y_exp).unwrap();
+        assert!((r.coefficient + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_bounded() {
+        let x: Vec<f64> = (0..500).map(|i| ((i * 31) % 97) as f64).collect();
+        let y: Vec<f64> = (0..500).map(|i| ((i * 17) % 89) as f64).collect();
+        let r = spearman(&x, &y).unwrap();
+        assert!(r.coefficient >= -1.0 && r.coefficient <= 1.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let a: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b: Vec<f64> = (0..200).map(|i| (i as f64 * 0.1).cos()).collect();
+        let c: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + 0.5 * y).collect();
+        let m = CorrelationMatrix::spearman(&["a", "b", "c"], &[&a, &b, &c]).unwrap();
+        assert_eq!(m.size(), 3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i).unwrap().coefficient, 1.0);
+            for j in 0..3 {
+                let e_ij = m.get(i, j).unwrap().coefficient;
+                let e_ji = m.get(j, i).unwrap().coefficient;
+                assert!((e_ij - e_ji).abs() < 1e-12);
+            }
+        }
+        assert!(m.get(0, 2).unwrap().coefficient > 0.5);
+        let rendered = m.render();
+        assert!(rendered.contains("1.0*"));
+        assert!(rendered.lines().count() == 4);
+    }
+
+    #[test]
+    fn matrix_validates_shapes() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 2.0];
+        assert!(CorrelationMatrix::spearman(&["a", "b"], &[&a, &b]).is_err());
+        assert!(CorrelationMatrix::spearman(&["a"], &[&a, &a]).is_err());
+        let empty: Vec<&[f64]> = vec![];
+        assert!(CorrelationMatrix::spearman(&[], &empty).is_err());
+    }
+}

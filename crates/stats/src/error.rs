@@ -1,0 +1,106 @@
+//! Error type shared by all statistics routines.
+
+use std::fmt;
+
+/// Errors returned by fitting and estimation routines.
+///
+/// All fallible statistics operations return [`Result<T, StatsError>`]; the
+/// crate never panics on bad user input (it may panic on internal logic
+/// errors, which are bugs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The input slice was empty but at least one observation is required.
+    EmptyInput,
+    /// The input contained too few observations for the requested operation.
+    ///
+    /// Carries the number required and the number provided.
+    NotEnoughData {
+        /// Minimum number of observations required.
+        required: usize,
+        /// Number of observations actually provided.
+        provided: usize,
+    },
+    /// An observation was outside the domain of the distribution or routine
+    /// (for example a non-positive value passed to a LogNormal fit).
+    InvalidObservation {
+        /// Index of the offending observation.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A parameter was outside its valid range (for example a non-positive
+    /// scale).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// An iterative estimator failed to converge.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// Two paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input is empty"),
+            StatsError::NotEnoughData { required, provided } => write!(
+                f,
+                "not enough data: {provided} observations provided, {required} required"
+            ),
+            StatsError::InvalidObservation { index, value } => {
+                write!(f, "invalid observation at index {index}: {value}")
+            }
+            StatsError::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name}: {value}")
+            }
+            StatsError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} did not converge after {iterations} iterations")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::NotEnoughData {
+            required: 3,
+            provided: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('1'));
+        assert!(StatsError::EmptyInput.to_string().contains("empty"));
+        let e = StatsError::InvalidParameter {
+            name: "shape",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("shape"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

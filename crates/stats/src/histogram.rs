@@ -1,0 +1,303 @@
+//! Linear and logarithmic histograms.
+//!
+//! Log-spaced histograms back the latency distributions (cold-start times
+//! span four orders of magnitude); linear histograms back time-binned counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::StatsError;
+
+/// Fixed-width linear histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if !(lo.is_finite() && hi.is_finite() && hi > lo) {
+            return Err(StatsError::InvalidParameter {
+                name: "hi",
+                value: hi,
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bucket `i`; `None` if out of range.
+    pub fn count(&self, i: usize) -> Option<u64> {
+        self.counts.get(i).copied()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations added (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Midpoint of bucket `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// `(center, count)` pairs for every bucket.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        (0..self.bins())
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
+    }
+
+    /// `(center, density)` pairs normalized so the densities integrate to 1
+    /// over the in-range observations. Empty histogram yields zero densities.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let in_range: u64 = self.counts.iter().sum();
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let norm = if in_range == 0 {
+            0.0
+        } else {
+            1.0 / (in_range as f64 * width)
+        };
+        (0..self.bins())
+            .map(|i| (self.bin_center(i), self.counts[i] as f64 * norm))
+            .collect()
+    }
+}
+
+/// Logarithmically bucketed histogram over `[lo, hi)` with `lo > 0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    log_lo: f64,
+    log_hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram with `bins` log-spaced buckets covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, StatsError> {
+        if !(lo.is_finite() && lo > 0.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "lo",
+                value: lo,
+            });
+        }
+        if !(hi.is_finite() && hi > lo) {
+            return Err(StatsError::InvalidParameter {
+                name: "hi",
+                value: hi,
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+            });
+        }
+        Ok(Self {
+            log_lo: lo.ln(),
+            log_hi: hi.ln(),
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
+    }
+
+    /// Adds one observation. Non-finite and non-positive values count as
+    /// underflow (they cannot be placed on a log scale).
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.total += 1;
+        if x <= 0.0 || x.ln() < self.log_lo {
+            self.underflow += 1;
+        } else if x.ln() >= self.log_hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.log_hi - self.log_lo) / self.counts.len() as f64;
+            let idx = (((x.ln() - self.log_lo) / width) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count in bucket `i`; `None` if out of range.
+    pub fn count(&self, i: usize) -> Option<u64> {
+        self.counts.get(i).copied()
+    }
+
+    /// Total observations added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range (or non-positive).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Geometric midpoint of bucket `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.log_hi - self.log_lo) / self.counts.len() as f64;
+        (self.log_lo + (i as f64 + 0.5) * width).exp()
+    }
+
+    /// `(geometric center, count)` pairs for every bucket.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        (0..self.bins())
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
+    }
+
+    /// `(geometric center, cumulative fraction)` pairs, i.e. an approximate
+    /// CDF on log-spaced support (used to compare against fitted CDFs).
+    pub fn cumulative(&self) -> Vec<(f64, f64)> {
+        let denom = self.total.max(1) as f64;
+        let mut acc = self.underflow;
+        (0..self.bins())
+            .map(|i| {
+                acc += self.counts[i];
+                (self.bin_center(i), acc as f64 / denom)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bucketing() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        h.add(-1.0);
+        h.add(10.0);
+        h.add(f64::NAN);
+        assert_eq!(h.bins(), 10);
+        for i in 0..10 {
+            assert_eq!(h.count(i), Some(1));
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 12);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+        assert_eq!(h.count(10), None);
+    }
+
+    #[test]
+    fn linear_density_integrates_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 20).unwrap();
+        for i in 0..1000 {
+            h.add((i as f64 + 0.5) / 1000.0);
+        }
+        let width = 0.05;
+        let area: f64 = h.density().iter().map(|(_, d)| d * width).sum();
+        assert!((area - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(Histogram::new(1.0, 1.0, 5).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(LogHistogram::new(0.0, 1.0, 5).is_err());
+        assert!(LogHistogram::new(1.0, 0.5, 5).is_err());
+        assert!(LogHistogram::new(1.0, 2.0, 0).is_err());
+    }
+
+    #[test]
+    fn log_bucketing_spans_decades() {
+        let mut h = LogHistogram::new(0.001, 1000.0, 6).unwrap();
+        // One observation per decade-ish bucket center.
+        for &x in &[0.003, 0.03, 0.3, 3.0, 30.0, 300.0] {
+            h.add(x);
+        }
+        for i in 0..6 {
+            assert_eq!(h.count(i), Some(1), "bucket {i}");
+        }
+        h.add(0.0);
+        h.add(-5.0);
+        h.add(5000.0);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 9);
+    }
+
+    #[test]
+    fn log_cumulative_monotone_to_one() {
+        let mut h = LogHistogram::new(0.01, 100.0, 40).unwrap();
+        for i in 1..=500 {
+            h.add(i as f64 * 0.1);
+        }
+        let cum = h.cumulative();
+        for w in cum.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!((cum.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+}

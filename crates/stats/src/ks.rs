@@ -1,0 +1,123 @@
+//! Kolmogorov–Smirnov goodness-of-fit.
+//!
+//! Used to quantify how close the LogNormal / Weibull fits of Figure 10 are
+//! to the empirical cold-start and inter-arrival distributions ("these fits
+//! are very close to the measured data from our system").
+
+use crate::dist::ContinuousDistribution;
+use crate::StatsError;
+
+/// One-sample Kolmogorov–Smirnov statistic: the maximum absolute distance
+/// between the ECDF of `data` and the CDF of `dist`.
+pub fn ks_statistic<D: ContinuousDistribution>(
+    data: &[f64],
+    dist: &D,
+) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut sorted = data.to_vec();
+    for (i, &x) in sorted.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(StatsError::InvalidObservation { index: i, value: x });
+        }
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = sorted.len() as f64;
+    let mut d_max: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let ecdf_hi = (i as f64 + 1.0) / n;
+        let ecdf_lo = i as f64 / n;
+        d_max = d_max.max((f - ecdf_lo).abs()).max((ecdf_hi - f).abs());
+    }
+    Ok(d_max)
+}
+
+/// Approximate p-value for the KS statistic via the asymptotic Kolmogorov
+/// distribution. Small p-values reject the fitted distribution.
+pub fn ks_p_value(statistic: f64, n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    let en = (n as f64).sqrt();
+    let lambda = (en + 0.12 + 0.11 / en) * statistic;
+    if lambda < 0.3 {
+        // The asymptotic series oscillates for tiny arguments; the true
+        // p-value is indistinguishable from 1 there.
+        return 1.0;
+    }
+    // Two-sided asymptotic series.
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = sign * (-2.0 * (j as f64 * lambda).powi(2)).exp();
+        sum += term;
+        sign = -sign;
+        if term.abs() < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Convenience wrapper returning both the statistic and its p-value.
+pub fn ks_test<D: ContinuousDistribution>(
+    data: &[f64],
+    dist: &D,
+) -> Result<(f64, f64), StatsError> {
+    let d = ks_statistic(data, dist)?;
+    Ok((d, ks_p_value(d, data.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{LogNormal, Uniform, Weibull};
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn rejects_empty_and_nan() {
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        assert!(ks_statistic(&[], &u).is_err());
+        assert!(ks_statistic(&[0.5, f64::NAN], &u).is_err());
+    }
+
+    #[test]
+    fn small_statistic_for_matching_distribution() {
+        let truth = LogNormal::new(0.2, 0.8).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(44);
+        let xs = truth.sample_n(&mut rng, 20_000);
+        let d = ks_statistic(&xs, &truth).unwrap();
+        assert!(d < 0.015, "d = {d}");
+        let (_, p) = ks_test(&xs, &truth).unwrap();
+        assert!(p > 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn large_statistic_for_wrong_distribution() {
+        let truth = LogNormal::new(0.2, 0.8).unwrap();
+        let wrong = Weibull::new(3.0, 10.0).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(45);
+        let xs = truth.sample_n(&mut rng, 5_000);
+        let d_true = ks_statistic(&xs, &truth).unwrap();
+        let d_wrong = ks_statistic(&xs, &wrong).unwrap();
+        assert!(d_wrong > 5.0 * d_true, "true {d_true} wrong {d_wrong}");
+        let (_, p) = ks_test(&xs, &wrong).unwrap();
+        assert!(p < 1e-6);
+    }
+
+    #[test]
+    fn statistic_is_bounded() {
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let d = ks_statistic(&[100.0, 200.0], &u).unwrap();
+        assert!(d <= 1.0 && d > 0.9);
+    }
+
+    #[test]
+    fn p_value_edge_cases() {
+        assert_eq!(ks_p_value(0.5, 0), 1.0);
+        assert!(ks_p_value(0.9, 1000) < 1e-9);
+        assert!(ks_p_value(0.001, 100) > 0.99);
+    }
+}

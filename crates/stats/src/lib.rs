@@ -1,0 +1,57 @@
+//! Statistics substrate for the cold-start reproduction.
+//!
+//! This crate provides every piece of numerical machinery the higher layers
+//! need, implemented from scratch so the whole workspace is self-contained:
+//!
+//! * deterministic random number generation ([`rng`]) with explicit seeding,
+//! * special functions ([`special`]) used by distribution CDFs and p-values,
+//! * parametric distributions with maximum-likelihood fitting
+//!   ([`dist`]): LogNormal, Weibull, Exponential, Pareto, Uniform,
+//! * empirical summaries: [`ecdf`], [`histogram`], [`summary`],
+//! * dependence measures with significance ([`correlation`]),
+//! * goodness-of-fit ([`ks`]),
+//! * time-series utilities ([`timeseries`]): smoothing, peak detection,
+//!   peak-to-trough ratios.
+//!
+//! The paper this workspace reproduces ("Serverless Cold Starts and Where to
+//! Find Them", EuroSys '25) fits a LogNormal distribution to cold-start
+//! durations and a Weibull distribution to cold-start inter-arrival times,
+//! computes Spearman correlation matrices between cold-start components, and
+//! detects daily workload peaks; all of those operations live here.
+//!
+//! # Examples
+//!
+//! ```
+//! use faas_stats::dist::{ContinuousDistribution, LogNormal};
+//! use faas_stats::rng::Xoshiro256pp;
+//!
+//! let mut rng = Xoshiro256pp::seed_from_u64(7);
+//! let dist = LogNormal::from_mean_std(3.24, 7.10).unwrap();
+//! let samples: Vec<f64> = (0..10_000).map(|_| dist.sample(&mut rng)).collect();
+//! let fitted = LogNormal::fit_mle(&samples).unwrap();
+//! assert!((fitted.mean() - 3.24).abs() / 3.24 < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod dist;
+pub mod ecdf;
+pub mod error;
+pub mod histogram;
+pub mod ks;
+pub mod rng;
+pub mod special;
+pub mod summary;
+pub mod timeseries;
+
+pub use correlation::{pearson, spearman, CorrelationMatrix, CorrelationResult};
+pub use dist::{ContinuousDistribution, Exponential, LogNormal, Pareto, Uniform, Weibull};
+pub use ecdf::Ecdf;
+pub use error::StatsError;
+pub use histogram::{Histogram, LogHistogram};
+pub use ks::ks_statistic;
+pub use rng::Xoshiro256pp;
+pub use summary::Summary;
+pub use timeseries::{detect_peaks, moving_average, peak_to_trough_ratio, PeakDetector};

@@ -1,0 +1,364 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component in the workspace (trace synthesis, simulator
+//! latency sampling, policy jitter) draws from an explicitly seeded
+//! [`Xoshiro256pp`] stream so that every experiment is exactly reproducible
+//! from a single `u64` seed. Streams can be forked with [`Xoshiro256pp::fork`]
+//! to give independent substreams to independent subsystems without
+//! accidentally correlating them.
+
+/// xoshiro256++ pseudo-random number generator.
+///
+/// A small, fast, high-quality non-cryptographic generator (Blackman &
+/// Vigna). State is seeded through SplitMix64 so that even low-entropy seeds
+/// (0, 1, 2, ...) produce well-mixed initial states.
+///
+/// # Examples
+///
+/// ```
+/// use faas_stats::rng::Xoshiro256pp;
+/// let mut a = Xoshiro256pp::seed_from_u64(42);
+/// let mut b = Xoshiro256pp::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+    /// Cached second normal deviate from Box–Muller, if any.
+    cached_normal: Option<f64>,
+}
+
+/// SplitMix64 step, used for seeding and stream forking.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Xoshiro256pp {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// Distinct seeds produce statistically independent streams for all
+    /// practical purposes.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self {
+            s,
+            cached_normal: None,
+        }
+    }
+
+    /// Derives an independent child stream labelled by `stream`.
+    ///
+    /// Forking with distinct labels from the same parent yields streams that
+    /// do not overlap in practice; this is how per-region and per-function
+    /// substreams are created.
+    pub fn fork(&mut self, stream: u64) -> Self {
+        let base = self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407);
+        Self::seed_from_u64(base)
+    }
+
+    /// Returns the next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in the open interval `(0, 1)`.
+    ///
+    /// Useful as input to inverse-CDF samplers that are undefined at 0.
+    #[inline]
+    pub fn next_open_f64(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Returns a uniform value in `[lo, hi)`.
+    ///
+    /// If `hi <= lo` the value `lo` is returned.
+    #[inline]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        if hi <= lo {
+            return lo;
+        }
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns a uniform integer in `[0, n)`.
+    ///
+    /// Returns 0 when `n == 0`.
+    #[inline]
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        // Lemire-style rejection-free bounded generation is overkill here;
+        // the modulo bias for n << 2^64 is negligible for simulation use.
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Returns a standard normal deviate using the Box–Muller transform.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.cached_normal.take() {
+            return z;
+        }
+        let u1 = self.next_open_f64();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        self.cached_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Returns a normal deviate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// Returns an exponential deviate with the given rate `lambda`.
+    ///
+    /// Returns `f64::INFINITY` if `lambda <= 0`.
+    #[inline]
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        if lambda <= 0.0 {
+            return f64::INFINITY;
+        }
+        -self.next_open_f64().ln() / lambda
+    }
+
+    /// Samples an index from a discrete distribution given by `weights`.
+    ///
+    /// Weights need not sum to one; negative weights are treated as zero.
+    /// Returns `None` when all weights are zero or the slice is empty.
+    pub fn categorical(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        if total <= 0.0 || !total.is_finite() {
+            return None;
+        }
+        let mut target = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating-point rounding can let `target` leak past the last bucket.
+        weights.iter().rposition(|w| *w > 0.0)
+    }
+
+    /// Samples a Poisson-distributed count with the given mean.
+    ///
+    /// Uses Knuth's method for small means and a normal approximation for
+    /// large ones (mean > 64), which is plenty for workload generation.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        if mean <= 0.0 {
+            return 0;
+        }
+        if mean > 64.0 {
+            let v = self.normal(mean, mean.sqrt()).round();
+            return if v < 0.0 { 0 } else { v as u64 };
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        if items.len() < 2 {
+            return;
+        }
+        for i in (1..items.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element reference, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.uniform_usize(items.len())])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(123);
+        let mut b = Xoshiro256pp::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Xoshiro256pp::seed_from_u64(1);
+        let mut b = Xoshiro256pp::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_deterministic() {
+        let mut parent1 = Xoshiro256pp::seed_from_u64(9);
+        let mut parent2 = Xoshiro256pp::seed_from_u64(9);
+        let mut c1 = parent1.fork(5);
+        let mut c2 = parent2.fork(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut other = parent1.fork(6);
+        assert_ne!(c1.next_u64(), other.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            let v = rng.uniform(3.0, 5.0);
+            assert!((3.0..5.0).contains(&v));
+        }
+        assert_eq!(rng.uniform(2.0, 2.0), 2.0);
+        assert_eq!(rng.uniform(5.0, 1.0), 5.0);
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal(2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        assert!(rng.exponential(0.0).is_infinite());
+    }
+
+    #[test]
+    fn bernoulli_probability() {
+        let mut rng = Xoshiro256pp::seed_from_u64(19);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.01, "p {p}");
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.categorical(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+        assert_eq!(rng.categorical(&[]), None);
+        assert_eq!(rng.categorical(&[0.0, 0.0]), None);
+        assert_eq!(rng.categorical(&[-1.0, 2.0]), Some(1));
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = Xoshiro256pp::seed_from_u64(29);
+        let n = 50_000;
+        let mean_small: f64 = (0..n).map(|_| rng.poisson(3.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean_small - 3.5).abs() < 0.1, "small {mean_small}");
+        let mean_large: f64 = (0..n).map(|_| rng.poisson(200.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean_large - 200.0).abs() < 1.0, "large {mean_large}");
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = Xoshiro256pp::seed_from_u64(31);
+        let mut items: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut items);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+        assert_ne!(items, sorted);
+    }
+
+    #[test]
+    fn choose_handles_empty_and_nonempty() {
+        let mut rng = Xoshiro256pp::seed_from_u64(37);
+        let empty: [u8; 0] = [];
+        assert!(rng.choose(&empty).is_none());
+        let items = [1, 2, 3];
+        assert!(items.contains(rng.choose(&items).unwrap()));
+    }
+}

@@ -1,0 +1,229 @@
+//! Streaming summary statistics (Welford's online algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Online accumulator of count, mean, variance, min, max, and sum.
+///
+/// Uses Welford's numerically stable update; suitable for accumulating over
+/// billions of simulated requests without drift.
+///
+/// # Examples
+///
+/// ```
+/// use faas_stats::Summary;
+/// let mut s = Summary::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     s.add(x);
+/// }
+/// assert_eq!(s.count(), 4);
+/// assert!((s.mean() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Builds a summary from a slice in one pass.
+    pub fn from_slice(data: &[f64]) -> Self {
+        let mut s = Self::new();
+        for &x in data {
+            s.add(x);
+        }
+        s
+    }
+
+    /// Adds one observation. Non-finite values are ignored.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean = (n1 * self.mean + n2 * other.mean) / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of (finite) observations added.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Population variance; 0 when fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample (Bessel-corrected) variance; 0 when fewer than two observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation; `NaN` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation; `NaN` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Coefficient of variation (std dev / mean); 0 when the mean is 0.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean().abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.std_dev() / self.mean()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_benign() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+    }
+
+    #[test]
+    fn matches_naive_computation() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::from_slice(&data);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut s = Summary::new();
+        s.add(1.0);
+        s.add(f64::NAN);
+        s.add(f64::INFINITY);
+        s.add(3.0);
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0).collect();
+        let whole = Summary::from_slice(&data);
+        let mut a = Summary::from_slice(&data[..400]);
+        let b = Summary::from_slice(&data[400..]);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+
+        let mut empty = Summary::new();
+        empty.merge(&whole);
+        assert_eq!(empty.count(), whole.count());
+        let mut c = whole;
+        c.merge(&Summary::new());
+        assert_eq!(c.count(), whole.count());
+    }
+
+    #[test]
+    fn coefficient_of_variation() {
+        let s = Summary::from_slice(&[1.0, 1.0, 1.0]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.coefficient_of_variation() - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,286 @@
+//! Time-series utilities: smoothing, peak detection, peak-to-trough ratios.
+//!
+//! Section 3.2 of the paper detects the largest daily peak of each region on
+//! a smoothed request series (Figure 5) and characterizes functions by their
+//! peak-to-trough ratio (Figure 6). This module provides those operations on
+//! plain `&[f64]` series (one value per time bin).
+
+use serde::{Deserialize, Serialize};
+
+/// Centred moving average with the given half-window.
+///
+/// `half_window = 0` returns the input unchanged. Edges use the available
+/// (shorter) window, so the output has the same length as the input.
+pub fn moving_average(series: &[f64], half_window: usize) -> Vec<f64> {
+    if half_window == 0 || series.len() <= 1 {
+        return series.to_vec();
+    }
+    let n = series.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_window);
+        let hi = (i + half_window + 1).min(n);
+        let window = &series[lo..hi];
+        out.push(window.iter().sum::<f64>() / window.len() as f64);
+    }
+    out
+}
+
+/// A detected local maximum in a series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Index of the peak in the (smoothed) series.
+    pub index: usize,
+    /// Value of the smoothed series at the peak.
+    pub value: f64,
+}
+
+/// Configuration for peak detection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakDetector {
+    /// Half-window of the moving average applied before detection.
+    pub smoothing_half_window: usize,
+    /// Minimum number of bins between two reported peaks.
+    pub min_separation: usize,
+    /// Minimum peak value as a fraction of the global maximum (0 disables).
+    pub min_relative_height: f64,
+}
+
+impl Default for PeakDetector {
+    fn default() -> Self {
+        Self {
+            smoothing_half_window: 15,
+            min_separation: 60,
+            min_relative_height: 0.2,
+        }
+    }
+}
+
+impl PeakDetector {
+    /// Detects local maxima after smoothing, honouring the separation and
+    /// height constraints. Peaks are returned sorted by index.
+    pub fn detect(&self, series: &[f64]) -> Vec<Peak> {
+        detect_peaks_with(series, self)
+    }
+
+    /// Returns the single largest peak inside each consecutive window of
+    /// `period` bins (e.g. `period = 1440` for daily peaks on minute bins),
+    /// mirroring the red "largest peak in 24 hours" markers of Figure 5.
+    pub fn largest_peak_per_period(&self, series: &[f64], period: usize) -> Vec<Peak> {
+        if period == 0 || series.is_empty() {
+            return Vec::new();
+        }
+        let smoothed = moving_average(series, self.smoothing_half_window);
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < smoothed.len() {
+            let end = (start + period).min(smoothed.len());
+            if let Some((idx, &val)) = smoothed[start..end]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            {
+                out.push(Peak {
+                    index: start + idx,
+                    value: val,
+                });
+            }
+            start = end;
+        }
+        out
+    }
+}
+
+/// Detects peaks with the default detector settings.
+pub fn detect_peaks(series: &[f64]) -> Vec<Peak> {
+    detect_peaks_with(series, &PeakDetector::default())
+}
+
+fn detect_peaks_with(series: &[f64], cfg: &PeakDetector) -> Vec<Peak> {
+    if series.len() < 3 {
+        return Vec::new();
+    }
+    let smoothed = moving_average(series, cfg.smoothing_half_window);
+    let global_max = smoothed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !global_max.is_finite() || global_max <= 0.0 {
+        return Vec::new();
+    }
+    let threshold = global_max * cfg.min_relative_height;
+    let mut candidates: Vec<Peak> = Vec::new();
+    for i in 1..smoothed.len() - 1 {
+        if smoothed[i] >= smoothed[i - 1]
+            && smoothed[i] > smoothed[i + 1]
+            && smoothed[i] >= threshold
+        {
+            candidates.push(Peak {
+                index: i,
+                value: smoothed[i],
+            });
+        }
+    }
+    // Enforce minimum separation, keeping the taller of two close peaks.
+    candidates.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+    let mut kept: Vec<Peak> = Vec::new();
+    for c in candidates {
+        if kept
+            .iter()
+            .all(|k| k.index.abs_diff(c.index) >= cfg.min_separation)
+        {
+            kept.push(c);
+        }
+    }
+    kept.sort_by_key(|p| p.index);
+    kept
+}
+
+/// Peak-to-trough ratio of a series, following the paper's definition: the
+/// ratio of the largest peak of the (smoothed) periodic pattern to its lowest
+/// trough.
+///
+/// To avoid division by zero for series that touch zero (e.g. functions with
+/// no requests at night), the trough is floored at `floor`. Series with no
+/// identifiable variation return 1.0, matching the paper's convention that
+/// "functions with a constant value of requests per minute, or no
+/// identifiable peaks have a peak-to-trough ratio of one".
+pub fn peak_to_trough_ratio(series: &[f64], smoothing_half_window: usize, floor: f64) -> f64 {
+    if series.is_empty() {
+        return 1.0;
+    }
+    let smoothed = moving_average(series, smoothing_half_window);
+    let max = smoothed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = smoothed.iter().cloned().fold(f64::INFINITY, f64::min);
+    if !max.is_finite() || !min.is_finite() || max <= 0.0 {
+        return 1.0;
+    }
+    let trough = min.max(floor.max(f64::MIN_POSITIVE));
+    let ratio = max / trough;
+    if ratio < 1.0 {
+        1.0
+    } else {
+        ratio
+    }
+}
+
+/// Normalizes a series by its maximum (series of zeros stays zero).
+pub fn normalize_by_max(series: &[f64]) -> Vec<f64> {
+    let max = series.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() || max <= 0.0 {
+        return vec![0.0; series.len()];
+    }
+    series.iter().map(|v| v / max).collect()
+}
+
+/// Sums a series into coarser bins of `factor` consecutive elements
+/// (the last bin may be partial). Used to roll minute bins up to hours.
+pub fn rebin_sum(series: &[f64], factor: usize) -> Vec<f64> {
+    if factor <= 1 {
+        return series.to_vec();
+    }
+    series.chunks(factor).map(|c| c.iter().sum()).collect()
+}
+
+/// Averages a series into coarser bins of `factor` consecutive elements.
+pub fn rebin_mean(series: &[f64], factor: usize) -> Vec<f64> {
+    if factor <= 1 {
+        return series.to_vec();
+    }
+    series
+        .chunks(factor)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diurnal_series(days: usize, bins_per_day: usize, phase: f64) -> Vec<f64> {
+        (0..days * bins_per_day)
+            .map(|i| {
+                let t = i as f64 / bins_per_day as f64 * std::f64::consts::TAU;
+                100.0 + 80.0 * (t - phase).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn moving_average_preserves_length_and_smooths() {
+        let noisy: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 0.0 })
+            .collect();
+        let smooth = moving_average(&noisy, 5);
+        assert_eq!(smooth.len(), noisy.len());
+        let var_raw: f64 = noisy.iter().map(|v| (v - 5.0).powi(2)).sum();
+        let var_smooth: f64 = smooth.iter().map(|v| (v - 5.0).powi(2)).sum();
+        assert!(var_smooth < var_raw / 4.0);
+        assert_eq!(moving_average(&noisy, 0), noisy);
+        assert_eq!(moving_average(&[1.0], 3), vec![1.0]);
+    }
+
+    #[test]
+    fn detects_daily_peaks() {
+        let series = diurnal_series(3, 1440, 0.0);
+        let detector = PeakDetector {
+            smoothing_half_window: 10,
+            min_separation: 600,
+            min_relative_height: 0.5,
+        };
+        let peaks = detector.detect(&series);
+        assert_eq!(peaks.len(), 3, "one peak per day, got {peaks:?}");
+        // Peaks are roughly a day apart.
+        for w in peaks.windows(2) {
+            let gap = w[1].index - w[0].index;
+            assert!((gap as i64 - 1440).abs() < 60, "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn largest_peak_per_period_finds_daily_max() {
+        let series = diurnal_series(4, 1440, 1.0);
+        let detector = PeakDetector::default();
+        let daily = detector.largest_peak_per_period(&series, 1440);
+        assert_eq!(daily.len(), 4);
+        for p in &daily {
+            assert!(p.value > 170.0, "peak value {}", p.value);
+        }
+        assert!(detector.largest_peak_per_period(&series, 0).is_empty());
+    }
+
+    #[test]
+    fn peak_detection_edge_cases() {
+        assert!(detect_peaks(&[]).is_empty());
+        assert!(detect_peaks(&[1.0, 2.0]).is_empty());
+        assert!(detect_peaks(&[0.0; 100]).is_empty());
+    }
+
+    #[test]
+    fn peak_to_trough_basic() {
+        let series = diurnal_series(2, 1440, 0.0);
+        let ratio = peak_to_trough_ratio(&series, 10, 1.0);
+        assert!((ratio - 9.0).abs() < 1.0, "ratio {ratio}");
+        // Constant series => ratio 1.
+        assert_eq!(peak_to_trough_ratio(&[5.0; 100], 5, 1.0), 5.0f64.max(1.0) / 5.0);
+        assert_eq!(peak_to_trough_ratio(&[], 5, 1.0), 1.0);
+        assert_eq!(peak_to_trough_ratio(&[0.0; 50], 5, 1.0), 1.0);
+    }
+
+    #[test]
+    fn peak_to_trough_floors_trough() {
+        let mut series = vec![0.0; 100];
+        series[50] = 1000.0;
+        let ratio = peak_to_trough_ratio(&series, 0, 1.0);
+        assert!((ratio - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_and_rebin() {
+        let series = vec![1.0, 2.0, 4.0, 8.0];
+        let norm = normalize_by_max(&series);
+        assert_eq!(norm, vec![0.125, 0.25, 0.5, 1.0]);
+        assert_eq!(normalize_by_max(&[0.0, 0.0]), vec![0.0, 0.0]);
+        assert_eq!(rebin_sum(&series, 2), vec![3.0, 12.0]);
+        assert_eq!(rebin_mean(&series, 2), vec![1.5, 6.0]);
+        assert_eq!(rebin_sum(&series, 3), vec![7.0, 8.0]);
+        assert_eq!(rebin_sum(&series, 1), series);
+    }
+}

@@ -1,0 +1,396 @@
+//! CSV import/export in the public data-release column layout.
+//!
+//! The released Huawei trace ships as per-day CSV files with one table per
+//! monitoring stream. We write and parse the same columns so that (a) our
+//! synthetic traces can be inspected with standard tools and (b) the real
+//! released data can be loaded into this pipeline when available.
+//!
+//! The parser is deliberately small and dependency-free: the released files
+//! are plain comma-separated values with no quoting or embedded separators.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::ids::{FunctionId, PodId, RequestId, UserId};
+use crate::record::{ColdStartRecord, FunctionMeta, RequestRecord};
+use crate::table::{ColdStartTable, FunctionTable, RequestTable};
+use crate::types::{ResourceConfig, Runtime, TriggerType};
+
+/// Errors arising from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed row: carries the 1-based line number and a description.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Header of the request-level CSV.
+pub const REQUEST_HEADER: &str =
+    "timestamp_ms,pod_id,cluster,function_name,user_id,request_id,execution_time_us,cpu_usage_millicores,memory_usage_bytes";
+
+/// Header of the pod-level (cold start) CSV.
+pub const COLD_START_HEADER: &str =
+    "timestamp_ms,pod_id,cluster,function_name,user_id,cold_start_us,pod_alloc_us,deploy_code_us,deploy_dep_us,scheduling_us";
+
+/// Header of the function-level CSV.
+pub const FUNCTION_HEADER: &str = "function_name,user_id,runtime,trigger_types,cpu_mem";
+
+/// Serializes a request table to CSV text (with header).
+pub fn request_table_to_csv(table: &RequestTable) -> String {
+    let mut out = String::with_capacity(64 + table.len() * 80);
+    out.push_str(REQUEST_HEADER);
+    out.push('\n');
+    for r in table.records() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{:.3},{}",
+            r.timestamp_ms,
+            r.pod.raw(),
+            r.cluster,
+            r.function.raw(),
+            r.user.raw(),
+            r.request.raw(),
+            r.execution_time_us,
+            r.cpu_usage_millicores,
+            r.memory_usage_bytes
+        );
+    }
+    out
+}
+
+/// Serializes a cold-start table to CSV text (with header).
+pub fn cold_start_table_to_csv(table: &ColdStartTable) -> String {
+    let mut out = String::with_capacity(64 + table.len() * 80);
+    out.push_str(COLD_START_HEADER);
+    out.push('\n');
+    for r in table.records() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.timestamp_ms,
+            r.pod.raw(),
+            r.cluster,
+            r.function.raw(),
+            r.user.raw(),
+            r.cold_start_us,
+            r.pod_alloc_us,
+            r.deploy_code_us,
+            r.deploy_dep_us,
+            r.scheduling_us
+        );
+    }
+    out
+}
+
+/// Serializes a function table to CSV text (with header). Trigger types are
+/// joined with `;` inside the column.
+pub fn function_table_to_csv(table: &FunctionTable) -> String {
+    let mut out = String::with_capacity(64 + table.len() * 48);
+    out.push_str(FUNCTION_HEADER);
+    out.push('\n');
+    let mut rows: Vec<&FunctionMeta> = table.iter().collect();
+    rows.sort_by_key(|m| m.function);
+    for m in rows {
+        let triggers = m
+            .triggers
+            .iter()
+            .map(|t| t.label())
+            .collect::<Vec<_>>()
+            .join(";");
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            m.function.raw(),
+            m.user.raw(),
+            m.runtime.label(),
+            triggers,
+            m.config.label()
+        );
+    }
+    out
+}
+
+fn split_row(line: &str) -> Vec<&str> {
+    line.split(',').map(str::trim).collect()
+}
+
+fn parse_field<T: std::str::FromStr>(
+    fields: &[&str],
+    idx: usize,
+    line: usize,
+    name: &str,
+) -> Result<T, CsvError> {
+    let raw = fields.get(idx).ok_or_else(|| CsvError::Parse {
+        line,
+        message: format!("missing column {name}"),
+    })?;
+    raw.parse::<T>().map_err(|_| CsvError::Parse {
+        line,
+        message: format!("invalid {name}: {raw:?}"),
+    })
+}
+
+/// Parses a request-level CSV (header optional).
+pub fn request_table_from_csv(text: &str) -> Result<RequestTable, CsvError> {
+    let mut table = RequestTable::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("timestamp_ms") {
+            continue;
+        }
+        let f = split_row(line);
+        table.push(RequestRecord {
+            timestamp_ms: parse_field(&f, 0, lineno, "timestamp_ms")?,
+            pod: PodId::new(parse_field(&f, 1, lineno, "pod_id")?),
+            cluster: parse_field(&f, 2, lineno, "cluster")?,
+            function: FunctionId::new(parse_field(&f, 3, lineno, "function_name")?),
+            user: UserId::new(parse_field(&f, 4, lineno, "user_id")?),
+            request: RequestId::new(parse_field(&f, 5, lineno, "request_id")?),
+            execution_time_us: parse_field(&f, 6, lineno, "execution_time_us")?,
+            cpu_usage_millicores: parse_field(&f, 7, lineno, "cpu_usage_millicores")?,
+            memory_usage_bytes: parse_field(&f, 8, lineno, "memory_usage_bytes")?,
+        });
+    }
+    Ok(table)
+}
+
+/// Parses a pod-level (cold start) CSV (header optional).
+pub fn cold_start_table_from_csv(text: &str) -> Result<ColdStartTable, CsvError> {
+    let mut table = ColdStartTable::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("timestamp_ms") {
+            continue;
+        }
+        let f = split_row(line);
+        table.push(ColdStartRecord {
+            timestamp_ms: parse_field(&f, 0, lineno, "timestamp_ms")?,
+            pod: PodId::new(parse_field(&f, 1, lineno, "pod_id")?),
+            cluster: parse_field(&f, 2, lineno, "cluster")?,
+            function: FunctionId::new(parse_field(&f, 3, lineno, "function_name")?),
+            user: UserId::new(parse_field(&f, 4, lineno, "user_id")?),
+            cold_start_us: parse_field(&f, 5, lineno, "cold_start_us")?,
+            pod_alloc_us: parse_field(&f, 6, lineno, "pod_alloc_us")?,
+            deploy_code_us: parse_field(&f, 7, lineno, "deploy_code_us")?,
+            deploy_dep_us: parse_field(&f, 8, lineno, "deploy_dep_us")?,
+            scheduling_us: parse_field(&f, 9, lineno, "scheduling_us")?,
+        });
+    }
+    Ok(table)
+}
+
+/// Parses a function-level CSV (header optional).
+pub fn function_table_from_csv(text: &str) -> Result<FunctionTable, CsvError> {
+    let mut table = FunctionTable::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("function_name") {
+            continue;
+        }
+        let f = split_row(line);
+        let config_raw: String = parse_field(&f, 4, lineno, "cpu_mem")?;
+        let config = ResourceConfig::from_label(&config_raw).ok_or_else(|| CsvError::Parse {
+            line: lineno,
+            message: format!("invalid cpu_mem: {config_raw:?}"),
+        })?;
+        let triggers_raw = f.get(3).copied().unwrap_or("");
+        let triggers: Vec<TriggerType> = if triggers_raw.is_empty() {
+            Vec::new()
+        } else {
+            triggers_raw
+                .split(';')
+                .map(TriggerType::from_label)
+                .collect()
+        };
+        table.insert(FunctionMeta {
+            function: FunctionId::new(parse_field(&f, 0, lineno, "function_name")?),
+            user: UserId::new(parse_field(&f, 1, lineno, "user_id")?),
+            runtime: Runtime::from_label(f.get(2).copied().unwrap_or("unknown")),
+            triggers,
+            config,
+        });
+    }
+    Ok(table)
+}
+
+/// Writes a string to a file, creating parent directories as needed.
+pub fn write_text(path: &Path, text: &str) -> Result<(), CsvError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(text.as_bytes())?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a whole file into a string.
+pub fn read_text(path: &Path) -> Result<String, CsvError> {
+    let mut out = String::new();
+    let reader = BufReader::new(File::open(path)?);
+    for line in reader.lines() {
+        out.push_str(&line?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request_table() -> RequestTable {
+        let mut t = RequestTable::new();
+        for i in 0..5u64 {
+            t.push(RequestRecord {
+                timestamp_ms: i * 1000,
+                pod: PodId::new(i % 2),
+                cluster: (i % 4) as u8,
+                function: FunctionId::new(100 + i % 3),
+                user: UserId::new(7),
+                request: RequestId::new(i),
+                execution_time_us: 1000 * (i + 1),
+                cpu_usage_millicores: 250.5,
+                memory_usage_bytes: 1 << 20,
+            });
+        }
+        t
+    }
+
+    fn sample_cold_start_table() -> ColdStartTable {
+        let mut t = ColdStartTable::new();
+        for i in 0..4u64 {
+            t.push(ColdStartRecord {
+                timestamp_ms: i * 500,
+                pod: PodId::new(i),
+                cluster: 1,
+                function: FunctionId::new(200 + i),
+                user: UserId::new(9),
+                cold_start_us: 100_000 * (i + 1),
+                pod_alloc_us: 40_000 * (i + 1),
+                deploy_code_us: 30_000 * (i + 1),
+                deploy_dep_us: 10_000 * (i + 1),
+                scheduling_us: 20_000 * (i + 1),
+            });
+        }
+        t
+    }
+
+    fn sample_function_table() -> FunctionTable {
+        let mut t = FunctionTable::new();
+        t.insert(FunctionMeta {
+            function: FunctionId::new(1),
+            user: UserId::new(10),
+            runtime: Runtime::Python3,
+            triggers: vec![TriggerType::Timer, TriggerType::ApigSync],
+            config: ResourceConfig::SMALL_300_128,
+        });
+        t.insert(FunctionMeta {
+            function: FunctionId::new(2),
+            user: UserId::new(11),
+            runtime: Runtime::Custom,
+            triggers: vec![TriggerType::Obs],
+            config: ResourceConfig::new(2000, 4096),
+        });
+        t
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let t = sample_request_table();
+        let csv = request_table_to_csv(&t);
+        assert!(csv.starts_with(REQUEST_HEADER));
+        let parsed = request_table_from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), t.len());
+        assert_eq!(parsed.records()[3].function, t.records()[3].function);
+        assert_eq!(
+            parsed.records()[2].execution_time_us,
+            t.records()[2].execution_time_us
+        );
+    }
+
+    #[test]
+    fn cold_start_roundtrip() {
+        let t = sample_cold_start_table();
+        let csv = cold_start_table_to_csv(&t);
+        let parsed = cold_start_table_from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), 4);
+        for (a, b) in parsed.records().iter().zip(t.records()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn function_roundtrip() {
+        let t = sample_function_table();
+        let csv = function_table_to_csv(&t);
+        let parsed = function_table_from_csv(&csv).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let f1 = parsed.get(FunctionId::new(1)).unwrap();
+        assert_eq!(f1.runtime, Runtime::Python3);
+        assert_eq!(f1.triggers, vec![TriggerType::Timer, TriggerType::ApigSync]);
+        let f2 = parsed.get(FunctionId::new(2)).unwrap();
+        assert_eq!(f2.config, ResourceConfig::new(2000, 4096));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = format!("{REQUEST_HEADER}\n1,2,3,4\n");
+        let err = request_table_from_csv(&bad).unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+        let bad = "notanumber,1,1,1,1,1,1,1,1,1\n";
+        assert!(cold_start_table_from_csv(bad).is_err());
+        let bad = "1,2,Python3,TIMER,garbage\n";
+        assert!(function_table_from_csv(bad).is_err());
+    }
+
+    #[test]
+    fn blank_lines_and_headers_are_skipped() {
+        let csv = format!("{COLD_START_HEADER}\n\n{COLD_START_HEADER}\n");
+        let parsed = cold_start_table_from_csv(&csv).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("fntrace_csv_test");
+        let path = dir.join("requests.csv");
+        let t = sample_request_table();
+        write_text(&path, &request_table_to_csv(&t)).unwrap();
+        let text = read_text(&path).unwrap();
+        let parsed = request_table_from_csv(&text).unwrap();
+        assert_eq!(parsed.len(), t.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,138 @@
+//! Hashed identifiers.
+//!
+//! The released dataset hashes every identifier (pod, function, user,
+//! request) for privacy. We mirror that: identifiers are opaque 64-bit
+//! values, either assigned directly (synthetic traces) or derived from a
+//! string via FNV-1a ([`hash_name`]) when importing external data.
+
+use serde::{Deserialize, Serialize};
+
+/// FNV-1a 64-bit hash of a byte string, used to anonymize external IDs.
+pub fn hash_name(name: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = OFFSET;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Wraps a raw 64-bit identifier.
+            pub const fn new(raw: u64) -> Self {
+                Self(raw)
+            }
+
+            /// Derives an identifier by hashing a name (FNV-1a).
+            pub fn from_name(name: &str) -> Self {
+                Self(hash_name(name))
+            }
+
+            /// Returns the raw 64-bit value.
+            pub const fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{:016x}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Hashed function identifier.
+    FunctionId
+);
+id_type!(
+    /// Hashed pod identifier.
+    PodId
+);
+id_type!(
+    /// Hashed user (function owner) identifier.
+    UserId
+);
+id_type!(
+    /// Hashed request identifier.
+    RequestId
+);
+
+/// Data-center region identifier (R1..R5 in the paper; arbitrary count here).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct RegionId(u16);
+
+impl RegionId {
+    /// Creates a region identifier (1-based, matching the paper's R1..R5).
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// Returns the numeric index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+
+    /// Returns the paper-style label, e.g. `"R1"`.
+    pub fn label(self) -> String {
+        format!("R{}", self.0)
+    }
+}
+
+impl std::fmt::Display for RegionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Cluster index within a region (each region has four clusters in the
+/// paper's platform).
+pub type ClusterId = u8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_stable_and_distinguishing() {
+        assert_eq!(hash_name("func-a"), hash_name("func-a"));
+        assert_ne!(hash_name("func-a"), hash_name("func-b"));
+        assert_eq!(FunctionId::from_name("f"), FunctionId::from_name("f"));
+        assert_ne!(FunctionId::from_name("f"), FunctionId::from_name("g"));
+    }
+
+    #[test]
+    fn raw_roundtrip_and_display() {
+        let id = PodId::new(0xdead_beef);
+        assert_eq!(id.raw(), 0xdead_beef);
+        assert_eq!(id.to_string(), "00000000deadbeef");
+        let r = RegionId::new(3);
+        assert_eq!(r.index(), 3);
+        assert_eq!(r.label(), "R3");
+        assert_eq!(r.to_string(), "R3");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(UserId::new(1));
+        set.insert(UserId::new(1));
+        set.insert(UserId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(RequestId::new(1) < RequestId::new(2));
+    }
+}

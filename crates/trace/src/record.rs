@@ -1,0 +1,228 @@
+//! The three record types of Table 1.
+//!
+//! * [`RequestRecord`] — one row of the request-level table (per invocation).
+//! * [`ColdStartRecord`] — one row of the pod-level table, logged at every
+//!   cold-start event with the four component times.
+//! * [`FunctionMeta`] — one row of the function-level table (runtime, trigger
+//!   types, CPU–memory configuration).
+//!
+//! Timestamps are milliseconds since the trace epoch; durations are
+//! microseconds, exactly as in the released dataset.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClusterId, FunctionId, PodId, RequestId, UserId};
+use crate::types::{ResourceConfig, Runtime, TriggerType};
+
+/// One request-level observation (request-level table of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestRecord {
+    /// Timestamp at the worker, in milliseconds since the trace epoch.
+    pub timestamp_ms: u64,
+    /// Pod that served the request.
+    pub pod: PodId,
+    /// Cluster hosting the pod.
+    pub cluster: ClusterId,
+    /// Function that was invoked.
+    pub function: FunctionId,
+    /// Owner of the function.
+    pub user: UserId,
+    /// Unique request identifier.
+    pub request: RequestId,
+    /// Execution time in microseconds.
+    pub execution_time_us: u64,
+    /// CPU usage in millicores.
+    pub cpu_usage_millicores: f64,
+    /// Memory usage in bytes.
+    pub memory_usage_bytes: u64,
+}
+
+impl RequestRecord {
+    /// Execution time in seconds.
+    pub fn execution_time_secs(&self) -> f64 {
+        self.execution_time_us as f64 / 1e6
+    }
+
+    /// CPU usage in cores.
+    pub fn cpu_usage_cores(&self) -> f64 {
+        self.cpu_usage_millicores / 1000.0
+    }
+}
+
+/// One pod-level cold-start observation (pod-level table of Table 1).
+///
+/// The total cold-start time decomposes into four components, measured
+/// separately: pod allocation, code deployment, dependency deployment, and
+/// scheduling (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartRecord {
+    /// Timestamp of the cold start, in milliseconds since the trace epoch.
+    pub timestamp_ms: u64,
+    /// The newly started pod.
+    pub pod: PodId,
+    /// Cluster hosting the pod.
+    pub cluster: ClusterId,
+    /// Function the pod was started for.
+    pub function: FunctionId,
+    /// Owner of the function.
+    pub user: UserId,
+    /// Total cold-start time in microseconds.
+    pub cold_start_us: u64,
+    /// Time to obtain a pod from the resource pool (or start one from
+    /// scratch), in microseconds.
+    pub pod_alloc_us: u64,
+    /// Time to download, extract, and deploy the function code, in
+    /// microseconds.
+    pub deploy_code_us: u64,
+    /// Time to fetch and load additional dependencies, in microseconds
+    /// (zero for functions without dependency layers).
+    pub deploy_dep_us: u64,
+    /// Networking, routing, and scheduling overhead, in microseconds.
+    pub scheduling_us: u64,
+}
+
+impl ColdStartRecord {
+    /// Total cold-start time in seconds.
+    pub fn cold_start_secs(&self) -> f64 {
+        self.cold_start_us as f64 / 1e6
+    }
+
+    /// Pod allocation time in seconds.
+    pub fn pod_alloc_secs(&self) -> f64 {
+        self.pod_alloc_us as f64 / 1e6
+    }
+
+    /// Code deployment time in seconds.
+    pub fn deploy_code_secs(&self) -> f64 {
+        self.deploy_code_us as f64 / 1e6
+    }
+
+    /// Dependency deployment time in seconds.
+    pub fn deploy_dep_secs(&self) -> f64 {
+        self.deploy_dep_us as f64 / 1e6
+    }
+
+    /// Scheduling overhead in seconds.
+    pub fn scheduling_secs(&self) -> f64 {
+        self.scheduling_us as f64 / 1e6
+    }
+
+    /// Sum of the four component times in microseconds.
+    ///
+    /// In the released data the components add up to the total cold-start
+    /// time; the synthetic generator and simulator preserve that invariant.
+    pub fn component_sum_us(&self) -> u64 {
+        self.pod_alloc_us + self.deploy_code_us + self.deploy_dep_us + self.scheduling_us
+    }
+
+    /// Whether this cold start deployed a dependency layer.
+    pub fn has_dependencies(&self) -> bool {
+        self.deploy_dep_us > 0
+    }
+}
+
+/// One function-level metadata row (function-level table of Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionMeta {
+    /// The function.
+    pub function: FunctionId,
+    /// Owner of the function.
+    pub user: UserId,
+    /// Runtime language.
+    pub runtime: Runtime,
+    /// Trigger types attached to the function (most functions have exactly
+    /// one; a handful have two or more).
+    pub triggers: Vec<TriggerType>,
+    /// CPU–memory configuration of the function's pods.
+    pub config: ResourceConfig,
+}
+
+impl FunctionMeta {
+    /// The function's primary trigger: the first configured trigger, or
+    /// `Unknown` when none was logged.
+    pub fn primary_trigger(&self) -> TriggerType {
+        self.triggers.first().copied().unwrap_or(TriggerType::Unknown)
+    }
+
+    /// Whether any of the function's triggers is a timer.
+    pub fn has_timer_trigger(&self) -> bool {
+        self.triggers.contains(&TriggerType::Timer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FunctionId, PodId, RequestId, UserId};
+
+    fn sample_cold_start() -> ColdStartRecord {
+        ColdStartRecord {
+            timestamp_ms: 1000,
+            pod: PodId::new(1),
+            cluster: 2,
+            function: FunctionId::new(3),
+            user: UserId::new(4),
+            cold_start_us: 1_000_000,
+            pod_alloc_us: 400_000,
+            deploy_code_us: 250_000,
+            deploy_dep_us: 150_000,
+            scheduling_us: 200_000,
+        }
+    }
+
+    #[test]
+    fn cold_start_second_conversions() {
+        let cs = sample_cold_start();
+        assert!((cs.cold_start_secs() - 1.0).abs() < 1e-12);
+        assert!((cs.pod_alloc_secs() - 0.4).abs() < 1e-12);
+        assert!((cs.deploy_code_secs() - 0.25).abs() < 1e-12);
+        assert!((cs.deploy_dep_secs() - 0.15).abs() < 1e-12);
+        assert!((cs.scheduling_secs() - 0.2).abs() < 1e-12);
+        assert_eq!(cs.component_sum_us(), 1_000_000);
+        assert!(cs.has_dependencies());
+    }
+
+    #[test]
+    fn cold_start_without_dependencies() {
+        let mut cs = sample_cold_start();
+        cs.deploy_dep_us = 0;
+        assert!(!cs.has_dependencies());
+    }
+
+    #[test]
+    fn request_conversions() {
+        let r = RequestRecord {
+            timestamp_ms: 5,
+            pod: PodId::new(1),
+            cluster: 0,
+            function: FunctionId::new(2),
+            user: UserId::new(3),
+            request: RequestId::new(9),
+            execution_time_us: 250_000,
+            cpu_usage_millicores: 300.0,
+            memory_usage_bytes: 64 << 20,
+        };
+        assert!((r.execution_time_secs() - 0.25).abs() < 1e-12);
+        assert!((r.cpu_usage_cores() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn function_meta_triggers() {
+        let meta = FunctionMeta {
+            function: FunctionId::new(1),
+            user: UserId::new(2),
+            runtime: Runtime::Python3,
+            triggers: vec![TriggerType::ApigSync, TriggerType::Timer],
+            config: ResourceConfig::SMALL_300_128,
+        };
+        assert_eq!(meta.primary_trigger(), TriggerType::ApigSync);
+        assert!(meta.has_timer_trigger());
+
+        let empty = FunctionMeta {
+            triggers: vec![],
+            ..meta.clone()
+        };
+        assert_eq!(empty.primary_trigger(), TriggerType::Unknown);
+        assert!(!empty.has_timer_trigger());
+    }
+}

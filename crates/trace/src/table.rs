@@ -1,0 +1,455 @@
+//! Tables of records with sorting, filtering, and aggregation helpers.
+//!
+//! Tables are thin wrappers over `Vec<Record>` with the operations the
+//! analysis layer needs: chronological sorting, per-function and per-time-bin
+//! grouping, and column extraction as `Vec<f64>` (for ECDFs and fits).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{FunctionId, PodId, UserId};
+use crate::record::{ColdStartRecord, FunctionMeta, RequestRecord};
+use crate::types::{ResourceConfig, Runtime, TriggerType};
+
+/// Table of request-level records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RequestTable {
+    records: Vec<RequestRecord>,
+    sorted: bool,
+}
+
+impl RequestTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table from records (marked unsorted).
+    pub fn from_records(records: Vec<RequestRecord>) -> Self {
+        Self {
+            records,
+            sorted: false,
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: RequestRecord) {
+        self.sorted = false;
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrowed view of the records.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Sorts records chronologically (stable, by timestamp then request id).
+    pub fn sort_by_time(&mut self) {
+        if !self.sorted {
+            self.records
+                .sort_by_key(|r| (r.timestamp_ms, r.request.raw()));
+            self.sorted = true;
+        }
+    }
+
+    /// Iterator over records of one function.
+    pub fn for_function(
+        &self,
+        function: FunctionId,
+    ) -> impl Iterator<Item = &RequestRecord> + '_ {
+        self.records.iter().filter(move |r| r.function == function)
+    }
+
+    /// Number of requests per function.
+    pub fn requests_per_function(&self) -> HashMap<FunctionId, u64> {
+        let mut map = HashMap::new();
+        for r in &self.records {
+            *map.entry(r.function).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Number of requests per user.
+    pub fn requests_per_user(&self) -> HashMap<UserId, u64> {
+        let mut map = HashMap::new();
+        for r in &self.records {
+            *map.entry(r.user).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Execution times in seconds as a column.
+    pub fn execution_times_secs(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.execution_time_secs()).collect()
+    }
+
+    /// CPU usages in cores as a column.
+    pub fn cpu_usage_cores(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.cpu_usage_cores()).collect()
+    }
+
+    /// Distinct functions appearing in the table.
+    pub fn distinct_functions(&self) -> Vec<FunctionId> {
+        let mut v: Vec<FunctionId> = self
+            .requests_per_function()
+            .into_keys()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Distinct pods appearing in the table.
+    pub fn distinct_pods(&self) -> Vec<PodId> {
+        let mut v: Vec<PodId> = {
+            let mut set = std::collections::HashSet::new();
+            for r in &self.records {
+                set.insert(r.pod);
+            }
+            set.into_iter().collect()
+        };
+        v.sort_unstable();
+        v
+    }
+
+    /// Earliest and latest timestamps, or `None` when empty.
+    pub fn time_span_ms(&self) -> Option<(u64, u64)> {
+        let min = self.records.iter().map(|r| r.timestamp_ms).min()?;
+        let max = self.records.iter().map(|r| r.timestamp_ms).max()?;
+        Some((min, max))
+    }
+}
+
+/// Table of pod-level cold-start records.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartTable {
+    records: Vec<ColdStartRecord>,
+    sorted: bool,
+}
+
+impl ColdStartTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a table from records (marked unsorted).
+    pub fn from_records(records: Vec<ColdStartRecord>) -> Self {
+        Self {
+            records,
+            sorted: false,
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, record: ColdStartRecord) {
+        self.sorted = false;
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Borrowed view of the records.
+    pub fn records(&self) -> &[ColdStartRecord] {
+        &self.records
+    }
+
+    /// Sorts records chronologically.
+    pub fn sort_by_time(&mut self) {
+        if !self.sorted {
+            self.records.sort_by_key(|r| (r.timestamp_ms, r.pod.raw()));
+            self.sorted = true;
+        }
+    }
+
+    /// Cold-start totals in seconds as a column.
+    pub fn cold_start_secs(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.cold_start_secs()).collect()
+    }
+
+    /// Pod allocation times in seconds as a column.
+    pub fn pod_alloc_secs(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.pod_alloc_secs()).collect()
+    }
+
+    /// Code deployment times in seconds as a column.
+    pub fn deploy_code_secs(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.deploy_code_secs()).collect()
+    }
+
+    /// Dependency deployment times in seconds as a column (zeros included).
+    pub fn deploy_dep_secs(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.deploy_dep_secs()).collect()
+    }
+
+    /// Scheduling times in seconds as a column.
+    pub fn scheduling_secs(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.scheduling_secs()).collect()
+    }
+
+    /// Inter-arrival times between consecutive cold starts in seconds,
+    /// after sorting chronologically. Used for the Weibull fit of Figure 10.
+    pub fn inter_arrival_secs(&self) -> Vec<f64> {
+        let mut times: Vec<u64> = self.records.iter().map(|r| r.timestamp_ms).collect();
+        times.sort_unstable();
+        times
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64 / 1e3)
+            .collect()
+    }
+
+    /// Number of cold starts per function.
+    pub fn cold_starts_per_function(&self) -> HashMap<FunctionId, u64> {
+        let mut map = HashMap::new();
+        for r in &self.records {
+            *map.entry(r.function).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Earliest and latest timestamps, or `None` when empty.
+    pub fn time_span_ms(&self) -> Option<(u64, u64)> {
+        let min = self.records.iter().map(|r| r.timestamp_ms).min()?;
+        let max = self.records.iter().map(|r| r.timestamp_ms).max()?;
+        Some((min, max))
+    }
+}
+
+/// Table of function-level metadata, indexed by function id.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FunctionTable {
+    by_function: HashMap<FunctionId, FunctionMeta>,
+}
+
+impl FunctionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) one function's metadata.
+    pub fn insert(&mut self, meta: FunctionMeta) {
+        self.by_function.insert(meta.function, meta);
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.by_function.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_function.is_empty()
+    }
+
+    /// Looks up a function's metadata.
+    pub fn get(&self, function: FunctionId) -> Option<&FunctionMeta> {
+        self.by_function.get(&function)
+    }
+
+    /// Runtime of a function, or `Unknown` if unlisted.
+    pub fn runtime_of(&self, function: FunctionId) -> Runtime {
+        self.get(function).map(|m| m.runtime).unwrap_or(Runtime::Unknown)
+    }
+
+    /// Primary trigger of a function, or `Unknown` if unlisted.
+    pub fn trigger_of(&self, function: FunctionId) -> TriggerType {
+        self.get(function)
+            .map(|m| m.primary_trigger())
+            .unwrap_or(TriggerType::Unknown)
+    }
+
+    /// Resource configuration of a function, or the smallest standard
+    /// configuration if unlisted.
+    pub fn config_of(&self, function: FunctionId) -> ResourceConfig {
+        self.get(function)
+            .map(|m| m.config)
+            .unwrap_or(ResourceConfig::SMALL_300_128)
+    }
+
+    /// Iterator over all metadata rows (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &FunctionMeta> + '_ {
+        self.by_function.values()
+    }
+
+    /// Number of functions per user.
+    pub fn functions_per_user(&self) -> HashMap<UserId, u64> {
+        let mut map = HashMap::new();
+        for meta in self.by_function.values() {
+            *map.entry(meta.user).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Number of functions per runtime.
+    pub fn functions_per_runtime(&self) -> HashMap<Runtime, u64> {
+        let mut map = HashMap::new();
+        for meta in self.by_function.values() {
+            *map.entry(meta.runtime).or_insert(0) += 1;
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{RequestId, UserId};
+
+    fn req(ts: u64, f: u64, user: u64, pod: u64, exec_us: u64) -> RequestRecord {
+        RequestRecord {
+            timestamp_ms: ts,
+            pod: PodId::new(pod),
+            cluster: 0,
+            function: FunctionId::new(f),
+            user: UserId::new(user),
+            request: RequestId::new(ts * 1000 + f),
+            execution_time_us: exec_us,
+            cpu_usage_millicores: 100.0,
+            memory_usage_bytes: 1 << 20,
+        }
+    }
+
+    fn cs(ts: u64, f: u64, pod: u64, total_us: u64) -> ColdStartRecord {
+        ColdStartRecord {
+            timestamp_ms: ts,
+            pod: PodId::new(pod),
+            cluster: 0,
+            function: FunctionId::new(f),
+            user: UserId::new(1),
+            cold_start_us: total_us,
+            pod_alloc_us: total_us / 2,
+            deploy_code_us: total_us / 4,
+            deploy_dep_us: total_us / 8,
+            scheduling_us: total_us - total_us / 2 - total_us / 4 - total_us / 8,
+        }
+    }
+
+    #[test]
+    fn request_table_grouping() {
+        let mut t = RequestTable::new();
+        t.push(req(10, 1, 100, 1, 1_000));
+        t.push(req(5, 1, 100, 1, 2_000));
+        t.push(req(7, 2, 101, 2, 3_000));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+
+        t.sort_by_time();
+        let ts: Vec<u64> = t.records().iter().map(|r| r.timestamp_ms).collect();
+        assert_eq!(ts, vec![5, 7, 10]);
+
+        let per_fn = t.requests_per_function();
+        assert_eq!(per_fn[&FunctionId::new(1)], 2);
+        assert_eq!(per_fn[&FunctionId::new(2)], 1);
+        let per_user = t.requests_per_user();
+        assert_eq!(per_user[&UserId::new(100)], 2);
+
+        assert_eq!(t.for_function(FunctionId::new(1)).count(), 2);
+        assert_eq!(t.distinct_functions().len(), 2);
+        assert_eq!(t.distinct_pods().len(), 2);
+        assert_eq!(t.time_span_ms(), Some((5, 10)));
+        assert_eq!(t.execution_times_secs().len(), 3);
+        assert_eq!(t.cpu_usage_cores()[0], 0.1);
+    }
+
+    #[test]
+    fn empty_tables_are_benign() {
+        let t = RequestTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.time_span_ms(), None);
+        let c = ColdStartTable::new();
+        assert_eq!(c.time_span_ms(), None);
+        assert!(c.inter_arrival_secs().is_empty());
+        let f = FunctionTable::new();
+        assert!(f.is_empty());
+        assert_eq!(f.runtime_of(FunctionId::new(1)), Runtime::Unknown);
+        assert_eq!(f.trigger_of(FunctionId::new(1)), TriggerType::Unknown);
+        assert_eq!(f.config_of(FunctionId::new(1)), ResourceConfig::SMALL_300_128);
+    }
+
+    #[test]
+    fn cold_start_table_columns_and_iat() {
+        let mut t = ColdStartTable::new();
+        t.push(cs(3000, 1, 1, 800_000));
+        t.push(cs(1000, 1, 2, 400_000));
+        t.push(cs(2000, 2, 3, 1_200_000));
+        assert_eq!(t.len(), 3);
+        t.sort_by_time();
+        assert_eq!(t.records()[0].timestamp_ms, 1000);
+
+        let iat = t.inter_arrival_secs();
+        assert_eq!(iat, vec![1.0, 1.0]);
+
+        let per_fn = t.cold_starts_per_function();
+        assert_eq!(per_fn[&FunctionId::new(1)], 2);
+        assert_eq!(t.cold_start_secs().len(), 3);
+        assert_eq!(t.pod_alloc_secs().len(), 3);
+        assert_eq!(t.deploy_code_secs().len(), 3);
+        assert_eq!(t.deploy_dep_secs().len(), 3);
+        assert_eq!(t.scheduling_secs().len(), 3);
+        assert_eq!(t.time_span_ms(), Some((1000, 3000)));
+    }
+
+    #[test]
+    fn function_table_lookup() {
+        let mut t = FunctionTable::new();
+        t.insert(FunctionMeta {
+            function: FunctionId::new(7),
+            user: UserId::new(1),
+            runtime: Runtime::Java,
+            triggers: vec![TriggerType::ApigSync],
+            config: ResourceConfig::LARGE_600_512,
+        });
+        t.insert(FunctionMeta {
+            function: FunctionId::new(8),
+            user: UserId::new(1),
+            runtime: Runtime::Python3,
+            triggers: vec![TriggerType::Timer],
+            config: ResourceConfig::SMALL_300_128,
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.runtime_of(FunctionId::new(7)), Runtime::Java);
+        assert_eq!(t.trigger_of(FunctionId::new(8)), TriggerType::Timer);
+        assert_eq!(t.config_of(FunctionId::new(7)), ResourceConfig::LARGE_600_512);
+        assert_eq!(t.functions_per_user()[&UserId::new(1)], 2);
+        assert_eq!(t.functions_per_runtime()[&Runtime::Java], 1);
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn insert_replaces_existing_function() {
+        let mut t = FunctionTable::new();
+        let meta = FunctionMeta {
+            function: FunctionId::new(7),
+            user: UserId::new(1),
+            runtime: Runtime::Java,
+            triggers: vec![],
+            config: ResourceConfig::SMALL_300_128,
+        };
+        t.insert(meta.clone());
+        t.insert(FunctionMeta {
+            runtime: Runtime::Go1x,
+            ..meta
+        });
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.runtime_of(FunctionId::new(7)), Runtime::Go1x);
+    }
+}

@@ -1,0 +1,222 @@
+//! Time-binned aggregation of trace records.
+//!
+//! The paper's time-series figures aggregate per minute (correlations,
+//! Figure 12), per hour (component breakdowns, Figure 11; running pods,
+//! Figure 8), and per day (holiday analysis, Figure 7). [`TimeBinner`]
+//! converts a stream of `(timestamp, value)` observations into fixed-width
+//! bins covering the full trace duration, producing aligned `Vec<f64>` series
+//! ready for the statistics layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds per minute.
+pub const MILLIS_PER_MIN: u64 = 60_000;
+/// Milliseconds per hour.
+pub const MILLIS_PER_HOUR: u64 = 3_600_000;
+/// Milliseconds per day.
+pub const MILLIS_PER_DAY: u64 = 86_400_000;
+/// Microseconds per second.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// Fixed-width time binner over `[start_ms, end_ms)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeBinner {
+    start_ms: u64,
+    end_ms: u64,
+    bin_ms: u64,
+}
+
+impl TimeBinner {
+    /// Creates a binner covering `[start_ms, end_ms)` with bins of `bin_ms`.
+    ///
+    /// Degenerate inputs (zero width or zero bin size) produce a binner with
+    /// a single bin so downstream code never divides by zero.
+    pub fn new(start_ms: u64, end_ms: u64, bin_ms: u64) -> Self {
+        let bin_ms = bin_ms.max(1);
+        let end_ms = end_ms.max(start_ms + 1);
+        Self {
+            start_ms,
+            end_ms,
+            bin_ms,
+        }
+    }
+
+    /// Convenience constructor with one-minute bins.
+    pub fn per_minute(start_ms: u64, end_ms: u64) -> Self {
+        Self::new(start_ms, end_ms, MILLIS_PER_MIN)
+    }
+
+    /// Convenience constructor with one-hour bins.
+    pub fn per_hour(start_ms: u64, end_ms: u64) -> Self {
+        Self::new(start_ms, end_ms, MILLIS_PER_HOUR)
+    }
+
+    /// Convenience constructor with one-day bins.
+    pub fn per_day(start_ms: u64, end_ms: u64) -> Self {
+        Self::new(start_ms, end_ms, MILLIS_PER_DAY)
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        ((self.end_ms - self.start_ms).div_ceil(self.bin_ms)) as usize
+    }
+
+    /// Bin width in milliseconds.
+    pub fn bin_ms(&self) -> u64 {
+        self.bin_ms
+    }
+
+    /// Start of the covered interval in milliseconds.
+    pub fn start_ms(&self) -> u64 {
+        self.start_ms
+    }
+
+    /// Bin index of a timestamp, or `None` if outside the covered interval.
+    pub fn bin_of(&self, timestamp_ms: u64) -> Option<usize> {
+        if timestamp_ms < self.start_ms || timestamp_ms >= self.end_ms {
+            return None;
+        }
+        Some(((timestamp_ms - self.start_ms) / self.bin_ms) as usize)
+    }
+
+    /// Timestamp (bin start) of bin `i` in milliseconds.
+    pub fn bin_start_ms(&self, i: usize) -> u64 {
+        self.start_ms + i as u64 * self.bin_ms
+    }
+
+    /// Time of bin `i` expressed in days since the start of the trace
+    /// (the x-axis of the paper's time-series figures).
+    pub fn bin_time_days(&self, i: usize) -> f64 {
+        (i as u64 * self.bin_ms) as f64 / MILLIS_PER_DAY as f64
+    }
+
+    /// Counts observations per bin.
+    pub fn count<I: IntoIterator<Item = u64>>(&self, timestamps_ms: I) -> Vec<f64> {
+        let mut out = vec![0.0; self.bins()];
+        for ts in timestamps_ms {
+            if let Some(b) = self.bin_of(ts) {
+                out[b] += 1.0;
+            }
+        }
+        out
+    }
+
+    /// Sums values per bin.
+    pub fn sum<I: IntoIterator<Item = (u64, f64)>>(&self, observations: I) -> Vec<f64> {
+        let mut out = vec![0.0; self.bins()];
+        for (ts, v) in observations {
+            if let Some(b) = self.bin_of(ts) {
+                out[b] += v;
+            }
+        }
+        out
+    }
+
+    /// Means of values per bin (bins with no observations are 0).
+    pub fn mean<I: IntoIterator<Item = (u64, f64)>>(&self, observations: I) -> Vec<f64> {
+        let mut sums = vec![0.0; self.bins()];
+        let mut counts = vec![0u64; self.bins()];
+        for (ts, v) in observations {
+            if let Some(b) = self.bin_of(ts) {
+                sums[b] += v;
+                counts[b] += 1;
+            }
+        }
+        sums.iter()
+            .zip(&counts)
+            .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+
+    /// Counts, per bin, how many `[start, end)` intervals overlap the bin.
+    ///
+    /// Used for "number of running pods per hour" style series (Figure 8):
+    /// a pod alive from `start_ms` to `end_ms` contributes one to every bin
+    /// it overlaps.
+    pub fn count_active<I: IntoIterator<Item = (u64, u64)>>(&self, intervals: I) -> Vec<f64> {
+        let mut out = vec![0.0; self.bins()];
+        let n = self.bins();
+        for (start, end) in intervals {
+            if end <= start {
+                continue;
+            }
+            let first = match self.bin_of(start.max(self.start_ms)) {
+                Some(b) => b,
+                None => {
+                    if start >= self.end_ms {
+                        continue;
+                    }
+                    0
+                }
+            };
+            // Last covered bin: the bin containing end - 1, clamped.
+            let last_ts = end.min(self.end_ms) - 1;
+            if last_ts < self.start_ms {
+                continue;
+            }
+            let last = ((last_ts - self.start_ms) / self.bin_ms) as usize;
+            for slot in out.iter_mut().take((last + 1).min(n)).skip(first) {
+                *slot += 1.0;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_layout() {
+        let b = TimeBinner::new(0, 10 * MILLIS_PER_MIN, MILLIS_PER_MIN);
+        assert_eq!(b.bins(), 10);
+        assert_eq!(b.bin_ms(), MILLIS_PER_MIN);
+        assert_eq!(b.bin_of(0), Some(0));
+        assert_eq!(b.bin_of(59_999), Some(0));
+        assert_eq!(b.bin_of(60_000), Some(1));
+        assert_eq!(b.bin_of(10 * MILLIS_PER_MIN), None);
+        assert_eq!(b.bin_start_ms(3), 3 * MILLIS_PER_MIN);
+        assert!((b.bin_time_days(1440) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_clamped() {
+        let b = TimeBinner::new(100, 100, 0);
+        assert_eq!(b.bins(), 1);
+        assert_eq!(b.bin_of(100), Some(0));
+    }
+
+    #[test]
+    fn partial_last_bin_is_counted() {
+        let b = TimeBinner::new(0, 150, 100);
+        assert_eq!(b.bins(), 2);
+        assert_eq!(b.bin_of(149), Some(1));
+    }
+
+    #[test]
+    fn count_sum_mean() {
+        let b = TimeBinner::new(0, 300, 100);
+        let counts = b.count([10, 20, 110, 250, 9999]);
+        assert_eq!(counts, vec![2.0, 1.0, 1.0]);
+        let sums = b.sum([(10, 1.0), (20, 2.0), (110, 3.0), (250, 4.0)]);
+        assert_eq!(sums, vec![3.0, 3.0, 4.0]);
+        let means = b.mean([(10, 1.0), (20, 3.0), (250, 4.0)]);
+        assert_eq!(means, vec![2.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn active_interval_counting() {
+        let b = TimeBinner::new(0, 400, 100);
+        // Pod alive across bins 0..=2.
+        let active = b.count_active([(50, 250), (150, 160), (390, 1000), (0, 0), (500, 600)]);
+        assert_eq!(active, vec![1.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        assert_eq!(TimeBinner::per_minute(0, MILLIS_PER_HOUR).bins(), 60);
+        assert_eq!(TimeBinner::per_hour(0, MILLIS_PER_DAY).bins(), 24);
+        assert_eq!(TimeBinner::per_day(0, 31 * MILLIS_PER_DAY).bins(), 31);
+    }
+}

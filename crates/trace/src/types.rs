@@ -1,0 +1,501 @@
+//! Runtime, trigger, and resource-allocation taxonomies.
+//!
+//! These enums mirror Section 3.3 of the paper: the pre-installed runtimes,
+//! the nine trigger types with their synchronicity, the paper's trigger
+//! aggregation (timers, OBS-A, APIG-S, workflow-S, other A, other S,
+//! unknown), and the CPU–memory resource configurations with the small/large
+//! pool split used in Figure 13.
+
+use serde::{Deserialize, Serialize};
+
+/// Function runtime language, as logged in the function-level table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Runtime {
+    /// C# runtime.
+    CSharp,
+    /// User-supplied custom container image (no reserved resource pool).
+    Custom,
+    /// Go 1.x runtime.
+    Go1x,
+    /// Java runtime.
+    Java,
+    /// Node.js runtime.
+    NodeJs,
+    /// PHP 7.3 runtime.
+    Php73,
+    /// Python 2 runtime (legacy).
+    Python2,
+    /// Python 3 runtime.
+    Python3,
+    /// Plain HTTP server runtime.
+    Http,
+    /// Runtime not logged.
+    Unknown,
+}
+
+impl Runtime {
+    /// All runtimes in the display order used by the paper's figures.
+    pub const ALL: [Runtime; 10] = [
+        Runtime::CSharp,
+        Runtime::Custom,
+        Runtime::Go1x,
+        Runtime::Java,
+        Runtime::NodeJs,
+        Runtime::Php73,
+        Runtime::Python2,
+        Runtime::Python3,
+        Runtime::Http,
+        Runtime::Unknown,
+    ];
+
+    /// Display label matching the paper (e.g. `"Go1.x"`, `"Node.js"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Runtime::CSharp => "C#",
+            Runtime::Custom => "Custom",
+            Runtime::Go1x => "Go1.x",
+            Runtime::Java => "Java",
+            Runtime::NodeJs => "Node.js",
+            Runtime::Php73 => "PHP7.3",
+            Runtime::Python2 => "Python2",
+            Runtime::Python3 => "Python3",
+            Runtime::Http => "http",
+            Runtime::Unknown => "unknown",
+        }
+    }
+
+    /// Parses a label (as found in the released CSVs) back into a runtime.
+    pub fn from_label(label: &str) -> Runtime {
+        match label.trim() {
+            "C#" | "CSharp" | "csharp" => Runtime::CSharp,
+            "Custom" | "custom" => Runtime::Custom,
+            "Go1.x" | "Go" | "go" | "go1.x" => Runtime::Go1x,
+            "Java" | "java" => Runtime::Java,
+            "Node.js" | "NodeJS" | "nodejs" | "node" => Runtime::NodeJs,
+            "PHP7.3" | "PHP" | "php" | "php7.3" => Runtime::Php73,
+            "Python2" | "python2" => Runtime::Python2,
+            "Python3" | "python3" => Runtime::Python3,
+            "http" | "HTTP" => Runtime::Http,
+            _ => Runtime::Unknown,
+        }
+    }
+
+    /// Whether the platform maintains reserved resource pools for this
+    /// runtime. The paper attributes the very long cold starts of `Custom`
+    /// runtimes to the absence of a reserved pool.
+    pub fn has_reserved_pool(self) -> bool {
+        !matches!(self, Runtime::Custom)
+    }
+}
+
+impl std::fmt::Display for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Whether the invoking program waits for the response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Synchronicity {
+    /// The caller blocks until the function returns.
+    Synchronous,
+    /// The caller does not wait; results are checked later.
+    Asynchronous,
+}
+
+/// Full trigger-type taxonomy from Section 3.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TriggerType {
+    /// API gateway, invoked synchronously over HTTPS.
+    ApigSync,
+    /// API gateway, invoked asynchronously.
+    ApigAsync,
+    /// Cron-style timer.
+    Timer,
+    /// Cloud Trace Service events (asynchronous only).
+    Cts,
+    /// Data Ingestion Service stream events (asynchronous only).
+    Dis,
+    /// Log Tank Service logging events (asynchronous only).
+    Lts,
+    /// Object Storage Service events (asynchronous only).
+    Obs,
+    /// Simple Message Notification topic messages (asynchronous only).
+    Smn,
+    /// Kafka queue trigger.
+    Kafka,
+    /// Workflow (function-to-function) call, synchronous.
+    WorkflowSync,
+    /// Workflow call, asynchronous.
+    WorkflowAsync,
+    /// Trigger not logged.
+    Unknown,
+}
+
+impl TriggerType {
+    /// All trigger types.
+    pub const ALL: [TriggerType; 12] = [
+        TriggerType::ApigSync,
+        TriggerType::ApigAsync,
+        TriggerType::Timer,
+        TriggerType::Cts,
+        TriggerType::Dis,
+        TriggerType::Lts,
+        TriggerType::Obs,
+        TriggerType::Smn,
+        TriggerType::Kafka,
+        TriggerType::WorkflowSync,
+        TriggerType::WorkflowAsync,
+        TriggerType::Unknown,
+    ];
+
+    /// The request synchronicity implied by this trigger.
+    ///
+    /// Timers, storage, logging, messaging, and stream triggers are
+    /// asynchronous-only on the platform; APIG and workflow exist in both
+    /// flavours and are modelled as distinct variants.
+    pub fn synchronicity(self) -> Synchronicity {
+        match self {
+            TriggerType::ApigSync | TriggerType::WorkflowSync => Synchronicity::Synchronous,
+            TriggerType::ApigAsync
+            | TriggerType::Timer
+            | TriggerType::Cts
+            | TriggerType::Dis
+            | TriggerType::Lts
+            | TriggerType::Obs
+            | TriggerType::Smn
+            | TriggerType::Kafka
+            | TriggerType::WorkflowAsync
+            | TriggerType::Unknown => Synchronicity::Asynchronous,
+        }
+    }
+
+    /// The paper's aggregation of trigger types used throughout its figures.
+    pub fn group(self) -> TriggerGroup {
+        match self {
+            TriggerType::Timer => TriggerGroup::TimerA,
+            TriggerType::Obs => TriggerGroup::ObsA,
+            TriggerType::ApigSync => TriggerGroup::ApigS,
+            TriggerType::WorkflowSync => TriggerGroup::WorkflowS,
+            TriggerType::Unknown => TriggerGroup::Unknown,
+            other => match other.synchronicity() {
+                Synchronicity::Synchronous => TriggerGroup::OtherS,
+                Synchronicity::Asynchronous => TriggerGroup::OtherA,
+            },
+        }
+    }
+
+    /// Display label, e.g. `"APIG-S"`, `"TIMER"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            TriggerType::ApigSync => "APIG-S",
+            TriggerType::ApigAsync => "APIG-A",
+            TriggerType::Timer => "TIMER",
+            TriggerType::Cts => "CTS",
+            TriggerType::Dis => "DIS",
+            TriggerType::Lts => "LTS",
+            TriggerType::Obs => "OBS",
+            TriggerType::Smn => "SMN",
+            TriggerType::Kafka => "KAFKA",
+            TriggerType::WorkflowSync => "WORKFLOW-S",
+            TriggerType::WorkflowAsync => "WORKFLOW-A",
+            TriggerType::Unknown => "unknown",
+        }
+    }
+
+    /// Parses a label back into a trigger type.
+    pub fn from_label(label: &str) -> TriggerType {
+        match label.trim().to_ascii_uppercase().as_str() {
+            "APIG-S" | "APIG_S" | "APIGS" => TriggerType::ApigSync,
+            "APIG-A" | "APIG_A" | "APIGA" | "APIG" => TriggerType::ApigAsync,
+            "TIMER" | "TIMER-A" => TriggerType::Timer,
+            "CTS" => TriggerType::Cts,
+            "DIS" => TriggerType::Dis,
+            "LTS" => TriggerType::Lts,
+            "OBS" | "OBS-A" => TriggerType::Obs,
+            "SMN" => TriggerType::Smn,
+            "KAFKA" => TriggerType::Kafka,
+            "WORKFLOW-S" | "WORKFLOW_S" => TriggerType::WorkflowSync,
+            "WORKFLOW-A" | "WORKFLOW_A" | "WORKFLOW" => TriggerType::WorkflowAsync,
+            _ => TriggerType::Unknown,
+        }
+    }
+}
+
+impl std::fmt::Display for TriggerType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The paper's aggregated trigger groups (Figures 8, 9, 14, 16, 17).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TriggerGroup {
+    /// Timer triggers (asynchronous).
+    TimerA,
+    /// Object Storage Service triggers (asynchronous).
+    ObsA,
+    /// Synchronous API-gateway triggers.
+    ApigS,
+    /// Synchronous workflow (function-to-function) triggers.
+    WorkflowS,
+    /// All other asynchronous triggers.
+    OtherA,
+    /// All other synchronous triggers.
+    OtherS,
+    /// Trigger not logged.
+    Unknown,
+}
+
+impl TriggerGroup {
+    /// All groups in the paper's display order.
+    pub const ALL: [TriggerGroup; 7] = [
+        TriggerGroup::TimerA,
+        TriggerGroup::ObsA,
+        TriggerGroup::ApigS,
+        TriggerGroup::WorkflowS,
+        TriggerGroup::OtherA,
+        TriggerGroup::OtherS,
+        TriggerGroup::Unknown,
+    ];
+
+    /// Display label matching the paper, e.g. `"TIMER-A"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            TriggerGroup::TimerA => "TIMER-A",
+            TriggerGroup::ObsA => "OBS-A",
+            TriggerGroup::ApigS => "APIG-S",
+            TriggerGroup::WorkflowS => "workflow-S",
+            TriggerGroup::OtherA => "other A",
+            TriggerGroup::OtherS => "other S",
+            TriggerGroup::Unknown => "unknown",
+        }
+    }
+
+    /// Whether this group is invoked asynchronously.
+    pub fn is_async(self) -> bool {
+        matches!(
+            self,
+            TriggerGroup::TimerA | TriggerGroup::ObsA | TriggerGroup::OtherA | TriggerGroup::Unknown
+        )
+    }
+}
+
+impl std::fmt::Display for TriggerGroup {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A CPU–memory resource configuration, e.g. `300-128` for 300 millicores and
+/// 128 MB of memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceConfig {
+    /// CPU allocation in millicores.
+    pub millicores: u32,
+    /// Memory allocation in MiB.
+    pub memory_mb: u32,
+}
+
+impl ResourceConfig {
+    /// The `300-128` configuration (smallest standard pool).
+    pub const SMALL_300_128: ResourceConfig = ResourceConfig::new(300, 128);
+    /// The `400-256` configuration.
+    pub const MEDIUM_400_256: ResourceConfig = ResourceConfig::new(400, 256);
+    /// The `600-512` configuration.
+    pub const LARGE_600_512: ResourceConfig = ResourceConfig::new(600, 512);
+    /// The `1000-1024` configuration.
+    pub const XLARGE_1000_1024: ResourceConfig = ResourceConfig::new(1000, 1024);
+    /// The largest pool mentioned in the paper: 26 cores, 32 GB.
+    pub const MAX_26000_32768: ResourceConfig = ResourceConfig::new(26_000, 32_768);
+
+    /// The four named configurations the paper plots explicitly (everything
+    /// else is aggregated as "other").
+    pub const STANDARD: [ResourceConfig; 4] = [
+        ResourceConfig::SMALL_300_128,
+        ResourceConfig::MEDIUM_400_256,
+        ResourceConfig::LARGE_600_512,
+        ResourceConfig::XLARGE_1000_1024,
+    ];
+
+    /// Creates a configuration.
+    pub const fn new(millicores: u32, memory_mb: u32) -> Self {
+        Self {
+            millicores,
+            memory_mb,
+        }
+    }
+
+    /// The paper's small/large split: pods with at most 400 millicores and
+    /// 256 MB are "small", everything bigger is "large" (Figure 13).
+    pub fn size_class(self) -> SizeClass {
+        if self.millicores <= 400 && self.memory_mb <= 256 {
+            SizeClass::Small
+        } else {
+            SizeClass::Large
+        }
+    }
+
+    /// Whether this is one of the four standard configurations plotted in
+    /// Figure 8c/8f; anything else is grouped as "other".
+    pub fn is_standard(self) -> bool {
+        ResourceConfig::STANDARD.contains(&self)
+    }
+
+    /// Display label in the dataset's `CPU-MEM` style, e.g. `"300-128"`.
+    pub fn label(self) -> String {
+        format!("{}-{}", self.millicores, self.memory_mb)
+    }
+
+    /// Figure-style label, e.g. `"300CPU, 128MB"` or `"other"`.
+    pub fn figure_label(self) -> String {
+        if self.is_standard() {
+            format!("{}CPU, {}MB", self.millicores, self.memory_mb)
+        } else {
+            "other".to_string()
+        }
+    }
+
+    /// Parses a `CPU-MEM` label such as `"300-128"`.
+    pub fn from_label(label: &str) -> Option<ResourceConfig> {
+        let (cpu, mem) = label.trim().split_once('-')?;
+        Some(ResourceConfig::new(
+            cpu.trim().parse().ok()?,
+            mem.trim().parse().ok()?,
+        ))
+    }
+}
+
+impl std::fmt::Display for ResourceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}-{}", self.millicores, self.memory_mb)
+    }
+}
+
+/// The paper's two-way pool-size split used in Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SizeClass {
+    /// At most 400 millicores and 256 MB.
+    Small,
+    /// Anything larger.
+    Large,
+}
+
+impl SizeClass {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeClass::Small => "small",
+            SizeClass::Large => "large",
+        }
+    }
+}
+
+impl std::fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_labels_roundtrip() {
+        for rt in Runtime::ALL {
+            assert_eq!(Runtime::from_label(rt.label()), rt);
+        }
+        assert_eq!(Runtime::from_label("weird"), Runtime::Unknown);
+        assert_eq!(Runtime::from_label("go"), Runtime::Go1x);
+        assert_eq!(format!("{}", Runtime::NodeJs), "Node.js");
+    }
+
+    #[test]
+    fn custom_runtime_has_no_pool() {
+        assert!(!Runtime::Custom.has_reserved_pool());
+        assert!(Runtime::Python3.has_reserved_pool());
+        assert!(Runtime::Http.has_reserved_pool());
+    }
+
+    #[test]
+    fn trigger_labels_roundtrip() {
+        for t in TriggerType::ALL {
+            assert_eq!(TriggerType::from_label(t.label()), t);
+        }
+        assert_eq!(TriggerType::from_label("nonsense"), TriggerType::Unknown);
+    }
+
+    #[test]
+    fn trigger_synchronicity() {
+        assert_eq!(
+            TriggerType::ApigSync.synchronicity(),
+            Synchronicity::Synchronous
+        );
+        assert_eq!(
+            TriggerType::WorkflowSync.synchronicity(),
+            Synchronicity::Synchronous
+        );
+        for t in [
+            TriggerType::Timer,
+            TriggerType::Obs,
+            TriggerType::Lts,
+            TriggerType::Smn,
+            TriggerType::Kafka,
+            TriggerType::Cts,
+            TriggerType::Dis,
+        ] {
+            assert_eq!(t.synchronicity(), Synchronicity::Asynchronous, "{t}");
+        }
+    }
+
+    #[test]
+    fn trigger_grouping_matches_paper() {
+        assert_eq!(TriggerType::Timer.group(), TriggerGroup::TimerA);
+        assert_eq!(TriggerType::Obs.group(), TriggerGroup::ObsA);
+        assert_eq!(TriggerType::ApigSync.group(), TriggerGroup::ApigS);
+        assert_eq!(TriggerType::WorkflowSync.group(), TriggerGroup::WorkflowS);
+        assert_eq!(TriggerType::Lts.group(), TriggerGroup::OtherA);
+        assert_eq!(TriggerType::Kafka.group(), TriggerGroup::OtherA);
+        assert_eq!(TriggerType::Unknown.group(), TriggerGroup::Unknown);
+        assert!(TriggerGroup::TimerA.is_async());
+        assert!(TriggerGroup::ObsA.is_async());
+        assert!(!TriggerGroup::ApigS.is_async());
+        assert!(!TriggerGroup::WorkflowS.is_async());
+    }
+
+    #[test]
+    fn resource_config_size_split() {
+        assert_eq!(ResourceConfig::SMALL_300_128.size_class(), SizeClass::Small);
+        assert_eq!(
+            ResourceConfig::MEDIUM_400_256.size_class(),
+            SizeClass::Small
+        );
+        assert_eq!(ResourceConfig::LARGE_600_512.size_class(), SizeClass::Large);
+        assert_eq!(
+            ResourceConfig::new(400, 512).size_class(),
+            SizeClass::Large
+        );
+        assert_eq!(
+            ResourceConfig::MAX_26000_32768.size_class(),
+            SizeClass::Large
+        );
+        assert_eq!(SizeClass::Small.label(), "small");
+        assert_eq!(format!("{}", SizeClass::Large), "large");
+    }
+
+    #[test]
+    fn resource_config_labels() {
+        let c = ResourceConfig::new(300, 128);
+        assert_eq!(c.label(), "300-128");
+        assert_eq!(c.figure_label(), "300CPU, 128MB");
+        assert!(c.is_standard());
+        let other = ResourceConfig::new(2000, 4096);
+        assert!(!other.is_standard());
+        assert_eq!(other.figure_label(), "other");
+        assert_eq!(ResourceConfig::from_label("600-512"), Some(ResourceConfig::LARGE_600_512));
+        assert_eq!(ResourceConfig::from_label("garbage"), None);
+        assert_eq!(ResourceConfig::from_label("600-"), None);
+        assert_eq!(format!("{c}"), "300-128");
+    }
+}

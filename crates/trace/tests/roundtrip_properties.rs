@@ -1,0 +1,164 @@
+//! Property-based tests for the trace data model: CSV round-trips, taxonomy
+//! round-trips, and time-binning invariants.
+
+use fntrace::csv::{
+    cold_start_table_from_csv, cold_start_table_to_csv, request_table_from_csv,
+    request_table_to_csv,
+};
+use fntrace::{
+    ColdStartRecord, ColdStartTable, FunctionId, PodId, RequestId, RequestRecord, RequestTable,
+    ResourceConfig, Runtime, TimeBinner, TriggerType, UserId,
+};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = RequestRecord> {
+    (
+        0u64..10_000_000,
+        0u64..1000,
+        0u8..4,
+        0u64..500,
+        0u64..100,
+        any::<u64>(),
+        0u64..100_000_000,
+        0.0f64..30_000.0,
+        0u64..(8 << 30),
+    )
+        .prop_map(
+            |(ts, pod, cluster, func, user, req, exec, cpu, mem)| RequestRecord {
+                timestamp_ms: ts,
+                pod: PodId::new(pod),
+                cluster,
+                function: FunctionId::new(func),
+                user: UserId::new(user),
+                request: RequestId::new(req),
+                execution_time_us: exec,
+                cpu_usage_millicores: (cpu * 1000.0).round() / 1000.0,
+                memory_usage_bytes: mem,
+            },
+        )
+}
+
+fn arb_cold_start() -> impl Strategy<Value = ColdStartRecord> {
+    (
+        0u64..10_000_000,
+        0u64..1000,
+        0u8..4,
+        0u64..500,
+        0u64..100,
+        0u64..5_000_000,
+        0u64..5_000_000,
+        0u64..2_000_000,
+        0u64..3_000_000,
+    )
+        .prop_map(
+            |(ts, pod, cluster, func, user, alloc, code, dep, sched)| ColdStartRecord {
+                timestamp_ms: ts,
+                pod: PodId::new(pod),
+                cluster,
+                function: FunctionId::new(func),
+                user: UserId::new(user),
+                cold_start_us: alloc + code + dep + sched,
+                pod_alloc_us: alloc,
+                deploy_code_us: code,
+                deploy_dep_us: dep,
+                scheduling_us: sched,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn request_csv_roundtrip(records in proptest::collection::vec(arb_request(), 0..50)) {
+        let table = RequestTable::from_records(records);
+        let csv = request_table_to_csv(&table);
+        let parsed = request_table_from_csv(&csv).unwrap();
+        prop_assert_eq!(parsed.len(), table.len());
+        for (a, b) in parsed.records().iter().zip(table.records()) {
+            prop_assert_eq!(a.timestamp_ms, b.timestamp_ms);
+            prop_assert_eq!(a.function, b.function);
+            prop_assert_eq!(a.execution_time_us, b.execution_time_us);
+            prop_assert_eq!(a.memory_usage_bytes, b.memory_usage_bytes);
+            prop_assert!((a.cpu_usage_millicores - b.cpu_usage_millicores).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn cold_start_csv_roundtrip(records in proptest::collection::vec(arb_cold_start(), 0..50)) {
+        let table = ColdStartTable::from_records(records);
+        let csv = cold_start_table_to_csv(&table);
+        let parsed = cold_start_table_from_csv(&csv).unwrap();
+        prop_assert_eq!(parsed.len(), table.len());
+        for (a, b) in parsed.records().iter().zip(table.records()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn cold_start_components_sum_to_total(record in arb_cold_start()) {
+        prop_assert_eq!(record.component_sum_us(), record.cold_start_us);
+        prop_assert!(record.cold_start_secs() >= 0.0);
+    }
+
+    #[test]
+    fn sort_by_time_is_monotone(records in proptest::collection::vec(arb_cold_start(), 1..100)) {
+        let mut table = ColdStartTable::from_records(records);
+        table.sort_by_time();
+        let ts: Vec<u64> = table.records().iter().map(|r| r.timestamp_ms).collect();
+        for w in ts.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        // Inter-arrival times are non-negative and one fewer than records.
+        let iat = table.inter_arrival_secs();
+        prop_assert_eq!(iat.len(), table.len() - 1);
+        prop_assert!(iat.iter().all(|x| *x >= 0.0));
+    }
+
+    #[test]
+    fn binner_count_conserves_in_range_events(
+        timestamps in proptest::collection::vec(0u64..1_000_000, 1..200),
+        bin_ms in 1u64..100_000,
+    ) {
+        let binner = TimeBinner::new(0, 1_000_000, bin_ms);
+        let series = binner.count(timestamps.iter().copied());
+        let total: f64 = series.iter().sum();
+        prop_assert_eq!(total as usize, timestamps.len());
+    }
+
+    #[test]
+    fn binner_bin_of_matches_bin_start(ts in 0u64..10_000_000, bin_ms in 1u64..1_000_000) {
+        let binner = TimeBinner::new(0, 10_000_000, bin_ms);
+        if let Some(b) = binner.bin_of(ts) {
+            let start = binner.bin_start_ms(b);
+            prop_assert!(start <= ts && ts < start + bin_ms);
+        }
+    }
+
+    #[test]
+    fn trigger_group_is_total(idx in 0usize..TriggerType::ALL.len()) {
+        let t = TriggerType::ALL[idx];
+        // Every trigger maps to some group and the group's synchronicity is
+        // consistent with the trigger for the non-aggregated groups.
+        let g = t.group();
+        if t == TriggerType::Timer {
+            prop_assert!(g.is_async());
+        }
+        if t == TriggerType::ApigSync || t == TriggerType::WorkflowSync {
+            prop_assert!(!g.is_async());
+        }
+    }
+
+    #[test]
+    fn resource_config_label_roundtrip(cpu in 1u32..30_000, mem in 1u32..65_536) {
+        let cfg = ResourceConfig::new(cpu, mem);
+        let label = cfg.label();
+        prop_assert_eq!(ResourceConfig::from_label(&label), Some(cfg));
+    }
+
+    #[test]
+    fn runtime_label_roundtrip(idx in 0usize..Runtime::ALL.len()) {
+        let rt = Runtime::ALL[idx];
+        prop_assert_eq!(Runtime::from_label(rt.label()), rt);
+    }
+}

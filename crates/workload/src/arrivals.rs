@@ -1,0 +1,305 @@
+//! Arrival-stream generation.
+//!
+//! Turns a [`FunctionSpec`] into the timestamps of its invocations over the
+//! trace: deterministic cron-style arrivals for timer triggers, and a
+//! non-homogeneous Poisson process (hourly rates modulated by the diurnal,
+//! weekly, and holiday patterns of the region and function) for everything
+//! else. Timer functions are deliberately unaffected by the holiday — the
+//! paper observes exactly that.
+
+use serde::{Deserialize, Serialize};
+
+use faas_stats::rng::Xoshiro256pp;
+use fntrace::{FunctionId, TriggerType, MILLIS_PER_HOUR};
+
+use crate::population::FunctionSpec;
+use crate::profile::{Calibration, RegionProfile};
+
+/// The invocation timestamps of one function over the whole trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionArrivals {
+    /// The function.
+    pub function: FunctionId,
+    /// Sorted invocation timestamps in milliseconds since the trace epoch.
+    pub timestamps_ms: Vec<u64>,
+}
+
+impl FunctionArrivals {
+    /// Number of invocations.
+    pub fn len(&self) -> usize {
+        self.timestamps_ms.len()
+    }
+
+    /// Whether the function is never invoked.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps_ms.is_empty()
+    }
+}
+
+/// Generates arrival streams for the functions of one region.
+#[derive(Debug, Clone)]
+pub struct ArrivalGenerator {
+    profile: RegionProfile,
+    calibration: Calibration,
+}
+
+impl ArrivalGenerator {
+    /// Creates a generator for a region.
+    pub fn new(profile: RegionProfile, calibration: Calibration) -> Self {
+        Self {
+            profile,
+            calibration,
+        }
+    }
+
+    /// The calibration in use.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Hourly rate multiplier for a function at the given absolute hour.
+    ///
+    /// Combines the function's own diurnal amplitude and phase with the
+    /// region's weekly and holiday modulation. Timer functions always return
+    /// 1.0 (they fire on schedule regardless of load patterns).
+    pub fn rate_multiplier(&self, spec: &FunctionSpec, absolute_hour: u64) -> f64 {
+        if spec.primary_trigger() == TriggerType::Timer {
+            return 1.0;
+        }
+        let day = (absolute_hour / 24) as u32;
+        let hour_of_day = (absolute_hour % 24) as f64;
+        // Per-function diurnal shape.
+        let peak = self.profile.peak_hour + spec.peak_offset_hours;
+        let phase = (hour_of_day - peak) / 24.0 * std::f64::consts::TAU;
+        let diurnal = 1.0 + spec.diurnal_amplitude * phase.cos();
+        // Region-wide weekly and holiday modulation (with the diurnal part
+        // already handled per function, use an amplitude-free profile call).
+        let weekly = if self.calibration.is_weekend(day) {
+            1.0 / self.profile.weekday_weekend_ratio
+        } else {
+            1.0
+        };
+        let holiday = if self.calibration.is_holiday(day) {
+            self.profile.holiday_level
+        } else if day + 1 == self.calibration.holiday_start_day
+            || day == self.calibration.holiday_end_day
+        {
+            self.profile.holiday_edge_boost
+        } else {
+            1.0
+        };
+        (diurnal * weekly * holiday).max(0.0)
+    }
+
+    /// Generates the arrival stream of one function.
+    pub fn generate(&self, spec: &FunctionSpec, rng: &mut Xoshiro256pp) -> FunctionArrivals {
+        let timestamps_ms = if spec.primary_trigger() == TriggerType::Timer {
+            self.generate_timer(spec, rng)
+        } else {
+            self.generate_poisson(spec, rng)
+        };
+        FunctionArrivals {
+            function: spec.function,
+            timestamps_ms,
+        }
+    }
+
+    fn generate_timer(&self, spec: &FunctionSpec, rng: &mut Xoshiro256pp) -> Vec<u64> {
+        let period_ms = (spec.timer_period_secs.max(1.0) * 1000.0) as u64;
+        let duration_ms = self.calibration.duration_ms();
+        // Random phase so timers from different functions do not align.
+        let phase = rng.uniform_usize(period_ms as usize) as u64;
+        let mut out = Vec::with_capacity((duration_ms / period_ms + 1) as usize);
+        let mut t = phase;
+        while t < duration_ms {
+            out.push(t);
+            t += period_ms;
+        }
+        out
+    }
+
+    fn generate_poisson(&self, spec: &FunctionSpec, rng: &mut Xoshiro256pp) -> Vec<u64> {
+        let hours = u64::from(self.calibration.duration_days) * 24;
+        let base_per_hour = spec.base_requests_per_day / 24.0;
+        let mut out = Vec::new();
+        for hour in 0..hours {
+            let rate = base_per_hour * self.rate_multiplier(spec, hour);
+            if rate <= 0.0 {
+                continue;
+            }
+            let count = rng.poisson(rate);
+            if count == 0 {
+                continue;
+            }
+            let hour_start = hour * MILLIS_PER_HOUR;
+            for _ in 0..count {
+                out.push(hour_start + rng.uniform_usize(MILLIS_PER_HOUR as usize) as u64);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{FunctionPopulation, PopulationConfig};
+
+    fn spec_with(trigger: TriggerType, rpd: f64, amplitude: f64) -> FunctionSpec {
+        FunctionSpec {
+            function: FunctionId::new(1),
+            user: fntrace::UserId::new(1),
+            runtime: fntrace::Runtime::Python3,
+            triggers: vec![trigger],
+            config: fntrace::ResourceConfig::SMALL_300_128,
+            base_requests_per_day: rpd,
+            timer_period_secs: if trigger == TriggerType::Timer {
+                86_400.0 / rpd
+            } else {
+                0.0
+            },
+            diurnal_amplitude: amplitude,
+            peak_offset_hours: 0.0,
+            median_execution_secs: 0.05,
+            cpu_millicores: 100.0,
+            memory_bytes: 64 << 20,
+            has_dependencies: false,
+            concurrency: 1,
+            upstream: None,
+        }
+    }
+
+    fn generator() -> ArrivalGenerator {
+        ArrivalGenerator::new(RegionProfile::r2(), Calibration::default())
+    }
+
+    #[test]
+    fn timer_arrivals_are_periodic_and_complete() {
+        let gen = generator();
+        let spec = spec_with(TriggerType::Timer, 288.0, 0.0); // Every 5 minutes.
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let arrivals = gen.generate(&spec, &mut rng);
+        let expected = 31 * 288;
+        assert!(
+            (arrivals.len() as i64 - expected).abs() <= 1,
+            "count {}",
+            arrivals.len()
+        );
+        // Consecutive gaps equal the period exactly.
+        for w in arrivals.timestamps_ms.windows(2) {
+            assert_eq!(w[1] - w[0], 300_000);
+        }
+    }
+
+    #[test]
+    fn poisson_volume_is_calibrated() {
+        let gen = generator();
+        let spec = spec_with(TriggerType::ApigSync, 5_000.0, 0.5);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let arrivals = gen.generate(&spec, &mut rng);
+        let expected = 5_000.0 * 31.0;
+        let actual = arrivals.len() as f64;
+        // Weekly + holiday modulation removes some load; allow a wide band.
+        assert!(
+            actual > expected * 0.5 && actual < expected * 1.5,
+            "expected ~{expected}, got {actual}"
+        );
+        // Sorted output.
+        for w in arrivals.timestamps_ms.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        // All inside the trace window.
+        assert!(*arrivals.timestamps_ms.last().unwrap() < gen.calibration().duration_ms());
+    }
+
+    #[test]
+    fn diurnal_functions_peak_near_their_peak_hour() {
+        let gen = generator();
+        let spec = spec_with(TriggerType::ApigSync, 20_000.0, 0.9);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let arrivals = gen.generate(&spec, &mut rng);
+        // Count arrivals by hour of day over non-holiday weekdays.
+        let mut by_hour = [0u64; 24];
+        for &ts in &arrivals.timestamps_ms {
+            let day = (ts / fntrace::MILLIS_PER_DAY) as u32;
+            if gen.calibration().is_holiday(day) || gen.calibration().is_weekend(day) {
+                continue;
+            }
+            by_hour[((ts / MILLIS_PER_HOUR) % 24) as usize] += 1;
+        }
+        let peak_hour = by_hour
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(h, _)| h as f64)
+            .unwrap();
+        let expected = gen.profile.peak_hour;
+        let distance = (peak_hour - expected).abs().min(24.0 - (peak_hour - expected).abs());
+        assert!(distance <= 3.0, "peak at hour {peak_hour}, expected ~{expected}");
+        // Trough is much lower than peak.
+        let max = *by_hour.iter().max().unwrap() as f64;
+        let min = *by_hour.iter().min().unwrap() as f64;
+        assert!(max > 3.0 * min.max(1.0), "max {max} min {min}");
+    }
+
+    #[test]
+    fn holiday_reduces_user_driven_load_but_not_timers() {
+        let gen = generator();
+        let api = spec_with(TriggerType::ApigSync, 10_000.0, 0.3);
+        let timer = spec_with(TriggerType::Timer, 288.0, 0.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let api_arrivals = gen.generate(&api, &mut rng);
+        let timer_arrivals = gen.generate(&timer, &mut rng);
+        let calibration = gen.calibration();
+        let count_in = |arr: &FunctionArrivals, holiday: bool| {
+            arr.timestamps_ms
+                .iter()
+                .filter(|&&ts| {
+                    let day = (ts / fntrace::MILLIS_PER_DAY) as u32;
+                    calibration.is_holiday(day) == holiday && !calibration.is_weekend(day)
+                })
+                .count() as f64
+        };
+        // Per-day rates.
+        let api_holiday = count_in(&api_arrivals, true) / 8.0;
+        let api_normal = count_in(&api_arrivals, false) / 15.0;
+        assert!(api_holiday < 0.8 * api_normal, "holiday {api_holiday} normal {api_normal}");
+        let timer_holiday = count_in(&timer_arrivals, true) / 8.0;
+        let timer_normal = count_in(&timer_arrivals, false) / 15.0;
+        assert!((timer_holiday / timer_normal - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn rate_multiplier_is_nonnegative_and_flat_for_timers() {
+        let gen = generator();
+        let timer = spec_with(TriggerType::Timer, 288.0, 0.0);
+        let api = spec_with(TriggerType::ApigSync, 1000.0, 0.9);
+        for hour in 0..(31 * 24) {
+            assert_eq!(gen.rate_multiplier(&timer, hour), 1.0);
+            assert!(gen.rate_multiplier(&api, hour) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn whole_population_generates_reasonable_volume() {
+        let profile = RegionProfile::r2();
+        let calibration = Calibration::default();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let pop = FunctionPopulation::generate(
+            &profile,
+            &calibration,
+            &PopulationConfig {
+                function_scale: 0.01,
+                ..PopulationConfig::default()
+            },
+            &mut rng,
+        );
+        let gen = ArrivalGenerator::new(profile, calibration);
+        let mut total = 0usize;
+        for spec in &pop.functions {
+            total += gen.generate(spec, &mut rng).len();
+        }
+        assert!(total > 1000, "total arrivals {total}");
+    }
+}

@@ -1,0 +1,389 @@
+//! Cold-start component latency model.
+//!
+//! Samples the four cold-start components — pod allocation, code deployment,
+//! dependency deployment, scheduling — conditioned on region, runtime
+//! language, resource size class, dependency presence, and instantaneous
+//! load. The conditioning encodes the paper's observations:
+//!
+//! * per-region dominant components differ (Figure 11): Region 1 is
+//!   dependency-deployment and scheduling bound, Region 2 pod-allocation
+//!   bound, Region 3 fast everywhere;
+//! * `Custom` and `HTTP` runtimes have pod-allocation-dominated cold starts
+//!   with medians above ten seconds because `Custom` images have no reserved
+//!   pool and `HTTP` must start a server (Figure 15);
+//! * `Go` pods have comparatively heavy code / dependency deployment;
+//!   `Node.js` is scheduling-heavy (Figure 15);
+//! * larger resource pools take longer to allocate because the staged pool
+//!   search escalates more often, and deploy more code and dependencies
+//!   (Figure 13);
+//! * pod allocation and scheduling stretch under load, producing the positive
+//!   correlation between cold-start time and the number of cold starts
+//!   (Figure 12).
+
+use serde::{Deserialize, Serialize};
+
+use faas_stats::rng::Xoshiro256pp;
+use fntrace::{Runtime, SizeClass};
+
+use crate::profile::RegionProfile;
+
+/// Sampled component times of one cold start, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColdStartComponents {
+    /// Pod allocation time.
+    pub pod_alloc_us: u64,
+    /// Code deployment time.
+    pub deploy_code_us: u64,
+    /// Dependency deployment time (zero when the function has no layers).
+    pub deploy_dep_us: u64,
+    /// Scheduling overhead.
+    pub scheduling_us: u64,
+}
+
+impl ColdStartComponents {
+    /// Total cold-start time (sum of the four components).
+    pub fn total_us(&self) -> u64 {
+        self.pod_alloc_us + self.deploy_code_us + self.deploy_dep_us + self.scheduling_us
+    }
+
+    /// Total cold-start time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_us() as f64 / 1e6
+    }
+}
+
+/// Per-runtime multipliers on the component medians.
+#[derive(Debug, Clone, Copy)]
+struct RuntimeFactors {
+    pod_alloc: f64,
+    deploy_code: f64,
+    deploy_dep: f64,
+    scheduling: f64,
+}
+
+fn runtime_factors(runtime: Runtime) -> RuntimeFactors {
+    match runtime {
+        // No reserved pool: pods are created from scratch, dominating the
+        // cold start (median total above 10 s).
+        Runtime::Custom => RuntimeFactors {
+            pod_alloc: 20.0,
+            deploy_code: 1.2,
+            deploy_dep: 0.8,
+            scheduling: 1.0,
+        },
+        // HTTP functions must start an HTTP server inside the pod.
+        Runtime::Http => RuntimeFactors {
+            pod_alloc: 16.0,
+            deploy_code: 1.0,
+            deploy_dep: 0.8,
+            scheduling: 0.9,
+        },
+        // Go binaries are large: heavy code and dependency deployment.
+        Runtime::Go1x => RuntimeFactors {
+            pod_alloc: 0.8,
+            deploy_code: 2.6,
+            deploy_dep: 3.0,
+            scheduling: 0.7,
+        },
+        Runtime::Java => RuntimeFactors {
+            pod_alloc: 1.1,
+            deploy_code: 1.8,
+            deploy_dep: 1.9,
+            scheduling: 1.1,
+        },
+        // Node.js cold starts are dominated by scheduling in the paper.
+        Runtime::NodeJs => RuntimeFactors {
+            pod_alloc: 0.9,
+            deploy_code: 0.9,
+            deploy_dep: 1.0,
+            scheduling: 2.2,
+        },
+        Runtime::Python3 => RuntimeFactors {
+            pod_alloc: 1.0,
+            deploy_code: 1.0,
+            deploy_dep: 1.0,
+            scheduling: 1.0,
+        },
+        Runtime::Python2 => RuntimeFactors {
+            pod_alloc: 1.0,
+            deploy_code: 1.1,
+            deploy_dep: 1.1,
+            scheduling: 1.0,
+        },
+        Runtime::Php73 => RuntimeFactors {
+            pod_alloc: 0.9,
+            deploy_code: 0.9,
+            deploy_dep: 0.9,
+            scheduling: 1.0,
+        },
+        Runtime::CSharp => RuntimeFactors {
+            pod_alloc: 1.0,
+            deploy_code: 1.5,
+            deploy_dep: 1.5,
+            scheduling: 0.9,
+        },
+        Runtime::Unknown => RuntimeFactors {
+            pod_alloc: 1.0,
+            deploy_code: 1.0,
+            deploy_dep: 1.0,
+            scheduling: 1.0,
+        },
+    }
+}
+
+/// Cold-start component latency model for one region.
+#[derive(Debug, Clone)]
+pub struct ColdStartLatencyModel {
+    profile: RegionProfile,
+}
+
+impl ColdStartLatencyModel {
+    /// Creates a model from the region profile.
+    pub fn new(profile: RegionProfile) -> Self {
+        Self { profile }
+    }
+
+    /// Region profile in use.
+    pub fn profile(&self) -> &RegionProfile {
+        &self.profile
+    }
+
+    /// Samples one cold start's component times.
+    ///
+    /// * `runtime`, `size`, `has_dependencies` — static function attributes.
+    /// * `load_factor` — instantaneous load relative to average (0 = idle,
+    ///   1 = average, larger during peaks); stretches pod allocation and
+    ///   scheduling according to the region's load sensitivity.
+    pub fn sample(
+        &self,
+        runtime: Runtime,
+        size: SizeClass,
+        has_dependencies: bool,
+        load_factor: f64,
+        rng: &mut Xoshiro256pp,
+    ) -> ColdStartComponents {
+        let base = &self.profile.component_base;
+        let rf = runtime_factors(runtime);
+        let sigma = self.profile.component_sigma;
+
+        // Size-class multipliers (Figure 13: larger pods take 2-5x longer,
+        // driven by pod allocation and code/dependency deployment).
+        let (size_alloc, size_code, size_dep, size_sched) = match size {
+            SizeClass::Small => (1.0, 1.0, 1.0, 1.0),
+            SizeClass::Large => (2.2, 1.9, 1.9, 1.3),
+        };
+
+        // Load stretch for contended resources (pod pool and scheduler).
+        let stretch = 1.0
+            + self.profile.load_sensitivity * (load_factor - 1.0).max(0.0)
+            + 0.1 * load_factor.max(0.0);
+
+        // Staged pool search: stage 0 finds a pod immediately, later stages
+        // multiply allocation latency, large pools escalate more often. The
+        // Custom runtime always pays the from-scratch path via its runtime
+        // factor, so stages only add mild extra dispersion there.
+        let escalate_p = match size {
+            SizeClass::Small => 0.12,
+            SizeClass::Large => 0.30,
+        };
+        let stage_mult = if rng.bernoulli(escalate_p) {
+            if rng.bernoulli(0.3) {
+                9.0
+            } else {
+                3.5
+            }
+        } else {
+            1.0
+        };
+
+        let pod_alloc_s = sample_lognormal(
+            base.pod_alloc_s * rf.pod_alloc * size_alloc * stretch * stage_mult,
+            sigma,
+            rng,
+        );
+        let deploy_code_s =
+            sample_lognormal(base.deploy_code_s * rf.deploy_code * size_code, sigma * 0.8, rng);
+        let deploy_dep_s = if has_dependencies {
+            sample_lognormal(base.deploy_dep_s * rf.deploy_dep * size_dep, sigma, rng)
+        } else {
+            0.0
+        };
+        let scheduling_s = sample_lognormal(
+            base.scheduling_s * rf.scheduling * size_sched * stretch,
+            sigma * 0.9,
+            rng,
+        );
+
+        ColdStartComponents {
+            pod_alloc_us: secs_to_us(pod_alloc_s),
+            deploy_code_us: secs_to_us(deploy_code_s),
+            deploy_dep_us: secs_to_us(deploy_dep_s),
+            scheduling_us: secs_to_us(scheduling_s),
+        }
+    }
+}
+
+/// Samples a LogNormal value whose median is `median` and whose log-space
+/// standard deviation is `sigma`.
+fn sample_lognormal(median: f64, sigma: f64, rng: &mut Xoshiro256pp) -> f64 {
+    if median <= 0.0 {
+        return 0.0;
+    }
+    (median.ln() + sigma * rng.standard_normal()).exp()
+}
+
+fn secs_to_us(secs: f64) -> u64 {
+    (secs.max(0.0) * 1e6).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_stats::Summary;
+
+    fn median_total(
+        model: &ColdStartLatencyModel,
+        runtime: Runtime,
+        size: SizeClass,
+        deps: bool,
+        load: f64,
+        seed: u64,
+        n: usize,
+    ) -> f64 {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut totals: Vec<f64> = (0..n)
+            .map(|_| model.sample(runtime, size, deps, load, &mut rng).total_secs())
+            .collect();
+        totals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        totals[n / 2]
+    }
+
+    #[test]
+    fn component_sum_equals_total() {
+        let model = ColdStartLatencyModel::new(RegionProfile::r2());
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = model.sample(Runtime::Python3, SizeClass::Small, true, 1.0, &mut rng);
+            assert_eq!(
+                c.total_us(),
+                c.pod_alloc_us + c.deploy_code_us + c.deploy_dep_us + c.scheduling_us
+            );
+            assert!(c.total_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn no_dependency_means_zero_dep_time() {
+        let model = ColdStartLatencyModel::new(RegionProfile::r1());
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = model.sample(Runtime::Python3, SizeClass::Small, false, 1.0, &mut rng);
+            assert_eq!(c.deploy_dep_us, 0);
+        }
+    }
+
+    #[test]
+    fn custom_and_http_are_pod_allocation_dominated_and_slow() {
+        let model = ColdStartLatencyModel::new(RegionProfile::r2());
+        for runtime in [Runtime::Custom, Runtime::Http] {
+            let med =
+                median_total(&model, runtime, SizeClass::Small, false, 1.0, 42, 600);
+            assert!(med > 5.0, "{runtime}: median {med}");
+            // Pod allocation dominates the total.
+            let mut rng = Xoshiro256pp::seed_from_u64(7);
+            let mut alloc = Summary::new();
+            let mut rest = Summary::new();
+            for _ in 0..400 {
+                let c = model.sample(runtime, SizeClass::Small, false, 1.0, &mut rng);
+                alloc.add(c.pod_alloc_us as f64);
+                rest.add((c.total_us() - c.pod_alloc_us) as f64);
+            }
+            assert!(alloc.mean() > 3.0 * rest.mean());
+        }
+        // Ordinary runtimes are far faster.
+        let py = median_total(&model, Runtime::Python3, SizeClass::Small, false, 1.0, 42, 600);
+        assert!(py < 2.0, "python median {py}");
+    }
+
+    #[test]
+    fn large_pods_are_slower_than_small_pods() {
+        for profile in [RegionProfile::r1(), RegionProfile::r2(), RegionProfile::r4()] {
+            let model = ColdStartLatencyModel::new(profile);
+            let small =
+                median_total(&model, Runtime::Python3, SizeClass::Small, true, 1.0, 9, 800);
+            let large =
+                median_total(&model, Runtime::Python3, SizeClass::Large, true, 1.0, 9, 800);
+            let ratio = large / small;
+            assert!(
+                (1.3..8.0).contains(&ratio),
+                "ratio {ratio} in {}",
+                model.profile().region
+            );
+        }
+    }
+
+    #[test]
+    fn region_component_dominance_matches_paper() {
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        // Region 1: dependency deployment + scheduling dominate.
+        let m1 = ColdStartLatencyModel::new(RegionProfile::r1());
+        let mut dep_sched = Summary::new();
+        let mut alloc = Summary::new();
+        for _ in 0..1000 {
+            let c = m1.sample(Runtime::Python3, SizeClass::Small, true, 1.0, &mut rng);
+            dep_sched.add((c.deploy_dep_us + c.scheduling_us) as f64);
+            alloc.add(c.pod_alloc_us as f64);
+        }
+        assert!(dep_sched.mean() > 2.0 * alloc.mean());
+
+        // Region 2: pod allocation dominates.
+        let m2 = ColdStartLatencyModel::new(RegionProfile::r2());
+        let mut alloc2 = Summary::new();
+        let mut others2 = Summary::new();
+        for _ in 0..1000 {
+            let c = m2.sample(Runtime::Python3, SizeClass::Small, true, 1.0, &mut rng);
+            alloc2.add(c.pod_alloc_us as f64);
+            others2.add((c.deploy_code_us + c.deploy_dep_us) as f64);
+        }
+        assert!(alloc2.mean() > others2.mean());
+
+        // Region 3 is much faster than Region 1 overall.
+        let m3 = ColdStartLatencyModel::new(RegionProfile::r3());
+        let r1_med = median_total(&m1, Runtime::Python3, SizeClass::Small, true, 1.0, 4, 600);
+        let r3_med = median_total(&m3, Runtime::Python3, SizeClass::Small, true, 1.0, 4, 600);
+        assert!(r1_med > 4.0 * r3_med, "r1 {r1_med} r3 {r3_med}");
+    }
+
+    #[test]
+    fn load_stretches_allocation_and_scheduling() {
+        let model = ColdStartLatencyModel::new(RegionProfile::r2());
+        let idle = median_total(&model, Runtime::Python3, SizeClass::Small, true, 0.5, 31, 800);
+        let peak = median_total(&model, Runtime::Python3, SizeClass::Small, true, 3.0, 31, 800);
+        assert!(peak > 1.3 * idle, "idle {idle} peak {peak}");
+    }
+
+    #[test]
+    fn go_pays_more_deployment_than_scheduling_relative_to_python() {
+        let model = ColdStartLatencyModel::new(RegionProfile::r2());
+        let mut rng = Xoshiro256pp::seed_from_u64(55);
+        let mut go_deploy = Summary::new();
+        let mut py_deploy = Summary::new();
+        for _ in 0..800 {
+            let g = model.sample(Runtime::Go1x, SizeClass::Small, true, 1.0, &mut rng);
+            let p = model.sample(Runtime::Python3, SizeClass::Small, true, 1.0, &mut rng);
+            go_deploy.add((g.deploy_code_us + g.deploy_dep_us) as f64);
+            py_deploy.add((p.deploy_code_us + p.deploy_dep_us) as f64);
+        }
+        assert!(go_deploy.mean() > 1.8 * py_deploy.mean());
+    }
+
+    #[test]
+    fn lognormal_sampler_edge_cases() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        assert_eq!(sample_lognormal(0.0, 1.0, &mut rng), 0.0);
+        assert_eq!(sample_lognormal(-1.0, 1.0, &mut rng), 0.0);
+        assert!(sample_lognormal(1.0, 0.5, &mut rng) > 0.0);
+        assert_eq!(secs_to_us(-1.0), 0);
+        assert_eq!(secs_to_us(1.5), 1_500_000);
+    }
+}

@@ -1,0 +1,48 @@
+//! Calibrated synthetic serverless workload and trace generation.
+//!
+//! The paper analyses 31 days of production telemetry from five Huawei Cloud
+//! regions. That trace is not reproducible outside the provider, so this
+//! crate builds the closest synthetic equivalent: a generator calibrated to
+//! every statistic the paper publishes —
+//!
+//! * region scales spanning several orders of magnitude (Figure 1),
+//! * heavy-tailed per-function request volumes with region-specific
+//!   high-load fractions (Figure 3a),
+//! * execution-time and CPU-usage distributions per region (Figures 3b, 3c),
+//! * functions-per-user and requests-per-user concentration (Figure 4),
+//! * diurnal and weekly periodicity with region-specific peak hours
+//!   (Figure 5) and a week-long holiday window (Figure 7),
+//! * the Region-2 runtime / trigger / resource-configuration mixes
+//!   (Figures 8 and 9),
+//! * cold-start duration and inter-arrival distributions compatible with the
+//!   paper's LogNormal / Weibull fits (Figure 10),
+//! * per-region cold-start component compositions (Figures 11–13) and
+//!   per-runtime / per-trigger compositions (Figures 15, 16).
+//!
+//! Two outputs are produced from the same function population:
+//!
+//! 1. [`synth::SyntheticTraceBuilder`] — a complete [`fntrace::Dataset`]
+//!    (request, cold-start, and function tables) generated directly by
+//!    applying the platform's keep-alive rule to the arrival streams; this is
+//!    what the characterization pipeline analyses.
+//! 2. [`simio::WorkloadSpec`] — the same arrivals packaged as input for the
+//!    `faas-platform` discrete-event simulator, used to evaluate the paper's
+//!    proposed mitigations (pre-warming, adaptive keep-alive, peak shaving,
+//!    cross-region scheduling).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod latency;
+pub mod population;
+pub mod profile;
+pub mod simio;
+pub mod synth;
+
+pub use arrivals::{ArrivalGenerator, FunctionArrivals};
+pub use latency::{ColdStartComponents, ColdStartLatencyModel};
+pub use population::{FunctionPopulation, FunctionSpec, PopulationConfig};
+pub use profile::{Calibration, HolidayResponse, RegionProfile};
+pub use simio::{WorkloadEvent, WorkloadSpec};
+pub use synth::{SyntheticTraceBuilder, TraceScale};

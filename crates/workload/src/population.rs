@@ -1,0 +1,659 @@
+//! Function population generation.
+//!
+//! Generates the set of functions deployed in a region: identifiers, owners,
+//! runtime languages, trigger types, resource configurations, request
+//! volumes, timer periods, diurnal behaviour, execution-time and resource
+//! usage parameters. The joint distributions are calibrated to the Region-2
+//! mixes of Figures 8 and 9 and the per-region load statistics of Figure 3.
+
+use serde::{Deserialize, Serialize};
+
+use faas_stats::rng::Xoshiro256pp;
+use fntrace::{FunctionId, ResourceConfig, Runtime, TriggerType, UserId};
+
+use crate::profile::{Calibration, RegionProfile};
+
+/// One generated function with all static attributes and rate parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// Function identifier (unique within the dataset).
+    pub function: FunctionId,
+    /// Owning user.
+    pub user: UserId,
+    /// Runtime language.
+    pub runtime: Runtime,
+    /// Trigger types (one for most functions, occasionally two).
+    pub triggers: Vec<TriggerType>,
+    /// CPU–memory configuration.
+    pub config: ResourceConfig,
+    /// Mean requests per day outside of modulation.
+    pub base_requests_per_day: f64,
+    /// Timer period in seconds for timer-triggered functions (0 otherwise).
+    pub timer_period_secs: f64,
+    /// Per-function diurnal amplitude in `[0, 1)`; 0 means a flat profile.
+    pub diurnal_amplitude: f64,
+    /// Peak-hour offset of this function relative to the region peak, hours.
+    pub peak_offset_hours: f64,
+    /// Median execution time in seconds.
+    pub median_execution_secs: f64,
+    /// Typical CPU usage in millicores.
+    pub cpu_millicores: f64,
+    /// Typical memory usage in bytes.
+    pub memory_bytes: u64,
+    /// Whether cold starts of this function deploy a dependency layer.
+    pub has_dependencies: bool,
+    /// How many requests one pod of this function can serve concurrently.
+    pub concurrency: u32,
+    /// For workflow-triggered functions, the upstream function whose
+    /// invocations precede this one in the call chain.
+    pub upstream: Option<FunctionId>,
+}
+
+impl FunctionSpec {
+    /// Primary trigger (first configured).
+    pub fn primary_trigger(&self) -> TriggerType {
+        self.triggers.first().copied().unwrap_or(TriggerType::Unknown)
+    }
+
+    /// Whether the function is timer-triggered.
+    pub fn is_timer(&self) -> bool {
+        self.triggers.contains(&TriggerType::Timer)
+    }
+
+    /// Expected total requests over a trace of the given length, ignoring
+    /// modulation (which averages close to 1).
+    pub fn expected_requests(&self, calibration: &Calibration) -> f64 {
+        self.base_requests_per_day * f64::from(calibration.duration_days)
+    }
+}
+
+/// Configuration for population generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// Scale factor applied to the profile's function count (1.0 keeps the
+    /// production count; tests and quick runs use much smaller values).
+    pub function_scale: f64,
+    /// Scale factor applied to per-function request volumes.
+    pub volume_scale: f64,
+    /// Cap on a single function's requests per day after scaling (keeps the
+    /// laptop-scale trace bounded even for the heaviest functions).
+    pub max_requests_per_day: f64,
+    /// Minimum number of functions regardless of scale.
+    pub min_functions: usize,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        Self {
+            function_scale: 0.05,
+            volume_scale: 1.0e-4,
+            max_requests_per_day: 200_000.0,
+            min_functions: 20,
+        }
+    }
+}
+
+/// The generated population of one region.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionPopulation {
+    /// Region the population belongs to.
+    pub profile: RegionProfile,
+    /// All generated functions.
+    pub functions: Vec<FunctionSpec>,
+}
+
+/// Function share of each runtime in the population (Region 2, Figure 8e).
+const RUNTIME_SHARES: [(Runtime, f64); 10] = [
+    (Runtime::Python3, 0.44),
+    (Runtime::NodeJs, 0.14),
+    (Runtime::Java, 0.12),
+    (Runtime::Http, 0.08),
+    (Runtime::Python2, 0.05),
+    (Runtime::Custom, 0.05),
+    (Runtime::Php73, 0.04),
+    (Runtime::Go1x, 0.03),
+    (Runtime::CSharp, 0.02),
+    (Runtime::Unknown, 0.03),
+];
+
+/// Resource-configuration shares (Figure 8f: small configurations dominate).
+const CONFIG_SHARES: [(ResourceConfig, f64); 5] = [
+    (ResourceConfig::SMALL_300_128, 0.45),
+    (ResourceConfig::MEDIUM_400_256, 0.20),
+    (ResourceConfig::LARGE_600_512, 0.15),
+    (ResourceConfig::XLARGE_1000_1024, 0.10),
+    (ResourceConfig::new(2000, 4096), 0.10),
+];
+
+/// Trigger mix per runtime (Figure 9): Python3 / PHP / Node.js are mostly
+/// timer-triggered, Java and HTTP mostly APIG-S, Custom mostly OBS, Python2
+/// has the largest share of other asynchronous triggers.
+fn trigger_weights(runtime: Runtime) -> [(TriggerType, f64); 7] {
+    use TriggerType::*;
+    match runtime {
+        Runtime::Python3 | Runtime::Php73 | Runtime::NodeJs => [
+            (Timer, 0.62),
+            (ApigSync, 0.16),
+            (Obs, 0.05),
+            (WorkflowSync, 0.06),
+            (Smn, 0.05),
+            (Kafka, 0.03),
+            (Unknown, 0.03),
+        ],
+        Runtime::Java | Runtime::Http => [
+            (Timer, 0.18),
+            (ApigSync, 0.55),
+            (Obs, 0.05),
+            (WorkflowSync, 0.12),
+            (Smn, 0.04),
+            (Kafka, 0.03),
+            (Unknown, 0.03),
+        ],
+        Runtime::Custom => [
+            (Timer, 0.10),
+            (ApigSync, 0.12),
+            (Obs, 0.55),
+            (WorkflowSync, 0.08),
+            (Smn, 0.06),
+            (Kafka, 0.05),
+            (Unknown, 0.04),
+        ],
+        Runtime::Python2 => [
+            (Timer, 0.35),
+            (ApigSync, 0.15),
+            (Obs, 0.10),
+            (WorkflowSync, 0.05),
+            (Smn, 0.15),
+            (Kafka, 0.12),
+            (Unknown, 0.08),
+        ],
+        Runtime::Go1x | Runtime::CSharp => [
+            (Timer, 0.35),
+            (ApigSync, 0.30),
+            (Obs, 0.08),
+            (WorkflowSync, 0.12),
+            (Smn, 0.06),
+            (Kafka, 0.05),
+            (Unknown, 0.04),
+        ],
+        Runtime::Unknown => [
+            (Timer, 0.30),
+            (ApigSync, 0.20),
+            (Obs, 0.08),
+            (WorkflowSync, 0.07),
+            (Smn, 0.07),
+            (Kafka, 0.08),
+            (Unknown, 0.20),
+        ],
+    }
+}
+
+/// Relative execution-time multiplier per runtime (compiled runtimes are
+/// faster per request; Custom images vary widely).
+fn execution_multiplier(runtime: Runtime) -> f64 {
+    match runtime {
+        Runtime::Go1x | Runtime::CSharp => 0.5,
+        Runtime::Java => 0.8,
+        Runtime::NodeJs => 0.9,
+        Runtime::Python3 | Runtime::Python2 | Runtime::Php73 => 1.2,
+        Runtime::Http => 0.7,
+        Runtime::Custom => 2.0,
+        Runtime::Unknown => 1.0,
+    }
+}
+
+/// Probability that a function of this runtime deploys a dependency layer on
+/// cold start.
+fn dependency_probability(runtime: Runtime) -> f64 {
+    match runtime {
+        Runtime::Go1x => 0.85,
+        Runtime::Java => 0.75,
+        Runtime::Python3 => 0.55,
+        Runtime::Python2 => 0.50,
+        Runtime::NodeJs => 0.55,
+        Runtime::Php73 => 0.40,
+        Runtime::CSharp => 0.55,
+        Runtime::Http => 0.20,
+        Runtime::Custom => 0.15,
+        Runtime::Unknown => 0.35,
+    }
+}
+
+/// Timer periods (seconds) and their selection weights. Most timers fire less
+/// often than the 60-second keep-alive, which is exactly the paper's
+/// explanation for the large number of timer cold starts (Figure 14).
+const TIMER_PERIODS: [(f64, f64); 8] = [
+    (60.0, 0.10),
+    (120.0, 0.18),
+    (300.0, 0.28),
+    (600.0, 0.16),
+    (900.0, 0.10),
+    (1800.0, 0.08),
+    (3600.0, 0.07),
+    (21600.0, 0.03),
+];
+
+impl FunctionPopulation {
+    /// Generates the population of one region.
+    ///
+    /// The generation is fully deterministic given the seed embedded in
+    /// `rng`; the same seed yields the same population.
+    pub fn generate(
+        profile: &RegionProfile,
+        calibration: &Calibration,
+        config: &PopulationConfig,
+        rng: &mut Xoshiro256pp,
+    ) -> FunctionPopulation {
+        let n_functions = ((profile.functions as f64 * config.function_scale).round() as usize)
+            .max(config.min_functions);
+
+        // Owner assignment: roughly 70 % of users own a single function; the
+        // remainder of the functions are concentrated on a smaller set of
+        // heavy owners, more so in regions with high user concentration.
+        let n_single_owner =
+            ((n_functions as f64) * (0.7 - 0.2 * profile.user_concentration)).round() as usize;
+        let n_heavy_users = ((n_functions as f64 * 0.06).ceil() as usize).max(1);
+
+        let region_offset = u64::from(profile.region.index()) << 48;
+        let mut functions = Vec::with_capacity(n_functions);
+        let mut apig_functions: Vec<FunctionId> = Vec::new();
+
+        for i in 0..n_functions {
+            let function = FunctionId::new(region_offset | (i as u64 + 1));
+            let user = if i < n_single_owner {
+                UserId::new(region_offset | (i as u64 + 1))
+            } else {
+                // Heavy users are reused across many functions.
+                let heavy = rng.uniform_usize(n_heavy_users) as u64;
+                UserId::new(region_offset | (1_000_000 + heavy))
+            };
+
+            let runtime = sample_runtime(rng);
+            let trigger = sample_trigger(runtime, rng);
+            let mut triggers = vec![trigger];
+            // A handful of functions have a second trigger (the paper calls
+            // out APIG-S + TIMER as the most common combination).
+            if trigger == TriggerType::ApigSync && rng.bernoulli(0.13) {
+                triggers.push(TriggerType::Timer);
+            }
+
+            let config_choice = sample_config(runtime, rng);
+
+            // Request volume.
+            let (base_rpd, timer_period) = sample_volume(profile, config, trigger, rng);
+
+            // Diurnal behaviour: user-driven triggers oscillate; timers are
+            // flat (Figure 8a: timer pods barely vary over the day).
+            let diurnal_amplitude = match trigger {
+                TriggerType::Timer => 0.0,
+                TriggerType::ApigSync | TriggerType::WorkflowSync => {
+                    (0.35 + 0.63 * rng.next_f64()).min(0.98)
+                }
+                TriggerType::Obs => (0.3 + 0.6 * rng.next_f64()).min(0.95),
+                _ => 0.7 * rng.next_f64(),
+            };
+            let peak_offset_hours = rng.normal(0.0, 1.5).clamp(-6.0, 6.0);
+
+            // Execution time and resource usage.
+            let exec_jitter = (rng.normal(0.0, 0.9)).exp();
+            let median_execution_secs = (profile.median_execution_time_s
+                * execution_multiplier(runtime)
+                * exec_jitter)
+                .clamp(0.0005, 300.0);
+            let cpu_jitter = (rng.normal(0.0, 0.5)).exp();
+            let cpu_millicores = (profile.median_cpu_cores * 1000.0 * cpu_jitter)
+                .clamp(10.0, config_choice.millicores as f64);
+            let mem_fraction = 0.2 + 0.6 * rng.next_f64();
+            let memory_bytes =
+                ((config_choice.memory_mb as f64) * mem_fraction * 1024.0 * 1024.0) as u64;
+
+            let has_dependencies = rng.bernoulli(dependency_probability(runtime));
+            let concurrency = if rng.bernoulli(0.15) {
+                2 + rng.uniform_usize(9) as u32
+            } else {
+                1
+            };
+
+            let upstream = if trigger == TriggerType::WorkflowSync && !apig_functions.is_empty() {
+                rng.choose(&apig_functions).copied()
+            } else {
+                None
+            };
+            if trigger == TriggerType::ApigSync {
+                apig_functions.push(function);
+            }
+
+            functions.push(FunctionSpec {
+                function,
+                user,
+                runtime,
+                triggers,
+                config: config_choice,
+                base_requests_per_day: base_rpd,
+                timer_period_secs: timer_period,
+                diurnal_amplitude,
+                peak_offset_hours,
+                median_execution_secs,
+                cpu_millicores,
+                memory_bytes,
+                has_dependencies,
+                concurrency,
+                upstream,
+            });
+        }
+
+        let _ = calibration;
+        FunctionPopulation {
+            profile: profile.clone(),
+            functions,
+        }
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+
+    /// Fraction of functions whose primary trigger is a timer.
+    pub fn timer_fraction(&self) -> f64 {
+        if self.functions.is_empty() {
+            return 0.0;
+        }
+        self.functions
+            .iter()
+            .filter(|f| f.primary_trigger() == TriggerType::Timer)
+            .count() as f64
+            / self.functions.len() as f64
+    }
+
+    /// Expected total requests over the trace (sum of per-function volumes).
+    pub fn expected_total_requests(&self, calibration: &Calibration) -> f64 {
+        self.functions
+            .iter()
+            .map(|f| f.expected_requests(calibration))
+            .sum()
+    }
+}
+
+fn sample_runtime(rng: &mut Xoshiro256pp) -> Runtime {
+    let weights: Vec<f64> = RUNTIME_SHARES.iter().map(|(_, w)| *w).collect();
+    let idx = rng.categorical(&weights).unwrap_or(0);
+    RUNTIME_SHARES[idx].0
+}
+
+fn sample_trigger(runtime: Runtime, rng: &mut Xoshiro256pp) -> TriggerType {
+    let table = trigger_weights(runtime);
+    let weights: Vec<f64> = table.iter().map(|(_, w)| *w).collect();
+    let idx = rng.categorical(&weights).unwrap_or(0);
+    table[idx].0
+}
+
+fn sample_config(runtime: Runtime, rng: &mut Xoshiro256pp) -> ResourceConfig {
+    let mut weights: Vec<f64> = CONFIG_SHARES.iter().map(|(_, w)| *w).collect();
+    // Java and Custom functions skew towards larger configurations.
+    if matches!(runtime, Runtime::Java | Runtime::Custom) {
+        weights[0] *= 0.5;
+        weights[3] *= 2.0;
+        weights[4] *= 2.0;
+    }
+    let idx = rng.categorical(&weights).unwrap_or(0);
+    CONFIG_SHARES[idx].0
+}
+
+/// Samples a function's base request volume (requests per day) and, for
+/// timers, the timer period. The split between low-load and high-load
+/// functions follows the region's `high_load_fraction` so the per-region
+/// requests-per-day CDFs of Figure 3a keep their shape.
+fn sample_volume(
+    profile: &RegionProfile,
+    config: &PopulationConfig,
+    trigger: TriggerType,
+    rng: &mut Xoshiro256pp,
+) -> (f64, f64) {
+    const HIGH_LOAD_RPD: f64 = 1440.0; // One request per minute.
+    if trigger == TriggerType::Timer {
+        let weights: Vec<f64> = TIMER_PERIODS.iter().map(|(_, w)| *w).collect();
+        let idx = rng.categorical(&weights).unwrap_or(0);
+        let period = TIMER_PERIODS[idx].0;
+        return (86_400.0 / period, period);
+    }
+    let volume = if rng.bernoulli(profile.high_load_fraction) {
+        // Log-uniform between one request per minute and the per-function cap.
+        let max_rpd = (profile.mean_requests_per_function_per_day(&Calibration::default())
+            * 50.0
+            * config.volume_scale.max(1e-9))
+        .max(HIGH_LOAD_RPD * 4.0)
+        .min(config.max_requests_per_day);
+        let lo = HIGH_LOAD_RPD.ln();
+        let hi = max_rpd.max(HIGH_LOAD_RPD * 2.0).ln();
+        (lo + (hi - lo) * rng.next_f64()).exp()
+    } else {
+        // Low-load functions: between a handful of requests per day and one
+        // per minute, log-uniformly.
+        let lo = 2.0f64.ln();
+        let hi = HIGH_LOAD_RPD.ln();
+        (lo + (hi - lo) * rng.next_f64()).exp()
+    };
+    (volume.min(config.max_requests_per_day), 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fntrace::TriggerGroup;
+
+    fn generate_r2(n_scale: f64, seed: u64) -> FunctionPopulation {
+        let profile = RegionProfile::r2();
+        let calibration = Calibration::default();
+        let config = PopulationConfig {
+            function_scale: n_scale,
+            ..PopulationConfig::default()
+        };
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        FunctionPopulation::generate(&profile, &calibration, &config, &mut rng)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_r2(0.05, 7);
+        let b = generate_r2(0.05, 7);
+        assert_eq!(a.functions.len(), b.functions.len());
+        assert_eq!(a.functions[0], b.functions[0]);
+        let c = generate_r2(0.05, 8);
+        assert_ne!(a.functions[0].base_requests_per_day, c.functions[0].base_requests_per_day);
+    }
+
+    #[test]
+    fn population_size_scales() {
+        let small = generate_r2(0.01, 1);
+        let large = generate_r2(0.2, 1);
+        assert!(large.len() > 5 * small.len());
+        assert!(small.len() >= PopulationConfig::default().min_functions);
+        assert!(!small.is_empty());
+    }
+
+    #[test]
+    fn timer_share_matches_calibration() {
+        let pop = generate_r2(0.5, 3);
+        let timer_fraction = pop.timer_fraction();
+        // Figure 8d: timers are the majority of functions (around 55-60 %).
+        assert!(
+            (0.40..0.70).contains(&timer_fraction),
+            "timer fraction {timer_fraction}"
+        );
+    }
+
+    #[test]
+    fn runtime_mix_is_python_heavy() {
+        let pop = generate_r2(0.5, 11);
+        let python = pop
+            .functions
+            .iter()
+            .filter(|f| f.runtime == Runtime::Python3)
+            .count() as f64
+            / pop.len() as f64;
+        assert!((0.3..0.6).contains(&python), "python share {python}");
+    }
+
+    #[test]
+    fn small_configs_dominate() {
+        let pop = generate_r2(0.5, 13);
+        let small = pop
+            .functions
+            .iter()
+            .filter(|f| f.config.size_class() == fntrace::SizeClass::Small)
+            .count() as f64
+            / pop.len() as f64;
+        assert!(small > 0.5, "small share {small}");
+    }
+
+    #[test]
+    fn timers_have_periods_and_flat_profiles() {
+        let pop = generate_r2(0.3, 17);
+        for f in &pop.functions {
+            if f.is_timer() && f.primary_trigger() == TriggerType::Timer {
+                assert!(f.timer_period_secs >= 60.0);
+                assert_eq!(f.diurnal_amplitude, 0.0);
+                // Volume is consistent with the period.
+                let expected = 86_400.0 / f.timer_period_secs;
+                assert!((f.base_requests_per_day - expected).abs() < 1e-9);
+            } else {
+                assert!(f.base_requests_per_day > 0.0);
+            }
+            assert!(f.median_execution_secs > 0.0);
+            assert!(f.cpu_millicores > 0.0);
+            assert!(f.concurrency >= 1);
+        }
+    }
+
+    #[test]
+    fn most_timers_fire_less_often_than_keep_alive() {
+        let pop = generate_r2(0.5, 19);
+        let timers: Vec<_> = pop
+            .functions
+            .iter()
+            .filter(|f| f.primary_trigger() == TriggerType::Timer)
+            .collect();
+        assert!(!timers.is_empty());
+        let slow = timers
+            .iter()
+            .filter(|f| f.timer_period_secs > 60.0)
+            .count() as f64
+            / timers.len() as f64;
+        assert!(slow > 0.7, "slow timer share {slow}");
+    }
+
+    #[test]
+    fn high_load_fraction_differs_between_r1_and_r4() {
+        let calibration = Calibration::default();
+        let config = PopulationConfig {
+            function_scale: 0.3,
+            ..PopulationConfig::default()
+        };
+        let frac_high = |profile: &RegionProfile, seed: u64| {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let pop = FunctionPopulation::generate(profile, &calibration, &config, &mut rng);
+            // Exclude timers: the high-load split applies to user-driven load.
+            let non_timer: Vec<_> = pop
+                .functions
+                .iter()
+                .filter(|f| f.primary_trigger() != TriggerType::Timer)
+                .collect();
+            non_timer
+                .iter()
+                .filter(|f| f.base_requests_per_day >= 1440.0)
+                .count() as f64
+                / non_timer.len().max(1) as f64
+        };
+        let r1 = frac_high(&RegionProfile::r1(), 23);
+        let r4 = frac_high(&RegionProfile::r4(), 23);
+        assert!(r1 > 3.0 * r4, "r1 {r1} r4 {r4}");
+    }
+
+    #[test]
+    fn workflow_functions_reference_upstreams() {
+        let pop = generate_r2(0.5, 29);
+        let workflows: Vec<_> = pop
+            .functions
+            .iter()
+            .filter(|f| f.primary_trigger() == TriggerType::WorkflowSync)
+            .collect();
+        assert!(!workflows.is_empty());
+        let with_upstream = workflows.iter().filter(|f| f.upstream.is_some()).count();
+        assert!(with_upstream as f64 / workflows.len() as f64 > 0.5);
+        // Upstream functions exist in the population and are APIG-triggered.
+        for w in &workflows {
+            if let Some(up) = w.upstream {
+                let upstream = pop.functions.iter().find(|f| f.function == up).unwrap();
+                assert_eq!(upstream.primary_trigger(), TriggerType::ApigSync);
+            }
+        }
+    }
+
+    #[test]
+    fn users_are_concentrated() {
+        let pop = generate_r2(0.5, 31);
+        let mut per_user = std::collections::HashMap::new();
+        for f in &pop.functions {
+            *per_user.entry(f.user).or_insert(0u64) += 1;
+        }
+        let single = per_user.values().filter(|&&c| c == 1).count() as f64
+            / per_user.len() as f64;
+        // Figure 4a: 60-90 % of users own a single function.
+        assert!((0.5..0.95).contains(&single), "single-function users {single}");
+        let max = per_user.values().max().copied().unwrap_or(0);
+        assert!(max > 3, "largest user owns {max} functions");
+    }
+
+    #[test]
+    fn obs_triggers_concentrate_on_custom_runtime() {
+        let pop = generate_r2(1.0, 37);
+        let custom_obs = pop
+            .functions
+            .iter()
+            .filter(|f| f.runtime == Runtime::Custom)
+            .filter(|f| f.primary_trigger() == TriggerType::Obs)
+            .count() as f64;
+        let custom_total = pop
+            .functions
+            .iter()
+            .filter(|f| f.runtime == Runtime::Custom)
+            .count() as f64;
+        assert!(custom_total > 0.0);
+        // Figure 9: OBS is the most common known trigger for Custom runtimes.
+        assert!(custom_obs / custom_total > 0.35);
+    }
+
+    #[test]
+    fn trigger_groups_cover_paper_categories() {
+        let pop = generate_r2(1.0, 41);
+        let mut groups = std::collections::HashSet::new();
+        for f in &pop.functions {
+            groups.insert(f.primary_trigger().group());
+        }
+        for g in [
+            TriggerGroup::TimerA,
+            TriggerGroup::ApigS,
+            TriggerGroup::ObsA,
+            TriggerGroup::WorkflowS,
+            TriggerGroup::OtherA,
+        ] {
+            assert!(groups.contains(&g), "missing group {g}");
+        }
+    }
+
+    #[test]
+    fn expected_requests_accumulate() {
+        let pop = generate_r2(0.1, 43);
+        let calibration = Calibration::default();
+        let total = pop.expected_total_requests(&calibration);
+        assert!(total > 0.0);
+        let per_fn: f64 = pop.functions[0].expected_requests(&calibration);
+        assert!(per_fn > 0.0);
+    }
+}

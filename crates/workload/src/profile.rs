@@ -1,0 +1,465 @@
+//! Region profiles and trace calibration.
+//!
+//! A [`RegionProfile`] packages every region-specific constant the paper
+//! reports: scale (number of functions and request volume), load intensity
+//! (fraction of functions above one request per minute), execution time and
+//! CPU medians, peak phase, holiday response, and the cold-start component
+//! base latencies that drive Figures 11–13.
+//!
+//! The numbers are calibrated from the published plots, not copied from any
+//! raw data: only orders of magnitude and ratios matter for reproducing the
+//! figures' shapes.
+
+use serde::{Deserialize, Serialize};
+
+use fntrace::RegionId;
+
+/// How a region's workload reacts to the week-long holiday (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HolidayResponse {
+    /// Load peaks on the last working day, dips through the holiday, and
+    /// rebounds to another peak on the first working day (Regions 1, 2, 4, 5).
+    DipWithCatchUp,
+    /// Load increases substantially at the start of the holiday and falls
+    /// back towards its end (Region 3).
+    Surge,
+}
+
+/// Calibration shared by all regions: trace duration and holiday window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Trace duration in days (the paper's dataset spans 31 days).
+    pub duration_days: u32,
+    /// First day (0-based) of the holiday; day 13 is the last working day.
+    pub holiday_start_day: u32,
+    /// First working day after the holiday (day 24 in the paper).
+    pub holiday_end_day: u32,
+    /// Pod keep-alive time in seconds (one minute by default on the platform).
+    pub keep_alive_secs: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self {
+            duration_days: 31,
+            holiday_start_day: 14,
+            holiday_end_day: 24,
+            keep_alive_secs: 60.0,
+        }
+    }
+}
+
+impl Calibration {
+    /// Whether the given (0-based) day falls inside the holiday window.
+    pub fn is_holiday(&self, day: u32) -> bool {
+        day >= self.holiday_start_day && day < self.holiday_end_day
+    }
+
+    /// Whether the given day is a weekend day (days 5 and 6 of each week,
+    /// with day 0 taken as a Monday).
+    pub fn is_weekend(&self, day: u32) -> bool {
+        matches!(day % 7, 5 | 6)
+    }
+
+    /// Trace duration in milliseconds.
+    pub fn duration_ms(&self) -> u64 {
+        u64::from(self.duration_days) * fntrace::MILLIS_PER_DAY
+    }
+}
+
+/// Per-component base medians (in seconds) for cold starts in a region,
+/// before runtime / size / load multipliers are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentBase {
+    /// Median pod allocation time in seconds.
+    pub pod_alloc_s: f64,
+    /// Median code deployment time in seconds.
+    pub deploy_code_s: f64,
+    /// Median dependency deployment time in seconds (for functions that have
+    /// dependency layers).
+    pub deploy_dep_s: f64,
+    /// Median scheduling overhead in seconds.
+    pub scheduling_s: f64,
+}
+
+impl ComponentBase {
+    /// Sum of the component medians (a rough median total cold-start time).
+    pub fn total_s(&self) -> f64 {
+        self.pod_alloc_s + self.deploy_code_s + self.deploy_dep_s + self.scheduling_s
+    }
+}
+
+/// Everything region-specific needed to generate that region's trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionProfile {
+    /// Region identifier (R1..R5).
+    pub region: RegionId,
+    /// Number of functions deployed in the region at production scale.
+    pub functions: u64,
+    /// Total requests over the full trace at production scale.
+    pub total_requests: u64,
+    /// Distinct pods over the full trace at production scale (Figure 1).
+    pub total_pods: u64,
+    /// Fraction of functions averaging at least one request per minute
+    /// (about 0.20 for Region 1 versus 0.01 for Region 4, Figure 3a).
+    pub high_load_fraction: f64,
+    /// Median request execution time in seconds (4 ms in R5 to 100 ms in R1).
+    pub median_execution_time_s: f64,
+    /// Median per-request CPU usage in cores (about 0.1 to 0.3).
+    pub median_cpu_cores: f64,
+    /// Hour of day (0–23) of the region's main daily peak (regions peak at
+    /// different times, Figure 5).
+    pub peak_hour: f64,
+    /// Strength of the diurnal oscillation at the platform level
+    /// (0 = flat, 1 = peak-to-trough of roughly an order of magnitude).
+    pub diurnal_strength: f64,
+    /// Ratio of weekday to weekend load (about 1.3 in the paper).
+    pub weekday_weekend_ratio: f64,
+    /// Holiday behaviour.
+    pub holiday_response: HolidayResponse,
+    /// Load multiplier applied during the holiday (below 1 for dips).
+    pub holiday_level: f64,
+    /// Extra multiplier on the last working day before and the first working
+    /// day after the holiday (the pre-holiday rush / post-holiday catch-up).
+    pub holiday_edge_boost: f64,
+    /// Base medians of the four cold-start components in seconds.
+    pub component_base: ComponentBase,
+    /// Log-space sigma of the component LogNormals (tail heaviness).
+    pub component_sigma: f64,
+    /// How strongly pod-allocation and scheduling times react to load
+    /// (0 = not at all; 1 = proportional to the diurnal swing). Produces the
+    /// positive correlation between cold-start time and cold-start count.
+    pub load_sensitivity: f64,
+    /// Fraction of functions owned by "large" users who own many functions.
+    pub user_concentration: f64,
+}
+
+impl RegionProfile {
+    /// The five calibrated regions of the paper, in order R1..R5.
+    pub fn paper_regions() -> Vec<RegionProfile> {
+        vec![
+            RegionProfile::r1(),
+            RegionProfile::r2(),
+            RegionProfile::r3(),
+            RegionProfile::r4(),
+            RegionProfile::r5(),
+        ]
+    }
+
+    /// Region 1: the most loaded region. Long cold starts (up to ~7 s mean)
+    /// dominated by dependency deployment and scheduling; ~20 % of functions
+    /// receive at least one request per minute; 100 ms median execution time.
+    pub fn r1() -> RegionProfile {
+        RegionProfile {
+            region: RegionId::new(1),
+            functions: 4_000,
+            total_requests: 60_000_000_000,
+            total_pods: 320_000,
+            high_load_fraction: 0.20,
+            median_execution_time_s: 0.100,
+            median_cpu_cores: 0.30,
+            peak_hour: 10.0,
+            diurnal_strength: 0.75,
+            weekday_weekend_ratio: 1.3,
+            holiday_response: HolidayResponse::DipWithCatchUp,
+            holiday_level: 0.55,
+            holiday_edge_boost: 1.35,
+            component_base: ComponentBase {
+                pod_alloc_s: 0.25,
+                deploy_code_s: 0.30,
+                deploy_dep_s: 1.10,
+                scheduling_s: 0.90,
+            },
+            component_sigma: 0.85,
+            load_sensitivity: 0.9,
+            user_concentration: 0.3,
+        }
+    }
+
+    /// Region 2: the region studied in depth in Section 4.3 onwards. Cold
+    /// starts up to ~3 s dominated by pod allocation time.
+    pub fn r2() -> RegionProfile {
+        RegionProfile {
+            region: RegionId::new(2),
+            functions: 6_000,
+            total_requests: 12_000_000_000,
+            total_pods: 800_000,
+            high_load_fraction: 0.10,
+            median_execution_time_s: 0.030,
+            median_cpu_cores: 0.20,
+            peak_hour: 14.0,
+            diurnal_strength: 0.65,
+            weekday_weekend_ratio: 1.3,
+            holiday_response: HolidayResponse::DipWithCatchUp,
+            holiday_level: 0.60,
+            holiday_edge_boost: 1.40,
+            component_base: ComponentBase {
+                pod_alloc_s: 0.55,
+                deploy_code_s: 0.12,
+                deploy_dep_s: 0.10,
+                scheduling_s: 0.25,
+            },
+            component_sigma: 0.95,
+            load_sensitivity: 0.95,
+            user_concentration: 0.25,
+        }
+    }
+
+    /// Region 3: the fastest region (mean cold starts below ~0.3 s) with the
+    /// unusual holiday surge.
+    pub fn r3() -> RegionProfile {
+        RegionProfile {
+            region: RegionId::new(3),
+            functions: 800,
+            total_requests: 900_000_000,
+            total_pods: 1_600_000,
+            high_load_fraction: 0.05,
+            median_execution_time_s: 0.015,
+            median_cpu_cores: 0.10,
+            peak_hour: 20.0,
+            diurnal_strength: 0.5,
+            weekday_weekend_ratio: 1.25,
+            holiday_response: HolidayResponse::Surge,
+            holiday_level: 1.45,
+            holiday_edge_boost: 1.05,
+            component_base: ComponentBase {
+                pod_alloc_s: 0.03,
+                deploy_code_s: 0.04,
+                deploy_dep_s: 0.05,
+                scheduling_s: 0.09,
+            },
+            component_sigma: 0.8,
+            load_sensitivity: 0.6,
+            user_concentration: 0.5,
+        }
+    }
+
+    /// Region 4: many functions with low load (~1 % above one request per
+    /// minute).
+    pub fn r4() -> RegionProfile {
+        RegionProfile {
+            region: RegionId::new(4),
+            functions: 9_000,
+            total_requests: 3_000_000_000,
+            total_pods: 2_100_000,
+            high_load_fraction: 0.01,
+            median_execution_time_s: 0.020,
+            median_cpu_cores: 0.15,
+            peak_hour: 17.0,
+            diurnal_strength: 0.55,
+            weekday_weekend_ratio: 1.3,
+            holiday_response: HolidayResponse::DipWithCatchUp,
+            holiday_level: 0.65,
+            holiday_edge_boost: 1.30,
+            component_base: ComponentBase {
+                pod_alloc_s: 0.45,
+                deploy_code_s: 0.10,
+                deploy_dep_s: 0.20,
+                scheduling_s: 0.30,
+            },
+            component_sigma: 0.9,
+            load_sensitivity: 0.85,
+            user_concentration: 0.2,
+        }
+    }
+
+    /// Region 5: smallest function count, fastest median execution (4 ms).
+    pub fn r5() -> RegionProfile {
+        RegionProfile {
+            region: RegionId::new(5),
+            functions: 300,
+            total_requests: 250_000_000,
+            total_pods: 7_000_000,
+            high_load_fraction: 0.08,
+            median_execution_time_s: 0.004,
+            median_cpu_cores: 0.12,
+            peak_hour: 2.0,
+            diurnal_strength: 0.45,
+            weekday_weekend_ratio: 1.25,
+            holiday_response: HolidayResponse::DipWithCatchUp,
+            holiday_level: 0.70,
+            holiday_edge_boost: 1.20,
+            component_base: ComponentBase {
+                pod_alloc_s: 0.10,
+                deploy_code_s: 0.07,
+                deploy_dep_s: 0.25,
+                scheduling_s: 0.20,
+            },
+            component_sigma: 0.85,
+            load_sensitivity: 0.5,
+            user_concentration: 0.6,
+        }
+    }
+
+    /// Looks up a paper region by 1-based index (1..=5).
+    pub fn paper_region(index: u16) -> Option<RegionProfile> {
+        match index {
+            1 => Some(Self::r1()),
+            2 => Some(Self::r2()),
+            3 => Some(Self::r3()),
+            4 => Some(Self::r4()),
+            5 => Some(Self::r5()),
+            _ => None,
+        }
+    }
+
+    /// Average requests per function per day at production scale.
+    pub fn mean_requests_per_function_per_day(&self, calibration: &Calibration) -> f64 {
+        if self.functions == 0 || calibration.duration_days == 0 {
+            return 0.0;
+        }
+        self.total_requests as f64
+            / self.functions as f64
+            / f64::from(calibration.duration_days)
+    }
+
+    /// Relative load multiplier for a given time of day, day of week, and
+    /// holiday status. The multiplier averages roughly 1.0 over a working
+    /// week so that total volumes stay calibrated.
+    pub fn load_multiplier(&self, calibration: &Calibration, day: u32, hour_of_day: f64) -> f64 {
+        // Diurnal component: raised cosine centred on the peak hour.
+        let phase = (hour_of_day - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let diurnal = 1.0 + self.diurnal_strength * phase.cos();
+        // Weekly component.
+        let weekly = if calibration.is_weekend(day) {
+            1.0 / self.weekday_weekend_ratio
+        } else {
+            1.0
+        };
+        // Holiday component.
+        let holiday = if calibration.is_holiday(day) {
+            self.holiday_level
+        } else if day + 1 == calibration.holiday_start_day || day == calibration.holiday_end_day {
+            // Last working day before / first working day after the holiday.
+            self.holiday_edge_boost
+        } else {
+            1.0
+        };
+        (diurnal * weekly * holiday).max(0.01)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_defaults_match_paper() {
+        let c = Calibration::default();
+        assert_eq!(c.duration_days, 31);
+        assert!(c.is_holiday(14));
+        assert!(c.is_holiday(23));
+        assert!(!c.is_holiday(13));
+        assert!(!c.is_holiday(24));
+        assert!(c.is_weekend(5));
+        assert!(c.is_weekend(6));
+        assert!(!c.is_weekend(0));
+        assert_eq!(c.duration_ms(), 31 * fntrace::MILLIS_PER_DAY);
+        assert_eq!(c.keep_alive_secs, 60.0);
+    }
+
+    #[test]
+    fn five_paper_regions_with_distinct_scales() {
+        let regions = RegionProfile::paper_regions();
+        assert_eq!(regions.len(), 5);
+        for (i, r) in regions.iter().enumerate() {
+            assert_eq!(r.region.index() as usize, i + 1);
+            assert!(r.functions > 0);
+            assert!(r.total_requests > 0);
+            assert!(r.high_load_fraction > 0.0 && r.high_load_fraction < 1.0);
+        }
+        // Requests span more than two orders of magnitude across regions.
+        let max = regions.iter().map(|r| r.total_requests).max().unwrap();
+        let min = regions.iter().map(|r| r.total_requests).min().unwrap();
+        assert!(max / min > 100);
+        // R1 is the most loaded per function, R4 the least.
+        assert!(regions[0].high_load_fraction > regions[3].high_load_fraction * 10.0);
+        // Execution time medians differ by more than an order of magnitude.
+        assert!(
+            regions[0].median_execution_time_s / regions[4].median_execution_time_s > 10.0
+        );
+    }
+
+    #[test]
+    fn paper_region_lookup() {
+        assert!(RegionProfile::paper_region(0).is_none());
+        assert!(RegionProfile::paper_region(6).is_none());
+        assert_eq!(
+            RegionProfile::paper_region(2).unwrap().region,
+            RegionId::new(2)
+        );
+    }
+
+    #[test]
+    fn region_component_mixes_match_paper_shape() {
+        let r1 = RegionProfile::r1();
+        let r2 = RegionProfile::r2();
+        let r3 = RegionProfile::r3();
+        // R1 dominated by dependency deployment + scheduling.
+        assert!(
+            r1.component_base.deploy_dep_s + r1.component_base.scheduling_s
+                > 2.0 * r1.component_base.pod_alloc_s
+        );
+        // R2 dominated by pod allocation.
+        assert!(r2.component_base.pod_alloc_s > r2.component_base.deploy_dep_s);
+        assert!(r2.component_base.pod_alloc_s > r2.component_base.scheduling_s);
+        // R3 is much faster overall than R1.
+        assert!(r1.component_base.total_s() > 5.0 * r3.component_base.total_s());
+    }
+
+    #[test]
+    fn load_multiplier_peaks_at_peak_hour() {
+        let c = Calibration::default();
+        let r = RegionProfile::r1();
+        let at_peak = r.load_multiplier(&c, 0, r.peak_hour);
+        let off_peak = r.load_multiplier(&c, 0, r.peak_hour + 12.0);
+        assert!(at_peak > 1.5 * off_peak);
+        // Weekend load is lower than weekday load at the same hour.
+        let weekday = r.load_multiplier(&c, 1, 10.0);
+        let weekend = r.load_multiplier(&c, 5, 10.0);
+        assert!(weekday > weekend);
+        // Multiplier never collapses to zero.
+        for h in 0..24 {
+            assert!(r.load_multiplier(&c, 20, h as f64) > 0.0);
+        }
+    }
+
+    #[test]
+    fn holiday_effects_differ_by_response() {
+        let c = Calibration::default();
+        let dip = RegionProfile::r1();
+        let surge = RegionProfile::r3();
+        let normal_day = 7u32; // Monday of week 2.
+        let holiday_day = 16u32;
+        let hour = 12.0;
+        assert!(
+            dip.load_multiplier(&c, holiday_day, hour)
+                < dip.load_multiplier(&c, normal_day, hour)
+        );
+        assert!(
+            surge.load_multiplier(&c, holiday_day, hour)
+                > surge.load_multiplier(&c, normal_day, hour)
+        );
+        // Pre-holiday rush: day 13 busier than a plain weekday.
+        assert!(
+            dip.load_multiplier(&c, 13, hour) > dip.load_multiplier(&c, normal_day, hour)
+        );
+        // Post-holiday catch-up on day 24.
+        assert!(
+            dip.load_multiplier(&c, 24, hour) > dip.load_multiplier(&c, normal_day, hour)
+        );
+    }
+
+    #[test]
+    fn mean_requests_per_function_per_day() {
+        let c = Calibration::default();
+        let r = RegionProfile::r1();
+        let mean = r.mean_requests_per_function_per_day(&c);
+        assert!(mean > 100_000.0, "mean {mean}");
+        let degenerate = RegionProfile {
+            functions: 0,
+            ..RegionProfile::r5()
+        };
+        assert_eq!(degenerate.mean_requests_per_function_per_day(&c), 0.0);
+    }
+}

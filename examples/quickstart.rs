@@ -1,0 +1,57 @@
+//! Quickstart: generate a small single-region trace and characterize it.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use coldstarts::pipeline::CharacterizationPipeline;
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::{SyntheticTraceBuilder, TraceScale};
+use fntrace::RegionId;
+
+fn main() {
+    // A 7-day Region-2 trace at tiny scale generates in a couple of seconds.
+    let calibration = Calibration {
+        duration_days: 7,
+        ..Calibration::default()
+    };
+    let dataset = SyntheticTraceBuilder::new()
+        .with_regions(vec![RegionProfile::r2()])
+        .with_scale(TraceScale::tiny())
+        .with_calibration(calibration)
+        .with_seed(42)
+        .build();
+
+    println!(
+        "generated {} requests and {} cold starts across {} region(s)\n",
+        dataset.total_requests(),
+        dataset.total_cold_starts(),
+        dataset.region_count()
+    );
+
+    let report = CharacterizationPipeline::new()
+        .with_calibration(calibration)
+        .with_region_of_interest(RegionId::new(2))
+        .analyze(&dataset);
+
+    // Headline numbers: cold-start distribution fit and the timer effect.
+    let fit = &report.distributions.overall_fit;
+    println!(
+        "cold-start durations: LogNormal fit mean {:.2}s std {:.2}s over {} cold starts",
+        fit.fitted_mean, fit.fitted_std, fit.sample_count
+    );
+    if let Some(attribution) = &report.attribution {
+        println!(
+            "functions whose every invocation is a cold start: {:.0}%",
+            100.0 * attribution.diagonal_fraction()
+        );
+    }
+    if let Some(utility) = &report.utility {
+        println!(
+            "pod utility ratio: median {:.2}, {:.0}% of pods below 1",
+            utility.overall.ratio.p50,
+            100.0 * utility.overall.below_one_fraction
+        );
+    }
+    println!("\nfull report:\n{}", report.render());
+}

@@ -1,0 +1,54 @@
+//! Multi-region trace characterization, the scenario the paper's evaluation
+//! is built around: generate all five regions for a full month (at laptop
+//! scale), run the complete analysis, and export the trace as CSV files in
+//! the public data-release layout.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis -- [days] [output-dir]
+//! ```
+
+use std::path::PathBuf;
+
+use coldstarts::pipeline::CharacterizationPipeline;
+use faas_workload::profile::Calibration;
+use faas_workload::{SyntheticTraceBuilder, TraceScale};
+use fntrace::RegionId;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let days: u32 = args
+        .next()
+        .and_then(|d| d.parse().ok())
+        .unwrap_or(14);
+    let out_dir: Option<PathBuf> = args.next().map(PathBuf::from);
+
+    let calibration = Calibration {
+        duration_days: days,
+        ..Calibration::default()
+    };
+    eprintln!("generating a {days}-day five-region trace at small scale...");
+    let dataset = SyntheticTraceBuilder::new()
+        .with_scale(TraceScale::small())
+        .with_calibration(calibration)
+        .with_seed(2024)
+        .build();
+    eprintln!(
+        "generated {} requests, {} cold starts",
+        dataset.total_requests(),
+        dataset.total_cold_starts()
+    );
+
+    let report = CharacterizationPipeline::new()
+        .with_calibration(calibration)
+        .with_region_of_interest(RegionId::new(2))
+        .analyze(&dataset);
+    println!("{}", report.render());
+
+    if let Some(dir) = out_dir {
+        eprintln!("writing per-region CSV tables to {}", dir.display());
+        if let Err(error) = dataset.write_csv_dir(&dir) {
+            eprintln!("failed to write CSVs: {error}");
+            std::process::exit(1);
+        }
+    }
+}

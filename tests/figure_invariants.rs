@@ -1,0 +1,150 @@
+//! Invariants every regenerated figure must satisfy, checked on generated
+//! datasets across several seeds (property-style, but with explicit seeds so
+//! failures are reproducible).
+
+use coldstarts::pipeline::CharacterizationPipeline;
+use coldstarts::CharacterizationReport;
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::{SyntheticTraceBuilder, TraceScale};
+use fntrace::RegionId;
+
+fn report_for_seed(seed: u64) -> CharacterizationReport {
+    let calibration = Calibration {
+        duration_days: 2,
+        ..Calibration::default()
+    };
+    let dataset = SyntheticTraceBuilder::new()
+        .with_regions(vec![RegionProfile::r1(), RegionProfile::r2()])
+        .with_scale(TraceScale::tiny())
+        .with_calibration(calibration)
+        .with_seed(seed)
+        .build();
+    CharacterizationPipeline::new()
+        .with_calibration(calibration)
+        .with_region_of_interest(RegionId::new(2))
+        .analyze(&dataset)
+}
+
+#[test]
+fn figure_invariants_hold_across_seeds() {
+    for seed in [1u64, 17, 99] {
+        let report = report_for_seed(seed);
+
+        // Figure 1: every region has consistent, positive counts.
+        for row in &report.regions.sizes {
+            assert!(row.requests > 0, "seed {seed}");
+            assert!(row.cold_starts <= row.requests);
+            assert!(row.pods <= row.requests);
+            assert!(row.functions > 0 && row.users > 0);
+        }
+
+        // Figures 3/4: quantiles are ordered and fractions are probabilities.
+        for p in &report.regions.load_profiles {
+            let s = &p.requests_per_function_per_day;
+            assert!(s.min <= s.p25 && s.p25 <= s.p50 && s.p50 <= s.p75 && s.p75 <= s.max);
+            assert!((0.0..=1.0).contains(&p.high_load_function_fraction));
+            assert!((0.0..=1.0).contains(&p.single_function_user_fraction));
+        }
+
+        // Figure 5: peak hours lie on the 24-hour clock.
+        for r in &report.peaks.region_peaks {
+            for &h in &r.daily_peak_hours {
+                assert!((0.0..24.0).contains(&h), "seed {seed}");
+            }
+        }
+        // Figure 6: peak-to-trough ratios are at least one.
+        for p in &report.peaks.function_peakiness {
+            assert!(p.peak_to_trough >= 1.0);
+            assert!(p.requests_per_day > 0.0);
+        }
+
+        // Figure 7: normalized series are non-negative.
+        for r in &report.holiday.regions {
+            assert!(r.pods_per_day.iter().all(|v| *v >= 0.0));
+            assert!(r.cpu_per_day.iter().all(|v| *v >= 0.0));
+        }
+
+        // Figure 8: shares are probabilities summing to one per grouping.
+        let composition = report.composition.as_ref().expect("region 2 present");
+        for shares in [
+            &composition.shares_by_trigger,
+            &composition.shares_by_runtime,
+            &composition.shares_by_config,
+        ] {
+            let pods: f64 = shares.iter().map(|s| s.pod_share).sum();
+            let cold: f64 = shares.iter().map(|s| s.cold_start_share).sum();
+            let functions: f64 = shares.iter().map(|s| s.function_share).sum();
+            assert!((pods - 1.0).abs() < 1e-6, "seed {seed}");
+            assert!((cold - 1.0).abs() < 1e-6);
+            assert!((functions - 1.0).abs() < 1e-6);
+            for s in shares {
+                assert!((0.0..=1.0).contains(&s.pod_share));
+                assert!((0.0..=1.0).contains(&s.cold_start_share));
+                assert!((0.0..=1.0).contains(&s.function_share));
+            }
+        }
+        // Figure 9: per-runtime trigger mixes sum to one.
+        for mix in &composition.trigger_by_runtime {
+            let sum: f64 = mix.trigger_shares.iter().map(|(_, s)| s).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+
+        // Figure 10: fits exist and are positive.
+        let fit = &report.distributions.overall_fit;
+        assert!(fit.sample_count > 0);
+        assert!(fit.fitted_mean > 0.0 && fit.fitted_std > 0.0);
+        assert!((0.0..=1.0).contains(&fit.ks_distance));
+        let weibull = &report.distributions.inter_arrival_fit;
+        assert!(weibull.param_a > 0.0 && weibull.param_b > 0.0);
+
+        // Figures 11-13: component shares sum to one, correlations bounded,
+        // quantiles ordered.
+        for r in &report.components.regions {
+            let shares = r.time_series.mean_component_shares();
+            assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for i in 0..r.correlations.size() {
+                for j in 0..r.correlations.size() {
+                    let e = r.correlations.get(i, j).unwrap();
+                    assert!((-1.0..=1.0).contains(&e.coefficient));
+                    assert!((0.0..=1.0).contains(&e.p_value));
+                }
+            }
+            for s in &r.by_size {
+                assert!(s.total.p25 <= s.total.p50 && s.total.p50 <= s.total.p75);
+            }
+        }
+
+        // Figures 14-16: cold starts never exceed requests; grouped counts
+        // partition the total.
+        let attribution = report.attribution.as_ref().expect("region 2 present");
+        for p in &attribution.per_function {
+            assert!(p.cold_starts <= p.requests);
+        }
+        let all = attribution
+            .by_runtime
+            .iter()
+            .find(|g| g.label == "all")
+            .expect("all group");
+        let sum: u64 = attribution
+            .by_runtime
+            .iter()
+            .filter(|g| g.label != "all")
+            .map(|g| g.cold_starts)
+            .sum();
+        assert_eq!(sum, all.cold_starts);
+
+        // Figure 17: utility fractions are probabilities and group pod counts
+        // partition the overall count.
+        let utility = report.utility.as_ref().expect("region 2 present");
+        assert!((0.0..=1.0).contains(&utility.overall.below_one_fraction));
+        let by_runtime: u64 = utility.by_runtime.iter().map(|g| g.pods).sum();
+        assert_eq!(by_runtime, utility.overall.pods);
+    }
+}
+
+#[test]
+fn characterization_is_deterministic_per_seed() {
+    let a = report_for_seed(7);
+    let b = report_for_seed(7);
+    assert_eq!(a, b);
+}
