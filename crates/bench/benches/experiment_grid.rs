@@ -1,0 +1,87 @@
+//! Benchmarks of the parallel experiment grid: the same scenario × region ×
+//! seed ablation executed sequentially and with one worker per core, plus the
+//! cost of multi-region workload generation. The elements/second throughput
+//! counts simulated invocation events across all cells.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use coldstarts::evaluation::Scenario;
+use coldstarts::experiment::ExperimentGrid;
+use faas_workload::population::PopulationConfig;
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::MultiRegionWorkload;
+
+fn grid() -> ExperimentGrid {
+    ExperimentGrid {
+        scenarios: vec![
+            Scenario::Baseline,
+            Scenario::TimerAwareKeepAlive,
+            Scenario::TimerPrewarm,
+            Scenario::Combined,
+        ],
+        regions: vec![
+            RegionProfile::r2(),
+            RegionProfile::r3(),
+            RegionProfile::r5(),
+        ],
+        seeds: vec![11, 12],
+        calibration: Calibration {
+            duration_days: 1,
+            ..Calibration::default()
+        },
+        ..ExperimentGrid::default()
+    }
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let grid = grid();
+    // Total simulated events per full grid execution: every scenario replays
+    // every (region, seed) workload once.
+    let events_per_scenario: u64 = grid
+        .seeds
+        .iter()
+        .map(|&seed| {
+            MultiRegionWorkload::generate(&grid.regions, grid.calibration, &grid.population, seed)
+                .total_events() as u64
+        })
+        .sum();
+    let events = events_per_scenario * grid.scenarios.len() as u64;
+
+    let mut group = c.benchmark_group("experiment_grid");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("sequential_24_cells", |b| {
+        b.iter(|| black_box(grid.run_sequential().cells.len()))
+    });
+    group.bench_function("parallel_24_cells", |b| {
+        b.iter(|| black_box(grid.run().cells.len()))
+    });
+    group.finish();
+}
+
+fn bench_multi_region_generation(c: &mut Criterion) {
+    let profiles: Vec<RegionProfile> = (1..=5)
+        .map(|i| RegionProfile::paper_region(i).expect("region exists"))
+        .collect();
+    let calibration = Calibration {
+        duration_days: 1,
+        ..Calibration::default()
+    };
+    let population = PopulationConfig {
+        function_scale: 0.002,
+        volume_scale: 2.0e-6,
+        max_requests_per_day: 2_000.0,
+        min_functions: 15,
+    };
+    c.bench_function("multi_region_workloads_5_regions_1_day", |b| {
+        b.iter(|| {
+            let multi =
+                MultiRegionWorkload::generate(black_box(&profiles), calibration, &population, 17);
+            black_box(multi.total_events())
+        })
+    });
+}
+
+criterion_group!(benches, bench_grid, bench_multi_region_generation);
+criterion_main!(benches);

@@ -1,12 +1,14 @@
 //! Benchmarks of the discrete-event platform simulator: events processed per
 //! second under the baseline policies and under the combined mitigation
-//! policies (which add pre-warm ticks and admission-control work).
+//! policies (which add pre-warm ticks and admission-control work). Both paths
+//! replicate runs from a shared [`SimulationSpec`] — the spec is built once
+//! and stamps out a fresh engine per iteration.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use coldstarts::evaluation::{PolicyEvaluation, Scenario};
-use faas_platform::{PlatformConfig, Simulator};
+use faas_platform::{PlatformConfig, SimulationSpec};
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::{Calibration, RegionProfile};
 use faas_workload::WorkloadSpec;
@@ -35,19 +37,19 @@ fn bench_simulator(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(events));
     group.bench_function("baseline_one_day_region2", |b| {
+        let spec = SimulationSpec::new().with_config(PlatformConfig {
+            record_trace: false,
+            ..PlatformConfig::default()
+        });
         b.iter(|| {
-            let sim = Simulator::new().with_config(PlatformConfig {
-                record_trace: false,
-                ..PlatformConfig::default()
-            });
-            let (report, _) = sim.run(black_box(&workload));
+            let (report, _) = spec.run(black_box(&workload));
             black_box(report.cold_starts)
         })
     });
     group.bench_function("combined_policies_one_day_region2", |b| {
-        let evaluation = PolicyEvaluation::default();
+        let spec = PolicyEvaluation::default().spec(Scenario::Combined);
         b.iter(|| {
-            let report = evaluation.run_scenario(Scenario::Combined, black_box(&workload));
+            let (report, _) = spec.run(black_box(&workload));
             black_box(report.cold_starts)
         })
     });

@@ -587,7 +587,11 @@ fn fig12(ctx: &ExperimentContext, sink: &mut OutputSink) {
                 let e = r.correlations.get(i, j).expect("in range");
                 rows.push(format!(
                     "{},{},{},{:.3},{:.5}",
-                    r.region, r.correlations.labels[i], r.correlations.labels[j], e.coefficient, e.p_value
+                    r.region,
+                    r.correlations.labels[i],
+                    r.correlations.labels[j],
+                    e.coefficient,
+                    e.p_value
                 ));
             }
         }
@@ -744,7 +748,12 @@ fn fig17(ctx: &ExperimentContext, sink: &mut OutputSink) {
             ));
             rows.push(format!(
                 "{grouping},{},{},{:.4},{:.4},{:.4},{:.4}",
-                g.label, g.pods, g.ratio.p50, g.ratio.p90, g.below_one_fraction, g.above_hundred_fraction
+                g.label,
+                g.pods,
+                g.ratio.p50,
+                g.ratio.p90,
+                g.below_one_fraction,
+                g.above_hundred_fraction
             ));
         }
     }
@@ -839,7 +848,11 @@ mod tests {
         assert!(sink.report().contains("LogNormal fit"));
         assert!(sink.report().contains("policy-ablation"));
         // Every experiment except the narrative-only ones writes CSV output.
-        assert!(sink.files_written().len() >= 15, "{:?}", sink.files_written());
+        assert!(
+            sink.files_written().len() >= 15,
+            "{:?}",
+            sink.files_written()
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -77,7 +77,11 @@ mod tests {
         sink.line("hello");
         sink.blank();
         sink.line("world");
-        sink.csv("sub/test.csv", "a,b", &["1,2".to_string(), "3,4".to_string()]);
+        sink.csv(
+            "sub/test.csv",
+            "a,b",
+            &["1,2".to_string(), "3,4".to_string()],
+        );
         assert!(sink.report().contains("hello"));
         assert!(sink.report().contains("world"));
         assert_eq!(sink.files_written().len(), 1);

@@ -1,0 +1,27 @@
+//! Collection strategies.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end.saturating_sub(self.len.start).max(1) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of `element` values with a length drawn from `len`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, len }
+}

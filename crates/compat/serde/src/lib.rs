@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this tiny local crate
+//! satisfies the workspace's `use serde::{Deserialize, Serialize}` imports.
+//! The traits are markers and the derives (re-exported from the sibling
+//! `serde_derive` stub) expand to nothing; swap the real serde back in by
+//! pointing the workspace manifests at crates.io once network access exists.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

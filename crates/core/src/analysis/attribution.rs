@@ -105,8 +105,14 @@ impl AttributionAnalysis {
                 .entry(trigger.label().to_string())
                 .or_default()
                 .push(record);
-            by_runtime_groups.entry("all".to_string()).or_default().push(record);
-            by_trigger_groups.entry("all".to_string()).or_default().push(record);
+            by_runtime_groups
+                .entry("all".to_string())
+                .or_default()
+                .push(record);
+            by_trigger_groups
+                .entry("all".to_string())
+                .or_default()
+                .push(record);
         }
 
         AttributionAnalysis {

@@ -48,12 +48,7 @@ pub struct ComponentTimeSeries {
 impl ComponentTimeSeries {
     /// Mean (over hours with cold starts) of the total cold-start time.
     pub fn mean_total_s(&self) -> f64 {
-        let nonzero: Vec<f64> = self
-            .total_s
-            .iter()
-            .copied()
-            .filter(|v| *v > 0.0)
-            .collect();
+        let nonzero: Vec<f64> = self.total_s.iter().copied().filter(|v| *v > 0.0).collect();
         if nonzero.is_empty() {
             0.0
         } else {
@@ -146,10 +141,26 @@ fn region_components(trace: &RegionTrace, calibration: &Calibration) -> RegionCo
     let time_series = ComponentTimeSeries {
         region: trace.region.index(),
         pod_alloc_s: hourly.mean(records.iter().map(|r| (r.timestamp_ms, r.pod_alloc_secs()))),
-        deploy_code_s: hourly.mean(records.iter().map(|r| (r.timestamp_ms, r.deploy_code_secs()))),
-        deploy_dep_s: hourly.mean(records.iter().map(|r| (r.timestamp_ms, r.deploy_dep_secs()))),
-        scheduling_s: hourly.mean(records.iter().map(|r| (r.timestamp_ms, r.scheduling_secs()))),
-        total_s: hourly.mean(records.iter().map(|r| (r.timestamp_ms, r.cold_start_secs()))),
+        deploy_code_s: hourly.mean(
+            records
+                .iter()
+                .map(|r| (r.timestamp_ms, r.deploy_code_secs())),
+        ),
+        deploy_dep_s: hourly.mean(
+            records
+                .iter()
+                .map(|r| (r.timestamp_ms, r.deploy_dep_secs())),
+        ),
+        scheduling_s: hourly.mean(
+            records
+                .iter()
+                .map(|r| (r.timestamp_ms, r.scheduling_secs())),
+        ),
+        total_s: hourly.mean(
+            records
+                .iter()
+                .map(|r| (r.timestamp_ms, r.cold_start_secs())),
+        ),
         cold_starts: hourly.count(records.iter().map(|r| r.timestamp_ms)),
     };
 
@@ -163,10 +174,34 @@ fn region_components(trace: &RegionTrace, calibration: &Calibration) -> RegionCo
         .map(|(i, _)| i)
         .collect();
     let select = |series: Vec<f64>| -> Vec<f64> { occupied.iter().map(|&i| series[i]).collect() };
-    let total = select(minute.mean(records.iter().map(|r| (r.timestamp_ms, r.cold_start_secs()))));
-    let code = select(minute.mean(records.iter().map(|r| (r.timestamp_ms, r.deploy_code_secs()))));
-    let dep = select(minute.mean(records.iter().map(|r| (r.timestamp_ms, r.deploy_dep_secs()))));
-    let sched = select(minute.mean(records.iter().map(|r| (r.timestamp_ms, r.scheduling_secs()))));
+    let total = select(
+        minute.mean(
+            records
+                .iter()
+                .map(|r| (r.timestamp_ms, r.cold_start_secs())),
+        ),
+    );
+    let code = select(
+        minute.mean(
+            records
+                .iter()
+                .map(|r| (r.timestamp_ms, r.deploy_code_secs())),
+        ),
+    );
+    let dep = select(
+        minute.mean(
+            records
+                .iter()
+                .map(|r| (r.timestamp_ms, r.deploy_dep_secs())),
+        ),
+    );
+    let sched = select(
+        minute.mean(
+            records
+                .iter()
+                .map(|r| (r.timestamp_ms, r.scheduling_secs())),
+        ),
+    );
     let alloc = select(minute.mean(records.iter().map(|r| (r.timestamp_ms, r.pod_alloc_secs()))));
     let count_sel = select(counts);
     let correlations = CorrelationMatrix::spearman(

@@ -67,11 +67,7 @@ pub struct CompositionAnalysis {
 
 impl CompositionAnalysis {
     /// Runs the composition analysis on one region of the dataset.
-    pub fn compute(
-        dataset: &Dataset,
-        region: RegionId,
-        calibration: &Calibration,
-    ) -> Option<Self> {
+    pub fn compute(dataset: &Dataset, region: RegionId, calibration: &Calibration) -> Option<Self> {
         let trace = dataset.region(region)?;
         Some(Self::compute_region(trace, calibration))
     }
@@ -93,9 +89,18 @@ impl CompositionAnalysis {
             let trigger = trace.functions.trigger_of(life.function).group();
             let runtime = trace.functions.runtime_of(life.function);
             let config = trace.functions.config_of(life.function);
-            by_trigger.entry(trigger.label().to_string()).or_default().push(interval);
-            by_runtime.entry(runtime.label().to_string()).or_default().push(interval);
-            by_config.entry(config.figure_label()).or_default().push(interval);
+            by_trigger
+                .entry(trigger.label().to_string())
+                .or_default()
+                .push(interval);
+            by_runtime
+                .entry(runtime.label().to_string())
+                .or_default()
+                .push(interval);
+            by_config
+                .entry(config.figure_label())
+                .or_default()
+                .push(interval);
         }
 
         let series_of = |groups: &HashMap<String, Vec<(u64, u64)>>| -> Vec<LabelledSeries> {
@@ -262,7 +267,11 @@ mod tests {
     #[test]
     fn shares_sum_to_one() {
         let a = analysis(2, 31);
-        for shares in [&a.shares_by_trigger, &a.shares_by_runtime, &a.shares_by_config] {
+        for shares in [
+            &a.shares_by_trigger,
+            &a.shares_by_runtime,
+            &a.shares_by_config,
+        ] {
             assert!((share_sum(shares, |s| s.pod_share) - 1.0).abs() < 1e-6);
             assert!((share_sum(shares, |s| s.cold_start_share) - 1.0).abs() < 1e-6);
             assert!((share_sum(shares, |s| s.function_share) - 1.0).abs() < 1e-6);
@@ -321,7 +330,12 @@ mod tests {
             .chain(&a.pods_by_runtime)
             .chain(&a.pods_by_config)
         {
-            assert_eq!(series.values.len(), expected_bins, "series {}", series.label);
+            assert_eq!(
+                series.values.len(),
+                expected_bins,
+                "series {}",
+                series.label
+            );
             assert!(series.values.iter().all(|v| *v >= 0.0));
         }
     }
@@ -352,11 +366,8 @@ mod tests {
     #[test]
     fn missing_region_returns_none() {
         let ds = Dataset::new();
-        assert!(CompositionAnalysis::compute(
-            &ds,
-            RegionId::new(2),
-            &Calibration::default()
-        )
-        .is_none());
+        assert!(
+            CompositionAnalysis::compute(&ds, RegionId::new(2), &Calibration::default()).is_none()
+        );
     }
 }

@@ -106,8 +106,16 @@ fn region_effect(trace: &RegionTrace, calibration: &Calibration) -> RegionHolida
         region: trace.region.index(),
         pods_per_day: pods_norm,
         cpu_per_day: cpu_norm,
-        holiday_pod_level: if holiday_n == 0 { 0.0 } else { holiday_sum / holiday_n as f64 },
-        workday_pod_level: if workday_n == 0 { 0.0 } else { workday_sum / workday_n as f64 },
+        holiday_pod_level: if holiday_n == 0 {
+            0.0
+        } else {
+            holiday_sum / holiday_n as f64
+        },
+        workday_pod_level: if workday_n == 0 {
+            0.0
+        } else {
+            workday_sum / workday_n as f64
+        },
     }
 }
 

@@ -153,7 +153,10 @@ fn function_peakiness(trace: &RegionTrace) -> Vec<FunctionPeakiness> {
     let mut per_function: std::collections::HashMap<fntrace::FunctionId, Vec<u64>> =
         std::collections::HashMap::new();
     for r in trace.requests.records() {
-        per_function.entry(r.function).or_default().push(r.timestamp_ms);
+        per_function
+            .entry(r.function)
+            .or_default()
+            .push(r.timestamp_ms);
     }
 
     let mut out: Vec<FunctionPeakiness> = per_function

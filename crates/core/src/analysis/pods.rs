@@ -40,7 +40,8 @@ impl PodLife {
 
     /// Total lifetime in milliseconds including the keep-alive tail.
     pub fn lifetime_ms(&self, keep_alive_ms: u64) -> u64 {
-        self.deleted_ms(keep_alive_ms).saturating_sub(self.created_ms)
+        self.deleted_ms(keep_alive_ms)
+            .saturating_sub(self.created_ms)
     }
 
     /// Useful lifetime in seconds: the time the pod spent available for work,

@@ -104,8 +104,7 @@ fn region_load_profile(trace: &RegionTrace) -> RegionLoadProfile {
     let high_load = if per_function.is_empty() {
         0.0
     } else {
-        per_function.iter().filter(|&&rpd| rpd >= 1440.0).count() as f64
-            / per_function.len() as f64
+        per_function.iter().filter(|&&rpd| rpd >= 1440.0).count() as f64 / per_function.len() as f64
     };
 
     // Figures 3b and 3c: per-minute means of execution time and CPU usage.
@@ -217,10 +216,7 @@ mod tests {
         );
         // Median requests per function per day is positive and heavy-tailed.
         assert!(r1.requests_per_function_per_day.p50 > 0.0);
-        assert!(
-            r1.requests_per_function_per_day.max
-                > 3.0 * r1.requests_per_function_per_day.p50
-        );
+        assert!(r1.requests_per_function_per_day.max > 3.0 * r1.requests_per_function_per_day.p50);
     }
 
     #[test]

@@ -47,11 +47,7 @@ pub struct UtilityAnalysis {
 
 impl UtilityAnalysis {
     /// Runs the analysis on one region of the dataset.
-    pub fn compute(
-        dataset: &Dataset,
-        region: RegionId,
-        calibration: &Calibration,
-    ) -> Option<Self> {
+    pub fn compute(dataset: &Dataset, region: RegionId, calibration: &Calibration) -> Option<Self> {
         dataset
             .region(region)
             .map(|t| Self::compute_region(t, calibration))
@@ -69,7 +65,11 @@ impl UtilityAnalysis {
             let Some(ratio) = life.utility_ratio(keep_alive_ms) else {
                 continue;
             };
-            let runtime = trace.functions.runtime_of(life.function).label().to_string();
+            let runtime = trace
+                .functions
+                .runtime_of(life.function)
+                .label()
+                .to_string();
             let trigger = trace
                 .functions
                 .trigger_of(life.function)

@@ -4,15 +4,20 @@
 //! scenarios (baseline plus the Section 5 mitigations) and reports cold-start
 //! and latency deltas relative to the baseline — the data behind the policy
 //! ablation experiment.
+//!
+//! This is the single-workload corner of the experiment grid: scenario
+//! policies are built by [`ScenarioPolicies`](crate::experiment::ScenarioPolicies)
+//! and the scenarios execute concurrently through
+//! [`run_scenarios`](crate::experiment::run_scenarios). Sweeps over many
+//! regions and seeds should declare an
+//! [`ExperimentGrid`](crate::experiment::ExperimentGrid) instead.
 
 use serde::{Deserialize, Serialize};
 
-use faas_platform::{PlatformConfig, SimReport, Simulator};
+use faas_platform::{PlatformConfig, SimReport, SimulationSpec};
 use faas_workload::WorkloadSpec;
 
-use crate::policies::keepalive::{keep_alive_for_scenario, KeepAliveScenario};
-use crate::policies::peak_shaving::AsyncPeakShaving;
-use crate::policies::prewarm::{DemandPrewarm, TimerPrewarm, WorkflowChainPrewarm};
+use crate::experiment::{run_scenarios, ScenarioPolicies};
 
 /// Named policy scenarios evaluated by the ablation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,66 +110,46 @@ impl Default for PolicyEvaluation {
 }
 
 impl PolicyEvaluation {
-    /// Builds the simulator for one scenario.
-    fn simulator(&self, scenario: Scenario, workload: &WorkloadSpec) -> Simulator {
-        let specs = &workload.functions;
-        let prewarm_horizon = self.platform.prewarm_interval_ms;
-        let peak_hour = workload.profile.peak_hour;
-        let sim = Simulator::new()
-            .with_config(self.platform.clone())
-            .with_seed(self.seed);
-        match scenario {
-            Scenario::Baseline => sim,
-            Scenario::AdaptiveKeepAlive => sim.with_keep_alive(keep_alive_for_scenario(
-                KeepAliveScenario::Adaptive,
-                specs,
-            )),
-            Scenario::TimerAwareKeepAlive => sim.with_keep_alive(keep_alive_for_scenario(
-                KeepAliveScenario::TimerAware,
-                specs,
-            )),
-            Scenario::TimerPrewarm => {
-                sim.with_prewarm(Box::new(TimerPrewarm::from_specs(specs, prewarm_horizon)))
-            }
-            Scenario::DemandPrewarm => sim.with_prewarm(Box::new(DemandPrewarm::default())),
-            Scenario::ChainPrewarm => {
-                sim.with_prewarm(Box::new(WorkflowChainPrewarm::from_specs(specs)))
-            }
-            Scenario::PeakShaving => sim.with_admission(Box::new(AsyncPeakShaving::new(
-                peak_hour,
-                1.5,
-                self.peak_shaving_delay_ms,
-            ))),
-            Scenario::Combined => sim
-                .with_keep_alive(keep_alive_for_scenario(KeepAliveScenario::TimerAware, specs))
-                .with_prewarm(Box::new(TimerPrewarm::from_specs(specs, prewarm_horizon)))
-                .with_admission(Box::new(AsyncPeakShaving::new(
-                    peak_hour,
-                    1.5,
-                    self.peak_shaving_delay_ms,
-                ))),
-        }
+    /// Builds the replicable simulation spec for one scenario.
+    pub fn spec(&self, scenario: Scenario) -> SimulationSpec {
+        ScenarioPolicies::spec(
+            scenario,
+            &self.platform,
+            self.seed,
+            self.peak_shaving_delay_ms,
+        )
     }
 
     /// Runs one scenario.
     pub fn run_scenario(&self, scenario: Scenario, workload: &WorkloadSpec) -> SimReport {
-        let (report, _) = self.simulator(scenario, workload).run(workload);
-        report
+        self.spec(scenario).run(workload).0
     }
 
     /// Runs the given scenarios (always including the baseline first) and
-    /// reports each one's deltas relative to the baseline.
+    /// reports each one's deltas relative to the baseline. Scenarios execute
+    /// concurrently; results come back in input order regardless.
     pub fn run(&self, workload: &WorkloadSpec, scenarios: &[Scenario]) -> Vec<ScenarioOutcome> {
-        let baseline = self.run_scenario(Scenario::Baseline, workload);
-        let mut outcomes = vec![outcome(Scenario::Baseline, baseline.clone(), &baseline)];
-        for &scenario in scenarios {
-            if scenario == Scenario::Baseline {
-                continue;
-            }
-            let report = self.run_scenario(scenario, workload);
-            outcomes.push(outcome(scenario, report, &baseline));
-        }
-        outcomes
+        let mut order = vec![Scenario::Baseline];
+        order.extend(
+            scenarios
+                .iter()
+                .copied()
+                .filter(|s| *s != Scenario::Baseline),
+        );
+        let reports = run_scenarios(
+            &self.platform,
+            self.seed,
+            self.peak_shaving_delay_ms,
+            workload,
+            &order,
+            0,
+        );
+        let baseline = reports[0].clone();
+        order
+            .into_iter()
+            .zip(reports)
+            .map(|(scenario, report)| outcome(scenario, report, &baseline))
+            .collect()
     }
 
     /// Renders an ablation table.
@@ -189,7 +174,11 @@ impl PolicyEvaluation {
     }
 }
 
-fn outcome(scenario: Scenario, report: SimReport, baseline: &SimReport) -> ScenarioOutcome {
+pub(crate) fn outcome(
+    scenario: Scenario,
+    report: SimReport,
+    baseline: &SimReport,
+) -> ScenarioOutcome {
     let cold_start_reduction = if baseline.cold_starts == 0 {
         0.0
     } else {
@@ -257,12 +246,32 @@ mod tests {
     }
 
     #[test]
+    fn run_matches_run_scenario_per_scenario() {
+        // The concurrent harness must agree with the one-off runner cell by
+        // cell — same spec, same seed, same report.
+        let workload = tiny_workload(1, 6);
+        let eval = PolicyEvaluation::default();
+        let outcomes = eval.run(
+            &workload,
+            &[Scenario::AdaptiveKeepAlive, Scenario::PeakShaving],
+        );
+        for o in &outcomes {
+            let solo = eval.run_scenario(o.scenario, &workload);
+            assert_eq!(solo, o.report, "{} diverged", o.scenario.name());
+        }
+    }
+
+    #[test]
     fn prewarm_and_timer_aware_policies_reduce_cold_starts() {
         let workload = tiny_workload(1, 4);
         let eval = PolicyEvaluation::default();
         let outcomes = eval.run(
             &workload,
-            &[Scenario::TimerPrewarm, Scenario::DemandPrewarm, Scenario::Combined],
+            &[
+                Scenario::TimerPrewarm,
+                Scenario::DemandPrewarm,
+                Scenario::Combined,
+            ],
         );
         assert_eq!(outcomes.len(), 4);
         let baseline = &outcomes[0];
@@ -302,7 +311,10 @@ mod tests {
         let baseline = &outcomes[0];
         let shaved = &outcomes[1];
         assert_eq!(shaved.report.requests, baseline.report.requests);
-        assert!(shaved.report.delayed_requests > 0, "no requests were shaved");
+        assert!(
+            shaved.report.delayed_requests > 0,
+            "no requests were shaved"
+        );
         assert!(shaved.report.total_admission_delay_s > 0.0);
     }
 }

@@ -1,0 +1,474 @@
+//! Parallel multi-region experiment grid.
+//!
+//! The paper's headline results are policy ablations run across scenarios,
+//! regions, and seeds. [`ExperimentGrid`] declares that whole space once —
+//! scenarios × region profiles × seeds plus the shared calibration,
+//! population, and platform configuration — and executes every cell
+//! concurrently with `std::thread::scope`. Each cell replays its region's
+//! workload through a fresh [`SimulationSpec`] whose [`ScenarioPolicies`]
+//! factory builds clean policy state per run, so a cell's result depends only
+//! on its `(scenario, region, seed)` coordinates: parallel and sequential
+//! execution of the same grid produce identical reports, merged in the same
+//! deterministic cell order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::{Deserialize, Serialize};
+
+use faas_platform::{
+    AdmissionPolicy, KeepAlivePolicy, NoAdmissionControl, NoPrewarm, PrewarmPolicy,
+};
+use faas_platform::{PlatformConfig, PolicyFactory, SimReport, SimulationSpec};
+use faas_workload::population::PopulationConfig;
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::{MultiRegionWorkload, WorkloadSpec};
+use fntrace::RegionId;
+
+use crate::evaluation::{outcome, Scenario, ScenarioOutcome};
+use crate::policies::keepalive::{keep_alive_for_scenario, KeepAliveScenario};
+use crate::policies::peak_shaving::AsyncPeakShaving;
+use crate::policies::prewarm::{DemandPrewarm, TimerPrewarm, WorkflowChainPrewarm};
+
+/// [`PolicyFactory`] that builds the policy set of one named [`Scenario`].
+///
+/// The factory is stateless and `Send + Sync`; policy state (keep-alive
+/// histories, demand trackers, timer schedules) is created per run from the
+/// workload being replayed, which is what lets one factory serve every cell
+/// of a parallel grid.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioPolicies {
+    /// The scenario whose policies this factory builds.
+    pub scenario: Scenario,
+    /// Horizon handed to timer pre-warming, normally the platform's pre-warm
+    /// tick interval, in milliseconds.
+    pub prewarm_horizon_ms: u64,
+    /// Maximum delay used by the peak-shaving scenarios, in milliseconds.
+    pub peak_shaving_delay_ms: u64,
+}
+
+impl ScenarioPolicies {
+    /// Creates the factory for `scenario` using the platform's pre-warm
+    /// interval as the timer pre-warm horizon.
+    pub fn new(scenario: Scenario, platform: &PlatformConfig, peak_shaving_delay_ms: u64) -> Self {
+        Self {
+            scenario,
+            prewarm_horizon_ms: platform.prewarm_interval_ms,
+            peak_shaving_delay_ms,
+        }
+    }
+
+    /// Builds the replicable [`SimulationSpec`] that runs `scenario` — the
+    /// one construction path shared by the grid, the scenario runner, and
+    /// [`crate::evaluation::PolicyEvaluation`].
+    pub fn spec(
+        scenario: Scenario,
+        platform: &PlatformConfig,
+        seed: u64,
+        peak_shaving_delay_ms: u64,
+    ) -> SimulationSpec {
+        SimulationSpec::new()
+            .with_config(platform.clone())
+            .with_seed(seed)
+            .with_policies(Arc::new(Self::new(
+                scenario,
+                platform,
+                peak_shaving_delay_ms,
+            )))
+    }
+}
+
+impl PolicyFactory for ScenarioPolicies {
+    fn keep_alive(&self, workload: &WorkloadSpec) -> Box<dyn KeepAlivePolicy> {
+        let scenario = match self.scenario {
+            Scenario::AdaptiveKeepAlive => KeepAliveScenario::Adaptive,
+            Scenario::TimerAwareKeepAlive | Scenario::Combined => KeepAliveScenario::TimerAware,
+            _ => KeepAliveScenario::FixedDefault,
+        };
+        keep_alive_for_scenario(scenario, &workload.functions)
+    }
+
+    fn prewarm(&self, workload: &WorkloadSpec) -> Box<dyn PrewarmPolicy> {
+        match self.scenario {
+            Scenario::TimerPrewarm | Scenario::Combined => Box::new(TimerPrewarm::from_specs(
+                &workload.functions,
+                self.prewarm_horizon_ms,
+            )),
+            Scenario::DemandPrewarm => Box::new(DemandPrewarm::default()),
+            Scenario::ChainPrewarm => {
+                Box::new(WorkflowChainPrewarm::from_specs(&workload.functions))
+            }
+            _ => Box::new(NoPrewarm),
+        }
+    }
+
+    fn admission(&self, workload: &WorkloadSpec) -> Box<dyn AdmissionPolicy> {
+        match self.scenario {
+            Scenario::PeakShaving | Scenario::Combined => Box::new(AsyncPeakShaving::new(
+                workload.profile.peak_hour,
+                1.5,
+                self.peak_shaving_delay_ms,
+            )),
+            _ => Box::new(NoAdmissionControl),
+        }
+    }
+
+    fn label(&self) -> &str {
+        self.scenario.name()
+    }
+}
+
+/// One completed grid cell: the coordinates and the simulator report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCellReport {
+    /// Policy scenario of this cell.
+    pub scenario: Scenario,
+    /// Region the workload was generated for.
+    pub region: RegionId,
+    /// Seed the workload and simulation used.
+    pub seed: u64,
+    /// Aggregate simulation outcome.
+    pub report: SimReport,
+}
+
+/// Results of a grid execution, in deterministic cell order
+/// (scenario-major, then region, then seed — the declaration order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridReport {
+    /// All cell results.
+    pub cells: Vec<GridCellReport>,
+}
+
+impl GridReport {
+    /// Looks up one cell.
+    pub fn cell(&self, scenario: Scenario, region: RegionId, seed: u64) -> Option<&GridCellReport> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.region == region && c.seed == seed)
+    }
+
+    /// Scenario outcomes for one `(region, seed)` column, relative to that
+    /// column's baseline cell. Returns `None` when the grid has no baseline
+    /// scenario for the column.
+    pub fn outcomes(&self, region: RegionId, seed: u64) -> Option<Vec<ScenarioOutcome>> {
+        let baseline = self.cell(Scenario::Baseline, region, seed)?.report.clone();
+        Some(
+            self.cells
+                .iter()
+                .filter(|c| c.region == region && c.seed == seed)
+                .map(|c| outcome(c.scenario, c.report.clone(), &baseline))
+                .collect(),
+        )
+    }
+
+    /// Renders every cell as a fixed-width table, one row per cell, in
+    /// deterministic cell order. Byte-identical for byte-identical results.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>6} {:>6} {:>10} {:>12} {:>12} {:>14} {:>14}\n",
+            "scenario",
+            "region",
+            "seed",
+            "requests",
+            "cold starts",
+            "prewarmed",
+            "mean added (s)",
+            "idle time (s)"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<24} {:>6} {:>6} {:>10} {:>12} {:>12} {:>14.6} {:>14.3}\n",
+                c.scenario.name(),
+                c.region.index(),
+                c.seed,
+                c.report.requests,
+                c.report.cold_starts,
+                c.report.prewarmed_pods,
+                c.report.mean_added_latency_s,
+                c.report.idle_pod_time_s,
+            ));
+        }
+        out
+    }
+}
+
+/// Declarative experiment grid: scenarios × regions × seeds.
+///
+/// `run` executes every cell concurrently; `run_sequential` executes the same
+/// cells on the calling thread. Both produce identical [`GridReport`]s for
+/// the same grid, which `tests/grid_determinism.rs` asserts.
+#[derive(Debug, Clone)]
+pub struct ExperimentGrid {
+    /// Policy scenarios to evaluate.
+    pub scenarios: Vec<Scenario>,
+    /// Region profiles workloads are generated for.
+    pub regions: Vec<RegionProfile>,
+    /// Workload/simulation seeds.
+    pub seeds: Vec<u64>,
+    /// Calibration shared by every region.
+    pub calibration: Calibration,
+    /// Function-population scaling shared by every region.
+    pub population: PopulationConfig,
+    /// Platform configuration shared by every cell.
+    pub platform: PlatformConfig,
+    /// Maximum delay of the peak-shaving scenarios, in milliseconds.
+    pub peak_shaving_delay_ms: u64,
+    /// Worker threads for `run`; 0 means one per available core.
+    pub threads: usize,
+}
+
+impl Default for ExperimentGrid {
+    fn default() -> Self {
+        Self {
+            scenarios: Scenario::ALL.to_vec(),
+            regions: vec![RegionProfile::r2()],
+            seeds: vec![7],
+            calibration: Calibration::default(),
+            population: PopulationConfig {
+                function_scale: 0.002,
+                volume_scale: 2.0e-6,
+                max_requests_per_day: 2_000.0,
+                min_functions: 15,
+            },
+            platform: PlatformConfig {
+                record_trace: false,
+                ..PlatformConfig::default()
+            },
+            peak_shaving_delay_ms: 180_000,
+            threads: 0,
+        }
+    }
+}
+
+impl ExperimentGrid {
+    /// The paper's full ablation: all eight scenarios over all five paper
+    /// regions, one seed, scaled-down populations so the grid runs in
+    /// seconds.
+    pub fn full_ablation() -> Self {
+        Self {
+            regions: (1..=5)
+                .map(|i| RegionProfile::paper_region(i).expect("regions 1..=5 exist"))
+                .collect(),
+            ..Self::default()
+        }
+    }
+
+    /// Number of cells the grid declares.
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.len() * self.regions.len() * self.seeds.len()
+    }
+
+    /// Executes the grid concurrently.
+    pub fn run(&self) -> GridReport {
+        self.execute(self.threads)
+    }
+
+    /// Executes the same cells on the calling thread, in the same order.
+    pub fn run_sequential(&self) -> GridReport {
+        self.execute(1)
+    }
+
+    fn execute(&self, threads: usize) -> GridReport {
+        // Workloads depend only on (region, seed): build one multi-region
+        // set per seed, concurrently, then share them read-only across
+        // scenario cells.
+        let workload_sets: Vec<MultiRegionWorkload> =
+            parallel_map(self.seeds.len(), threads, |s| {
+                MultiRegionWorkload::generate(
+                    &self.regions,
+                    self.calibration,
+                    &self.population,
+                    self.seeds[s],
+                )
+            });
+
+        let cells: Vec<(Scenario, usize, usize)> = self
+            .scenarios
+            .iter()
+            .flat_map(|&scenario| {
+                let seed_count = self.seeds.len();
+                (0..self.regions.len())
+                    .flat_map(move |r| (0..seed_count).map(move |s| (scenario, r, s)))
+            })
+            .collect();
+
+        let reports: Vec<SimReport> = parallel_map(cells.len(), threads, |i| {
+            let (scenario, r, s) = cells[i];
+            ScenarioPolicies::spec(
+                scenario,
+                &self.platform,
+                self.seeds[s],
+                self.peak_shaving_delay_ms,
+            )
+            .run(&workload_sets[s].workloads[r])
+            .0
+        });
+
+        GridReport {
+            cells: cells
+                .into_iter()
+                .zip(reports)
+                .map(|((scenario, r, s), report)| GridCellReport {
+                    scenario,
+                    region: self.regions[r].region,
+                    seed: self.seeds[s],
+                    report,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Runs `scenarios` over one already-generated workload, returning one report
+/// per scenario in input order. This is the single-workload corner of the
+/// grid; [`crate::evaluation::PolicyEvaluation`] wraps it.
+pub fn run_scenarios(
+    platform: &PlatformConfig,
+    seed: u64,
+    peak_shaving_delay_ms: u64,
+    workload: &WorkloadSpec,
+    scenarios: &[Scenario],
+    threads: usize,
+) -> Vec<SimReport> {
+    parallel_map(scenarios.len(), threads, |i| {
+        ScenarioPolicies::spec(scenarios[i], platform, seed, peak_shaving_delay_ms)
+            .run(workload)
+            .0
+    })
+}
+
+/// Maps `f` over `0..n` on up to `threads` scoped workers (0 means one per
+/// available core), merging results in index order so the output is
+/// independent of scheduling.
+fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1)
+    };
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let gathered: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                if !local.is_empty() {
+                    gathered.lock().expect("no poisoned workers").extend(local);
+                }
+            });
+        }
+    });
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for (i, value) in gathered.into_inner().expect("no poisoned workers") {
+        slots[i] = Some(value);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_grid() -> ExperimentGrid {
+        ExperimentGrid {
+            scenarios: vec![Scenario::Baseline, Scenario::TimerPrewarm],
+            regions: vec![RegionProfile::r2(), RegionProfile::r3()],
+            seeds: vec![3, 4],
+            calibration: Calibration {
+                duration_days: 1,
+                ..Calibration::default()
+            },
+            // Real worker threads even on single-core machines, so the
+            // parallel path is exercised rather than the n==1 fast path.
+            threads: 4,
+            ..ExperimentGrid::default()
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let out = parallel_map(100, 8, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(parallel_map(0, 4, |i| i).is_empty());
+        assert_eq!(parallel_map(3, 1, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn grid_runs_every_declared_cell_in_order() {
+        let grid = tiny_grid();
+        assert_eq!(grid.cell_count(), 8);
+        let result = grid.run();
+        assert_eq!(result.cells.len(), 8);
+        // Scenario-major, then region, then seed.
+        let coords: Vec<(Scenario, u16, u64)> = result
+            .cells
+            .iter()
+            .map(|c| (c.scenario, c.region.index(), c.seed))
+            .collect();
+        assert_eq!(coords[0], (Scenario::Baseline, 2, 3));
+        assert_eq!(coords[1], (Scenario::Baseline, 2, 4));
+        assert_eq!(coords[2], (Scenario::Baseline, 3, 3));
+        assert_eq!(coords[4], (Scenario::TimerPrewarm, 2, 3));
+        for c in &result.cells {
+            assert!(c.report.requests > 0, "empty cell {:?}", c.scenario);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_execution_agree() {
+        let grid = tiny_grid();
+        let parallel = grid.run();
+        let sequential = grid.run_sequential();
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.render(), sequential.render());
+    }
+
+    #[test]
+    fn outcomes_are_relative_to_the_column_baseline() {
+        let grid = tiny_grid();
+        let result = grid.run();
+        let outcomes = result
+            .outcomes(RegionId::new(2), 3)
+            .expect("baseline present");
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].scenario, Scenario::Baseline);
+        assert_eq!(outcomes[0].cold_start_reduction, 0.0);
+        let prewarm = &outcomes[1];
+        assert_eq!(prewarm.scenario, Scenario::TimerPrewarm);
+        assert!(prewarm.report.cold_starts <= outcomes[0].report.cold_starts);
+        assert!(result.outcomes(RegionId::new(9), 3).is_none());
+    }
+
+    #[test]
+    fn scenario_policies_label_matches_scenario() {
+        let platform = PlatformConfig::default();
+        for scenario in Scenario::ALL {
+            let f = ScenarioPolicies::new(scenario, &platform, 180_000);
+            assert_eq!(f.label(), scenario.name());
+        }
+    }
+}

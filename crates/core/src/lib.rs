@@ -55,9 +55,12 @@
 
 pub mod analysis;
 pub mod evaluation;
+pub mod experiment;
 pub mod pipeline;
 pub mod policies;
 pub mod report;
 
+pub use evaluation::{PolicyEvaluation, Scenario, ScenarioOutcome};
+pub use experiment::{ExperimentGrid, GridCellReport, GridReport, ScenarioPolicies};
 pub use pipeline::CharacterizationPipeline;
 pub use report::CharacterizationReport;

@@ -107,7 +107,7 @@ impl ConcurrencyAdvisor {
                 });
             }
         }
-        out.sort_by(|a, b| b.overflow_cold_starts.cmp(&a.overflow_cold_starts));
+        out.sort_by_key(|a| std::cmp::Reverse(a.overflow_cold_starts));
         out
     }
 }

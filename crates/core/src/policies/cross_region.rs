@@ -133,7 +133,9 @@ impl CrossRegionScheduler {
         candidates.sort_by(|a, b| {
             let save_a = a.mean_cold_start_s * a.cold_starts as f64;
             let save_b = b.mean_cold_start_s * b.cold_starts as f64;
-            save_b.partial_cmp(&save_a).unwrap_or(std::cmp::Ordering::Equal)
+            save_b
+                .partial_cmp(&save_a)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         candidates.truncate(self.max_migrations);
         CrossRegionPlan {

@@ -37,8 +37,7 @@ impl AsyncPeakShaving {
 
     /// Whether a timestamp falls inside the peak window.
     pub fn in_peak_window(&self, now_ms: u64) -> bool {
-        let hour_of_day =
-            (now_ms % (24 * MILLIS_PER_HOUR)) as f64 / MILLIS_PER_HOUR as f64;
+        let hour_of_day = (now_ms % (24 * MILLIS_PER_HOUR)) as f64 / MILLIS_PER_HOUR as f64;
         let diff = (hour_of_day - self.peak_hour).abs();
         diff.min(24.0 - diff) <= self.window_hours
     }
@@ -99,7 +98,10 @@ mod tests {
     fn peak_window_detection_wraps_midnight() {
         let p = AsyncPeakShaving::new(23.0, 2.0, 60_000);
         assert!(p.in_peak_window(23 * MILLIS_PER_HOUR));
-        assert!(p.in_peak_window(MILLIS_PER_HOUR / 2), "00:30 is within 2 h of 23:00");
+        assert!(
+            p.in_peak_window(MILLIS_PER_HOUR / 2),
+            "00:30 is within 2 h of 23:00"
+        );
         assert!(!p.in_peak_window(12 * MILLIS_PER_HOUR));
     }
 

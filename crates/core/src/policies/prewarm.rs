@@ -259,7 +259,11 @@ mod tests {
     fn demand_prewarm_targets_active_functions_without_pods() {
         let mut policy = DemandPrewarm::default();
         let view = platform(
-            vec![fview(1, 0, 3, Some(1)), fview(2, 1, 5, Some(1)), fview(3, 0, 0, None)],
+            vec![
+                fview(1, 0, 3, Some(1)),
+                fview(2, 1, 5, Some(1)),
+                fview(3, 0, 0, None),
+            ],
             60_000,
         );
         let requests = policy.prewarm(&view);

@@ -1,0 +1,153 @@
+//! The discrete-event simulation loop.
+//!
+//! [`SimulationEngine`] owns one run's policies and drives a
+//! [`SimState`](crate::state::SimState) through a workload: arrivals,
+//! completions, keep-alive expiries, pre-warm and pool-replenish ticks, and
+//! admission-control delays. Engines are single-use by design — they are
+//! stamped out either by the compatibility [`Simulator`](crate::Simulator)
+//! builder or, for replicated experiment runs, by a
+//! [`SimulationSpec`](crate::SimulationSpec) whose policy factory builds a
+//! fresh set of policies per run.
+
+use faas_workload::WorkloadSpec;
+use fntrace::{FunctionId, PodId, RegionTrace};
+
+use crate::config::PlatformConfig;
+use crate::event::Event;
+use crate::keepalive::KeepAlivePolicy;
+use crate::policy::{AdmissionPolicy, PrewarmPolicy};
+use crate::report::SimReport;
+use crate::state::SimState;
+
+/// Single-use discrete-event engine for one region replay.
+pub struct SimulationEngine {
+    config: PlatformConfig,
+    keep_alive: Box<dyn KeepAlivePolicy>,
+    prewarm: Box<dyn PrewarmPolicy>,
+    admission: Box<dyn AdmissionPolicy>,
+    seed: u64,
+}
+
+impl SimulationEngine {
+    /// Assembles an engine from a configuration, one policy of each kind, and
+    /// the random seed of this run.
+    pub fn new(
+        config: PlatformConfig,
+        keep_alive: Box<dyn KeepAlivePolicy>,
+        prewarm: Box<dyn PrewarmPolicy>,
+        admission: Box<dyn AdmissionPolicy>,
+        seed: u64,
+    ) -> Self {
+        Self {
+            config,
+            keep_alive,
+            prewarm,
+            admission,
+            seed,
+        }
+    }
+
+    /// Runs the workload, returning the report and, when trace recording is
+    /// enabled, the full simulated region trace.
+    pub fn run(mut self, workload: &WorkloadSpec) -> (SimReport, Option<RegionTrace>) {
+        let mut state = SimState::new(workload, &self.config, self.seed);
+        let duration = workload.duration_ms();
+
+        // Initial periodic ticks.
+        state
+            .queue
+            .push(self.config.prewarm_interval_ms, Event::PrewarmTick);
+        state.queue.push(
+            self.config.pool.replenish_interval_ms.max(1),
+            Event::PoolReplenishTick,
+        );
+
+        for event in &workload.events {
+            while let Some((t, e)) = state.queue.pop_due(event.timestamp_ms) {
+                self.handle_internal(&mut state, t, e, duration);
+            }
+            self.handle_arrival(&mut state, event.function, event.timestamp_ms, true);
+        }
+        // Drain the remaining internal events (completions, expiries, final
+        // ticks). Periodic ticks are not rescheduled past the duration.
+        while let Some((t, e)) = state.queue.pop() {
+            self.handle_internal(&mut state, t, e, duration);
+        }
+        // Terminate anything still alive at the end of the horizon.
+        let live: Vec<PodId> = state.pods.keys().copied().collect();
+        for pod_id in live {
+            state.finalize_pod(pod_id, duration);
+        }
+
+        state.into_report(
+            self.keep_alive.name(),
+            self.prewarm.name(),
+            self.admission.name(),
+        )
+    }
+
+    fn handle_internal(&mut self, state: &mut SimState<'_>, t: u64, event: Event, duration: u64) {
+        match event {
+            Event::RequestComplete { pod, busy_ms } => {
+                state.complete_request(pod, t, busy_ms, self.keep_alive.as_ref())
+            }
+            Event::PodExpire { pod, generation } => state.expire_pod(pod, t, generation),
+            Event::DelayedArrival { function } => {
+                self.handle_arrival(state, function, t, false);
+            }
+            Event::PrewarmTick => {
+                if t <= duration {
+                    let view = state.platform_view(t);
+                    let requests = self.prewarm.prewarm(&view);
+                    for req in requests {
+                        for _ in 0..req.count {
+                            state.prewarm_pod(req.function, t, self.keep_alive.as_ref());
+                        }
+                    }
+                    state.reset_recent_arrivals();
+                    state.queue.push(
+                        t + self.config.prewarm_interval_ms.max(1),
+                        Event::PrewarmTick,
+                    );
+                }
+            }
+            Event::PoolReplenishTick => {
+                if t <= duration {
+                    state.pools.replenish();
+                    state.queue.push(
+                        t + self.config.pool.replenish_interval_ms.max(1),
+                        Event::PoolReplenishTick,
+                    );
+                }
+            }
+        }
+    }
+
+    fn handle_arrival(
+        &mut self,
+        state: &mut SimState<'_>,
+        function: FunctionId,
+        t: u64,
+        allow_delay: bool,
+    ) {
+        if allow_delay {
+            state.observe_arrival(function, t);
+            let view = state.function_view(function, t);
+            if let Some(view) = view {
+                if view.trigger.synchronicity() == fntrace::Synchronicity::Asynchronous {
+                    let delay = self.admission.delay_ms(&view, t);
+                    if delay > 0 {
+                        state.report.delayed_requests += 1;
+                        state.report.total_admission_delay_s += delay as f64 / 1e3;
+                        state.added_latency_s += delay as f64 / 1e3;
+                        state
+                            .queue
+                            .push(t + delay, Event::DelayedArrival { function });
+                        return;
+                    }
+                }
+            }
+        }
+        state.dispatch(function, t, self.keep_alive.as_ref());
+    }
+}

@@ -126,7 +126,13 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(30, Event::PrewarmTick);
         q.push(10, Event::PoolReplenishTick);
-        q.push(20, Event::RequestComplete { pod: PodId::new(1), busy_ms: 5 });
+        q.push(
+            20,
+            Event::RequestComplete {
+                pod: PodId::new(1),
+                busy_ms: 5,
+            },
+        );
         let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
         assert_eq!(times, vec![10, 20, 30]);
         assert!(q.is_empty());
@@ -135,9 +141,27 @@ mod tests {
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(5, Event::PodExpire { pod: PodId::new(1), generation: 0 });
-        q.push(5, Event::PodExpire { pod: PodId::new(2), generation: 0 });
-        q.push(5, Event::PodExpire { pod: PodId::new(3), generation: 0 });
+        q.push(
+            5,
+            Event::PodExpire {
+                pod: PodId::new(1),
+                generation: 0,
+            },
+        );
+        q.push(
+            5,
+            Event::PodExpire {
+                pod: PodId::new(2),
+                generation: 0,
+            },
+        );
+        q.push(
+            5,
+            Event::PodExpire {
+                pod: PodId::new(3),
+                generation: 0,
+            },
+        );
         let pods: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
                 Event::PodExpire { pod, .. } => pod.raw(),

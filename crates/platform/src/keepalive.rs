@@ -94,7 +94,9 @@ pub struct FixedKeepAlive {
 
 impl Default for FixedKeepAlive {
     fn default() -> Self {
-        Self { duration_ms: 60_000 }
+        Self {
+            duration_ms: 60_000,
+        }
     }
 }
 

@@ -32,6 +32,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod engine;
 pub mod event;
 pub mod keepalive;
 pub mod pod;
@@ -39,9 +40,12 @@ pub mod policy;
 pub mod pool;
 pub mod report;
 pub mod simulator;
+pub mod spec;
+pub mod state;
 
 pub use cluster::ClusterState;
 pub use config::PlatformConfig;
+pub use engine::SimulationEngine;
 pub use event::{Event, EventQueue};
 pub use keepalive::{AdaptiveKeepAlive, FixedKeepAlive, KeepAlivePolicy, TimerAwareKeepAlive};
 pub use pod::{Pod, PodState};
@@ -52,3 +56,4 @@ pub use policy::{
 pub use pool::{PoolConfig, ResourcePools};
 pub use report::{LatencyStats, SimReport};
 pub use simulator::Simulator;
+pub use spec::{BaselinePolicies, PolicyFactory, SimulationSpec};

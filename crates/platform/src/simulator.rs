@@ -1,32 +1,23 @@
-//! The discrete-event simulation loop.
+//! Builder-style compatibility wrapper around the simulation engine.
 //!
-//! [`Simulator`] replays a [`faas_workload::WorkloadSpec`] through the
-//! platform model: warm-pod reuse, resource pools, cold-start component
-//! sampling, keep-alive expiry, cluster placement, and the pluggable
-//! pre-warming / admission policies. It produces an aggregate [`SimReport`]
-//! and (optionally) a full [`fntrace::RegionTrace`] of the simulated events.
+//! [`Simulator`] is the original single-run API: configure policies with the
+//! builder methods, then consume the simulator with [`Simulator::run`]. It is
+//! now a thin shim over [`SimulationEngine`](crate::engine::SimulationEngine);
+//! code that wants to replay the same configuration many times (policy
+//! ablations, the experiment grid) should use
+//! [`SimulationSpec`](crate::spec::SimulationSpec) instead, which replicates
+//! runs from a shared [`PolicyFactory`](crate::spec::PolicyFactory).
 
-use std::collections::HashMap;
+use faas_workload::WorkloadSpec;
+use fntrace::RegionTrace;
 
-use faas_stats::rng::Xoshiro256pp;
-use faas_workload::{ColdStartLatencyModel, FunctionSpec, WorkloadSpec};
-use fntrace::{
-    ColdStartRecord, FunctionId, FunctionMeta, PodId, RegionTrace, RequestId, RequestRecord,
-    MILLIS_PER_DAY, MILLIS_PER_HOUR,
-};
-
-use crate::cluster::ClusterState;
 use crate::config::PlatformConfig;
-use crate::event::{Event, EventQueue};
-use crate::keepalive::{FixedKeepAlive, FunctionHistory, KeepAlivePolicy};
-use crate::pod::{Pod, PodState};
-use crate::policy::{
-    AdmissionPolicy, FunctionView, NoAdmissionControl, NoPrewarm, PlatformView, PrewarmPolicy,
-};
-use crate::pool::{PoolAcquire, ResourcePools};
-use crate::report::{LatencyStats, SimReport};
+use crate::engine::SimulationEngine;
+use crate::keepalive::{FixedKeepAlive, KeepAlivePolicy};
+use crate::policy::{AdmissionPolicy, NoAdmissionControl, NoPrewarm, PrewarmPolicy};
+use crate::report::SimReport;
 
-/// Discrete-event simulator for one region.
+/// Discrete-event simulator for one region (single-use builder API).
 pub struct Simulator {
     config: PlatformConfig,
     keep_alive: Box<dyn KeepAlivePolicy>,
@@ -81,474 +72,21 @@ impl Simulator {
 
     /// Runs the workload, returning the report and, when trace recording is
     /// enabled, the full simulated region trace.
-    pub fn run(mut self, workload: &WorkloadSpec) -> (SimReport, Option<RegionTrace>) {
-        let mut state = SimState::new(workload, &self.config, self.seed);
-        let duration = workload.duration_ms();
-
-        // Initial periodic ticks.
-        state
-            .queue
-            .push(self.config.prewarm_interval_ms, Event::PrewarmTick);
-        state.queue.push(
-            self.config.pool.replenish_interval_ms.max(1),
-            Event::PoolReplenishTick,
-        );
-
-        for event in &workload.events {
-            while let Some((t, e)) = state.queue.pop_due(event.timestamp_ms) {
-                self.handle_internal(&mut state, t, e, duration);
-            }
-            self.handle_arrival(&mut state, event.function, event.timestamp_ms, true);
-        }
-        // Drain the remaining internal events (completions, expiries, final
-        // ticks). Periodic ticks are not rescheduled past the duration.
-        while let Some((t, e)) = state.queue.pop() {
-            self.handle_internal(&mut state, t, e, duration);
-        }
-        // Terminate anything still alive at the end of the horizon.
-        let live: Vec<PodId> = state.pods.keys().copied().collect();
-        for pod_id in live {
-            state.finalize_pod(pod_id, duration);
-        }
-
-        let report = state.into_report(
-            self.keep_alive.name(),
-            self.prewarm.name(),
-            self.admission.name(),
-        );
-        report
-    }
-
-    fn handle_internal(&mut self, state: &mut SimState<'_>, t: u64, event: Event, duration: u64) {
-        match event {
-            Event::RequestComplete { pod, busy_ms } => state.complete_request(
-                pod,
-                t,
-                busy_ms,
-                self.keep_alive.as_ref(),
-            ),
-            Event::PodExpire { pod, generation } => state.expire_pod(pod, t, generation),
-            Event::DelayedArrival { function } => {
-                self.handle_arrival(state, function, t, false);
-            }
-            Event::PrewarmTick => {
-                if t <= duration {
-                    let view = state.platform_view(t);
-                    let requests = self.prewarm.prewarm(&view);
-                    for req in requests {
-                        for _ in 0..req.count {
-                            state.prewarm_pod(req.function, t, self.keep_alive.as_ref());
-                        }
-                    }
-                    state.reset_recent_arrivals();
-                    state
-                        .queue
-                        .push(t + self.config.prewarm_interval_ms.max(1), Event::PrewarmTick);
-                }
-            }
-            Event::PoolReplenishTick => {
-                if t <= duration {
-                    state.pools.replenish();
-                    state.queue.push(
-                        t + self.config.pool.replenish_interval_ms.max(1),
-                        Event::PoolReplenishTick,
-                    );
-                }
-            }
-        }
-    }
-
-    fn handle_arrival(
-        &mut self,
-        state: &mut SimState<'_>,
-        function: FunctionId,
-        t: u64,
-        allow_delay: bool,
-    ) {
-        if allow_delay {
-            state.observe_arrival(function, t);
-            let view = state.function_view(function, t);
-            if let Some(view) = view {
-                if view.trigger.synchronicity() == fntrace::Synchronicity::Asynchronous {
-                    let delay = self.admission.delay_ms(&view, t);
-                    if delay > 0 {
-                        state.report.delayed_requests += 1;
-                        state.report.total_admission_delay_s += delay as f64 / 1e3;
-                        state.added_latency_s += delay as f64 / 1e3;
-                        state
-                            .queue
-                            .push(t + delay, Event::DelayedArrival { function });
-                        return;
-                    }
-                }
-            }
-        }
-        state.dispatch(function, t, self.keep_alive.as_ref());
+    pub fn run(self, workload: &WorkloadSpec) -> (SimReport, Option<RegionTrace>) {
+        SimulationEngine::new(
+            self.config,
+            self.keep_alive,
+            self.prewarm,
+            self.admission,
+            self.seed,
+        )
+        .run(workload)
     }
 }
 
 impl Default for Simulator {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-/// Mutable simulation state.
-struct SimState<'a> {
-    workload: &'a WorkloadSpec,
-    config: PlatformConfig,
-    specs: HashMap<FunctionId, &'a FunctionSpec>,
-    latency_model: ColdStartLatencyModel,
-    rng: Xoshiro256pp,
-    queue: EventQueue,
-    pools: ResourcePools,
-    clusters: ClusterState,
-    pods: HashMap<PodId, Pod>,
-    warm_by_function: HashMap<FunctionId, Vec<PodId>>,
-    histories: HashMap<FunctionId, FunctionHistory>,
-    recent_arrivals: HashMap<FunctionId, u64>,
-    next_pod_id: u64,
-    next_request_id: u64,
-    report: SimReport,
-    cold_latencies_s: Vec<f64>,
-    added_latency_s: f64,
-    trace: Option<RegionTrace>,
-    peak_live_pods: u32,
-}
-
-impl<'a> SimState<'a> {
-    fn new(workload: &'a WorkloadSpec, config: &PlatformConfig, seed: u64) -> Self {
-        let specs = workload
-            .functions
-            .iter()
-            .map(|f| (f.function, f))
-            .collect();
-        let trace = if config.record_trace {
-            let mut trace = RegionTrace::new(workload.region);
-            for spec in &workload.functions {
-                trace.functions.insert(FunctionMeta {
-                    function: spec.function,
-                    user: spec.user,
-                    runtime: spec.runtime,
-                    triggers: spec.triggers.clone(),
-                    config: spec.config,
-                });
-            }
-            Some(trace)
-        } else {
-            None
-        };
-        Self {
-            workload,
-            config: config.clone(),
-            specs,
-            latency_model: ColdStartLatencyModel::new(workload.profile.clone()),
-            rng: Xoshiro256pp::seed_from_u64(seed ^ 0x5151_5151),
-            queue: EventQueue::new(),
-            pools: ResourcePools::new(config.pool.clone()),
-            clusters: ClusterState::new(config.clusters, config.hot_spot_threshold),
-            pods: HashMap::new(),
-            warm_by_function: HashMap::new(),
-            histories: HashMap::new(),
-            recent_arrivals: HashMap::new(),
-            next_pod_id: 0,
-            next_request_id: 0,
-            report: SimReport::default(),
-            cold_latencies_s: Vec::new(),
-            added_latency_s: 0.0,
-            trace,
-            peak_live_pods: 0,
-        }
-    }
-
-    fn observe_arrival(&mut self, function: FunctionId, t: u64) {
-        self.histories.entry(function).or_default().observe_arrival(t);
-        *self.recent_arrivals.entry(function).or_insert(0) += 1;
-    }
-
-    fn reset_recent_arrivals(&mut self) {
-        self.recent_arrivals.clear();
-    }
-
-    fn function_view(&self, function: FunctionId, _now_ms: u64) -> Option<FunctionView> {
-        let spec = self.specs.get(&function)?;
-        let history = self.histories.get(&function);
-        let warm = self
-            .warm_by_function
-            .get(&function)
-            .map(|v| v.len() as u32)
-            .unwrap_or(0);
-        Some(FunctionView {
-            function,
-            runtime: spec.runtime,
-            trigger: spec.primary_trigger(),
-            config: spec.config,
-            timer_period_secs: spec.timer_period_secs,
-            warm_pods: warm,
-            arrivals: history.map(|h| h.arrivals).unwrap_or(0),
-            cold_starts: history.map(|h| h.cold_starts).unwrap_or(0),
-            recent_arrivals: self.recent_arrivals.get(&function).copied().unwrap_or(0),
-            last_arrival_ms: history.and_then(|h| h.last_arrival()),
-        })
-    }
-
-    fn platform_view(&self, now_ms: u64) -> PlatformView {
-        let functions = self
-            .workload
-            .functions
-            .iter()
-            .filter_map(|f| self.function_view(f.function, now_ms))
-            .collect::<Vec<_>>();
-        PlatformView {
-            now_ms,
-            total_warm_pods: self.pods.len() as u32,
-            pooled_idle_pods: self.pools.total_idle(),
-            functions,
-        }
-    }
-
-    /// Samples one cold start for `function` and registers the new pod.
-    /// Returns the pod id and its cold-start duration in microseconds.
-    fn create_pod(
-        &mut self,
-        function: FunctionId,
-        t: u64,
-        prewarmed: bool,
-    ) -> Option<(PodId, u64)> {
-        let spec = *self.specs.get(&function)?;
-        let cluster = self.clusters.place_pod(function);
-        let acquire = self
-            .pools
-            .acquire(spec.config, spec.runtime.has_reserved_pool());
-        let day = (t / MILLIS_PER_DAY) as u32;
-        let hour = ((t % MILLIS_PER_DAY) / MILLIS_PER_HOUR) as f64;
-        let load_factor = self
-            .workload
-            .profile
-            .load_multiplier(&self.workload.calibration, day, hour);
-        let mut components = self.latency_model.sample(
-            spec.runtime,
-            spec.config.size_class(),
-            spec.has_dependencies,
-            load_factor,
-            &mut self.rng,
-        );
-        if acquire == PoolAcquire::FromScratch && spec.runtime.has_reserved_pool() {
-            // The pool was empty: pay the from-scratch allocation path.
-            components.pod_alloc_us = (components.pod_alloc_us as f64
-                * self.config.pool.scratch_allocation_multiplier)
-                as u64;
-        }
-
-        self.next_pod_id += 1;
-        let pod_id = PodId::new((u64::from(self.workload.region.index()) << 48) | self.next_pod_id);
-        let pod = Pod::new(
-            pod_id,
-            function,
-            cluster,
-            spec.config,
-            t,
-            components.total_us(),
-            prewarmed,
-        );
-        self.pods.insert(pod_id, pod);
-        self.warm_by_function.entry(function).or_default().push(pod_id);
-        self.peak_live_pods = self.peak_live_pods.max(self.pods.len() as u32);
-
-        if !prewarmed {
-            self.report.cold_starts += 1;
-            self.cold_latencies_s.push(components.total_secs());
-            self.added_latency_s += components.total_secs();
-            self.histories.entry(function).or_default().observe_cold_start();
-            if let Some(trace) = self.trace.as_mut() {
-                trace.cold_starts.push(ColdStartRecord {
-                    timestamp_ms: t,
-                    pod: pod_id,
-                    cluster,
-                    function,
-                    user: spec.user,
-                    cold_start_us: components.total_us(),
-                    pod_alloc_us: components.pod_alloc_us,
-                    deploy_code_us: components.deploy_code_us,
-                    deploy_dep_us: components.deploy_dep_us,
-                    scheduling_us: components.scheduling_us,
-                });
-            }
-        } else {
-            self.report.prewarmed_pods += 1;
-        }
-        match acquire {
-            PoolAcquire::FromPool => self.report.pool_hits += 1,
-            PoolAcquire::FromScratch => self.report.scratch_creations += 1,
-        }
-        Some((pod_id, components.total_us()))
-    }
-
-    /// Dispatches one admitted request.
-    fn dispatch(&mut self, function: FunctionId, t: u64, keep_alive: &dyn KeepAlivePolicy) {
-        let Some(spec) = self.specs.get(&function).copied() else {
-            return;
-        };
-        self.report.requests += 1;
-
-        // Pick the most recently active warm pod with spare capacity that is
-        // already ready to serve.
-        let warm_pod = self
-            .warm_by_function
-            .get(&function)
-            .and_then(|pods| {
-                pods.iter()
-                    .filter_map(|id| self.pods.get(id))
-                    .filter(|p| p.has_capacity(spec.concurrency) && p.ready_ms <= t)
-                    .max_by_key(|p| p.last_activity_ms)
-                    .map(|p| p.id)
-            });
-
-        let exec_secs = (spec.median_execution_secs
-            * (0.6 * self.rng.standard_normal()).exp())
-        .clamp(1e-4, 600.0);
-        let exec_ms = (exec_secs * 1e3).ceil() as u64;
-
-        let (pod_id, startup_ms) = match warm_pod {
-            Some(pod_id) => {
-                self.report.warm_starts += 1;
-                (pod_id, 0)
-            }
-            None => match self.create_pod(function, t, false) {
-                Some((pod_id, cold_us)) => (pod_id, cold_us.div_ceil(1000)),
-                None => return,
-            },
-        };
-
-        let pod = self.pods.get_mut(&pod_id).expect("pod exists");
-        let was_prewarmed_unused = pod.prewarmed && pod.served == 0;
-        pod.begin_request();
-        if was_prewarmed_unused {
-            self.report.prewarmed_pods_used += 1;
-        }
-        let cluster = pod.cluster;
-        self.clusters.begin_request(cluster);
-        self.queue.push(
-            t + startup_ms + exec_ms,
-            Event::RequestComplete {
-                pod: pod_id,
-                busy_ms: exec_ms,
-            },
-        );
-
-        if let Some(trace) = self.trace.as_mut() {
-            self.next_request_id += 1;
-            let cpu = (spec.cpu_millicores * (0.3 * self.rng.standard_normal()).exp())
-                .clamp(5.0, spec.config.millicores as f64);
-            let memory =
-                ((spec.memory_bytes as f64) * (0.9 + 0.2 * self.rng.next_f64())).round() as u64;
-            trace.requests.push(RequestRecord {
-                timestamp_ms: t,
-                pod: pod_id,
-                cluster,
-                function,
-                user: spec.user,
-                request: RequestId::new(self.next_request_id),
-                execution_time_us: (exec_secs * 1e6) as u64,
-                cpu_usage_millicores: cpu,
-                memory_usage_bytes: memory,
-            });
-        }
-        let _ = keep_alive;
-    }
-
-    fn complete_request(
-        &mut self,
-        pod_id: PodId,
-        t: u64,
-        busy_ms: u64,
-        keep_alive: &dyn KeepAlivePolicy,
-    ) {
-        let Some(pod) = self.pods.get_mut(&pod_id) else {
-            return;
-        };
-        let cluster = pod.cluster;
-        let function = pod.function;
-        let became_idle = pod.complete_request(t, busy_ms);
-        self.clusters.complete_request(cluster);
-        if became_idle {
-            let history = self.histories.entry(function).or_default();
-            let ka = keep_alive.keep_alive_ms(function, history);
-            let generation = pod.expiry_generation;
-            self.queue.push(t + ka.max(1), Event::PodExpire { pod: pod_id, generation });
-        }
-    }
-
-    fn expire_pod(&mut self, pod_id: PodId, t: u64, generation: u64) {
-        let valid = self
-            .pods
-            .get(&pod_id)
-            .map(|p| {
-                p.in_flight == 0
-                    && p.expiry_generation == generation
-                    && p.state != PodState::Terminated
-            })
-            .unwrap_or(false);
-        if valid {
-            self.finalize_pod(pod_id, t);
-        }
-    }
-
-    /// Removes a pod from the live set and accounts its lifetime.
-    fn finalize_pod(&mut self, pod_id: PodId, t: u64) {
-        let Some(mut pod) = self.pods.remove(&pod_id) else {
-            return;
-        };
-        let function = pod.function;
-        let (lifetime_ms, _served, busy_ms) = pod.terminate(t);
-        self.report.pod_lifetime_s += lifetime_ms as f64 / 1e3;
-        let startup_ms = pod.cold_start_us / 1000;
-        self.report.idle_pod_time_s +=
-            lifetime_ms.saturating_sub(busy_ms + startup_ms) as f64 / 1e3;
-        if let Some(list) = self.warm_by_function.get_mut(&function) {
-            list.retain(|id| *id != pod_id);
-        }
-    }
-
-    /// Creates a pre-warmed pod whose startup cost is paid off the critical
-    /// path; it joins the warm set once ready and expires like any idle pod.
-    fn prewarm_pod(&mut self, function: FunctionId, t: u64, keep_alive: &dyn KeepAlivePolicy) {
-        if let Some((pod_id, _cold_us)) = self.create_pod(function, t, true) {
-            let history = self.histories.entry(function).or_default();
-            let ka = keep_alive.keep_alive_ms(function, history);
-            let pod = self.pods.get(&pod_id).expect("pod exists");
-            let generation = pod.expiry_generation;
-            self.queue.push(
-                pod.ready_ms + ka.max(1),
-                Event::PodExpire { pod: pod_id, generation },
-            );
-        }
-    }
-
-    fn into_report(
-        mut self,
-        keep_alive: &'static str,
-        prewarm: &'static str,
-        admission: &'static str,
-    ) -> (SimReport, Option<RegionTrace>) {
-        self.report.cold_start_latency = LatencyStats::from_secs(&self.cold_latencies_s);
-        self.report.mean_added_latency_s = if self.report.requests == 0 {
-            0.0
-        } else {
-            self.added_latency_s / self.report.requests as f64
-        };
-        self.report.peak_live_pods = self.peak_live_pods;
-        self.report.keep_alive_policy = keep_alive.to_string();
-        self.report.prewarm_policy = prewarm.to_string();
-        self.report.admission_policy = admission.to_string();
-        // Pool statistics.
-        self.report.pool_hits = self.pools.pool_hits();
-        self.report.scratch_creations = self.pools.scratch_creations();
-        let mut trace = self.trace;
-        if let Some(trace) = trace.as_mut() {
-            trace.sort_by_time();
-        }
-        (self.report, trace)
     }
 }
 
@@ -634,10 +172,14 @@ mod tests {
     fn longer_keep_alive_reduces_cold_starts() {
         let workload = tiny_workload(2, 5);
         let (short, _) = Simulator::new()
-            .with_keep_alive(Box::new(FixedKeepAlive { duration_ms: 10_000 }))
+            .with_keep_alive(Box::new(FixedKeepAlive {
+                duration_ms: 10_000,
+            }))
             .run(&workload);
         let (long, _) = Simulator::new()
-            .with_keep_alive(Box::new(FixedKeepAlive { duration_ms: 600_000 }))
+            .with_keep_alive(Box::new(FixedKeepAlive {
+                duration_ms: 600_000,
+            }))
             .run(&workload);
         assert!(
             long.cold_starts < short.cold_starts,

@@ -1,0 +1,211 @@
+//! Replicable simulation specifications.
+//!
+//! The original [`Simulator`](crate::Simulator) builder owns boxed policy
+//! objects, so it is consumed by every run — fine for a one-off simulation,
+//! useless for an experiment grid that wants to stamp out hundreds of
+//! identical runs across threads. [`SimulationSpec`] fixes that: it holds a
+//! [`PolicyFactory`] (cheap to share, `Send + Sync`) instead of policy
+//! instances, and builds a fresh [`SimulationEngine`] — with fresh policy
+//! state — for every [`run`](SimulationSpec::run). Two runs of the same spec
+//! on the same workload are bit-identical, whichever thread they execute on.
+
+use std::sync::Arc;
+
+use faas_workload::WorkloadSpec;
+use fntrace::RegionTrace;
+
+use crate::config::PlatformConfig;
+use crate::engine::SimulationEngine;
+use crate::keepalive::{FixedKeepAlive, KeepAlivePolicy};
+use crate::policy::{AdmissionPolicy, NoAdmissionControl, NoPrewarm, PrewarmPolicy};
+use crate::report::SimReport;
+
+/// Builds one run's worth of policies for a given workload.
+///
+/// Implementations must be `Send + Sync` so one factory can stamp out policy
+/// sets concurrently across experiment-grid worker threads. The factory is
+/// invoked once per run, so stateful policies (adaptive keep-alive histories,
+/// demand pre-warmers) start every run from a clean slate — exactly the
+/// property that makes parallel and sequential grid execution agree.
+pub trait PolicyFactory: Send + Sync {
+    /// Builds the keep-alive policy for one run over `workload`.
+    fn keep_alive(&self, workload: &WorkloadSpec) -> Box<dyn KeepAlivePolicy>;
+
+    /// Builds the pre-warm policy for one run over `workload`.
+    fn prewarm(&self, workload: &WorkloadSpec) -> Box<dyn PrewarmPolicy>;
+
+    /// Builds the admission (peak-shaving) policy for one run over `workload`.
+    fn admission(&self, workload: &WorkloadSpec) -> Box<dyn AdmissionPolicy>;
+
+    /// Short label describing the policy combination (used in logs and
+    /// experiment summaries).
+    fn label(&self) -> &str {
+        "custom"
+    }
+}
+
+/// Baseline production policies: fixed one-minute keep-alive, no pre-warming,
+/// no admission control.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselinePolicies;
+
+impl PolicyFactory for BaselinePolicies {
+    fn keep_alive(&self, _workload: &WorkloadSpec) -> Box<dyn KeepAlivePolicy> {
+        Box::new(FixedKeepAlive::default())
+    }
+
+    fn prewarm(&self, _workload: &WorkloadSpec) -> Box<dyn PrewarmPolicy> {
+        Box::new(NoPrewarm)
+    }
+
+    fn admission(&self, _workload: &WorkloadSpec) -> Box<dyn AdmissionPolicy> {
+        Box::new(NoAdmissionControl)
+    }
+
+    fn label(&self) -> &str {
+        "baseline"
+    }
+}
+
+/// A cheap-to-replicate description of a simulation run: configuration, seed,
+/// and a policy factory.
+///
+/// Cloning a spec (or sharing it across threads) costs one `Arc` bump; every
+/// [`run`](SimulationSpec::run) builds its own engine and policy instances,
+/// so a single spec can replay any number of workloads, sequentially or in
+/// parallel, with identical results for identical inputs.
+#[derive(Clone)]
+pub struct SimulationSpec {
+    /// Platform configuration shared by every run of this spec.
+    pub config: PlatformConfig,
+    /// Random seed for each run.
+    pub seed: u64,
+    /// Factory producing one fresh policy set per run.
+    pub policies: Arc<dyn PolicyFactory>,
+}
+
+impl SimulationSpec {
+    /// Creates a spec with the default configuration and baseline policies.
+    pub fn new() -> Self {
+        Self {
+            config: PlatformConfig::default(),
+            seed: 1,
+            policies: Arc::new(BaselinePolicies),
+        }
+    }
+
+    /// Sets the platform configuration.
+    pub fn with_config(mut self, config: PlatformConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the policy factory.
+    pub fn with_policies(mut self, policies: Arc<dyn PolicyFactory>) -> Self {
+        self.policies = policies;
+        self
+    }
+
+    /// Builds the single-use engine for one run over `workload`.
+    pub fn engine(&self, workload: &WorkloadSpec) -> SimulationEngine {
+        SimulationEngine::new(
+            self.config.clone(),
+            self.policies.keep_alive(workload),
+            self.policies.prewarm(workload),
+            self.policies.admission(workload),
+            self.seed,
+        )
+    }
+
+    /// Runs the workload once. The spec is borrowed, not consumed: call this
+    /// as many times as needed, from as many threads as needed.
+    pub fn run(&self, workload: &WorkloadSpec) -> (SimReport, Option<RegionTrace>) {
+        self.engine(workload).run(workload)
+    }
+}
+
+impl Default for SimulationSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+    use faas_workload::population::PopulationConfig;
+    use faas_workload::profile::{Calibration, RegionProfile};
+
+    fn tiny_workload(seed: u64) -> WorkloadSpec {
+        WorkloadSpec::generate(
+            &RegionProfile::r2(),
+            Calibration {
+                duration_days: 1,
+                ..Calibration::default()
+            },
+            &PopulationConfig {
+                function_scale: 0.002,
+                volume_scale: 2.0e-6,
+                max_requests_per_day: 2_000.0,
+                min_functions: 15,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn spec_is_reusable_and_deterministic() {
+        let workload = tiny_workload(21);
+        let spec = SimulationSpec::new().with_seed(4);
+        let (a, ta) = spec.run(&workload);
+        let (b, tb) = spec.run(&workload);
+        assert_eq!(a, b);
+        assert_eq!(ta, tb);
+        assert!(a.requests > 0);
+    }
+
+    #[test]
+    fn spec_matches_compat_simulator() {
+        let workload = tiny_workload(22);
+        let (from_spec, _) = SimulationSpec::new().with_seed(7).run(&workload);
+        let (from_builder, _) = Simulator::new().with_seed(7).run(&workload);
+        assert_eq!(from_spec, from_builder);
+    }
+
+    #[test]
+    fn spec_is_shareable_across_threads() {
+        let workload = tiny_workload(23);
+        let spec = SimulationSpec::new().with_seed(9);
+        let (sequential, _) = spec.run(&workload);
+        let reports: Vec<SimReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let spec = &spec;
+                    let workload = &workload;
+                    scope.spawn(move || spec.run(workload).0)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for report in reports {
+            assert_eq!(report, sequential);
+        }
+    }
+
+    #[test]
+    fn baseline_factory_labels_policies() {
+        let workload = tiny_workload(24);
+        let factory = BaselinePolicies;
+        assert_eq!(factory.label(), "baseline");
+        assert_eq!(factory.keep_alive(&workload).name(), "fixed");
+        assert_eq!(factory.prewarm(&workload).name(), "no-prewarm");
+        assert_eq!(factory.admission(&workload).name(), "no-admission-control");
+    }
+}

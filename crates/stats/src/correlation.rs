@@ -89,7 +89,11 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<CorrelationResult, StatsError> {
 /// Assigns average ranks (1-based) to the data, resolving ties by averaging.
 pub fn average_ranks(data: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..data.len()).collect();
-    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        data[a]
+            .partial_cmp(&data[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; data.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -129,10 +133,7 @@ pub struct CorrelationMatrix {
 impl CorrelationMatrix {
     /// Computes the pairwise Spearman correlation matrix of the given
     /// variables (each a series of equal length).
-    pub fn spearman(
-        labels: &[&str],
-        series: &[&[f64]],
-    ) -> Result<Self, StatsError> {
+    pub fn spearman(labels: &[&str], series: &[&[f64]]) -> Result<Self, StatsError> {
         if labels.len() != series.len() {
             return Err(StatsError::LengthMismatch {
                 left: labels.len(),
@@ -245,8 +246,12 @@ mod tests {
     #[test]
     fn pearson_independent_is_small() {
         // Deterministic pseudo-independent sequences.
-        let x: Vec<f64> = (0..2000u64).map(|i| ((i * 7919) % 104_729) as f64).collect();
-        let y: Vec<f64> = (0..2000u64).map(|i| ((i * 15_485_863) % 32_452_843) as f64).collect();
+        let x: Vec<f64> = (0..2000u64)
+            .map(|i| ((i * 7919) % 104_729) as f64)
+            .collect();
+        let y: Vec<f64> = (0..2000u64)
+            .map(|i| ((i * 15_485_863) % 32_452_843) as f64)
+            .collect();
         let r = pearson(&x, &y).unwrap();
         assert!(r.coefficient.abs() < 0.08, "r = {}", r.coefficient);
     }

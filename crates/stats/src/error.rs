@@ -66,8 +66,14 @@ impl fmt::Display for StatsError {
             StatsError::InvalidParameter { name, value } => {
                 write!(f, "invalid parameter {name}: {value}")
             }
-            StatsError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+            StatsError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
             StatsError::LengthMismatch { left, right } => {
                 write!(f, "length mismatch: {left} vs {right}")

@@ -9,10 +9,7 @@ use crate::StatsError;
 
 /// One-sample Kolmogorov–Smirnov statistic: the maximum absolute distance
 /// between the ECDF of `data` and the CDF of `dist`.
-pub fn ks_statistic<D: ContinuousDistribution>(
-    data: &[f64],
-    dist: &D,
-) -> Result<f64, StatsError> {
+pub fn ks_statistic<D: ContinuousDistribution>(data: &[f64], dist: &D) -> Result<f64, StatsError> {
     if data.is_empty() {
         return Err(StatsError::EmptyInput);
     }

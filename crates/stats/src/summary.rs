@@ -200,7 +200,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0)
+            .collect();
         let whole = Summary::from_slice(&data);
         let mut a = Summary::from_slice(&data[..400]);
         let b = Summary::from_slice(&data[400..]);

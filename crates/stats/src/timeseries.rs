@@ -119,7 +119,11 @@ fn detect_peaks_with(series: &[f64], cfg: &PeakDetector) -> Vec<Peak> {
         }
     }
     // Enforce minimum separation, keeping the taller of two close peaks.
-    candidates.sort_by(|a, b| b.value.partial_cmp(&a.value).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.sort_by(|a, b| {
+        b.value
+            .partial_cmp(&a.value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut kept: Vec<Peak> = Vec::new();
     for c in candidates {
         if kept
@@ -259,7 +263,10 @@ mod tests {
         let ratio = peak_to_trough_ratio(&series, 10, 1.0);
         assert!((ratio - 9.0).abs() < 1.0, "ratio {ratio}");
         // Constant series => ratio 1.
-        assert_eq!(peak_to_trough_ratio(&[5.0; 100], 5, 1.0), 5.0f64.max(1.0) / 5.0);
+        assert_eq!(
+            peak_to_trough_ratio(&[5.0; 100], 5, 1.0),
+            5.0f64.max(1.0) / 5.0
+        );
         assert_eq!(peak_to_trough_ratio(&[], 5, 1.0), 1.0);
         assert_eq!(peak_to_trough_ratio(&[0.0; 50], 5, 1.0), 1.0);
     }

@@ -47,7 +47,10 @@ impl RegionTrace {
     /// Overall time span `[min, max]` in milliseconds across both event
     /// tables, or `None` if the trace has no events.
     pub fn time_span_ms(&self) -> Option<(u64, u64)> {
-        match (self.requests.time_span_ms(), self.cold_starts.time_span_ms()) {
+        match (
+            self.requests.time_span_ms(),
+            self.cold_starts.time_span_ms(),
+        ) {
             (Some((a, b)), Some((c, d))) => Some((a.min(c), b.max(d))),
             (Some(span), None) | (None, Some(span)) => Some(span),
             (None, None) => None,
@@ -391,7 +394,12 @@ mod tests {
         ds.insert_region(trace);
         ds.sort_by_time();
         let r = ds.region(RegionId::new(1)).unwrap();
-        let ts: Vec<u64> = r.requests.records().iter().map(|x| x.timestamp_ms).collect();
+        let ts: Vec<u64> = r
+            .requests
+            .records()
+            .iter()
+            .map(|x| x.timestamp_ms)
+            .collect();
         let mut sorted = ts.clone();
         sorted.sort_unstable();
         assert_eq!(ts, sorted);

@@ -70,9 +70,7 @@ id_type!(
 );
 
 /// Data-center region identifier (R1..R5 in the paper; arbitrary count here).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct RegionId(u16);
 
 impl RegionId {

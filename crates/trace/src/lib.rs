@@ -50,6 +50,4 @@ pub use ids::{ClusterId, FunctionId, PodId, RegionId, RequestId, UserId};
 pub use record::{ColdStartRecord, FunctionMeta, RequestRecord};
 pub use table::{ColdStartTable, FunctionTable, RequestTable};
 pub use timebin::{TimeBinner, MICROS_PER_SEC, MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MIN};
-pub use types::{
-    ResourceConfig, Runtime, SizeClass, Synchronicity, TriggerGroup, TriggerType,
-};
+pub use types::{ResourceConfig, Runtime, SizeClass, Synchronicity, TriggerGroup, TriggerType};

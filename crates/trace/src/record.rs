@@ -141,7 +141,10 @@ impl FunctionMeta {
     /// The function's primary trigger: the first configured trigger, or
     /// `Unknown` when none was logged.
     pub fn primary_trigger(&self) -> TriggerType {
-        self.triggers.first().copied().unwrap_or(TriggerType::Unknown)
+        self.triggers
+            .first()
+            .copied()
+            .unwrap_or(TriggerType::Unknown)
     }
 
     /// Whether any of the function's triggers is a timer.

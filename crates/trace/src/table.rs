@@ -64,10 +64,7 @@ impl RequestTable {
     }
 
     /// Iterator over records of one function.
-    pub fn for_function(
-        &self,
-        function: FunctionId,
-    ) -> impl Iterator<Item = &RequestRecord> + '_ {
+    pub fn for_function(&self, function: FunctionId) -> impl Iterator<Item = &RequestRecord> + '_ {
         self.records.iter().filter(move |r| r.function == function)
     }
 
@@ -91,7 +88,10 @@ impl RequestTable {
 
     /// Execution times in seconds as a column.
     pub fn execution_times_secs(&self) -> Vec<f64> {
-        self.records.iter().map(|r| r.execution_time_secs()).collect()
+        self.records
+            .iter()
+            .map(|r| r.execution_time_secs())
+            .collect()
     }
 
     /// CPU usages in cores as a column.
@@ -101,10 +101,7 @@ impl RequestTable {
 
     /// Distinct functions appearing in the table.
     pub fn distinct_functions(&self) -> Vec<FunctionId> {
-        let mut v: Vec<FunctionId> = self
-            .requests_per_function()
-            .into_keys()
-            .collect();
+        let mut v: Vec<FunctionId> = self.requests_per_function().into_keys().collect();
         v.sort_unstable();
         v
     }
@@ -267,7 +264,9 @@ impl FunctionTable {
 
     /// Runtime of a function, or `Unknown` if unlisted.
     pub fn runtime_of(&self, function: FunctionId) -> Runtime {
-        self.get(function).map(|m| m.runtime).unwrap_or(Runtime::Unknown)
+        self.get(function)
+            .map(|m| m.runtime)
+            .unwrap_or(Runtime::Unknown)
     }
 
     /// Primary trigger of a function, or `Unknown` if unlisted.
@@ -382,7 +381,10 @@ mod tests {
         assert!(f.is_empty());
         assert_eq!(f.runtime_of(FunctionId::new(1)), Runtime::Unknown);
         assert_eq!(f.trigger_of(FunctionId::new(1)), TriggerType::Unknown);
-        assert_eq!(f.config_of(FunctionId::new(1)), ResourceConfig::SMALL_300_128);
+        assert_eq!(
+            f.config_of(FunctionId::new(1)),
+            ResourceConfig::SMALL_300_128
+        );
     }
 
     #[test]
@@ -428,7 +430,10 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.runtime_of(FunctionId::new(7)), Runtime::Java);
         assert_eq!(t.trigger_of(FunctionId::new(8)), TriggerType::Timer);
-        assert_eq!(t.config_of(FunctionId::new(7)), ResourceConfig::LARGE_600_512);
+        assert_eq!(
+            t.config_of(FunctionId::new(7)),
+            ResourceConfig::LARGE_600_512
+        );
         assert_eq!(t.functions_per_user()[&UserId::new(1)], 2);
         assert_eq!(t.functions_per_runtime()[&Runtime::Java], 1);
         assert_eq!(t.iter().count(), 2);

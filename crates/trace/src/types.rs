@@ -276,7 +276,10 @@ impl TriggerGroup {
     pub fn is_async(self) -> bool {
         matches!(
             self,
-            TriggerGroup::TimerA | TriggerGroup::ObsA | TriggerGroup::OtherA | TriggerGroup::Unknown
+            TriggerGroup::TimerA
+                | TriggerGroup::ObsA
+                | TriggerGroup::OtherA
+                | TriggerGroup::Unknown
         )
     }
 }
@@ -472,10 +475,7 @@ mod tests {
             SizeClass::Small
         );
         assert_eq!(ResourceConfig::LARGE_600_512.size_class(), SizeClass::Large);
-        assert_eq!(
-            ResourceConfig::new(400, 512).size_class(),
-            SizeClass::Large
-        );
+        assert_eq!(ResourceConfig::new(400, 512).size_class(), SizeClass::Large);
         assert_eq!(
             ResourceConfig::MAX_26000_32768.size_class(),
             SizeClass::Large
@@ -493,7 +493,10 @@ mod tests {
         let other = ResourceConfig::new(2000, 4096);
         assert!(!other.is_standard());
         assert_eq!(other.figure_label(), "other");
-        assert_eq!(ResourceConfig::from_label("600-512"), Some(ResourceConfig::LARGE_600_512));
+        assert_eq!(
+            ResourceConfig::from_label("600-512"),
+            Some(ResourceConfig::LARGE_600_512)
+        );
         assert_eq!(ResourceConfig::from_label("garbage"), None);
         assert_eq!(ResourceConfig::from_label("600-"), None);
         assert_eq!(format!("{c}"), "300-128");

@@ -235,8 +235,13 @@ mod tests {
             .map(|(h, _)| h as f64)
             .unwrap();
         let expected = gen.profile.peak_hour;
-        let distance = (peak_hour - expected).abs().min(24.0 - (peak_hour - expected).abs());
-        assert!(distance <= 3.0, "peak at hour {peak_hour}, expected ~{expected}");
+        let distance = (peak_hour - expected)
+            .abs()
+            .min(24.0 - (peak_hour - expected).abs());
+        assert!(
+            distance <= 3.0,
+            "peak at hour {peak_hour}, expected ~{expected}"
+        );
         // Trough is much lower than peak.
         let max = *by_hour.iter().max().unwrap() as f64;
         let min = *by_hour.iter().min().unwrap() as f64;
@@ -264,7 +269,10 @@ mod tests {
         // Per-day rates.
         let api_holiday = count_in(&api_arrivals, true) / 8.0;
         let api_normal = count_in(&api_arrivals, false) / 15.0;
-        assert!(api_holiday < 0.8 * api_normal, "holiday {api_holiday} normal {api_normal}");
+        assert!(
+            api_holiday < 0.8 * api_normal,
+            "holiday {api_holiday} normal {api_normal}"
+        );
         let timer_holiday = count_in(&timer_arrivals, true) / 8.0;
         let timer_normal = count_in(&timer_arrivals, false) / 15.0;
         assert!((timer_holiday / timer_normal - 1.0).abs() < 0.1);

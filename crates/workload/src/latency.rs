@@ -201,8 +201,11 @@ impl ColdStartLatencyModel {
             sigma,
             rng,
         );
-        let deploy_code_s =
-            sample_lognormal(base.deploy_code_s * rf.deploy_code * size_code, sigma * 0.8, rng);
+        let deploy_code_s = sample_lognormal(
+            base.deploy_code_s * rf.deploy_code * size_code,
+            sigma * 0.8,
+            rng,
+        );
         let deploy_dep_s = if has_dependencies {
             sample_lognormal(base.deploy_dep_s * rf.deploy_dep * size_dep, sigma, rng)
         } else {
@@ -252,7 +255,11 @@ mod tests {
     ) -> f64 {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let mut totals: Vec<f64> = (0..n)
-            .map(|_| model.sample(runtime, size, deps, load, &mut rng).total_secs())
+            .map(|_| {
+                model
+                    .sample(runtime, size, deps, load, &mut rng)
+                    .total_secs()
+            })
             .collect();
         totals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         totals[n / 2]
@@ -286,8 +293,7 @@ mod tests {
     fn custom_and_http_are_pod_allocation_dominated_and_slow() {
         let model = ColdStartLatencyModel::new(RegionProfile::r2());
         for runtime in [Runtime::Custom, Runtime::Http] {
-            let med =
-                median_total(&model, runtime, SizeClass::Small, false, 1.0, 42, 600);
+            let med = median_total(&model, runtime, SizeClass::Small, false, 1.0, 42, 600);
             assert!(med > 5.0, "{runtime}: median {med}");
             // Pod allocation dominates the total.
             let mut rng = Xoshiro256pp::seed_from_u64(7);
@@ -301,18 +307,44 @@ mod tests {
             assert!(alloc.mean() > 3.0 * rest.mean());
         }
         // Ordinary runtimes are far faster.
-        let py = median_total(&model, Runtime::Python3, SizeClass::Small, false, 1.0, 42, 600);
+        let py = median_total(
+            &model,
+            Runtime::Python3,
+            SizeClass::Small,
+            false,
+            1.0,
+            42,
+            600,
+        );
         assert!(py < 2.0, "python median {py}");
     }
 
     #[test]
     fn large_pods_are_slower_than_small_pods() {
-        for profile in [RegionProfile::r1(), RegionProfile::r2(), RegionProfile::r4()] {
+        for profile in [
+            RegionProfile::r1(),
+            RegionProfile::r2(),
+            RegionProfile::r4(),
+        ] {
             let model = ColdStartLatencyModel::new(profile);
-            let small =
-                median_total(&model, Runtime::Python3, SizeClass::Small, true, 1.0, 9, 800);
-            let large =
-                median_total(&model, Runtime::Python3, SizeClass::Large, true, 1.0, 9, 800);
+            let small = median_total(
+                &model,
+                Runtime::Python3,
+                SizeClass::Small,
+                true,
+                1.0,
+                9,
+                800,
+            );
+            let large = median_total(
+                &model,
+                Runtime::Python3,
+                SizeClass::Large,
+                true,
+                1.0,
+                9,
+                800,
+            );
             let ratio = large / small;
             assert!(
                 (1.3..8.0).contains(&ratio),
@@ -357,8 +389,24 @@ mod tests {
     #[test]
     fn load_stretches_allocation_and_scheduling() {
         let model = ColdStartLatencyModel::new(RegionProfile::r2());
-        let idle = median_total(&model, Runtime::Python3, SizeClass::Small, true, 0.5, 31, 800);
-        let peak = median_total(&model, Runtime::Python3, SizeClass::Small, true, 3.0, 31, 800);
+        let idle = median_total(
+            &model,
+            Runtime::Python3,
+            SizeClass::Small,
+            true,
+            0.5,
+            31,
+            800,
+        );
+        let peak = median_total(
+            &model,
+            Runtime::Python3,
+            SizeClass::Small,
+            true,
+            3.0,
+            31,
+            800,
+        );
         assert!(peak > 1.3 * idle, "idle {idle} peak {peak}");
     }
 

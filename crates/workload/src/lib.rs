@@ -35,6 +35,7 @@
 
 pub mod arrivals;
 pub mod latency;
+pub mod multi_region;
 pub mod population;
 pub mod profile;
 pub mod simio;
@@ -42,6 +43,7 @@ pub mod synth;
 
 pub use arrivals::{ArrivalGenerator, FunctionArrivals};
 pub use latency::{ColdStartComponents, ColdStartLatencyModel};
+pub use multi_region::MultiRegionWorkload;
 pub use population::{FunctionPopulation, FunctionSpec, PopulationConfig};
 pub use profile::{Calibration, HolidayResponse, RegionProfile};
 pub use simio::{WorkloadEvent, WorkloadSpec};

@@ -1,0 +1,155 @@
+//! Multi-region workload construction.
+//!
+//! The paper's experiments span five production regions; the experiment grid
+//! in the `coldstarts` crate replays every (scenario, region, seed) cell.
+//! [`MultiRegionWorkload`] builds the per-region [`WorkloadSpec`]s for one
+//! seed from a shared [`Calibration`] and [`PopulationConfig`], one spec per
+//! [`RegionProfile`], each generated from a region-salted substream of the
+//! seed so regions stay statistically independent but individually
+//! reproducible.
+
+use serde::{Deserialize, Serialize};
+
+use fntrace::RegionId;
+
+use crate::population::PopulationConfig;
+use crate::profile::{Calibration, RegionProfile};
+use crate::simio::WorkloadSpec;
+
+/// Per-region workloads generated from one calibration and seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiRegionWorkload {
+    /// Calibration shared by all regions.
+    pub calibration: Calibration,
+    /// Seed the workloads were generated from.
+    pub seed: u64,
+    /// One workload per requested region profile, in input order.
+    pub workloads: Vec<WorkloadSpec>,
+}
+
+impl MultiRegionWorkload {
+    /// Generates one workload per profile.
+    ///
+    /// Each region reuses [`WorkloadSpec::generate`], which salts the seed
+    /// with the region index, so the same `(profiles, calibration, config,
+    /// seed)` always produces the same workloads regardless of how many other
+    /// regions are requested alongside.
+    pub fn generate(
+        profiles: &[RegionProfile],
+        calibration: Calibration,
+        config: &PopulationConfig,
+        seed: u64,
+    ) -> Self {
+        let workloads = profiles
+            .iter()
+            .map(|profile| WorkloadSpec::generate(profile, calibration, config, seed))
+            .collect();
+        Self {
+            calibration,
+            seed,
+            workloads,
+        }
+    }
+
+    /// Generates workloads for all five paper regions.
+    pub fn paper_regions(calibration: Calibration, config: &PopulationConfig, seed: u64) -> Self {
+        let profiles: Vec<RegionProfile> = (1..=5)
+            .map(|i| RegionProfile::paper_region(i).expect("regions 1..=5 exist"))
+            .collect();
+        Self::generate(&profiles, calibration, config, seed)
+    }
+
+    /// Looks up one region's workload.
+    pub fn region(&self, region: RegionId) -> Option<&WorkloadSpec> {
+        self.workloads.iter().find(|w| w.region == region)
+    }
+
+    /// Iterates over the per-region workloads in input order.
+    pub fn iter(&self) -> impl Iterator<Item = &WorkloadSpec> {
+        self.workloads.iter()
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Whether no regions were generated.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// Total invocation events across all regions.
+    pub fn total_events(&self) -> usize {
+        self.workloads.iter().map(|w| w.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> PopulationConfig {
+        PopulationConfig {
+            function_scale: 0.002,
+            volume_scale: 2.0e-6,
+            max_requests_per_day: 2_000.0,
+            min_functions: 15,
+        }
+    }
+
+    fn short_calibration() -> Calibration {
+        Calibration {
+            duration_days: 1,
+            ..Calibration::default()
+        }
+    }
+
+    #[test]
+    fn generates_one_workload_per_region_deterministically() {
+        let profiles = [RegionProfile::r2(), RegionProfile::r3()];
+        let a = MultiRegionWorkload::generate(&profiles, short_calibration(), &tiny_config(), 9);
+        let b = MultiRegionWorkload::generate(&profiles, short_calibration(), &tiny_config(), 9);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert!(a.total_events() > 0);
+        assert_eq!(a.workloads[0].region, RegionId::new(2));
+        assert_eq!(a.workloads[1].region, RegionId::new(3));
+    }
+
+    #[test]
+    fn per_region_workloads_match_single_region_generation() {
+        // A region's workload must not depend on which other regions are in
+        // the set — that is what makes grid cells independently replicable.
+        let multi = MultiRegionWorkload::generate(
+            &[RegionProfile::r1(), RegionProfile::r2()],
+            short_calibration(),
+            &tiny_config(),
+            5,
+        );
+        let solo =
+            WorkloadSpec::generate(&RegionProfile::r2(), short_calibration(), &tiny_config(), 5);
+        assert_eq!(multi.region(RegionId::new(2)), Some(&solo));
+    }
+
+    #[test]
+    fn paper_regions_cover_all_five() {
+        let multi = MultiRegionWorkload::paper_regions(short_calibration(), &tiny_config(), 3);
+        assert_eq!(multi.len(), 5);
+        for i in 1..=5u16 {
+            assert!(multi.region(RegionId::new(i)).is_some(), "region {i}");
+        }
+        let regions: Vec<u16> = multi.iter().map(|w| w.region.index()).collect();
+        assert_eq!(regions, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let profiles = [RegionProfile::r2()];
+        let a = MultiRegionWorkload::generate(&profiles, short_calibration(), &tiny_config(), 1);
+        let b = MultiRegionWorkload::generate(&profiles, short_calibration(), &tiny_config(), 2);
+        assert_ne!(a.workloads, b.workloads);
+        assert_eq!(a.seed, 1);
+    }
+}

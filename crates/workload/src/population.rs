@@ -52,7 +52,10 @@ pub struct FunctionSpec {
 impl FunctionSpec {
     /// Primary trigger (first configured).
     pub fn primary_trigger(&self) -> TriggerType {
-        self.triggers.first().copied().unwrap_or(TriggerType::Unknown)
+        self.triggers
+            .first()
+            .copied()
+            .unwrap_or(TriggerType::Unknown)
     }
 
     /// Whether the function is timer-triggered.
@@ -296,10 +299,9 @@ impl FunctionPopulation {
 
             // Execution time and resource usage.
             let exec_jitter = (rng.normal(0.0, 0.9)).exp();
-            let median_execution_secs = (profile.median_execution_time_s
-                * execution_multiplier(runtime)
-                * exec_jitter)
-                .clamp(0.0005, 300.0);
+            let median_execution_secs =
+                (profile.median_execution_time_s * execution_multiplier(runtime) * exec_jitter)
+                    .clamp(0.0005, 300.0);
             let cpu_jitter = (rng.normal(0.0, 0.5)).exp();
             let cpu_millicores = (profile.median_cpu_cores * 1000.0 * cpu_jitter)
                 .clamp(10.0, config_choice.millicores as f64);
@@ -465,7 +467,10 @@ mod tests {
         assert_eq!(a.functions.len(), b.functions.len());
         assert_eq!(a.functions[0], b.functions[0]);
         let c = generate_r2(0.05, 8);
-        assert_ne!(a.functions[0].base_requests_per_day, c.functions[0].base_requests_per_day);
+        assert_ne!(
+            a.functions[0].base_requests_per_day,
+            c.functions[0].base_requests_per_day
+        );
     }
 
     #[test]
@@ -540,10 +545,7 @@ mod tests {
             .filter(|f| f.primary_trigger() == TriggerType::Timer)
             .collect();
         assert!(!timers.is_empty());
-        let slow = timers
-            .iter()
-            .filter(|f| f.timer_period_secs > 60.0)
-            .count() as f64
+        let slow = timers.iter().filter(|f| f.timer_period_secs > 60.0).count() as f64
             / timers.len() as f64;
         assert!(slow > 0.7, "slow timer share {slow}");
     }
@@ -602,10 +604,12 @@ mod tests {
         for f in &pop.functions {
             *per_user.entry(f.user).or_insert(0u64) += 1;
         }
-        let single = per_user.values().filter(|&&c| c == 1).count() as f64
-            / per_user.len() as f64;
+        let single = per_user.values().filter(|&&c| c == 1).count() as f64 / per_user.len() as f64;
         // Figure 4a: 60-90 % of users own a single function.
-        assert!((0.5..0.95).contains(&single), "single-function users {single}");
+        assert!(
+            (0.5..0.95).contains(&single),
+            "single-function users {single}"
+        );
         let max = per_user.values().max().copied().unwrap_or(0);
         assert!(max > 3, "largest user owns {max} functions");
     }

@@ -308,9 +308,7 @@ impl RegionProfile {
         if self.functions == 0 || calibration.duration_days == 0 {
             return 0.0;
         }
-        self.total_requests as f64
-            / self.functions as f64
-            / f64::from(calibration.duration_days)
+        self.total_requests as f64 / self.functions as f64 / f64::from(calibration.duration_days)
     }
 
     /// Relative load multiplier for a given time of day, day of week, and
@@ -375,9 +373,7 @@ mod tests {
         // R1 is the most loaded per function, R4 the least.
         assert!(regions[0].high_load_fraction > regions[3].high_load_fraction * 10.0);
         // Execution time medians differ by more than an order of magnitude.
-        assert!(
-            regions[0].median_execution_time_s / regions[4].median_execution_time_s > 10.0
-        );
+        assert!(regions[0].median_execution_time_s / regions[4].median_execution_time_s > 10.0);
     }
 
     #[test]
@@ -433,21 +429,16 @@ mod tests {
         let holiday_day = 16u32;
         let hour = 12.0;
         assert!(
-            dip.load_multiplier(&c, holiday_day, hour)
-                < dip.load_multiplier(&c, normal_day, hour)
+            dip.load_multiplier(&c, holiday_day, hour) < dip.load_multiplier(&c, normal_day, hour)
         );
         assert!(
             surge.load_multiplier(&c, holiday_day, hour)
                 > surge.load_multiplier(&c, normal_day, hour)
         );
         // Pre-holiday rush: day 13 busier than a plain weekday.
-        assert!(
-            dip.load_multiplier(&c, 13, hour) > dip.load_multiplier(&c, normal_day, hour)
-        );
+        assert!(dip.load_multiplier(&c, 13, hour) > dip.load_multiplier(&c, normal_day, hour));
         // Post-holiday catch-up on day 24.
-        assert!(
-            dip.load_multiplier(&c, 24, hour) > dip.load_multiplier(&c, normal_day, hour)
-        );
+        assert!(dip.load_multiplier(&c, 24, hour) > dip.load_multiplier(&c, normal_day, hour));
     }
 
     #[test]

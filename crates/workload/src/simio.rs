@@ -52,10 +52,15 @@ impl WorkloadSpec {
         let mut events = Vec::new();
         for spec in &population.functions {
             let arrivals = generator.generate(spec, rng);
-            events.extend(arrivals.timestamps_ms.iter().map(|&timestamp_ms| WorkloadEvent {
-                timestamp_ms,
-                function: spec.function,
-            }));
+            events.extend(
+                arrivals
+                    .timestamps_ms
+                    .iter()
+                    .map(|&timestamp_ms| WorkloadEvent {
+                        timestamp_ms,
+                        function: spec.function,
+                    }),
+            );
         }
         events.sort_by_key(|e| (e.timestamp_ms, e.function.raw()));
         Self {
@@ -144,21 +149,25 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_and_sorted() {
-        let a = WorkloadSpec::generate(&RegionProfile::r2(), short_calibration(), &tiny_config(), 1);
-        let b = WorkloadSpec::generate(&RegionProfile::r2(), short_calibration(), &tiny_config(), 1);
+        let a =
+            WorkloadSpec::generate(&RegionProfile::r2(), short_calibration(), &tiny_config(), 1);
+        let b =
+            WorkloadSpec::generate(&RegionProfile::r2(), short_calibration(), &tiny_config(), 1);
         assert_eq!(a, b);
         assert!(!a.is_empty());
         for w in a.events.windows(2) {
             assert!(w[0].timestamp_ms <= w[1].timestamp_ms);
         }
-        let c = WorkloadSpec::generate(&RegionProfile::r2(), short_calibration(), &tiny_config(), 2);
+        let c =
+            WorkloadSpec::generate(&RegionProfile::r2(), short_calibration(), &tiny_config(), 2);
         assert_ne!(a.len(), 0);
         assert_ne!(a, c);
     }
 
     #[test]
     fn every_event_references_a_known_function() {
-        let spec = WorkloadSpec::generate(&RegionProfile::r3(), short_calibration(), &tiny_config(), 3);
+        let spec =
+            WorkloadSpec::generate(&RegionProfile::r3(), short_calibration(), &tiny_config(), 3);
         for e in &spec.events {
             assert!(spec.function(e.function).is_some());
         }
@@ -168,7 +177,8 @@ mod tests {
 
     #[test]
     fn chunking_preserves_all_events() {
-        let spec = WorkloadSpec::generate(&RegionProfile::r2(), short_calibration(), &tiny_config(), 5);
+        let spec =
+            WorkloadSpec::generate(&RegionProfile::r2(), short_calibration(), &tiny_config(), 5);
         let chunks = spec.chunked(fntrace::MILLIS_PER_HOUR);
         let total: usize = chunks.iter().map(|c| c.len()).sum();
         assert_eq!(total, spec.len());

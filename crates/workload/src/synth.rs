@@ -269,8 +269,7 @@ fn synthesize_function(
         let execution_time_us = (exec_secs * 1e6) as u64;
         let cpu = (spec.cpu_millicores * (0.3 * rng.standard_normal()).exp())
             .clamp(5.0, spec.config.millicores as f64);
-        let memory =
-            ((spec.memory_bytes as f64) * (0.9 + 0.2 * rng.next_f64())).round() as u64;
+        let memory = ((spec.memory_bytes as f64) * (0.9 + 0.2 * rng.next_f64())).round() as u64;
 
         // Find a warm pod with spare concurrency.
         let warm = pods
@@ -374,7 +373,10 @@ mod tests {
         let region = ds.region(RegionId::new(2)).unwrap();
         let request_pods: HashSet<_> = region.requests.records().iter().map(|r| r.pod).collect();
         for cs in region.cold_starts.records() {
-            assert!(request_pods.contains(&cs.pod), "cold-started pod never used");
+            assert!(
+                request_pods.contains(&cs.pod),
+                "cold-started pod never used"
+            );
         }
         // Pods are unique per cold start.
         let pods: HashSet<_> = region.cold_starts.records().iter().map(|r| r.pod).collect();
@@ -474,7 +476,10 @@ mod tests {
             .expect("trace has requests");
         assert!(r > 500, "busiest function only has {r} requests");
         let c = cold.get(busiest).copied().unwrap_or(0);
-        assert!(c * 3 < r, "busiest function {busiest}: {c} cold starts for {r} requests");
+        assert!(
+            c * 3 < r,
+            "busiest function {busiest}: {c} cold starts for {r} requests"
+        );
     }
 
     #[test]
@@ -512,7 +517,12 @@ mod tests {
             assert!(r.memory_usage_bytes > 0);
         }
         // Requests are sorted by time after build.
-        let ts: Vec<u64> = region.requests.records().iter().map(|r| r.timestamp_ms).collect();
+        let ts: Vec<u64> = region
+            .requests
+            .records()
+            .iter()
+            .map(|r| r.timestamp_ms)
+            .collect();
         let mut sorted = ts.clone();
         sorted.sort_unstable();
         assert_eq!(ts, sorted);
@@ -523,7 +533,10 @@ mod tests {
         let ds = tiny_r2(1, 22);
         let region = ds.region(RegionId::new(2)).unwrap();
         for f in region.requests.distinct_functions() {
-            assert!(region.functions.get(f).is_some(), "missing metadata for {f}");
+            assert!(
+                region.functions.get(f).is_some(),
+                "missing metadata for {f}"
+            );
         }
     }
 

@@ -3,16 +3,22 @@
 //! adaptive / timer-aware keep-alive, peak shaving, resource-pool prediction,
 //! and cross-region migration.
 //!
+//! The ablation is declared once as an [`ExperimentGrid`] — all eight
+//! scenarios over all five paper regions — and every cell runs concurrently.
+//!
 //! ```text
 //! cargo run --release --example policy_comparison
 //! ```
 
+use std::time::Instant;
+
 use coldstarts::evaluation::{PolicyEvaluation, Scenario};
+use coldstarts::experiment::ExperimentGrid;
 use coldstarts::policies::cross_region::CrossRegionScheduler;
 use coldstarts::policies::pool_prediction::PoolDemandPredictor;
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::{Calibration, RegionProfile};
-use faas_workload::{SyntheticTraceBuilder, TraceScale, WorkloadSpec};
+use faas_workload::{SyntheticTraceBuilder, TraceScale};
 use fntrace::RegionId;
 
 fn main() {
@@ -21,31 +27,60 @@ fn main() {
         ..Calibration::default()
     };
 
-    // Simulator-based ablation on a Region-2 workload.
-    let workload = WorkloadSpec::generate(
-        &RegionProfile::r2(),
+    // Declarative multi-region ablation: 8 scenarios × 5 regions × 1 seed,
+    // executed concurrently (one worker per core).
+    let grid = ExperimentGrid {
         calibration,
-        &PopulationConfig {
+        population: PopulationConfig {
             function_scale: 0.008,
             volume_scale: 8.0e-6,
             max_requests_per_day: 5_000.0,
             min_functions: 40,
         },
-        11,
-    );
+        seeds: vec![11],
+        ..ExperimentGrid::full_ablation()
+    };
     println!(
-        "policy ablation on {} invocation events ({} functions, {} days)\n",
-        workload.len(),
-        workload.functions.len(),
+        "policy ablation grid: {} scenarios x {} regions x {} seeds = {} cells ({} days each)",
+        grid.scenarios.len(),
+        grid.regions.len(),
+        grid.seeds.len(),
+        grid.cell_count(),
         calibration.duration_days
     );
-    let evaluation = PolicyEvaluation::default();
-    let outcomes = evaluation.run(&workload, &Scenario::ALL);
-    println!("{}", PolicyEvaluation::render(&outcomes));
+    let start = Instant::now();
+    let result = grid.run();
+    println!(
+        "ran {} cells in {:.2?}\n",
+        result.cells.len(),
+        start.elapsed()
+    );
+
+    // Per-region ablation tables, relative to each region's baseline cell.
+    for region in &grid.regions {
+        if let Some(outcomes) = result.outcomes(region.region, grid.seeds[0]) {
+            println!("region {}:", region.region.index());
+            println!("{}", PolicyEvaluation::render(&outcomes));
+        }
+    }
+
+    // Scenario comparison for the paper's region of interest.
+    if let Some(cell) = result.cell(Scenario::Combined, RegionId::new(2), grid.seeds[0]) {
+        println!(
+            "region 2 combined policies: {} cold starts over {} requests ({:.2}% cold)",
+            cell.report.cold_starts,
+            cell.report.requests,
+            100.0 * cell.report.cold_start_rate()
+        );
+    }
 
     // Trace-level planners: pool prediction and cross-region migration.
     let dataset = SyntheticTraceBuilder::new()
-        .with_regions(vec![RegionProfile::r1(), RegionProfile::r2(), RegionProfile::r3()])
+        .with_regions(vec![
+            RegionProfile::r1(),
+            RegionProfile::r2(),
+            RegionProfile::r3(),
+        ])
         .with_scale(TraceScale::tiny())
         .with_calibration(calibration)
         .with_seed(11)
@@ -57,7 +92,7 @@ fn main() {
         let fixed = PoolDemandPredictor::replay_fixed(&r2.cold_starts, &r2.functions, 8);
         let predicted = PoolDemandPredictor::replay_plan(&r2.cold_starts, &r2.functions, &plan);
         println!(
-            "resource-pool prediction (R2): fixed pools of 8 cover {:.1}% of demand with {:.0} reserved pods;\n\
+            "\nresource-pool prediction (R2): fixed pools of 8 cover {:.1}% of demand with {:.0} reserved pods;\n\
              the hour-of-day plan covers {:.1}% with {:.0} reserved pods",
             100.0 * fixed.hit_rate(),
             fixed.mean_reserved_pods,

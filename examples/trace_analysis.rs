@@ -16,10 +16,7 @@ use fntrace::RegionId;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let days: u32 = args
-        .next()
-        .and_then(|d| d.parse().ok())
-        .unwrap_or(14);
+    let days: u32 = args.next().and_then(|d| d.parse().ok()).unwrap_or(14);
     let out_dir: Option<PathBuf> = args.next().map(PathBuf::from);
 
     let calibration = Calibration {

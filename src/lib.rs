@@ -1,0 +1,20 @@
+//! Workspace facade for the cold-start reproduction.
+//!
+//! This crate exists so the repository root can host the cross-crate
+//! integration tests (`tests/`) and runnable examples (`examples/`); it
+//! re-exports the member crates under their usual names for convenience.
+//!
+//! The crates compose as a pipeline:
+//!
+//! `fntrace` (Table 1 data model) → `faas_stats` (numerics) →
+//! `faas_workload` (calibrated synthesis) → `faas_platform` (discrete-event
+//! simulator) → `coldstarts` (characterization + mitigation policies +
+//! experiment grid) → `faas_bench` (figure regeneration).
+
+#![forbid(unsafe_code)]
+
+pub use coldstarts;
+pub use faas_platform;
+pub use faas_stats;
+pub use faas_workload;
+pub use fntrace;

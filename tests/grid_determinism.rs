@@ -1,0 +1,134 @@
+//! The parallel experiment grid must be a pure function of its declaration:
+//! running the same grid concurrently and sequentially has to produce
+//! identical reports for every (scenario, region, seed) cell, and the
+//! rendered results must be byte-identical.
+
+use coldstarts::evaluation::Scenario;
+use coldstarts::experiment::ExperimentGrid;
+use faas_platform::SimulationSpec;
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::WorkloadSpec;
+use fntrace::RegionId;
+
+fn tiny_grid() -> ExperimentGrid {
+    ExperimentGrid {
+        scenarios: vec![
+            Scenario::Baseline,
+            Scenario::AdaptiveKeepAlive,
+            Scenario::TimerPrewarm,
+            Scenario::PeakShaving,
+            Scenario::Combined,
+        ],
+        regions: vec![RegionProfile::r2(), RegionProfile::r3()],
+        seeds: vec![31, 32],
+        calibration: Calibration {
+            duration_days: 1,
+            ..Calibration::default()
+        },
+        // Force real worker threads even on single-core CI machines so the
+        // parallel path (cross-thread scheduling + merge) is exercised.
+        threads: 4,
+        ..ExperimentGrid::default()
+    }
+}
+
+#[test]
+fn parallel_grid_matches_sequential_grid_cell_by_cell() {
+    let grid = tiny_grid();
+    assert_eq!(grid.cell_count(), 20);
+
+    let parallel = grid.run();
+    let sequential = grid.run_sequential();
+
+    assert_eq!(parallel.cells.len(), grid.cell_count());
+    assert_eq!(sequential.cells.len(), grid.cell_count());
+    // Cell-by-cell: same coordinates in the same order, identical reports.
+    for (p, s) in parallel.cells.iter().zip(&sequential.cells) {
+        assert_eq!(p.scenario, s.scenario);
+        assert_eq!(p.region, s.region);
+        assert_eq!(p.seed, s.seed);
+        assert_eq!(
+            p.report,
+            s.report,
+            "cell ({}, region {}, seed {}) diverged between parallel and sequential execution",
+            p.scenario.name(),
+            p.region.index(),
+            p.seed
+        );
+    }
+    assert_eq!(parallel, sequential);
+    // Rendered output is byte-identical.
+    assert_eq!(parallel.render(), sequential.render());
+}
+
+#[test]
+fn parallel_grid_is_stable_across_repeated_runs() {
+    let grid = tiny_grid();
+    let first = grid.run();
+    let second = grid.run();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn grid_cells_match_independent_single_runs() {
+    // A cell's report must depend only on its coordinates: replaying the
+    // same (scenario, region, seed) through a standalone SimulationSpec
+    // outside the grid gives the same bytes.
+    let grid = tiny_grid();
+    let result = grid.run();
+
+    for &seed in &grid.seeds {
+        let workload = WorkloadSpec::generate(
+            &RegionProfile::r3(),
+            grid.calibration,
+            &grid.population,
+            seed,
+        );
+        for &scenario in &grid.scenarios {
+            let spec = SimulationSpec::new()
+                .with_config(grid.platform.clone())
+                .with_seed(seed)
+                .with_policies(std::sync::Arc::new(
+                    coldstarts::experiment::ScenarioPolicies::new(
+                        scenario,
+                        &grid.platform,
+                        grid.peak_shaving_delay_ms,
+                    ),
+                ));
+            let (standalone, _) = spec.run(&workload);
+            let cell = result
+                .cell(scenario, RegionId::new(3), seed)
+                .expect("cell exists");
+            assert_eq!(standalone, cell.report, "{} seed {seed}", scenario.name());
+        }
+    }
+}
+
+#[test]
+fn full_ablation_covers_eight_scenarios_and_five_regions() {
+    let grid = ExperimentGrid {
+        calibration: Calibration {
+            duration_days: 1,
+            ..Calibration::default()
+        },
+        ..ExperimentGrid::full_ablation()
+    };
+    assert_eq!(grid.scenarios.len(), 8);
+    assert_eq!(grid.regions.len(), 5);
+    assert_eq!(grid.cell_count(), 40);
+
+    let result = grid.run();
+    assert_eq!(result.cells.len(), 40);
+    for region in 1..=5u16 {
+        for &scenario in &Scenario::ALL {
+            let cell = result
+                .cell(scenario, RegionId::new(region), 7)
+                .unwrap_or_else(|| panic!("missing cell {} region {region}", scenario.name()));
+            assert!(cell.report.requests > 0);
+        }
+        // Every region's baseline column yields comparable outcomes.
+        let outcomes = result.outcomes(RegionId::new(region), 7).expect("baseline");
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(outcomes[0].cold_start_reduction, 0.0);
+    }
+}

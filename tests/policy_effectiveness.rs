@@ -100,7 +100,11 @@ fn peak_shaving_defers_async_work_and_nothing_else() {
 #[test]
 fn pool_prediction_and_cross_region_plans_improve_their_targets() {
     let dataset = SyntheticTraceBuilder::new()
-        .with_regions(vec![RegionProfile::r1(), RegionProfile::r2(), RegionProfile::r3()])
+        .with_regions(vec![
+            RegionProfile::r1(),
+            RegionProfile::r2(),
+            RegionProfile::r3(),
+        ])
         .with_scale(TraceScale::tiny())
         .with_calibration(calibration(2))
         .with_seed(53)
