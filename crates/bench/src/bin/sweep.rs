@@ -1,0 +1,161 @@
+//! Policy parameter sweep with Pareto reporting and machine-readable output.
+//!
+//! ```text
+//! cargo run --release --bin sweep -- --smoke
+//! cargo run --release --bin sweep -- --days 2 --seed 7 --regions 2,3 --out BENCH_sweep.json
+//! ```
+//!
+//! Expands every policy family's parameter space, runs each configuration
+//! over the scenario presets (diurnal, bursty, holiday-peak,
+//! low-traffic-tail), prints the per-configuration table with the Pareto
+//! front over (cold-start rate, memory-GB-seconds wasted), and writes the
+//! report as `BENCH_sweep.json` in the stable `faas-coldstarts/sweep/v1`
+//! schema that CI validates and archives.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use coldstarts::sweep::PolicySweep;
+use faas_workload::profile::RegionProfile;
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    days: Option<u32>,
+    regions: Vec<u16>,
+    threads: usize,
+    out: PathBuf,
+}
+
+fn usage() -> String {
+    "usage: sweep [--smoke] [--seed N] [--days N] [--regions 2,3] [--threads N] [--out PATH]\n\n\
+     --smoke    reduced spaces and a one-day horizon (what CI runs)\n\
+     --seed     workload/simulation seed (default 7)\n\
+     --days     trace duration per cell in days (default 1 smoke, 2 full)\n\
+     --regions  comma-separated paper region indices 1..=5 (default 2)\n\
+     --threads  worker threads, 0 = one per core (default 0)\n\
+     --out      output path for the JSON report (default BENCH_sweep.json)"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        seed: 7,
+        days: None,
+        regions: vec![2],
+        threads: 0,
+        out: PathBuf::from("BENCH_sweep.json"),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid seed: {e}"))?;
+            }
+            "--days" => {
+                args.days = Some(
+                    iter.next()
+                        .ok_or("--days needs a value")?
+                        .parse()
+                        .map_err(|e| format!("invalid day count: {e}"))?,
+                );
+            }
+            "--regions" => {
+                let list = iter.next().ok_or("--regions needs a value")?;
+                args.regions = list
+                    .split(',')
+                    .map(|s| s.trim().parse::<u16>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("invalid region list: {e}"))?;
+            }
+            "--threads" => {
+                args.threads = iter
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid thread count: {e}"))?;
+            }
+            "--out" => {
+                args.out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut sweep = if args.smoke {
+        PolicySweep::smoke(args.seed)
+    } else {
+        PolicySweep {
+            seeds: vec![args.seed],
+            ..PolicySweep::default()
+        }
+    };
+    if let Some(days) = args.days {
+        sweep.duration_days = days.max(1);
+    }
+    sweep.threads = args.threads;
+    let mut regions = Vec::new();
+    for index in &args.regions {
+        match RegionProfile::paper_region(*index) {
+            Some(profile) => regions.push(profile),
+            None => {
+                eprintln!("unknown region {index} (paper regions are 1..=5)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    sweep.regions = regions;
+
+    eprintln!(
+        "sweeping {} configs x {} presets x {} regions x {} seeds \
+         ({} cells, {} day(s) each)...",
+        sweep.configs().len(),
+        sweep.presets.len(),
+        sweep.regions.len(),
+        sweep.seeds.len(),
+        sweep.cell_count(),
+        sweep.duration_days,
+    );
+    let report = sweep.run();
+
+    print!("{}", report.render());
+    println!();
+    println!(
+        "pareto front ({} of {} configs):",
+        report.pareto.len(),
+        report.configs.len()
+    );
+    for c in report.front() {
+        println!(
+            "  {:<52} rate {:.4}%  mem waste {:.2} GB-s",
+            c.config.label(),
+            100.0 * c.cold_start_rate,
+            c.mem_gb_s_wasted
+        );
+    }
+
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("failed to write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.out.display());
+    ExitCode::SUCCESS
+}

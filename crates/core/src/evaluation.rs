@@ -6,10 +6,9 @@
 //! ablation experiment.
 //!
 //! This is the single-workload corner of the experiment grid: scenario
-//! policies are built by [`ScenarioPolicies`](crate::experiment::ScenarioPolicies)
-//! and the scenarios execute concurrently through
-//! [`run_scenarios`](crate::experiment::run_scenarios). Sweeps over many
-//! regions and seeds should declare an
+//! policies are built by [`ScenarioPolicies`] and the scenarios execute
+//! concurrently through [`run_scenarios`]. Sweeps over many regions and
+//! seeds should declare an
 //! [`ExperimentGrid`](crate::experiment::ExperimentGrid) instead.
 
 use serde::{Deserialize, Serialize};

@@ -340,8 +340,9 @@ pub fn run_scenarios(
 
 /// Maps `f` over `0..n` on up to `threads` scoped workers (0 means one per
 /// available core), merging results in index order so the output is
-/// independent of scheduling.
-fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+/// independent of scheduling. This is the fan-out engine shared by the
+/// experiment grid and the [`crate::sweep`] subsystem.
+pub(crate) fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,

@@ -31,6 +31,15 @@
 //! | [`policies::cross_region`] | Cross-region function migration |
 //! | [`policies::concurrency`] | Concurrency adjustment advisor |
 //!
+//! # Parameter sweeps
+//!
+//! [`sweep`] turns the one-configuration-at-a-time ablation into a search:
+//! each policy family describes its tunable axes as a
+//! [`sweep::ParamSpace`], a [`sweep::PolicySweep`] fans the cross-product
+//! out over scenario presets × regions × seeds on the experiment grid's
+//! parallel engine, and the resulting [`sweep::SweepReport`] carries the
+//! Pareto front over (cold-start rate, memory-GB-seconds wasted).
+//!
 //! # Quick start
 //!
 //! ```
@@ -59,8 +68,10 @@ pub mod experiment;
 pub mod pipeline;
 pub mod policies;
 pub mod report;
+pub mod sweep;
 
 pub use evaluation::{PolicyEvaluation, Scenario, ScenarioOutcome};
 pub use experiment::{ExperimentGrid, GridCellReport, GridReport, ScenarioPolicies};
 pub use pipeline::CharacterizationPipeline;
 pub use report::CharacterizationReport;
+pub use sweep::{ParamSpace, PolicyFamily, PolicySweep, SweepConfig, SweepReport};

@@ -1,0 +1,562 @@
+//! Policy parameter sweeps with Pareto reporting.
+//!
+//! The paper's central tension is cold-start rate versus the memory wasted
+//! keeping idle pods warm. A single [`ExperimentGrid`](crate::ExperimentGrid)
+//! run shows one policy configuration at a time; this module sweeps whole
+//! parameter spaces instead:
+//!
+//! 1. each policy family ([`PolicyFamily`]) exposes a [`ParamSpace`] — the
+//!    named axes it can be tuned along;
+//! 2. a [`PolicySweep`] expands every space's cross-product into concrete
+//!    [`SweepConfig`]s and fans the resulting
+//!    presets × regions × seeds × configs cells out over the experiment
+//!    grid's parallel engine, deterministically;
+//! 3. the results fold into a [`SweepReport`]: per-configuration cold-start
+//!    rate, p99 cold-start wait, memory-GB-seconds wasted, and the 2-D
+//!    Pareto front over (cold-start rate, memory waste).
+//!
+//! Workload diversity comes from the scenario presets in
+//! [`faas_workload::presets`]; the machine-readable output
+//! (`BENCH_sweep.json`) is emitted by [`SweepReport::to_json`] in a stable,
+//! byte-deterministic schema.
+
+pub mod json;
+pub mod params;
+pub mod pareto;
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use faas_platform::{PlatformConfig, SimReport, SimulationSpec};
+use faas_workload::population::PopulationConfig;
+use faas_workload::profile::RegionProfile;
+use faas_workload::{ScenarioPreset, WorkloadSpec};
+use fntrace::RegionId;
+
+use crate::experiment::parallel_map;
+use json::{f64_lit, push_str_lit};
+pub use params::{ParamAxis, ParamSpace, ParamValue, PolicyFamily, SweepConfig};
+pub use pareto::pareto_front;
+
+/// Declarative policy parameter sweep:
+/// scenario presets × regions × seeds × policy configurations.
+#[derive(Debug, Clone)]
+pub struct PolicySweep {
+    /// Workload shapes every configuration is evaluated under.
+    pub presets: Vec<ScenarioPreset>,
+    /// Base region profiles the presets are applied to.
+    pub regions: Vec<RegionProfile>,
+    /// Workload/simulation seeds.
+    pub seeds: Vec<u64>,
+    /// Parameter spaces to expand, one per policy family under study.
+    pub spaces: Vec<ParamSpace>,
+    /// Trace duration per cell, in days.
+    pub duration_days: u32,
+    /// Function-population scaling shared by every cell.
+    pub population: PopulationConfig,
+    /// Base platform configuration (the pool-prediction family overrides its
+    /// pool knobs per configuration).
+    pub platform: PlatformConfig,
+    /// Worker threads; 0 means one per available core.
+    pub threads: usize,
+}
+
+impl Default for PolicySweep {
+    fn default() -> Self {
+        Self {
+            presets: ScenarioPreset::ALL.to_vec(),
+            regions: vec![RegionProfile::r2()],
+            seeds: vec![7],
+            spaces: PolicyFamily::ALL.iter().map(|f| f.param_space()).collect(),
+            duration_days: 2,
+            population: PopulationConfig {
+                function_scale: 0.002,
+                volume_scale: 2.0e-6,
+                max_requests_per_day: 2_000.0,
+                min_functions: 15,
+            },
+            platform: PlatformConfig {
+                record_trace: false,
+                ..PlatformConfig::default()
+            },
+            threads: 0,
+        }
+    }
+}
+
+impl PolicySweep {
+    /// The reduced sweep the CI bench-smoke job runs: all four presets, all
+    /// four families, one region, one seed, one day.
+    pub fn smoke(seed: u64) -> Self {
+        Self {
+            seeds: vec![seed],
+            spaces: PolicyFamily::ALL.iter().map(|f| f.smoke_space()).collect(),
+            duration_days: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Concrete configurations of every space, in declaration order.
+    pub fn configs(&self) -> Vec<SweepConfig> {
+        self.spaces.iter().flat_map(|s| s.expand()).collect()
+    }
+
+    /// Number of simulation cells the sweep declares.
+    pub fn cell_count(&self) -> usize {
+        self.configs().len() * self.presets.len() * self.regions.len() * self.seeds.len()
+    }
+
+    /// Executes the sweep concurrently.
+    pub fn run(&self) -> SweepReport {
+        self.execute(self.threads)
+    }
+
+    /// Executes the same cells on the calling thread, in the same order.
+    pub fn run_sequential(&self) -> SweepReport {
+        self.execute(1)
+    }
+
+    fn execute(&self, threads: usize) -> SweepReport {
+        let configs = self.configs();
+
+        // Workloads depend only on (preset, region, seed): generate each one
+        // once, concurrently, then share them read-only across all configs.
+        let coords: Vec<(usize, usize, usize)> = (0..self.presets.len())
+            .flat_map(|p| {
+                let seeds = self.seeds.len();
+                (0..self.regions.len()).flat_map(move |r| (0..seeds).map(move |s| (p, r, s)))
+            })
+            .collect();
+        let workloads: Vec<WorkloadSpec> = parallel_map(coords.len(), threads, |i| {
+            let (p, r, s) = coords[i];
+            let preset = self.presets[p];
+            WorkloadSpec::generate(
+                &preset.profile(&self.regions[r]),
+                preset.calibration(self.duration_days),
+                &self.population,
+                self.seeds[s],
+            )
+        });
+
+        // Config-major cell order keeps each configuration's results
+        // contiguous for the fold below.
+        let reports: Vec<SimReport> = parallel_map(configs.len() * workloads.len(), threads, |i| {
+            let (ci, wi) = (i / workloads.len(), i % workloads.len());
+            let config = &configs[ci];
+            let (_, _, s) = coords[wi];
+            let spec = SimulationSpec::new()
+                .with_config(config.platform(&self.platform))
+                .with_seed(self.seeds[s])
+                .with_policies(Arc::new(config.clone()));
+            match config.apply_workload(&workloads[wi]) {
+                Some(adjusted) => spec.run(&adjusted).0,
+                None => spec.run(&workloads[wi]).0,
+            }
+        });
+
+        let cells: Vec<SweepCellReport> = reports
+            .iter()
+            .enumerate()
+            .map(|(i, report)| {
+                let (ci, wi) = (i / workloads.len(), i % workloads.len());
+                let (p, r, s) = coords[wi];
+                SweepCellReport {
+                    config_index: ci,
+                    preset: self.presets[p],
+                    region: self.regions[r].region,
+                    seed: self.seeds[s],
+                    report: report.clone(),
+                }
+            })
+            .collect();
+
+        let mut summaries: Vec<ConfigSummary> = configs
+            .into_iter()
+            .zip(reports.chunks(workloads.len().max(1)))
+            .map(|(config, chunk)| ConfigSummary::fold(config, chunk))
+            .collect();
+        let front = pareto_front(
+            &summaries
+                .iter()
+                .map(|s| (s.cold_start_rate, s.mem_gb_s_wasted))
+                .collect::<Vec<_>>(),
+        );
+        for &i in &front {
+            summaries[i].on_front = true;
+        }
+
+        SweepReport {
+            duration_days: self.duration_days,
+            presets: self.presets.clone(),
+            regions: self.regions.iter().map(|r| r.region).collect(),
+            seeds: self.seeds.clone(),
+            configs: summaries,
+            pareto: front,
+            cells,
+        }
+    }
+}
+
+/// One completed sweep cell: its coordinates and the simulator report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCellReport {
+    /// Index into [`SweepReport::configs`].
+    pub config_index: usize,
+    /// Workload preset of this cell.
+    pub preset: ScenarioPreset,
+    /// Region the workload was generated for.
+    pub region: RegionId,
+    /// Seed the workload and simulation used.
+    pub seed: u64,
+    /// Aggregate simulation outcome.
+    pub report: SimReport,
+}
+
+/// One configuration's results folded over every cell it ran in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigSummary {
+    /// The configuration.
+    pub config: SweepConfig,
+    /// Total requests across all cells.
+    pub requests: u64,
+    /// Total cold starts across all cells.
+    pub cold_starts: u64,
+    /// Cold starts per request (0 when no requests ran).
+    pub cold_start_rate: f64,
+    /// Cold-start-weighted mean of the per-cell p99 cold-start wait, seconds.
+    pub p99_wait_s: f64,
+    /// Total memory wasted on idle pods and reserved pools, GB-seconds.
+    pub mem_gb_s_wasted: f64,
+    /// Whether the configuration is on the sweep's Pareto front.
+    pub on_front: bool,
+}
+
+impl ConfigSummary {
+    fn fold(config: SweepConfig, cells: &[SimReport]) -> Self {
+        let requests: u64 = cells.iter().map(|r| r.requests).sum();
+        let cold_starts: u64 = cells.iter().map(|r| r.cold_starts).sum();
+        let mem_gb_s_wasted: f64 = cells.iter().map(|r| r.mem_gb_s_wasted).sum();
+        let p99_wait_s = if cold_starts == 0 {
+            0.0
+        } else {
+            cells
+                .iter()
+                .map(|r| r.cold_start_latency.p99_s * r.cold_starts as f64)
+                .sum::<f64>()
+                / cold_starts as f64
+        };
+        let cold_start_rate = if requests == 0 {
+            0.0
+        } else {
+            cold_starts as f64 / requests as f64
+        };
+        Self {
+            config,
+            requests,
+            cold_starts,
+            cold_start_rate,
+            p99_wait_s,
+            mem_gb_s_wasted,
+            on_front: false,
+        }
+    }
+}
+
+/// Results of a sweep: per-cell reports, per-configuration summaries, and
+/// the Pareto front over (cold-start rate, memory waste).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Trace duration per cell, in days.
+    pub duration_days: u32,
+    /// Presets that were swept, in declaration order.
+    pub presets: Vec<ScenarioPreset>,
+    /// Regions that were swept.
+    pub regions: Vec<RegionId>,
+    /// Seeds that were swept.
+    pub seeds: Vec<u64>,
+    /// Per-configuration summaries, in configuration order.
+    pub configs: Vec<ConfigSummary>,
+    /// Indices into `configs` of the Pareto-optimal configurations.
+    pub pareto: Vec<usize>,
+    /// All cell results, config-major then preset/region/seed order.
+    pub cells: Vec<SweepCellReport>,
+}
+
+impl SweepReport {
+    /// The Pareto-optimal configurations, in configuration order.
+    pub fn front(&self) -> Vec<&ConfigSummary> {
+        self.pareto.iter().map(|&i| &self.configs[i]).collect()
+    }
+
+    /// Distinct policy families present, in first-seen order.
+    pub fn families(&self) -> Vec<&'static str> {
+        let mut out: Vec<&'static str> = Vec::new();
+        for c in &self.configs {
+            let name = c.config.family.name();
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        }
+        out
+    }
+
+    /// Renders the per-configuration table, one row per configuration, in
+    /// deterministic order. Pareto-front rows are marked with `*`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<52} {:>10} {:>12} {:>10} {:>12} {:>16} {:>7}\n",
+            "config",
+            "requests",
+            "cold starts",
+            "rate",
+            "p99 wait (s)",
+            "mem waste (GB-s)",
+            "pareto"
+        ));
+        for c in &self.configs {
+            out.push_str(&format!(
+                "{:<52} {:>10} {:>12} {:>9.4}% {:>12.4} {:>16.2} {:>7}\n",
+                c.config.label(),
+                c.requests,
+                c.cold_starts,
+                100.0 * c.cold_start_rate,
+                c.p99_wait_s,
+                c.mem_gb_s_wasted,
+                if c.on_front { "*" } else { "" },
+            ));
+        }
+        out
+    }
+
+    /// Serialises the report into the stable `BENCH_sweep.json` schema
+    /// (`faas-coldstarts/sweep/v1`). Byte-identical for identical reports.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"faas-coldstarts/sweep/v1\",\n");
+        out.push_str(&format!("  \"duration_days\": {},\n", self.duration_days));
+
+        out.push_str("  \"presets\": [");
+        for (i, p) in self.presets.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_str_lit(&mut out, p.name());
+        }
+        out.push_str("],\n");
+
+        out.push_str("  \"regions\": [");
+        for (i, r) in self.regions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&r.index().to_string());
+        }
+        out.push_str("],\n");
+
+        out.push_str("  \"seeds\": [");
+        for (i, s) in self.seeds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&s.to_string());
+        }
+        out.push_str("],\n");
+
+        out.push_str("  \"families\": [");
+        for (i, f) in self.families().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_str_lit(&mut out, f);
+        }
+        out.push_str("],\n");
+
+        out.push_str(&format!("  \"cell_count\": {},\n", self.cells.len()));
+
+        out.push_str("  \"configs\": [\n");
+        for (i, c) in self.configs.iter().enumerate() {
+            out.push_str("    {\"family\": ");
+            push_str_lit(&mut out, c.config.family.name());
+            out.push_str(", \"label\": ");
+            push_str_lit(&mut out, c.config.label());
+            out.push_str(", \"params\": {");
+            for (j, (name, value)) in c.config.params.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                push_str_lit(&mut out, name);
+                out.push_str(": ");
+                match value {
+                    ParamValue::U64(v) => out.push_str(&v.to_string()),
+                    ParamValue::Str(s) => push_str_lit(&mut out, s),
+                }
+            }
+            out.push_str("}, ");
+            out.push_str(&format!("\"requests\": {}, ", c.requests));
+            out.push_str(&format!("\"cold_starts\": {}, ", c.cold_starts));
+            out.push_str(&format!(
+                "\"cold_start_rate\": {}, ",
+                f64_lit(c.cold_start_rate)
+            ));
+            out.push_str(&format!("\"p99_wait_s\": {}, ", f64_lit(c.p99_wait_s)));
+            out.push_str(&format!(
+                "\"mem_gb_s_wasted\": {}, ",
+                f64_lit(c.mem_gb_s_wasted)
+            ));
+            out.push_str(&format!("\"pareto\": {}}}", c.on_front));
+            out.push_str(if i + 1 < self.configs.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+
+        out.push_str("  \"pareto_front\": [\n");
+        for (i, &ci) in self.pareto.iter().enumerate() {
+            let c = &self.configs[ci];
+            out.push_str("    {\"label\": ");
+            push_str_lit(&mut out, c.config.label());
+            out.push_str(&format!(
+                ", \"cold_start_rate\": {}, \"mem_gb_s_wasted\": {}}}",
+                f64_lit(c.cold_start_rate),
+                f64_lit(c.mem_gb_s_wasted)
+            ));
+            out.push_str(if i + 1 < self.pareto.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> PolicySweep {
+        PolicySweep {
+            presets: vec![ScenarioPreset::Diurnal, ScenarioPreset::LowTrafficTail],
+            spaces: vec![
+                PolicyFamily::KeepAlive.smoke_space(),
+                PolicyFamily::Concurrency.smoke_space(),
+            ],
+            duration_days: 1,
+            // Force real worker threads so the parallel path is exercised.
+            threads: 4,
+            ..PolicySweep::default()
+        }
+    }
+
+    #[test]
+    fn sweep_runs_every_declared_cell_in_config_major_order() {
+        let sweep = tiny_sweep();
+        // 6 configs (4 keep-alive + 2 concurrency) × 2 presets × 1 region ×
+        // 1 seed.
+        assert_eq!(sweep.cell_count(), 12);
+        let report = sweep.run();
+        assert_eq!(report.cells.len(), 12);
+        assert_eq!(report.configs.len(), 6);
+        for (i, cell) in report.cells.iter().enumerate() {
+            assert_eq!(cell.config_index, i / 2);
+            assert!(cell.report.requests > 0);
+        }
+        assert_eq!(report.cells[0].preset, ScenarioPreset::Diurnal);
+        assert_eq!(report.cells[1].preset, ScenarioPreset::LowTrafficTail);
+        assert_eq!(report.families(), vec!["keepalive", "concurrency"]);
+    }
+
+    #[test]
+    fn requests_are_conserved_across_configurations() {
+        // No sweep family delays or drops requests, so every configuration
+        // replays the identical arrivals and must see the identical total.
+        let report = tiny_sweep().run();
+        let expected = report.configs[0].requests;
+        assert!(expected > 0);
+        for c in &report.configs {
+            assert_eq!(c.requests, expected, "{}", c.config.label());
+        }
+    }
+
+    #[test]
+    fn keep_alive_duration_trades_cold_starts_for_memory() {
+        let report = tiny_sweep().run();
+        let find = |label: &str| {
+            report
+                .configs
+                .iter()
+                .find(|c| c.config.label() == label)
+                .unwrap_or_else(|| panic!("missing {label}"))
+        };
+        let short = find("keepalive/mode=fixed,duration_ms=30000");
+        let long = find("keepalive/mode=fixed,duration_ms=120000");
+        assert!(long.cold_starts <= short.cold_starts);
+        assert!(long.mem_gb_s_wasted > short.mem_gb_s_wasted);
+    }
+
+    #[test]
+    fn pareto_front_is_marked_consistently() {
+        let report = tiny_sweep().run();
+        assert!(!report.pareto.is_empty());
+        for (i, c) in report.configs.iter().enumerate() {
+            assert_eq!(c.on_front, report.pareto.contains(&i));
+        }
+        let front = report.front();
+        assert_eq!(front.len(), report.pareto.len());
+        // Nothing on the front is dominated by anything off it.
+        for f in &front {
+            for c in &report.configs {
+                let dominates = c.cold_start_rate <= f.cold_start_rate
+                    && c.mem_gb_s_wasted <= f.mem_gb_s_wasted
+                    && (c.cold_start_rate < f.cold_start_rate
+                        || c.mem_gb_s_wasted < f.mem_gb_s_wasted);
+                assert!(
+                    !dominates,
+                    "{} dominated by {}",
+                    f.config.label(),
+                    c.config.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn json_has_the_stable_schema_shape() {
+        let report = tiny_sweep().run();
+        let json = report.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        for key in [
+            "\"schema\": \"faas-coldstarts/sweep/v1\"",
+            "\"duration_days\"",
+            "\"presets\"",
+            "\"regions\"",
+            "\"seeds\"",
+            "\"families\"",
+            "\"cell_count\": 12",
+            "\"configs\"",
+            "\"pareto_front\"",
+            "\"mem_gb_s_wasted\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        // Balanced braces/brackets — cheap structural sanity without a
+        // parser (no string in the schema contains these characters).
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}'));
+        assert!(balance('[', ']'));
+        let table = report.render();
+        assert!(table.contains("keepalive/mode=fixed,duration_ms=30000"));
+        assert!(table.contains("pareto"));
+    }
+}

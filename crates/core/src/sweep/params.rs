@@ -1,0 +1,458 @@
+//! Policy parameter spaces.
+//!
+//! Each policy family exposes a [`ParamSpace`]: the named axes it can be
+//! tuned along and the values a sweep should try on each axis. Expanding a
+//! space takes the cross-product of its axes and yields one [`SweepConfig`]
+//! per point; a `SweepConfig` is plain data, knows how to build the policy
+//! set it describes (it implements [`PolicyFactory`]), and can adjust the
+//! platform configuration or the workload where the family's knob lives
+//! outside the policy objects (pool sizing, per-function concurrency).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use faas_platform::{
+    AdaptiveKeepAlive, AdmissionPolicy, FixedKeepAlive, KeepAlivePolicy, NoAdmissionControl,
+    NoPrewarm, PlatformConfig, PlatformView, PolicyFactory, PrewarmPolicy, PrewarmRequest,
+    TimerAwareKeepAlive,
+};
+use faas_workload::WorkloadSpec;
+
+use crate::policies::prewarm::{DemandPrewarm, TimerPrewarm};
+
+/// The tunable policy families a sweep can cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyFamily {
+    /// Keep-alive selection: how long idle pods are retained.
+    KeepAlive,
+    /// Predictive pre-warming of pods ahead of demand.
+    Prewarm,
+    /// Resource-pool sizing (the pool-prediction knobs).
+    PoolPrediction,
+    /// Per-function concurrency limits.
+    Concurrency,
+}
+
+impl PolicyFamily {
+    /// All families in deterministic sweep order.
+    pub const ALL: [PolicyFamily; 4] = [
+        PolicyFamily::KeepAlive,
+        PolicyFamily::Prewarm,
+        PolicyFamily::PoolPrediction,
+        PolicyFamily::Concurrency,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicyFamily::KeepAlive => "keepalive",
+            PolicyFamily::Prewarm => "prewarm",
+            PolicyFamily::PoolPrediction => "pool-prediction",
+            PolicyFamily::Concurrency => "concurrency",
+        }
+    }
+
+    /// The family's full parameter space.
+    pub fn param_space(&self) -> ParamSpace {
+        match self {
+            PolicyFamily::KeepAlive => ParamSpace {
+                family: *self,
+                axes: vec![
+                    ParamAxis::strings("mode", &["fixed", "adaptive", "timer-aware"]),
+                    ParamAxis::u64s("duration_ms", &[10_000, 30_000, 60_000, 120_000, 300_000]),
+                ],
+            },
+            PolicyFamily::Prewarm => ParamSpace {
+                family: *self,
+                axes: vec![
+                    ParamAxis::u64s("horizon_ms", &[30_000, 60_000, 120_000]),
+                    ParamAxis::u64s("demand", &[0, 1]),
+                ],
+            },
+            PolicyFamily::PoolPrediction => ParamSpace {
+                family: *self,
+                axes: vec![
+                    ParamAxis::u64s("target_per_config", &[2, 8, 32]),
+                    ParamAxis::u64s("replenish_per_tick", &[1, 4]),
+                ],
+            },
+            PolicyFamily::Concurrency => ParamSpace {
+                family: *self,
+                axes: vec![ParamAxis::u64s("concurrency_boost", &[1, 2, 4])],
+            },
+        }
+    }
+
+    /// A reduced space for smoke tests and the CI bench job: every family is
+    /// still represented, with two to four points each.
+    pub fn smoke_space(&self) -> ParamSpace {
+        match self {
+            PolicyFamily::KeepAlive => ParamSpace {
+                family: *self,
+                axes: vec![
+                    ParamAxis::strings("mode", &["fixed", "adaptive"]),
+                    ParamAxis::u64s("duration_ms", &[30_000, 120_000]),
+                ],
+            },
+            PolicyFamily::Prewarm => ParamSpace {
+                family: *self,
+                axes: vec![
+                    ParamAxis::u64s("horizon_ms", &[60_000]),
+                    ParamAxis::u64s("demand", &[0, 1]),
+                ],
+            },
+            PolicyFamily::PoolPrediction => ParamSpace {
+                family: *self,
+                axes: vec![
+                    ParamAxis::u64s("target_per_config", &[2, 16]),
+                    ParamAxis::u64s("replenish_per_tick", &[2]),
+                ],
+            },
+            PolicyFamily::Concurrency => ParamSpace {
+                family: *self,
+                axes: vec![ParamAxis::u64s("concurrency_boost", &[1, 4])],
+            },
+        }
+    }
+}
+
+/// One parameter value: sweeps only need integers and mode names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// An integer-valued knob (durations, counts, multipliers).
+    U64(u64),
+    /// A named mode.
+    Str(&'static str),
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::U64(v) => write!(f, "{v}"),
+            ParamValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// One named axis of a parameter space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamAxis {
+    /// Axis name, e.g. `duration_ms`.
+    pub name: &'static str,
+    /// Values to try, in sweep order.
+    pub values: Vec<ParamValue>,
+}
+
+impl ParamAxis {
+    /// An integer axis.
+    pub fn u64s(name: &'static str, values: &[u64]) -> Self {
+        Self {
+            name,
+            values: values.iter().map(|&v| ParamValue::U64(v)).collect(),
+        }
+    }
+
+    /// A named-mode axis.
+    pub fn strings(name: &'static str, values: &[&'static str]) -> Self {
+        Self {
+            name,
+            values: values.iter().map(|&v| ParamValue::Str(v)).collect(),
+        }
+    }
+}
+
+/// The tunable axes of one policy family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    /// The family the axes belong to.
+    pub family: PolicyFamily,
+    /// Axes, in label order.
+    pub axes: Vec<ParamAxis>,
+}
+
+impl ParamSpace {
+    /// Number of configurations the cross-product yields.
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|a| a.values.len()).product()
+    }
+
+    /// Whether the space is empty (an axis with no values).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the cross-product into concrete configurations, first axis
+    /// slowest — deterministic for a given space.
+    pub fn expand(&self) -> Vec<SweepConfig> {
+        let mut configs = vec![Vec::new()];
+        for axis in &self.axes {
+            let mut next = Vec::with_capacity(configs.len() * axis.values.len());
+            for prefix in &configs {
+                for &value in &axis.values {
+                    let mut params: Vec<(&'static str, ParamValue)> = prefix.clone();
+                    params.push((axis.name, value));
+                    next.push(params);
+                }
+            }
+            configs = next;
+        }
+        configs
+            .into_iter()
+            .map(|params| SweepConfig::new(self.family, params))
+            .collect()
+    }
+}
+
+/// One concrete policy configuration: a point in a family's parameter space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// The family the point belongs to.
+    pub family: PolicyFamily,
+    /// Parameter assignment in axis order.
+    pub params: Vec<(&'static str, ParamValue)>,
+    /// Cached `family/name=value,...` label (stable across runs).
+    label: String,
+}
+
+impl SweepConfig {
+    /// Builds a configuration, computing its stable label.
+    pub fn new(family: PolicyFamily, params: Vec<(&'static str, ParamValue)>) -> Self {
+        let assignment: Vec<String> = params.iter().map(|(n, v)| format!("{n}={v}")).collect();
+        let label = format!("{}/{}", family.name(), assignment.join(","));
+        Self {
+            family,
+            params,
+            label,
+        }
+    }
+
+    /// Stable `family/name=value,...` label of this configuration.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn get(&self, name: &str) -> Option<ParamValue> {
+        self.params
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn get_u64(&self, name: &str, default: u64) -> u64 {
+        match self.get(name) {
+            Some(ParamValue::U64(v)) => v,
+            _ => default,
+        }
+    }
+
+    fn get_str(&self, name: &str, default: &'static str) -> &'static str {
+        match self.get(name) {
+            Some(ParamValue::Str(s)) => s,
+            _ => default,
+        }
+    }
+
+    /// Platform configuration for this point: the pool-prediction family
+    /// rewrites the pool knobs, every other family runs `base` unchanged.
+    pub fn platform(&self, base: &PlatformConfig) -> PlatformConfig {
+        let mut config = base.clone();
+        if self.family == PolicyFamily::PoolPrediction {
+            config.pool.target_per_config =
+                self.get_u64("target_per_config", config.pool.target_per_config as u64) as u32;
+            config.pool.replenish_per_tick =
+                self.get_u64("replenish_per_tick", config.pool.replenish_per_tick as u64) as u32;
+        }
+        config
+    }
+
+    /// Workload transformation for this point: the concurrency family scales
+    /// every function's concurrency limit; other families return `None` and
+    /// share the untransformed workload.
+    pub fn apply_workload(&self, workload: &WorkloadSpec) -> Option<WorkloadSpec> {
+        if self.family != PolicyFamily::Concurrency {
+            return None;
+        }
+        let boost = self.get_u64("concurrency_boost", 1).max(1) as u32;
+        if boost == 1 {
+            return None;
+        }
+        let mut adjusted = workload.clone();
+        for f in &mut adjusted.functions {
+            f.concurrency = f.concurrency.saturating_mul(boost);
+        }
+        Some(adjusted)
+    }
+}
+
+impl PolicyFactory for SweepConfig {
+    fn keep_alive(&self, workload: &WorkloadSpec) -> Box<dyn KeepAlivePolicy> {
+        if self.family != PolicyFamily::KeepAlive {
+            return Box::new(FixedKeepAlive::default());
+        }
+        let duration_ms = self.get_u64("duration_ms", 60_000);
+        match self.get_str("mode", "fixed") {
+            "adaptive" => Box::new(AdaptiveKeepAlive {
+                default_ms: duration_ms,
+                max_ms: duration_ms.max(AdaptiveKeepAlive::default().max_ms),
+                ..AdaptiveKeepAlive::default()
+            }),
+            "timer-aware" => Box::new(TimerAwareKeepAlive::from_specs(
+                duration_ms,
+                600_000,
+                2_000,
+                workload
+                    .functions
+                    .iter()
+                    .map(|s| (&s.function, s.triggers.as_slice(), s.timer_period_secs)),
+            )),
+            _ => Box::new(FixedKeepAlive { duration_ms }),
+        }
+    }
+
+    fn prewarm(&self, workload: &WorkloadSpec) -> Box<dyn PrewarmPolicy> {
+        if self.family != PolicyFamily::Prewarm {
+            return Box::new(NoPrewarm);
+        }
+        let horizon_ms = self.get_u64("horizon_ms", 60_000);
+        let timer = TimerPrewarm::from_specs(&workload.functions, horizon_ms);
+        if self.get_u64("demand", 0) == 1 {
+            Box::new(StackedPrewarm::new(vec![
+                Box::new(timer),
+                Box::new(DemandPrewarm::default()),
+            ]))
+        } else {
+            Box::new(timer)
+        }
+    }
+
+    fn admission(&self, _workload: &WorkloadSpec) -> Box<dyn AdmissionPolicy> {
+        Box::new(NoAdmissionControl)
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Runs several pre-warm policies per tick and merges their requests,
+/// keeping the highest pod count requested per function. Used by the prewarm
+/// family to stack demand pre-warming on top of the timer policy.
+pub struct StackedPrewarm {
+    inner: Vec<Box<dyn PrewarmPolicy>>,
+}
+
+impl StackedPrewarm {
+    /// Stacks the given policies; requests are merged per function.
+    pub fn new(inner: Vec<Box<dyn PrewarmPolicy>>) -> Self {
+        Self { inner }
+    }
+}
+
+impl PrewarmPolicy for StackedPrewarm {
+    fn prewarm(&mut self, view: &PlatformView) -> Vec<PrewarmRequest> {
+        let mut merged: Vec<PrewarmRequest> = Vec::new();
+        for policy in &mut self.inner {
+            for req in policy.prewarm(view) {
+                match merged.iter_mut().find(|m| m.function == req.function) {
+                    Some(m) => m.count = m.count.max(req.count),
+                    None => merged.push(req),
+                }
+            }
+        }
+        merged
+    }
+
+    fn name(&self) -> &'static str {
+        "stacked-prewarm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn family_names_are_unique_and_resolvable_spaces() {
+        let names: HashSet<&str> = PolicyFamily::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), PolicyFamily::ALL.len());
+        for family in PolicyFamily::ALL {
+            assert!(!family.param_space().is_empty());
+            assert!(!family.smoke_space().is_empty());
+            assert!(family.smoke_space().len() <= family.param_space().len());
+        }
+    }
+
+    #[test]
+    fn expansion_is_the_full_cross_product_with_unique_labels() {
+        let space = PolicyFamily::KeepAlive.param_space();
+        assert_eq!(space.len(), 15);
+        let configs = space.expand();
+        assert_eq!(configs.len(), 15);
+        let labels: HashSet<&str> = configs.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 15, "labels must be unique");
+        // First axis slowest: the first five points share mode=fixed.
+        for c in &configs[..5] {
+            assert!(c.label().contains("mode=fixed"), "{}", c.label());
+        }
+        assert_eq!(configs[0].label(), "keepalive/mode=fixed,duration_ms=10000");
+        // Expansion is deterministic.
+        assert_eq!(space.expand(), configs);
+    }
+
+    #[test]
+    fn pool_family_rewrites_the_pool_config_only() {
+        let base = PlatformConfig::default();
+        let config = SweepConfig::new(
+            PolicyFamily::PoolPrediction,
+            vec![
+                ("target_per_config", ParamValue::U64(32)),
+                ("replenish_per_tick", ParamValue::U64(4)),
+            ],
+        );
+        let platform = config.platform(&base);
+        assert_eq!(platform.pool.target_per_config, 32);
+        assert_eq!(platform.pool.replenish_per_tick, 4);
+        assert_eq!(platform.clusters, base.clusters);
+        // Other families leave the platform untouched.
+        let ka = SweepConfig::new(
+            PolicyFamily::KeepAlive,
+            vec![("duration_ms", ParamValue::U64(10_000))],
+        );
+        assert_eq!(ka.platform(&base), base);
+    }
+
+    #[test]
+    fn stacked_prewarm_merges_per_function() {
+        use fntrace::FunctionId;
+
+        struct Fixed(Vec<PrewarmRequest>);
+        impl PrewarmPolicy for Fixed {
+            fn prewarm(&mut self, _view: &PlatformView) -> Vec<PrewarmRequest> {
+                self.0.clone()
+            }
+            fn name(&self) -> &'static str {
+                "fixed-test"
+            }
+        }
+
+        let req = |id: u64, count: u32| PrewarmRequest {
+            function: FunctionId::new(id),
+            count,
+        };
+        let mut stacked = StackedPrewarm::new(vec![
+            Box::new(Fixed(vec![req(1, 1), req(2, 3)])),
+            Box::new(Fixed(vec![req(2, 1), req(3, 2)])),
+        ]);
+        let view = PlatformView {
+            now_ms: 0,
+            total_warm_pods: 0,
+            pooled_idle_pods: 0,
+            functions: Vec::new(),
+        };
+        let merged = stacked.prewarm(&view);
+        assert_eq!(merged, vec![req(1, 1), req(2, 3), req(3, 2)]);
+        assert_eq!(stacked.name(), "stacked-prewarm");
+    }
+}

@@ -1,0 +1,75 @@
+//! 2-D Pareto-front extraction.
+//!
+//! The sweep's headline output is the set of policy configurations that are
+//! not dominated on the (cold-start rate, memory-GB-seconds wasted) plane —
+//! both objectives minimised. A point is dominated when some other point is
+//! at least as good on both axes and strictly better on at least one; exact
+//! ties are all kept, so equally-good configurations stay visible.
+
+/// Returns the indices of the non-dominated points, in input order.
+///
+/// Both coordinates are minimised. Non-finite coordinates (NaN, infinities)
+/// never make the front: a point that cannot be compared must not displace
+/// real measurements.
+pub fn pareto_front(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'candidates: for (i, &(x, y)) in points.iter().enumerate() {
+        if !x.is_finite() || !y.is_finite() {
+            continue;
+        }
+        for (j, &(ox, oy)) in points.iter().enumerate() {
+            if i == j || !ox.is_finite() || !oy.is_finite() {
+                continue;
+            }
+            let dominates = ox <= x && oy <= y && (ox < x || oy < y);
+            if dominates {
+                continue 'candidates;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        // (1,9) and (9,1) are the extremes, (3,3) is interior but
+        // non-dominated; (5,5) is dominated by (3,3) and (4,9) by (1,9).
+        let points = vec![(1.0, 9.0), (9.0, 1.0), (3.0, 3.0), (5.0, 5.0), (4.0, 9.0)];
+        assert_eq!(pareto_front(&points), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_and_empty_inputs() {
+        assert_eq!(pareto_front(&[]), Vec::<usize>::new());
+        assert_eq!(pareto_front(&[(2.0, 7.0)]), vec![0]);
+    }
+
+    #[test]
+    fn a_point_dominating_everything_is_the_whole_front() {
+        let points = vec![(5.0, 5.0), (1.0, 1.0), (5.0, 1.0), (1.0, 5.0)];
+        assert_eq!(pareto_front(&points), vec![1]);
+    }
+
+    #[test]
+    fn exact_ties_are_all_kept() {
+        let points = vec![(2.0, 2.0), (2.0, 2.0), (3.0, 3.0)];
+        assert_eq!(pareto_front(&points), vec![0, 1]);
+        // A tie on one axis only: (2,3) is dominated by (2,2); (3,2) too.
+        let points = vec![(2.0, 2.0), (2.0, 3.0), (3.0, 2.0)];
+        assert_eq!(pareto_front(&points), vec![0]);
+    }
+
+    #[test]
+    fn non_finite_points_never_enter_the_front() {
+        let points = vec![(f64::NAN, 1.0), (1.0, f64::INFINITY), (2.0, 2.0)];
+        assert_eq!(pareto_front(&points), vec![2]);
+        // ...and do not knock out finite points either.
+        let points = vec![(f64::NAN, f64::NAN), (5.0, 5.0)];
+        assert_eq!(pareto_front(&points), vec![1]);
+    }
+}

@@ -1,7 +1,7 @@
 //! The discrete-event simulation loop.
 //!
 //! [`SimulationEngine`] owns one run's policies and drives a
-//! [`SimState`](crate::state::SimState) through a workload: arrivals,
+//! [`SimState`] through a workload: arrivals,
 //! completions, keep-alive expiries, pre-warm and pool-replenish ticks, and
 //! admission-control delays. Engines are single-use by design — they are
 //! stamped out either by the compatibility [`Simulator`](crate::Simulator)
@@ -73,11 +73,13 @@ impl SimulationEngine {
         while let Some((t, e)) = state.queue.pop() {
             self.handle_internal(&mut state, t, e, duration);
         }
-        // Terminate anything still alive at the end of the horizon.
+        // Terminate anything still alive at the end of the horizon, and
+        // settle the pools' idle-memory integral up to it.
         let live: Vec<PodId> = state.pods.keys().copied().collect();
         for pod_id in live {
             state.finalize_pod(pod_id, duration);
         }
+        state.pools.integrate_to(duration);
 
         state.into_report(
             self.keep_alive.name(),
@@ -113,7 +115,7 @@ impl SimulationEngine {
             }
             Event::PoolReplenishTick => {
                 if t <= duration {
-                    state.pools.replenish();
+                    state.pools.replenish(t);
                     state.queue.push(
                         t + self.config.pool.replenish_interval_ms.max(1),
                         Event::PoolReplenishTick,

@@ -299,6 +299,13 @@ mod tests {
     }
 
     #[test]
+    fn zero_keep_alive_is_honoured_by_the_policy() {
+        let p = FixedKeepAlive { duration_ms: 0 };
+        let h = history_with_iats(&[10, 10, 10, 10]);
+        assert_eq!(p.keep_alive_ms(FunctionId::new(1), &h), 0);
+    }
+
+    #[test]
     fn timer_aware_from_specs() {
         let f1 = FunctionId::new(1);
         let f2 = FunctionId::new(2);
@@ -316,5 +323,191 @@ mod tests {
         let h = FunctionHistory::default();
         assert_eq!(p.keep_alive_ms(f1, &h), 302_000);
         assert_eq!(p.keep_alive_ms(f2, &h), 60_000);
+    }
+}
+
+// Edge cases of keep-alive expiry as seen by the simulation state machine:
+// expiry landing exactly on the horizon, zero keep-alive, and a pod re-warmed
+// back-to-back before its scheduled expiry fires.
+#[cfg(test)]
+mod expiry_edge_tests {
+    use super::*;
+    use crate::config::PlatformConfig;
+    use crate::engine::SimulationEngine;
+    use crate::event::Event;
+    use crate::policy::{NoAdmissionControl, NoPrewarm};
+    use crate::state::SimState;
+    use faas_workload::profile::{Calibration, RegionProfile};
+    use faas_workload::{FunctionSpec, WorkloadEvent, WorkloadSpec};
+    use fntrace::{ResourceConfig, Runtime, TriggerType, UserId};
+
+    fn api_spec(id: u64) -> FunctionSpec {
+        FunctionSpec {
+            function: FunctionId::new(id),
+            user: UserId::new(1),
+            runtime: Runtime::Python3,
+            triggers: vec![TriggerType::ApigSync],
+            config: ResourceConfig::SMALL_300_128,
+            base_requests_per_day: 100.0,
+            timer_period_secs: 0.0,
+            diurnal_amplitude: 0.0,
+            peak_offset_hours: 0.0,
+            median_execution_secs: 0.05,
+            cpu_millicores: 100.0,
+            memory_bytes: 64 << 20,
+            has_dependencies: false,
+            concurrency: 1,
+            upstream: None,
+        }
+    }
+
+    fn workload(events: &[u64]) -> WorkloadSpec {
+        let profile = RegionProfile::r2();
+        WorkloadSpec {
+            region: profile.region,
+            profile,
+            calibration: Calibration {
+                duration_days: 1,
+                ..Calibration::default()
+            },
+            functions: vec![api_spec(1)],
+            events: events
+                .iter()
+                .map(|&timestamp_ms| WorkloadEvent {
+                    timestamp_ms,
+                    function: FunctionId::new(1),
+                })
+                .collect(),
+        }
+    }
+
+    fn config() -> PlatformConfig {
+        PlatformConfig {
+            record_trace: false,
+            ..PlatformConfig::default()
+        }
+    }
+
+    /// Drains the internal queue the way the engine does, handling only the
+    /// pod life-cycle events the tests exercise.
+    fn drain(state: &mut SimState<'_>, policy: &dyn KeepAlivePolicy) {
+        while let Some((t, event)) = state.queue.pop() {
+            match event {
+                Event::RequestComplete { pod, busy_ms } => {
+                    state.complete_request(pod, t, busy_ms, policy)
+                }
+                Event::PodExpire { pod, generation } => state.expire_pod(pod, t, generation),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_keep_alive_never_serves_warm_requests() {
+        // Two arrivals far apart: with a zero keep-alive the pod from the
+        // first request is gone long before the second, so both are cold.
+        let w = workload(&[1_000, 40_000_000]);
+        let engine = SimulationEngine::new(
+            config(),
+            Box::new(FixedKeepAlive { duration_ms: 0 }),
+            Box::new(NoPrewarm),
+            Box::new(NoAdmissionControl),
+            3,
+        );
+        let (report, _) = engine.run(&w);
+        assert_eq!(report.requests, 2);
+        assert_eq!(report.cold_starts, 2);
+        assert_eq!(report.warm_starts, 0);
+        // The pod idles for at most the 1 ms expiry floor, so essentially no
+        // idle time (and no idle memory) accumulates.
+        assert!(report.idle_pod_time_s < 0.1, "{}", report.idle_pod_time_s);
+    }
+
+    #[test]
+    fn expiry_exactly_at_horizon_matches_forced_finalize() {
+        let w = workload(&[]);
+        let cfg = config();
+        let policy = FixedKeepAlive {
+            duration_ms: 10_000,
+        };
+        let f = FunctionId::new(1);
+
+        // Path A: the scheduled expiry event fires at its exact due time.
+        let mut a = SimState::new(&w, &cfg, 9);
+        a.dispatch(f, 0, &policy);
+        let (t_complete, event) = a.queue.pop().expect("completion scheduled");
+        let Event::RequestComplete { pod, busy_ms } = event else {
+            panic!("expected completion, got {event:?}");
+        };
+        a.complete_request(pod, t_complete, busy_ms, &policy);
+        let (t_expire, event) = a.queue.pop().expect("expiry scheduled");
+        let Event::PodExpire { pod, generation } = event else {
+            panic!("expected expiry, got {event:?}");
+        };
+        assert_eq!(t_expire, t_complete + 10_000);
+        a.expire_pod(pod, t_expire, generation);
+        assert!(a.pods.is_empty(), "pod expired at its due time");
+        // A duplicate expiry for a terminated pod is a no-op.
+        a.expire_pod(pod, t_expire, generation);
+
+        // Path B: same run (same seed is deterministic), but the horizon cuts
+        // the simulation at exactly the expiry time and finalizes the pod.
+        let mut b = SimState::new(&w, &cfg, 9);
+        b.dispatch(f, 0, &policy);
+        let (tc, event) = b.queue.pop().expect("completion scheduled");
+        let Event::RequestComplete {
+            pod: pod_b,
+            busy_ms,
+        } = event
+        else {
+            panic!("expected completion, got {event:?}");
+        };
+        b.complete_request(pod_b, tc, busy_ms, &policy);
+        b.finalize_pod(pod_b, t_expire);
+
+        // Both paths account the identical lifetime, idle time, and wasted
+        // memory: expiring exactly at the horizon is not a special case.
+        let (ra, _) = a.into_report("fixed", "none", "none");
+        let (rb, _) = b.into_report("fixed", "none", "none");
+        assert!(ra.pod_lifetime_s > 0.0);
+        assert_eq!(ra.pod_lifetime_s, rb.pod_lifetime_s);
+        assert_eq!(ra.idle_pod_time_s, rb.idle_pod_time_s);
+        assert_eq!(ra.mem_gb_s_wasted, rb.mem_gb_s_wasted);
+    }
+
+    #[test]
+    fn back_to_back_rewarm_invalidates_stale_expiry() {
+        let w = workload(&[]);
+        let cfg = config();
+        let policy = FixedKeepAlive {
+            duration_ms: 10_000,
+        };
+        let f = FunctionId::new(1);
+
+        let mut state = SimState::new(&w, &cfg, 11);
+        state.dispatch(f, 0, &policy);
+        let (t_complete, event) = state.queue.pop().expect("completion scheduled");
+        let Event::RequestComplete { pod, busy_ms } = event else {
+            panic!("expected completion, got {event:?}");
+        };
+        state.complete_request(pod, t_complete, busy_ms, &policy);
+        assert_eq!(state.queue.len(), 1, "expiry pending");
+
+        // A new request lands on the idle pod before the expiry fires: the
+        // pod is re-warmed and the pending expiry becomes stale.
+        state.dispatch(f, t_complete + 1, &policy);
+        assert_eq!(state.report.warm_starts, 1);
+        assert_eq!(state.report.cold_starts, 1);
+
+        // Drain everything: the stale expiry (wrong generation or busy pod)
+        // must not kill the pod mid-request; the fresh expiry after the
+        // second completion must.
+        drain(&mut state, &policy);
+        assert!(state.pods.is_empty(), "fresh expiry eventually fires");
+        let (report, _) = state.into_report("fixed", "none", "none");
+        assert_eq!(report.requests, 2);
+        // One pod served both requests, so exactly one lifetime is accounted.
+        assert!(report.pod_lifetime_s > 0.0);
+        assert!(report.idle_pod_time_s > 0.0);
     }
 }

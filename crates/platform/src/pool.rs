@@ -58,6 +58,10 @@ pub struct ResourcePools {
     /// Cumulative counters for reporting.
     acquired_from_pool: u64,
     acquired_from_scratch: u64,
+    /// Last time the idle-memory integral was advanced, milliseconds.
+    integrated_to_ms: u64,
+    /// Integral of pooled idle memory over time, in MB-milliseconds.
+    idle_mem_mb_ms: f64,
 }
 
 impl ResourcePools {
@@ -75,6 +79,8 @@ impl ResourcePools {
             targets,
             acquired_from_pool: 0,
             acquired_from_scratch: 0,
+            integrated_to_ms: 0,
+            idle_mem_mb_ms: 0.0,
         }
     }
 
@@ -100,11 +106,42 @@ impl ResourcePools {
         self.idle.entry(cfg).or_insert(0);
     }
 
-    /// Tries to acquire a pod of the given configuration.
+    /// Advances the idle-memory integral to `now_ms`. Called automatically by
+    /// [`acquire`](Self::acquire) and [`replenish`](Self::replenish); the
+    /// simulation engine calls it once more at the horizon so the integral
+    /// covers the full run. Time never goes backwards: stale timestamps are
+    /// ignored.
+    pub fn integrate_to(&mut self, now_ms: u64) {
+        if now_ms <= self.integrated_to_ms {
+            return;
+        }
+        let dt_ms = (now_ms - self.integrated_to_ms) as f64;
+        let idle_mb: f64 = self
+            .idle
+            .iter()
+            .map(|(cfg, count)| f64::from(cfg.memory_mb) * f64::from(*count))
+            .sum();
+        self.idle_mem_mb_ms += idle_mb * dt_ms;
+        self.integrated_to_ms = now_ms;
+    }
+
+    /// Memory reserved by pooled idle pods integrated over time, in
+    /// GB-seconds, up to the last [`integrate_to`](Self::integrate_to) point.
+    pub fn mem_gb_s(&self) -> f64 {
+        self.idle_mem_mb_ms / 1024.0 / 1e3
+    }
+
+    /// Tries to acquire a pod of the given configuration at `now_ms`.
     ///
     /// `pooled_runtime` is false for runtimes without reserved pools
     /// (`Custom` images), which always take the from-scratch path.
-    pub fn acquire(&mut self, cfg: ResourceConfig, pooled_runtime: bool) -> PoolAcquire {
+    pub fn acquire(
+        &mut self,
+        cfg: ResourceConfig,
+        pooled_runtime: bool,
+        now_ms: u64,
+    ) -> PoolAcquire {
+        self.integrate_to(now_ms);
         if pooled_runtime {
             if let Some(count) = self.idle.get_mut(&cfg) {
                 if *count > 0 {
@@ -118,9 +155,11 @@ impl ResourcePools {
         PoolAcquire::FromScratch
     }
 
-    /// Runs one replenish tick, adding up to `replenish_per_tick` pods to
-    /// each pool that is below target. Returns how many pods were created.
-    pub fn replenish(&mut self) -> u32 {
+    /// Runs one replenish tick at `now_ms`, adding up to `replenish_per_tick`
+    /// pods to each pool that is below target. Returns how many pods were
+    /// created.
+    pub fn replenish(&mut self, now_ms: u64) -> u32 {
+        self.integrate_to(now_ms);
         let mut created = 0;
         for (cfg, target) in self.targets.clone() {
             let entry = self.idle.entry(cfg).or_insert(0);
@@ -171,14 +210,14 @@ mod tests {
             ..PoolConfig::default()
         });
         let cfg = ResourceConfig::SMALL_300_128;
-        assert_eq!(pools.acquire(cfg, true), PoolAcquire::FromPool);
-        assert_eq!(pools.acquire(cfg, true), PoolAcquire::FromPool);
-        assert_eq!(pools.acquire(cfg, true), PoolAcquire::FromScratch);
+        assert_eq!(pools.acquire(cfg, true, 0), PoolAcquire::FromPool);
+        assert_eq!(pools.acquire(cfg, true, 0), PoolAcquire::FromPool);
+        assert_eq!(pools.acquire(cfg, true, 0), PoolAcquire::FromScratch);
         assert_eq!(pools.pool_hits(), 2);
         assert_eq!(pools.scratch_creations(), 1);
         // Non-standard configurations have no pool.
         assert_eq!(
-            pools.acquire(ResourceConfig::new(2000, 4096), true),
+            pools.acquire(ResourceConfig::new(2000, 4096), true, 0),
             PoolAcquire::FromScratch
         );
     }
@@ -187,8 +226,28 @@ mod tests {
     fn custom_runtimes_never_use_pools() {
         let mut pools = ResourcePools::new(PoolConfig::default());
         let cfg = ResourceConfig::SMALL_300_128;
-        assert_eq!(pools.acquire(cfg, false), PoolAcquire::FromScratch);
+        assert_eq!(pools.acquire(cfg, false, 0), PoolAcquire::FromScratch);
         assert_eq!(pools.idle_count(cfg), 8, "pool is untouched");
+    }
+
+    #[test]
+    fn idle_memory_integral_tracks_pool_contents() {
+        let mut pools = ResourcePools::new(PoolConfig {
+            target_per_config: 1,
+            ..PoolConfig::default()
+        });
+        // One pod of each standard configuration idles for 1024 seconds:
+        // (128 + 256 + 512 + 1024) MB * 1024 s / 1024 MB/GB = 1920 GB-s.
+        pools.integrate_to(1_024_000);
+        assert!((pools.mem_gb_s() - 1_920.0).abs() < 1e-9);
+        // Time never runs backwards.
+        pools.integrate_to(500_000);
+        assert!((pools.mem_gb_s() - 1_920.0).abs() < 1e-9);
+        // Draining the small pool stops its contribution.
+        pools.acquire(ResourceConfig::SMALL_300_128, true, 1_024_000);
+        pools.integrate_to(2_048_000);
+        let expected = 1_920.0 + (256.0 + 512.0 + 1024.0);
+        assert!((pools.mem_gb_s() - expected).abs() < 1e-9);
     }
 
     #[test]
@@ -200,14 +259,14 @@ mod tests {
         });
         let cfg = ResourceConfig::MEDIUM_400_256;
         for _ in 0..4 {
-            pools.acquire(cfg, true);
+            pools.acquire(cfg, true, 0);
         }
         assert_eq!(pools.idle_count(cfg), 0);
-        assert_eq!(pools.replenish(), 1);
+        assert_eq!(pools.replenish(0), 1);
         assert_eq!(pools.idle_count(cfg), 1);
         // Replenish never exceeds the target.
         for _ in 0..10 {
-            pools.replenish();
+            pools.replenish(0);
         }
         assert_eq!(pools.idle_count(cfg), 4);
     }
@@ -222,17 +281,17 @@ mod tests {
         let cfg = ResourceConfig::SMALL_300_128;
         pools.set_target(cfg, 6);
         assert_eq!(pools.target(cfg), 6);
-        pools.replenish();
+        pools.replenish(0);
         assert_eq!(pools.idle_count(cfg), 6);
         // Lowering the target does not delete pods, but stops replenishment.
         pools.set_target(cfg, 2);
-        pools.acquire(cfg, true);
-        pools.acquire(cfg, true);
-        pools.acquire(cfg, true);
-        pools.acquire(cfg, true);
-        pools.acquire(cfg, true);
+        pools.acquire(cfg, true, 0);
+        pools.acquire(cfg, true, 0);
+        pools.acquire(cfg, true, 0);
+        pools.acquire(cfg, true, 0);
+        pools.acquire(cfg, true, 0);
         assert_eq!(pools.idle_count(cfg), 1);
-        pools.replenish();
+        pools.replenish(0);
         assert_eq!(pools.idle_count(cfg), 2);
     }
 }

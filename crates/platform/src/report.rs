@@ -70,6 +70,11 @@ pub struct SimReport {
     /// Total pod time spent idle in keep-alive, in pod-seconds (wasted
     /// capacity the pool-prediction and keep-alive policies try to reduce).
     pub idle_pod_time_s: f64,
+    /// Memory held by idle pods integrated over their idle time, in
+    /// GB-seconds. This is the cost axis the parameter sweeps trade against
+    /// the cold-start rate: keeping pods warm longer reduces cold starts but
+    /// grows this number.
+    pub mem_gb_s_wasted: f64,
     /// Peak number of simultaneously live pods.
     pub peak_live_pods: u32,
     /// Name of the keep-alive policy used.
@@ -104,7 +109,7 @@ impl SimReport {
         format!(
             "requests {:>9}  cold starts {:>8} ({:>5.1}%)  warm {:>9}  prewarmed {:>6} (used {})\n\
              cold start p50/p95/p99 {:.3}/{:.3}/{:.3} s  mean added latency {:.4} s\n\
-             pods: pool hits {}  scratch {}  peak live {}  idle fraction {:.1}%\n\
+             pods: pool hits {}  scratch {}  peak live {}  idle fraction {:.1}%  mem waste {:.1} GB-s\n\
              policies: keep-alive={} prewarm={} admission={}",
             self.requests,
             self.cold_starts,
@@ -120,6 +125,7 @@ impl SimReport {
             self.scratch_creations,
             self.peak_live_pods,
             100.0 * self.idle_fraction(),
+            self.mem_gb_s_wasted,
             self.keep_alive_policy,
             self.prewarm_policy,
             self.admission_policy,

@@ -2,7 +2,7 @@
 //!
 //! [`Simulator`] is the original single-run API: configure policies with the
 //! builder methods, then consume the simulator with [`Simulator::run`]. It is
-//! now a thin shim over [`SimulationEngine`](crate::engine::SimulationEngine);
+//! now a thin shim over [`SimulationEngine`];
 //! code that wants to replay the same configuration many times (policy
 //! ablations, the experiment grid) should use
 //! [`SimulationSpec`](crate::spec::SimulationSpec) instead, which replicates

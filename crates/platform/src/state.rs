@@ -156,7 +156,7 @@ impl<'a> SimState<'a> {
         let cluster = self.clusters.place_pod(function);
         let acquire = self
             .pools
-            .acquire(spec.config, spec.runtime.has_reserved_pool());
+            .acquire(spec.config, spec.runtime.has_reserved_pool(), t);
         let day = (t / MILLIS_PER_DAY) as u32;
         let hour = ((t % MILLIS_PER_DAY) / MILLIS_PER_HOUR) as f64;
         let load_factor =
@@ -353,8 +353,9 @@ impl<'a> SimState<'a> {
         let (lifetime_ms, _served, busy_ms) = pod.terminate(t);
         self.report.pod_lifetime_s += lifetime_ms as f64 / 1e3;
         let startup_ms = pod.cold_start_us / 1000;
-        self.report.idle_pod_time_s +=
-            lifetime_ms.saturating_sub(busy_ms + startup_ms) as f64 / 1e3;
+        let idle_s = lifetime_ms.saturating_sub(busy_ms + startup_ms) as f64 / 1e3;
+        self.report.idle_pod_time_s += idle_s;
+        self.report.mem_gb_s_wasted += idle_s * pod.config.memory_mb as f64 / 1024.0;
         if let Some(list) = self.warm_by_function.get_mut(&function) {
             list.retain(|id| *id != pod_id);
         }
@@ -396,6 +397,9 @@ impl<'a> SimState<'a> {
             self.added_latency_s / self.report.requests as f64
         };
         self.report.peak_live_pods = self.peak_live_pods;
+        // Reserved pool capacity is wasted memory just like keep-alive idling;
+        // the engine advances the pool integral to the horizon before this.
+        self.report.mem_gb_s_wasted += self.pools.mem_gb_s();
         self.report.keep_alive_policy = keep_alive.to_string();
         self.report.prewarm_policy = prewarm.to_string();
         self.report.admission_policy = admission.to_string();

@@ -37,6 +37,7 @@ pub mod arrivals;
 pub mod latency;
 pub mod multi_region;
 pub mod population;
+pub mod presets;
 pub mod profile;
 pub mod simio;
 pub mod synth;
@@ -45,6 +46,7 @@ pub use arrivals::{ArrivalGenerator, FunctionArrivals};
 pub use latency::{ColdStartComponents, ColdStartLatencyModel};
 pub use multi_region::MultiRegionWorkload;
 pub use population::{FunctionPopulation, FunctionSpec, PopulationConfig};
+pub use presets::ScenarioPreset;
 pub use profile::{Calibration, HolidayResponse, RegionProfile};
 pub use simio::{WorkloadEvent, WorkloadSpec};
 pub use synth::{SyntheticTraceBuilder, TraceScale};

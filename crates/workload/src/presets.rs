@@ -1,0 +1,193 @@
+//! Scenario presets for parameter sweeps.
+//!
+//! A [`ScenarioPreset`] is a named, reproducible distortion of a base
+//! [`RegionProfile`]: it reshapes the load pattern (diurnal swing, burstiness,
+//! holiday behaviour, traffic volume) while keeping the region's calibrated
+//! latency model intact. Policy parameter sweeps run every configuration over
+//! every preset so a policy that only wins on one traffic shape is visible as
+//! such, instead of looking universally good on the single default workload.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::{Calibration, HolidayResponse, RegionProfile};
+
+/// Named workload shapes the sweep subsystem evaluates policies under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioPreset {
+    /// Pronounced day/night swing: the paper's Figure 5 shape, amplified.
+    /// Stresses keep-alive choices around the daily trough.
+    Diurnal,
+    /// Bursty, hard-to-predict load: more high-load functions, heavier
+    /// cold-start tails, stronger load sensitivity. Stresses pre-warming.
+    Bursty,
+    /// A holiday-style surge early in the window (Region 3's Figure 7
+    /// behaviour). Stresses pool sizing under a sudden level shift.
+    HolidayPeak,
+    /// A long tail of rarely invoked functions at a quarter of the traffic —
+    /// the worst case for cold starts per request. Stresses retention cost.
+    LowTrafficTail,
+}
+
+impl ScenarioPreset {
+    /// All presets, in the deterministic order sweeps use.
+    pub const ALL: [ScenarioPreset; 4] = [
+        ScenarioPreset::Diurnal,
+        ScenarioPreset::Bursty,
+        ScenarioPreset::HolidayPeak,
+        ScenarioPreset::LowTrafficTail,
+    ];
+
+    /// Stable machine-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioPreset::Diurnal => "diurnal",
+            ScenarioPreset::Bursty => "bursty",
+            ScenarioPreset::HolidayPeak => "holiday-peak",
+            ScenarioPreset::LowTrafficTail => "low-traffic-tail",
+        }
+    }
+
+    /// Looks a preset up by its [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<ScenarioPreset> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// One-line description for reports and `--help` output.
+    pub fn description(&self) -> &'static str {
+        match self {
+            ScenarioPreset::Diurnal => "strong day/night swing around the region's peak hour",
+            ScenarioPreset::Bursty => "bursty high-load functions with heavy cold-start tails",
+            ScenarioPreset::HolidayPeak => "holiday-style load surge early in the window",
+            ScenarioPreset::LowTrafficTail => "long tail of rarely invoked functions at low volume",
+        }
+    }
+
+    /// Applies the preset to a base region profile.
+    ///
+    /// The transformation is deterministic and leaves the region identity and
+    /// cold-start component calibration untouched, so results across presets
+    /// of the same region stay comparable.
+    pub fn profile(&self, base: &RegionProfile) -> RegionProfile {
+        let mut p = base.clone();
+        match self {
+            ScenarioPreset::Diurnal => {
+                p.diurnal_strength = 0.9;
+                p.weekday_weekend_ratio = 1.4;
+            }
+            ScenarioPreset::Bursty => {
+                p.high_load_fraction = (base.high_load_fraction * 2.0).min(0.5);
+                p.diurnal_strength = 0.85;
+                p.load_sensitivity = 1.0;
+                p.component_sigma = base.component_sigma + 0.2;
+            }
+            ScenarioPreset::HolidayPeak => {
+                p.holiday_response = HolidayResponse::Surge;
+                p.holiday_level = 1.6;
+                p.holiday_edge_boost = 1.2;
+            }
+            ScenarioPreset::LowTrafficTail => {
+                p.total_requests = (base.total_requests / 4).max(1);
+                p.high_load_fraction = (base.high_load_fraction / 4.0).max(0.002);
+                p.diurnal_strength = 0.3;
+            }
+        }
+        p
+    }
+
+    /// Builds the calibration for a sweep of `duration_days` days.
+    ///
+    /// The holiday-peak preset places its surge inside the middle third of the
+    /// window so it is exercised even by one- or two-day smoke runs; the other
+    /// presets push the holiday past the horizon so it never triggers.
+    pub fn calibration(&self, duration_days: u32) -> Calibration {
+        let days = duration_days.max(1);
+        let (start, end) = match self {
+            ScenarioPreset::HolidayPeak => {
+                let start = days / 3;
+                (start, (2 * days).div_ceil(3).max(start + 1))
+            }
+            // Out of range: `is_holiday` and both edge-boost days fall beyond
+            // the last generated day (days - 1).
+            _ => (days + 1, days + 2),
+        };
+        Calibration {
+            duration_days: days,
+            holiday_start_day: start,
+            holiday_end_day: end,
+            ..Calibration::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_presets_with_unique_names() {
+        let mut names: Vec<&str> = ScenarioPreset::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 4);
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+        for p in ScenarioPreset::ALL {
+            assert_eq!(ScenarioPreset::from_name(p.name()), Some(p));
+            assert!(!p.description().is_empty());
+        }
+        assert!(ScenarioPreset::from_name("nope").is_none());
+    }
+
+    #[test]
+    fn presets_reshape_the_profile_without_touching_identity() {
+        let base = RegionProfile::r2();
+        for preset in ScenarioPreset::ALL {
+            let p = preset.profile(&base);
+            assert_eq!(p.region, base.region, "{}", preset.name());
+            assert_eq!(p.component_base, base.component_base);
+            assert_ne!(p, base, "{} must change the profile", preset.name());
+        }
+        let tail = ScenarioPreset::LowTrafficTail.profile(&base);
+        assert_eq!(tail.total_requests, base.total_requests / 4);
+        assert!(tail.high_load_fraction < base.high_load_fraction);
+        let bursty = ScenarioPreset::Bursty.profile(&base);
+        assert!(bursty.high_load_fraction > base.high_load_fraction);
+        assert!(bursty.component_sigma > base.component_sigma);
+    }
+
+    #[test]
+    fn holiday_peak_surges_inside_short_windows() {
+        for days in [1u32, 2, 3, 7, 31] {
+            let c = ScenarioPreset::HolidayPeak.calibration(days);
+            assert_eq!(c.duration_days, days);
+            let surge_days = (0..days).filter(|&d| c.is_holiday(d)).count();
+            assert!(surge_days >= 1, "no surge day in a {days}-day window");
+        }
+        let profile = ScenarioPreset::HolidayPeak.profile(&RegionProfile::r2());
+        let c = ScenarioPreset::HolidayPeak.calibration(3);
+        let surge_day = (0..3).find(|&d| c.is_holiday(d)).unwrap();
+        let normal = ScenarioPreset::Diurnal.calibration(3);
+        assert!(
+            profile.load_multiplier(&c, surge_day, 12.0)
+                > profile.load_multiplier(&normal, surge_day, 12.0)
+        );
+    }
+
+    #[test]
+    fn non_holiday_presets_never_trigger_the_holiday() {
+        for preset in [
+            ScenarioPreset::Diurnal,
+            ScenarioPreset::Bursty,
+            ScenarioPreset::LowTrafficTail,
+        ] {
+            for days in [1u32, 2, 31] {
+                let c = preset.calibration(days);
+                for d in 0..days {
+                    assert!(!c.is_holiday(d), "{} day {d}", preset.name());
+                    // Neither edge-boost day is inside the window.
+                    assert_ne!(d + 1, c.holiday_start_day);
+                    assert_ne!(d, c.holiday_end_day);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The policy parameter sweep must be a pure function of its declaration:
+//! the same sweep run concurrently, sequentially, or twice in a row has to
+//! produce identical reports, and the serialised `BENCH_sweep.json` document
+//! must be byte-identical — that is what lets CI diff benchmark artifacts
+//! across commits.
+
+use coldstarts::sweep::{PolicyFamily, PolicySweep};
+use faas_workload::ScenarioPreset;
+
+fn tiny_sweep() -> PolicySweep {
+    PolicySweep {
+        presets: vec![ScenarioPreset::Diurnal, ScenarioPreset::HolidayPeak],
+        seeds: vec![13],
+        spaces: vec![
+            PolicyFamily::KeepAlive.smoke_space(),
+            PolicyFamily::Prewarm.smoke_space(),
+            PolicyFamily::PoolPrediction.smoke_space(),
+        ],
+        duration_days: 1,
+        // Force real worker threads even on single-core CI machines so the
+        // parallel path (cross-thread scheduling + merge) is exercised.
+        threads: 4,
+        ..PolicySweep::default()
+    }
+}
+
+#[test]
+fn parallel_sweep_matches_sequential_sweep_byte_for_byte() {
+    let sweep = tiny_sweep();
+    let parallel = sweep.run();
+    let sequential = sweep.run_sequential();
+    assert_eq!(parallel, sequential);
+    assert_eq!(parallel.render(), sequential.render());
+    assert_eq!(parallel.to_json(), sequential.to_json());
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let sweep = tiny_sweep();
+    let a = sweep.run();
+    let b = sweep.run();
+    assert_eq!(a, b);
+    let json_a = a.to_json();
+    let json_b = b.to_json();
+    assert_eq!(json_a.as_bytes(), json_b.as_bytes());
+    assert!(json_a.contains("\"schema\": \"faas-coldstarts/sweep/v1\""));
+}
+
+#[test]
+fn different_seeds_change_the_results() {
+    let a = tiny_sweep().run();
+    let b = PolicySweep {
+        seeds: vec![14],
+        ..tiny_sweep()
+    }
+    .run();
+    assert_ne!(a, b);
+    assert_ne!(a.to_json(), b.to_json());
+}
