@@ -1,0 +1,336 @@
+//! Trace-replay benchmark: drive the policy grid from trace records.
+//!
+//! ```text
+//! cargo run --release --bin replay -- --smoke
+//! cargo run --release --bin replay -- --preset bursty --region 3 --days 2
+//! cargo run --release --bin replay -- --trace-dir data/r2 --region 2
+//! ```
+//!
+//! Without `--trace-dir`, the bin exercises the full round trip the test
+//! suite also asserts: generate a preset workload, record its simulated
+//! trace, write the trace as CSV, parse it back, lower it into a
+//! replay-tagged workload with `faas_workload::replay`, and run the policy
+//! scenarios over the replayed events on the parallel grid. With
+//! `--trace-dir` it replays an on-disk CSV fileset in the public data-release
+//! layout instead.
+//!
+//! The report is written as `BENCH_replay.json` in the stable
+//! `faas-coldstarts/replay/v1` schema that CI validates and archives.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use coldstarts::evaluation::Scenario;
+use coldstarts::replay::ReplayGrid;
+use coldstarts::sweep::json::{f64_lit, push_str_lit};
+use faas_platform::{PlatformConfig, SimReport, SimulationSpec};
+use faas_workload::population::PopulationConfig;
+use faas_workload::profile::RegionProfile;
+use faas_workload::replay::TraceReplayWorkload;
+use faas_workload::{ScenarioPreset, WorkloadSpec};
+use fntrace::{RegionId, RegionTrace, MILLIS_PER_HOUR};
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    days: u32,
+    region: u16,
+    preset: ScenarioPreset,
+    trace_dir: Option<PathBuf>,
+    threads: usize,
+    out: PathBuf,
+}
+
+fn usage() -> String {
+    "usage: replay [--smoke] [--seed N] [--days N] [--region N] [--preset NAME]\n\
+     \x20             [--trace-dir DIR] [--threads N] [--out PATH]\n\n\
+     --smoke      one-day horizon and a reduced scenario set (what CI runs)\n\
+     --seed       workload/simulation seed (default 7)\n\
+     --days       synthetic trace duration in days (default 1)\n\
+     --region     paper region index 1..=5 (default 2)\n\
+     --preset     scenario preset shaping the synthetic trace (default diurnal)\n\
+     --trace-dir  replay an on-disk CSV fileset instead of a synthetic round trip\n\
+     --threads    worker threads, 0 = one per core (default 0)\n\
+     --out        output path for the JSON report (default BENCH_replay.json)"
+        .to_string()
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        seed: 7,
+        days: 1,
+        region: 2,
+        preset: ScenarioPreset::Diurnal,
+        trace_dir: None,
+        threads: 0,
+        out: PathBuf::from("BENCH_replay.json"),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                args.seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid seed: {e}"))?;
+            }
+            "--days" => {
+                args.days = iter
+                    .next()
+                    .ok_or("--days needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid day count: {e}"))?;
+            }
+            "--region" => {
+                args.region = iter
+                    .next()
+                    .ok_or("--region needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid region: {e}"))?;
+            }
+            "--preset" => {
+                let name = iter.next().ok_or("--preset needs a value")?;
+                args.preset = ScenarioPreset::from_name(&name)
+                    .ok_or_else(|| format!("unknown preset {name:?}"))?;
+            }
+            "--trace-dir" => {
+                args.trace_dir = Some(PathBuf::from(
+                    iter.next().ok_or("--trace-dir needs a value")?,
+                ));
+            }
+            "--threads" => {
+                args.threads = iter
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid thread count: {e}"))?;
+            }
+            "--out" => {
+                args.out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Synthesises a preset workload, records its simulated trace, and round-trips
+/// it through the CSV layer. Returns the direct report and the parsed trace.
+fn synthetic_roundtrip(args: &Args) -> Result<(SimReport, RegionTrace), String> {
+    let profile = RegionProfile::paper_region(args.region)
+        .ok_or_else(|| format!("unknown region {} (paper regions are 1..=5)", args.region))?;
+    let workload = WorkloadSpec::generate(
+        &args.preset.profile(&profile),
+        args.preset.calibration(args.days.max(1)),
+        &PopulationConfig {
+            function_scale: 0.002,
+            volume_scale: 2.0e-6,
+            max_requests_per_day: 2_000.0,
+            min_functions: 15,
+        },
+        args.seed,
+    );
+    let (direct, trace) = SimulationSpec::new()
+        .with_config(PlatformConfig {
+            record_trace: true,
+            ..PlatformConfig::default()
+        })
+        .with_seed(args.seed)
+        .run(&workload);
+    let trace = trace.ok_or("trace recording was enabled but produced no trace")?;
+
+    // Round-trip the recorded trace through the CSV layout so the replay
+    // exercises the same path a real released dataset would take.
+    let dir = std::env::temp_dir().join(format!("faas_replay_bench_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    trace
+        .write_csv_dir(&dir)
+        .map_err(|e| format!("writing trace CSV: {e}"))?;
+    let parsed = RegionTrace::read_csv_dir(trace.region, &dir)
+        .map_err(|e| format!("reading trace CSV back: {e}"))?;
+    std::fs::remove_dir_all(&dir).ok();
+    Ok((direct, parsed))
+}
+
+fn scenario_json(out: &mut String, scenario: &str, report: &SimReport) {
+    out.push_str("    {\"scenario\": ");
+    push_str_lit(out, scenario);
+    out.push_str(&format!(
+        ", \"requests\": {}, \"cold_starts\": {}, \"cold_start_rate\": {}, \
+         \"prewarmed_pods\": {}, \"p99_wait_s\": {}, \"mem_gb_s_wasted\": {}}}",
+        report.requests,
+        report.cold_starts,
+        f64_lit(report.cold_start_rate()),
+        report.prewarmed_pods,
+        f64_lit(report.cold_start_latency.p99_s),
+        f64_lit(report.mem_gb_s_wasted),
+    ));
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (source, direct, trace) = match &args.trace_dir {
+        Some(dir) => match RegionTrace::read_csv_dir(RegionId::new(args.region), dir) {
+            Ok(trace) => ("csv-dir".to_string(), None, trace),
+            Err(e) => {
+                eprintln!("failed to read trace from {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => match synthetic_roundtrip(&args) {
+            Ok((direct, trace)) => ("synthetic-roundtrip".to_string(), Some(direct), trace),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    // Lower the trace into a replay-tagged workload. For the synthetic round
+    // trip, pin profile and calibration to the preset's so the replayed run
+    // is comparable to the direct run.
+    let mut builder = TraceReplayWorkload::new();
+    if args.trace_dir.is_none() {
+        if let Some(profile) = RegionProfile::paper_region(args.region) {
+            builder = builder
+                .with_profile(args.preset.profile(&profile))
+                .with_calibration(args.preset.calibration(args.days.max(1)));
+        }
+    }
+    let workload = Arc::new(builder.build(&trace));
+    eprintln!(
+        "replaying {} events over {} functions (region {}, source {source})",
+        workload.len(),
+        workload.functions.len(),
+        workload.region.index(),
+    );
+
+    let scenarios = if args.smoke {
+        vec![
+            Scenario::Baseline,
+            Scenario::AdaptiveKeepAlive,
+            Scenario::TimerPrewarm,
+        ]
+    } else {
+        Scenario::ALL.to_vec()
+    };
+    let grid = ReplayGrid {
+        scenarios: scenarios.clone(),
+        seeds: vec![args.seed],
+        threads: args.threads,
+        ..ReplayGrid::new(Arc::clone(&workload))
+    };
+    let report = grid.run();
+    print!("{}", report.render());
+
+    let chunks = grid.run_chunked(Scenario::Baseline, MILLIS_PER_HOUR);
+    let baseline = &report
+        .cells
+        .iter()
+        .find(|c| c.scenario == Scenario::Baseline)
+        .expect("the scenario set always includes the baseline")
+        .report;
+    let replay_rate = baseline.cold_start_rate();
+    let direct_rate = direct.as_ref().map(SimReport::cold_start_rate);
+    if let Some(direct_rate) = direct_rate {
+        eprintln!(
+            "round trip: direct rate {:.4}% vs replay rate {:.4}% (deviation {:.4} pp)",
+            100.0 * direct_rate,
+            100.0 * replay_rate,
+            100.0 * (replay_rate - direct_rate).abs(),
+        );
+    }
+
+    // Emit the stable faas-coldstarts/replay/v1 document.
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"faas-coldstarts/replay/v1\",\n");
+    out.push_str("  \"source\": ");
+    push_str_lit(&mut out, &source);
+    out.push_str(",\n");
+    out.push_str("  \"preset\": ");
+    push_str_lit(&mut out, args.preset.name());
+    out.push_str(",\n");
+    out.push_str(&format!("  \"region\": {},\n", workload.region.index()));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed));
+    out.push_str(&format!(
+        "  \"days\": {},\n",
+        workload.calibration.duration_days
+    ));
+    out.push_str(&format!(
+        "  \"trace\": {{\"requests\": {}, \"cold_starts\": {}, \"functions\": {}}},\n",
+        trace.requests.len(),
+        trace.cold_starts.len(),
+        trace.functions.len(),
+    ));
+    out.push_str(&format!(
+        "  \"replay\": {{\"events\": {}, \"functions\": {}}},\n",
+        workload.len(),
+        workload.functions.len(),
+    ));
+    match (direct.as_ref(), direct_rate) {
+        (Some(direct), Some(direct_rate)) => {
+            out.push_str(&format!(
+                "  \"roundtrip\": {{\"direct_requests\": {}, \"direct_cold_starts\": {}, \
+                 \"direct_cold_start_rate\": {}, \"replay_cold_start_rate\": {}, \
+                 \"rate_deviation\": {}}},\n",
+                direct.requests,
+                direct.cold_starts,
+                f64_lit(direct_rate),
+                f64_lit(replay_rate),
+                f64_lit((replay_rate - direct_rate).abs()),
+            ));
+        }
+        _ => out.push_str("  \"roundtrip\": null,\n"),
+    }
+    out.push_str("  \"scenarios\": [\n");
+    for (i, cell) in report.cells.iter().enumerate() {
+        scenario_json(&mut out, cell.scenario.name(), &cell.report);
+        out.push_str(if i + 1 < report.cells.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"top_functions\": [\n");
+    let top = baseline.top_cold_start_functions(5);
+    for (i, stats) in top.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"function\": {}, \"requests\": {}, \"cold_starts\": {}}}",
+            stats.function.raw(),
+            stats.requests,
+            stats.cold_starts,
+        ));
+        out.push_str(if i + 1 < top.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let max_chunk = chunks.iter().map(|c| c.events).max().unwrap_or(0);
+    out.push_str(&format!(
+        "  \"chunks\": {{\"chunk_ms\": {}, \"count\": {}, \"max_events\": {}, \"events\": {}}}\n",
+        MILLIS_PER_HOUR,
+        chunks.len(),
+        max_chunk,
+        chunks.iter().map(|c| c.events).sum::<u64>(),
+    ));
+    out.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&args.out, out) {
+        eprintln!("failed to write {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", args.out.display());
+    ExitCode::SUCCESS
+}

@@ -15,8 +15,15 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// Like the real proptest, the default case count can be pinned from the
+    /// environment via `PROPTEST_CASES` (CI sets it for deterministic run
+    /// times); explicit `with_cases` configurations are unaffected.
     fn default() -> Self {
-        Self { cases: 64 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
     }
 }
 

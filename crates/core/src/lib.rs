@@ -67,11 +67,13 @@ pub mod evaluation;
 pub mod experiment;
 pub mod pipeline;
 pub mod policies;
+pub mod replay;
 pub mod report;
 pub mod sweep;
 
 pub use evaluation::{PolicyEvaluation, Scenario, ScenarioOutcome};
 pub use experiment::{ExperimentGrid, GridCellReport, GridReport, ScenarioPolicies};
 pub use pipeline::CharacterizationPipeline;
+pub use replay::{ChunkReport, ReplayGrid};
 pub use report::CharacterizationReport;
-pub use sweep::{ParamSpace, PolicyFamily, PolicySweep, SweepConfig, SweepReport};
+pub use sweep::{ParamSpace, PolicyFamily, PolicySweep, ReplaySource, SweepConfig, SweepReport};

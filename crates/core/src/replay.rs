@@ -1,0 +1,235 @@
+//! Replayed-trace experiments on the parallel grid engine.
+//!
+//! [`ReplayGrid`] is the trace-driven counterpart of
+//! [`ExperimentGrid`](crate::ExperimentGrid): instead of generating synthetic
+//! workloads per (region, seed) cell, it takes one replay-tagged
+//! [`WorkloadSpec`] — produced by [`faas_workload::replay`] from trace CSV
+//! records — and fans the policy scenarios × simulation seeds out over the
+//! same deterministic `parallel_map` engine. Parallel and sequential
+//! execution produce identical [`GridReport`]s, which the golden-fixture
+//! suite asserts byte for byte.
+//!
+//! For traces too long to hold derived simulation state for in one pass,
+//! [`ReplayGrid::run_chunked`] splits the replayed event stream with
+//! [`WorkloadSpec::chunked`] and simulates every chunk as an independent
+//! cell, all chunks in flight across the grid's worker threads. Chunk
+//! reports describe each window in isolation (warm state does not carry
+//! across chunk boundaries), which is the streaming trade-off this path
+//! exists to make.
+
+use std::sync::Arc;
+
+use faas_platform::{PlatformConfig, SimReport};
+use faas_workload::WorkloadSpec;
+
+use crate::evaluation::Scenario;
+use crate::experiment::{parallel_map, GridCellReport, GridReport, ScenarioPolicies};
+
+/// Declarative replay experiment: policy scenarios × seeds over one replayed
+/// workload.
+#[derive(Debug, Clone)]
+pub struct ReplayGrid {
+    /// The replayed workload every cell simulates.
+    pub workload: Arc<WorkloadSpec>,
+    /// Policy scenarios to evaluate.
+    pub scenarios: Vec<Scenario>,
+    /// Simulation seeds (the workload itself is fixed by the trace).
+    pub seeds: Vec<u64>,
+    /// Platform configuration shared by every cell.
+    pub platform: PlatformConfig,
+    /// Maximum delay of the peak-shaving scenarios, in milliseconds.
+    pub peak_shaving_delay_ms: u64,
+    /// Worker threads for `run`; 0 means one per available core.
+    pub threads: usize,
+}
+
+impl ReplayGrid {
+    /// Creates a grid running every scenario over `workload` with one seed.
+    pub fn new(workload: Arc<WorkloadSpec>) -> Self {
+        Self {
+            workload,
+            scenarios: Scenario::ALL.to_vec(),
+            seeds: vec![7],
+            platform: PlatformConfig {
+                record_trace: false,
+                ..PlatformConfig::default()
+            },
+            peak_shaving_delay_ms: 180_000,
+            threads: 0,
+        }
+    }
+
+    /// Number of cells the grid declares.
+    pub fn cell_count(&self) -> usize {
+        self.scenarios.len() * self.seeds.len()
+    }
+
+    /// Executes the grid concurrently.
+    pub fn run(&self) -> GridReport {
+        self.execute(self.threads)
+    }
+
+    /// Executes the same cells on the calling thread, in the same order.
+    pub fn run_sequential(&self) -> GridReport {
+        self.execute(1)
+    }
+
+    fn execute(&self, threads: usize) -> GridReport {
+        let cells: Vec<(Scenario, usize)> = self
+            .scenarios
+            .iter()
+            .flat_map(|&scenario| (0..self.seeds.len()).map(move |s| (scenario, s)))
+            .collect();
+        let reports: Vec<SimReport> = parallel_map(cells.len(), threads, |i| {
+            let (scenario, s) = cells[i];
+            ScenarioPolicies::spec(
+                scenario,
+                &self.platform,
+                self.seeds[s],
+                self.peak_shaving_delay_ms,
+            )
+            .run(&self.workload)
+            .0
+        });
+        GridReport {
+            cells: cells
+                .into_iter()
+                .zip(reports)
+                .map(|((scenario, s), report)| GridCellReport {
+                    scenario,
+                    region: self.workload.region,
+                    seed: self.seeds[s],
+                    report,
+                })
+                .collect(),
+        }
+    }
+
+    /// Streams the replayed workload through the grid in time chunks of
+    /// `chunk_ms`, simulating every chunk as an independent parallel cell
+    /// under `scenario` and the first configured seed.
+    ///
+    /// Chunks are returned in chronological order; parallel and sequential
+    /// execution agree because each chunk's simulation depends only on its
+    /// own events.
+    pub fn run_chunked(&self, scenario: Scenario, chunk_ms: u64) -> Vec<ChunkReport> {
+        let seed = self.seeds.first().copied().unwrap_or(7);
+        let chunks = self.workload.chunked(chunk_ms);
+        // Clone the workload's shared parts once into an events-free template;
+        // each worker then materialises only its own chunk's events, so total
+        // copying is O(total events) and peak memory O(threads × chunk).
+        let template = WorkloadSpec {
+            events: Vec::new(),
+            ..(*self.workload).clone()
+        };
+        let reports: Vec<SimReport> = parallel_map(chunks.len(), self.threads, |i| {
+            let chunk_spec = WorkloadSpec {
+                events: chunks[i].to_vec(),
+                ..template.clone()
+            };
+            ScenarioPolicies::spec(scenario, &self.platform, seed, self.peak_shaving_delay_ms)
+                .run(&chunk_spec)
+                .0
+        });
+        chunks
+            .iter()
+            .zip(reports)
+            .map(|(chunk, report)| ChunkReport {
+                start_ms: chunk.first().map(|e| e.timestamp_ms).unwrap_or(0),
+                events: chunk.len() as u64,
+                report,
+            })
+            .collect()
+    }
+}
+
+/// Outcome of simulating one time chunk of a replayed workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkReport {
+    /// Timestamp of the chunk's first event, milliseconds.
+    pub start_ms: u64,
+    /// Number of events the chunk replayed.
+    pub events: u64,
+    /// Simulation outcome of the chunk in isolation.
+    pub report: SimReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_workload::replay::TraceReplayWorkload;
+    use fntrace::synth::{SynthShape, SynthTraceSpec};
+    use fntrace::{RegionId, MILLIS_PER_HOUR};
+
+    fn replayed_workload() -> Arc<WorkloadSpec> {
+        let trace = SynthTraceSpec {
+            region: RegionId::new(2),
+            shape: SynthShape::Diurnal,
+            functions: 8,
+            duration_days: 1,
+            mean_requests_per_day: 150.0,
+            keep_alive_secs: 60.0,
+            seed: 21,
+        }
+        .generate();
+        Arc::new(TraceReplayWorkload::new().build(&trace))
+    }
+
+    fn tiny_grid() -> ReplayGrid {
+        ReplayGrid {
+            scenarios: vec![Scenario::Baseline, Scenario::TimerPrewarm],
+            seeds: vec![3, 4],
+            // Real worker threads so the parallel path is exercised.
+            threads: 4,
+            ..ReplayGrid::new(replayed_workload())
+        }
+    }
+
+    #[test]
+    fn replay_grid_runs_every_cell_with_attribution() {
+        let grid = tiny_grid();
+        assert_eq!(grid.cell_count(), 4);
+        let report = grid.run();
+        assert_eq!(report.cells.len(), 4);
+        for cell in &report.cells {
+            assert_eq!(cell.region, RegionId::new(2));
+            assert!(cell.report.requests > 0);
+            // Replay-tagged workloads attribute cold starts per function.
+            assert!(!cell.report.per_function.is_empty());
+            let total: u64 = cell.report.per_function.iter().map(|f| f.cold_starts).sum();
+            assert_eq!(total, cell.report.cold_starts, "{:?}", cell.scenario);
+            let requests: u64 = cell.report.per_function.iter().map(|f| f.requests).sum();
+            assert_eq!(requests, cell.report.requests);
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_replay_agree() {
+        let grid = tiny_grid();
+        let parallel = grid.run();
+        let sequential = grid.run_sequential();
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.render(), sequential.render());
+    }
+
+    #[test]
+    fn chunked_replay_covers_every_event_once() {
+        let grid = tiny_grid();
+        let chunks = grid.run_chunked(Scenario::Baseline, MILLIS_PER_HOUR);
+        assert!(chunks.len() > 1);
+        let replayed: u64 = chunks.iter().map(|c| c.events).sum();
+        assert_eq!(replayed, grid.workload.len() as u64);
+        let requests: u64 = chunks.iter().map(|c| c.report.requests).sum();
+        assert_eq!(requests, grid.workload.len() as u64);
+        for w in chunks.windows(2) {
+            assert!(w[0].start_ms < w[1].start_ms);
+        }
+        // Chunked execution is deterministic across thread counts.
+        let sequential = ReplayGrid {
+            threads: 1,
+            ..grid.clone()
+        }
+        .run_chunked(Scenario::Baseline, MILLIS_PER_HOUR);
+        assert_eq!(chunks, sequential);
+    }
+}

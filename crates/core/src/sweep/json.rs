@@ -8,7 +8,10 @@
 //! rather than producing invalid JSON.
 
 /// Appends `s` as a JSON string literal (with escaping) to `out`.
-pub(crate) fn push_str_lit(out: &mut String, s: &str) {
+///
+/// Public so downstream benchmark binaries can emit sibling schemas (e.g.
+/// `BENCH_replay.json`) with the identical byte-stability rules.
+pub fn push_str_lit(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -27,7 +30,7 @@ pub(crate) fn push_str_lit(out: &mut String, s: &str) {
 }
 
 /// Formats a float as a JSON number, or `null` when it is not finite.
-pub(crate) fn f64_lit(x: f64) -> String {
+pub fn f64_lit(x: f64) -> String {
     if x.is_finite() {
         let text = format!("{x}");
         // `Display` prints integral floats without a fraction ("3"); keep a

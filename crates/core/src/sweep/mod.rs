@@ -16,9 +16,10 @@
 //!    Pareto front over (cold-start rate, memory waste).
 //!
 //! Workload diversity comes from the scenario presets in
-//! [`faas_workload::presets`]; the machine-readable output
-//! (`BENCH_sweep.json`) is emitted by [`SweepReport::to_json`] in a stable,
-//! byte-deterministic schema.
+//! [`faas_workload::presets`], optionally mixed with replayed traces via
+//! [`ReplaySource`]; the machine-readable output (`BENCH_sweep.json`) is
+//! emitted by [`SweepReport::to_json`] in a stable, byte-deterministic
+//! schema.
 
 pub mod json;
 pub mod params;
@@ -39,12 +40,61 @@ use json::{f64_lit, push_str_lit};
 pub use params::{ParamAxis, ParamSpace, ParamValue, PolicyFamily, SweepConfig};
 pub use pareto::pareto_front;
 
+/// A replayed-trace workload mixed into a sweep alongside the synthetic
+/// presets.
+///
+/// The workload is typically produced by
+/// [`faas_workload::replay::TraceReplayWorkload`] from trace CSV records; it
+/// is shared read-only (one `Arc` bump per cell) across every configuration
+/// and seed, so adding a replay column costs no workload regeneration.
+#[derive(Debug, Clone)]
+pub struct ReplaySource {
+    /// Stable label identifying the trace in cells, tables, and JSON.
+    pub label: String,
+    /// The replay-tagged workload every configuration runs against.
+    pub workload: Arc<WorkloadSpec>,
+}
+
+impl ReplaySource {
+    /// Wraps a replayed workload under a label.
+    pub fn new(label: impl Into<String>, workload: Arc<WorkloadSpec>) -> Self {
+        Self {
+            label: label.into(),
+            workload,
+        }
+    }
+}
+
+/// Workload origin of one sweep cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SweepWorkloadSource {
+    /// A synthetic scenario preset applied to a region profile.
+    Preset(ScenarioPreset),
+    /// A replayed trace, identified by its [`ReplaySource`] label.
+    Replay(String),
+}
+
+impl SweepWorkloadSource {
+    /// Stable name of the source (preset name or replay label).
+    pub fn name(&self) -> &str {
+        match self {
+            SweepWorkloadSource::Preset(p) => p.name(),
+            SweepWorkloadSource::Replay(label) => label,
+        }
+    }
+}
+
 /// Declarative policy parameter sweep:
-/// scenario presets × regions × seeds × policy configurations.
+/// (scenario presets + replayed traces) × regions × seeds × policy
+/// configurations.
 #[derive(Debug, Clone)]
 pub struct PolicySweep {
     /// Workload shapes every configuration is evaluated under.
     pub presets: Vec<ScenarioPreset>,
+    /// Replayed-trace workloads evaluated alongside the presets (each adds
+    /// one workload column per seed; the regions axis does not apply to a
+    /// replayed trace, whose region is fixed by its records).
+    pub replays: Vec<ReplaySource>,
     /// Base region profiles the presets are applied to.
     pub regions: Vec<RegionProfile>,
     /// Workload/simulation seeds.
@@ -66,6 +116,7 @@ impl Default for PolicySweep {
     fn default() -> Self {
         Self {
             presets: ScenarioPreset::ALL.to_vec(),
+            replays: Vec::new(),
             regions: vec![RegionProfile::r2()],
             seeds: vec![7],
             spaces: PolicyFamily::ALL.iter().map(|f| f.param_space()).collect(),
@@ -102,9 +153,16 @@ impl PolicySweep {
         self.spaces.iter().flat_map(|s| s.expand()).collect()
     }
 
+    /// Number of workload columns: presets × regions × seeds plus one column
+    /// per replay source per seed.
+    pub fn column_count(&self) -> usize {
+        self.presets.len() * self.regions.len() * self.seeds.len()
+            + self.replays.len() * self.seeds.len()
+    }
+
     /// Number of simulation cells the sweep declares.
     pub fn cell_count(&self) -> usize {
-        self.configs().len() * self.presets.len() * self.regions.len() * self.seeds.len()
+        self.configs().len() * self.column_count()
     }
 
     /// Executes the sweep concurrently.
@@ -120,15 +178,16 @@ impl PolicySweep {
     fn execute(&self, threads: usize) -> SweepReport {
         let configs = self.configs();
 
-        // Workloads depend only on (preset, region, seed): generate each one
-        // once, concurrently, then share them read-only across all configs.
+        // Synthetic workloads depend only on (preset, region, seed):
+        // generate each one once, concurrently, then share them read-only
+        // across all configs.
         let coords: Vec<(usize, usize, usize)> = (0..self.presets.len())
             .flat_map(|p| {
                 let seeds = self.seeds.len();
                 (0..self.regions.len()).flat_map(move |r| (0..seeds).map(move |s| (p, r, s)))
             })
             .collect();
-        let workloads: Vec<WorkloadSpec> = parallel_map(coords.len(), threads, |i| {
+        let preset_workloads: Vec<WorkloadSpec> = parallel_map(coords.len(), threads, |i| {
             let (p, r, s) = coords[i];
             let preset = self.presets[p];
             WorkloadSpec::generate(
@@ -139,19 +198,42 @@ impl PolicySweep {
             )
         });
 
+        // One workload column per synthetic coordinate, then one per replay
+        // source per seed (replays are pre-built and simply borrowed).
+        let mut columns: Vec<(SweepWorkloadSource, usize, &WorkloadSpec)> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, _, s))| {
+                (
+                    SweepWorkloadSource::Preset(self.presets[p]),
+                    s,
+                    &preset_workloads[i],
+                )
+            })
+            .collect();
+        for replay in &self.replays {
+            for s in 0..self.seeds.len() {
+                columns.push((
+                    SweepWorkloadSource::Replay(replay.label.clone()),
+                    s,
+                    replay.workload.as_ref(),
+                ));
+            }
+        }
+
         // Config-major cell order keeps each configuration's results
         // contiguous for the fold below.
-        let reports: Vec<SimReport> = parallel_map(configs.len() * workloads.len(), threads, |i| {
-            let (ci, wi) = (i / workloads.len(), i % workloads.len());
+        let reports: Vec<SimReport> = parallel_map(configs.len() * columns.len(), threads, |i| {
+            let (ci, wi) = (i / columns.len(), i % columns.len());
             let config = &configs[ci];
-            let (_, _, s) = coords[wi];
+            let (_, s, workload) = &columns[wi];
             let spec = SimulationSpec::new()
                 .with_config(config.platform(&self.platform))
-                .with_seed(self.seeds[s])
+                .with_seed(self.seeds[*s])
                 .with_policies(Arc::new(config.clone()));
-            match config.apply_workload(&workloads[wi]) {
+            match config.apply_workload(workload) {
                 Some(adjusted) => spec.run(&adjusted).0,
-                None => spec.run(&workloads[wi]).0,
+                None => spec.run(workload).0,
             }
         });
 
@@ -159,13 +241,13 @@ impl PolicySweep {
             .iter()
             .enumerate()
             .map(|(i, report)| {
-                let (ci, wi) = (i / workloads.len(), i % workloads.len());
-                let (p, r, s) = coords[wi];
+                let (ci, wi) = (i / columns.len(), i % columns.len());
+                let (source, s, workload) = &columns[wi];
                 SweepCellReport {
                     config_index: ci,
-                    preset: self.presets[p],
-                    region: self.regions[r].region,
-                    seed: self.seeds[s],
+                    source: source.clone(),
+                    region: workload.region,
+                    seed: self.seeds[*s],
                     report: report.clone(),
                 }
             })
@@ -173,7 +255,7 @@ impl PolicySweep {
 
         let mut summaries: Vec<ConfigSummary> = configs
             .into_iter()
-            .zip(reports.chunks(workloads.len().max(1)))
+            .zip(reports.chunks(columns.len().max(1)))
             .map(|(config, chunk)| ConfigSummary::fold(config, chunk))
             .collect();
         let front = pareto_front(
@@ -189,6 +271,7 @@ impl PolicySweep {
         SweepReport {
             duration_days: self.duration_days,
             presets: self.presets.clone(),
+            replays: self.replays.iter().map(|r| r.label.clone()).collect(),
             regions: self.regions.iter().map(|r| r.region).collect(),
             seeds: self.seeds.clone(),
             configs: summaries,
@@ -203,9 +286,9 @@ impl PolicySweep {
 pub struct SweepCellReport {
     /// Index into [`SweepReport::configs`].
     pub config_index: usize,
-    /// Workload preset of this cell.
-    pub preset: ScenarioPreset,
-    /// Region the workload was generated for.
+    /// Workload origin of this cell (synthetic preset or replayed trace).
+    pub source: SweepWorkloadSource,
+    /// Region the workload was generated for (or recorded in, for replays).
     pub region: RegionId,
     /// Seed the workload and simulation used.
     pub seed: u64,
@@ -271,6 +354,8 @@ pub struct SweepReport {
     pub duration_days: u32,
     /// Presets that were swept, in declaration order.
     pub presets: Vec<ScenarioPreset>,
+    /// Labels of the replayed traces that were swept, in declaration order.
+    pub replays: Vec<String>,
     /// Regions that were swept.
     pub regions: Vec<RegionId>,
     /// Seeds that were swept.
@@ -344,6 +429,15 @@ impl SweepReport {
                 out.push_str(", ");
             }
             push_str_lit(&mut out, p.name());
+        }
+        out.push_str("],\n");
+
+        out.push_str("  \"replays\": [");
+        for (i, label) in self.replays.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            push_str_lit(&mut out, label);
         }
         out.push_str("],\n");
 
@@ -468,9 +562,59 @@ mod tests {
             assert_eq!(cell.config_index, i / 2);
             assert!(cell.report.requests > 0);
         }
-        assert_eq!(report.cells[0].preset, ScenarioPreset::Diurnal);
-        assert_eq!(report.cells[1].preset, ScenarioPreset::LowTrafficTail);
+        assert_eq!(
+            report.cells[0].source,
+            SweepWorkloadSource::Preset(ScenarioPreset::Diurnal)
+        );
+        assert_eq!(
+            report.cells[1].source,
+            SweepWorkloadSource::Preset(ScenarioPreset::LowTrafficTail)
+        );
         assert_eq!(report.families(), vec!["keepalive", "concurrency"]);
+        assert!(report.replays.is_empty());
+    }
+
+    #[test]
+    fn replay_sources_add_columns_next_to_presets() {
+        use faas_workload::replay::TraceReplayWorkload;
+        use fntrace::synth::{SynthShape, SynthTraceSpec};
+
+        let trace = SynthTraceSpec {
+            region: fntrace::RegionId::new(2),
+            shape: SynthShape::Steady,
+            functions: 6,
+            duration_days: 1,
+            mean_requests_per_day: 120.0,
+            keep_alive_secs: 60.0,
+            seed: 31,
+        }
+        .generate();
+        let replayed = Arc::new(TraceReplayWorkload::new().build(&trace));
+        let sweep = PolicySweep {
+            replays: vec![ReplaySource::new("synth-r2", replayed)],
+            ..tiny_sweep()
+        };
+        // 6 configs × (2 preset columns + 1 replay column).
+        assert_eq!(sweep.column_count(), 3);
+        assert_eq!(sweep.cell_count(), 18);
+        let report = sweep.run();
+        assert_eq!(report.cells.len(), 18);
+        assert_eq!(report.replays, vec!["synth-r2".to_string()]);
+        let replay_cells: Vec<_> = report
+            .cells
+            .iter()
+            .filter(|c| matches!(c.source, SweepWorkloadSource::Replay(_)))
+            .collect();
+        assert_eq!(replay_cells.len(), 6);
+        for cell in replay_cells {
+            assert_eq!(cell.source.name(), "synth-r2");
+            assert!(cell.report.requests > 0);
+            // Replay cells carry per-function cold-start attribution.
+            assert!(!cell.report.per_function.is_empty());
+        }
+        // Deterministic across execution modes with replays mixed in.
+        assert_eq!(report, sweep.run_sequential());
+        assert!(report.to_json().contains("\"replays\": [\"synth-r2\"]"));
     }
 
     #[test]
@@ -537,6 +681,7 @@ mod tests {
             "\"schema\": \"faas-coldstarts/sweep/v1\"",
             "\"duration_days\"",
             "\"presets\"",
+            "\"replays\": []",
             "\"regions\"",
             "\"seeds\"",
             "\"families\"",

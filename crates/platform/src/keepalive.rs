@@ -378,6 +378,7 @@ mod expiry_edge_tests {
                     function: FunctionId::new(1),
                 })
                 .collect(),
+            source: faas_workload::WorkloadSource::Synthetic,
         }
     }
 

@@ -54,6 +54,6 @@ pub use policy::{
     PrewarmRequest,
 };
 pub use pool::{PoolConfig, ResourcePools};
-pub use report::{LatencyStats, SimReport};
+pub use report::{FunctionStats, LatencyStats, SimReport};
 pub use simulator::Simulator;
 pub use spec::{BaselinePolicies, PolicyFactory, SimulationSpec};

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use faas_stats::Ecdf;
+use fntrace::FunctionId;
 
 /// Latency distribution summary (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -37,6 +38,21 @@ impl LatencyStats {
             Err(_) => Self::default(),
         }
     }
+}
+
+/// Per-function request and cold-start counters.
+///
+/// Attributed only for replay-tagged workloads (see
+/// [`faas_workload::WorkloadSource`]): replayed traces carry real function
+/// identities worth reporting individually, synthetic populations do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionStats {
+    /// The function the counters belong to.
+    pub function: FunctionId,
+    /// Requests observed for the function.
+    pub requests: u64,
+    /// Cold starts charged to the function.
+    pub cold_starts: u64,
 }
 
 /// Aggregate outcome of one simulation run.
@@ -77,6 +93,9 @@ pub struct SimReport {
     pub mem_gb_s_wasted: f64,
     /// Peak number of simultaneously live pods.
     pub peak_live_pods: u32,
+    /// Per-function cold-start attribution, sorted by function id. Populated
+    /// only when the workload is replay-tagged; empty for synthetic runs.
+    pub per_function: Vec<FunctionStats>,
     /// Name of the keep-alive policy used.
     pub keep_alive_policy: String,
     /// Name of the pre-warm policy used.
@@ -102,6 +121,15 @@ impl SimReport {
         } else {
             (self.idle_pod_time_s / self.pod_lifetime_s).clamp(0.0, 1.0)
         }
+    }
+
+    /// The `n` replay-attributed functions with the most cold starts, ties
+    /// broken by function id. Empty unless the run replayed a trace.
+    pub fn top_cold_start_functions(&self, n: usize) -> Vec<FunctionStats> {
+        let mut ranked = self.per_function.clone();
+        ranked.sort_by_key(|s| (std::cmp::Reverse(s.cold_starts), s.function));
+        ranked.truncate(n);
+        ranked
     }
 
     /// Renders a short human-readable summary.

@@ -23,7 +23,7 @@ use crate::keepalive::{FunctionHistory, KeepAlivePolicy};
 use crate::pod::{Pod, PodState};
 use crate::policy::{FunctionView, PlatformView};
 use crate::pool::{PoolAcquire, ResourcePools};
-use crate::report::{LatencyStats, SimReport};
+use crate::report::{FunctionStats, LatencyStats, SimReport};
 
 /// Mutable state of one in-flight simulation run.
 ///
@@ -397,6 +397,22 @@ impl<'a> SimState<'a> {
             self.added_latency_s / self.report.requests as f64
         };
         self.report.peak_live_pods = self.peak_live_pods;
+        // Replay-tagged workloads carry real function identities: fold the
+        // per-function histories into the report, sorted for determinism.
+        if self.workload.is_replay() {
+            let mut per_function: Vec<FunctionStats> = self
+                .histories
+                .iter()
+                .filter(|(_, h)| h.arrivals > 0 || h.cold_starts > 0)
+                .map(|(&function, h)| FunctionStats {
+                    function,
+                    requests: h.arrivals,
+                    cold_starts: h.cold_starts,
+                })
+                .collect();
+            per_function.sort_by_key(|s| s.function);
+            self.report.per_function = per_function;
+        }
         // Reserved pool capacity is wasted memory just like keep-alive idling;
         // the engine advances the pool integral to the horizon before this.
         self.report.mem_gb_s_wasted += self.pools.mem_gb_s();

@@ -41,6 +41,7 @@ pub mod csv;
 pub mod dataset;
 pub mod ids;
 pub mod record;
+pub mod synth;
 pub mod table;
 pub mod timebin;
 pub mod types;
@@ -48,6 +49,7 @@ pub mod types;
 pub use dataset::{Dataset, DatasetSummary, RegionTrace};
 pub use ids::{ClusterId, FunctionId, PodId, RegionId, RequestId, UserId};
 pub use record::{ColdStartRecord, FunctionMeta, RequestRecord};
+pub use synth::{SynthShape, SynthTraceSpec};
 pub use table::{ColdStartTable, FunctionTable, RequestTable};
 pub use timebin::{TimeBinner, MICROS_PER_SEC, MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MIN};
 pub use types::{ResourceConfig, Runtime, SizeClass, Synchronicity, TriggerGroup, TriggerType};

@@ -136,6 +136,38 @@ proptest! {
     }
 
     #[test]
+    fn binner_count_drops_exactly_the_out_of_range_events(
+        timestamps in proptest::collection::vec(0u64..2_000_000, 1..200),
+        start in 0u64..500_000,
+        width in 1u64..1_000_000,
+        bin_ms in 1u64..100_000,
+    ) {
+        // Binning round trip: total binned count equals the number of events
+        // inside [start, end), no more, no fewer — whatever the bin width.
+        let end = start + width;
+        let binner = TimeBinner::new(start, end, bin_ms);
+        let series = binner.count(timestamps.iter().copied());
+        let binned: f64 = series.iter().sum();
+        let in_range = timestamps.iter().filter(|&&t| t >= start && t < end).count();
+        prop_assert_eq!(binned as usize, in_range);
+        // Re-binning with a different width never changes the total.
+        let other = TimeBinner::new(start, end, (bin_ms * 7).max(1));
+        let rebinned: f64 = other.count(timestamps.iter().copied()).iter().sum();
+        prop_assert_eq!(rebinned as usize, in_range);
+    }
+
+    #[test]
+    fn binner_sum_agrees_with_count_for_unit_weights(
+        timestamps in proptest::collection::vec(0u64..1_000_000, 1..200),
+        bin_ms in 1u64..100_000,
+    ) {
+        let binner = TimeBinner::new(0, 1_000_000, bin_ms);
+        let counts = binner.count(timestamps.iter().copied());
+        let sums = binner.sum(timestamps.iter().map(|&t| (t, 1.0)));
+        prop_assert_eq!(counts, sums);
+    }
+
+    #[test]
     fn trigger_group_is_total(idx in 0usize..TriggerType::ALL.len()) {
         let t = TriggerType::ALL[idx];
         // Every trigger maps to some group and the group's synchronicity is

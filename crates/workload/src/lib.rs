@@ -29,6 +29,11 @@
 //!    `faas-platform` discrete-event simulator, used to evaluate the paper's
 //!    proposed mitigations (pre-warming, adaptive keep-alive, peak shaving,
 //!    cross-region scheduling).
+//!
+//! The loop also closes in the other direction:
+//! [`replay::TraceReplayWorkload`] lowers recorded trace tables (real or
+//! synthetic CSV datasets) back into replay-tagged [`simio::WorkloadSpec`]s,
+//! so the same policy experiments run against replayed traces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +44,7 @@ pub mod multi_region;
 pub mod population;
 pub mod presets;
 pub mod profile;
+pub mod replay;
 pub mod simio;
 pub mod synth;
 
@@ -48,5 +54,6 @@ pub use multi_region::MultiRegionWorkload;
 pub use population::{FunctionPopulation, FunctionSpec, PopulationConfig};
 pub use presets::ScenarioPreset;
 pub use profile::{Calibration, HolidayResponse, RegionProfile};
-pub use simio::{WorkloadEvent, WorkloadSpec};
+pub use replay::TraceReplayWorkload;
+pub use simio::{WorkloadEvent, WorkloadSource, WorkloadSpec};
 pub use synth::{SyntheticTraceBuilder, TraceScale};

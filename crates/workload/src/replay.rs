@@ -1,0 +1,446 @@
+//! Trace-driven workload replay.
+//!
+//! Everything upstream of this module *generates* workloads; this module
+//! closes the loop in the other direction: it lowers recorded trace tables —
+//! a [`fntrace::RegionTrace`] parsed from the public CSV layout, or the
+//! output of the simulator's own trace recorder — into the exact
+//! [`WorkloadSpec`] the discrete-event platform consumes. The experiment
+//! grid and the policy sweeps can then run every policy family against a
+//! replayed production (or synthetic) trace exactly as they do against the
+//! synthetic presets.
+//!
+//! Replay has to reconstruct the per-function attributes the simulator needs
+//! but the trace does not store directly. They are inferred from the
+//! records themselves:
+//!
+//! * execution time, CPU, and memory medians from the request table,
+//! * dependency layers from non-zero `deploy_dep_us` cold-start components,
+//! * per-pod concurrency from the maximum number of overlapping requests
+//!   observed on a single pod,
+//! * timer periods from the median gap between consecutive invocations of
+//!   timer-triggered functions.
+//!
+//! The produced spec is tagged [`WorkloadSource::Replay`], which makes the
+//! platform engine attribute cold starts per function in its report.
+//!
+//! # Examples
+//!
+//! ```
+//! use fntrace::synth::{SynthShape, SynthTraceSpec};
+//! use fntrace::RegionId;
+//! use faas_workload::replay::TraceReplayWorkload;
+//!
+//! // Any trace in the Table 1 layout works; here a tiny synthetic one.
+//! let trace = SynthTraceSpec {
+//!     region: RegionId::new(3),
+//!     shape: SynthShape::Steady,
+//!     functions: 5,
+//!     duration_days: 1,
+//!     mean_requests_per_day: 100.0,
+//!     keep_alive_secs: 60.0,
+//!     seed: 11,
+//! }
+//! .generate();
+//!
+//! let workload = TraceReplayWorkload::new().build(&trace);
+//! assert!(workload.is_replay());
+//! assert_eq!(workload.len(), trace.requests.len());
+//! assert_eq!(workload.region, RegionId::new(3));
+//! ```
+
+use std::collections::BTreeMap;
+
+use fntrace::{Dataset, FunctionId, PodId, RegionTrace, TriggerType, MILLIS_PER_DAY};
+
+use crate::population::FunctionSpec;
+use crate::profile::{Calibration, RegionProfile};
+use crate::simio::{WorkloadEvent, WorkloadSource, WorkloadSpec};
+
+/// Builder lowering trace records into replayable [`WorkloadSpec`]s.
+///
+/// By default the region profile is looked up from the paper regions by the
+/// trace's region id (falling back to Region 2's calibration) and the
+/// calibration horizon is derived from the trace's time span; both can be
+/// overridden so a replay matches the exact setup of a synthetic run it is
+/// being compared against.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReplayWorkload {
+    profile: Option<RegionProfile>,
+    calibration: Option<Calibration>,
+}
+
+impl TraceReplayWorkload {
+    /// Creates a builder with default profile and calibration inference.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uses `profile` for the latency model and load modulation instead of
+    /// the paper region matching the trace's region id.
+    pub fn with_profile(mut self, profile: RegionProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Uses `calibration` (horizon, keep-alive) instead of deriving the
+    /// duration from the trace's time span.
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = Some(calibration);
+        self
+    }
+
+    /// Lowers one region's trace into a replay-tagged workload.
+    pub fn build(&self, trace: &RegionTrace) -> WorkloadSpec {
+        let mut events: Vec<WorkloadEvent> = trace
+            .requests
+            .records()
+            .iter()
+            .map(|r| WorkloadEvent {
+                timestamp_ms: r.timestamp_ms,
+                function: r.function,
+            })
+            .collect();
+        events.sort_by_key(|e| (e.timestamp_ms, e.function.raw()));
+
+        let calibration = self.calibration.unwrap_or_else(|| {
+            let span_end = trace.time_span_ms().map(|(_, hi)| hi + 1).unwrap_or(0);
+            Calibration {
+                duration_days: (span_end.div_ceil(MILLIS_PER_DAY) as u32).max(1),
+                ..Calibration::default()
+            }
+        });
+        let profile = self.profile.clone().unwrap_or_else(|| {
+            let base =
+                RegionProfile::paper_region(trace.region.index()).unwrap_or_else(RegionProfile::r2);
+            RegionProfile {
+                region: trace.region,
+                ..base
+            }
+        });
+
+        let functions = infer_functions(trace, &calibration);
+
+        WorkloadSpec {
+            region: trace.region,
+            profile,
+            calibration,
+            functions,
+            events,
+            source: WorkloadSource::Replay,
+        }
+    }
+
+    /// Lowers every region of a dataset, in ascending region-id order.
+    pub fn build_dataset(&self, dataset: &Dataset) -> Vec<WorkloadSpec> {
+        dataset.regions().map(|trace| self.build(trace)).collect()
+    }
+}
+
+/// Per-function accumulation while scanning the request table.
+#[derive(Default)]
+struct FunctionAccum {
+    timestamps_ms: Vec<u64>,
+    exec_us: Vec<u64>,
+    cpu_millicores: Vec<f64>,
+    memory_bytes: Vec<u64>,
+    /// Request intervals `[start, end)` per pod, for concurrency inference.
+    per_pod: BTreeMap<PodId, Vec<(u64, u64)>>,
+}
+
+/// Reconstructs a [`FunctionSpec`] per distinct function in the request
+/// table, in ascending function-id order.
+fn infer_functions(trace: &RegionTrace, calibration: &Calibration) -> Vec<FunctionSpec> {
+    let mut accum: BTreeMap<FunctionId, FunctionAccum> = BTreeMap::new();
+    for r in trace.requests.records() {
+        let a = accum.entry(r.function).or_default();
+        a.timestamps_ms.push(r.timestamp_ms);
+        a.exec_us.push(r.execution_time_us);
+        a.cpu_millicores.push(r.cpu_usage_millicores);
+        a.memory_bytes.push(r.memory_usage_bytes);
+        a.per_pod.entry(r.pod).or_default().push((
+            r.timestamp_ms,
+            r.timestamp_ms + r.execution_time_us.div_ceil(1000),
+        ));
+    }
+
+    let mut has_deps: BTreeMap<FunctionId, bool> = BTreeMap::new();
+    for cs in trace.cold_starts.records() {
+        *has_deps.entry(cs.function).or_default() |= cs.deploy_dep_us > 0;
+    }
+
+    let days = f64::from(calibration.duration_days.max(1));
+    accum
+        .into_iter()
+        .map(|(function, mut a)| {
+            let meta = trace.functions.get(function);
+            let triggers = meta
+                .map(|m| m.triggers.clone())
+                .filter(|t| !t.is_empty())
+                .unwrap_or_else(|| vec![TriggerType::Unknown]);
+            let primary = triggers[0];
+            let config = trace.functions.config_of(function);
+            let user = meta
+                .map(|m| m.user)
+                .unwrap_or_else(|| fntrace::UserId::new(function.raw()));
+
+            let requests_per_day = a.timestamps_ms.len() as f64 / days;
+            a.timestamps_ms.sort_unstable();
+            let timer_period_secs = if primary == TriggerType::Timer {
+                median_gap_secs(&a.timestamps_ms)
+                    .unwrap_or(86_400.0 / requests_per_day.max(1e-9))
+                    .max(1.0)
+            } else {
+                0.0
+            };
+
+            FunctionSpec {
+                function,
+                user,
+                runtime: trace.functions.runtime_of(function),
+                triggers,
+                config,
+                base_requests_per_day: requests_per_day,
+                timer_period_secs,
+                // Replay takes arrival times verbatim from the records, so
+                // the generative shape parameters stay neutral.
+                diurnal_amplitude: 0.0,
+                peak_offset_hours: 0.0,
+                median_execution_secs: (median_u64(&mut a.exec_us) as f64 / 1e6).max(1e-4),
+                cpu_millicores: median_f64(&mut a.cpu_millicores).max(1.0),
+                memory_bytes: median_u64(&mut a.memory_bytes).max(1),
+                has_dependencies: has_deps.get(&function).copied().unwrap_or(false),
+                concurrency: max_pod_concurrency(&a.per_pod).max(1),
+                upstream: None,
+            }
+        })
+        .collect()
+}
+
+/// Median of the observed gaps between consecutive arrivals, in seconds.
+fn median_gap_secs(sorted_timestamps_ms: &[u64]) -> Option<f64> {
+    if sorted_timestamps_ms.len() < 2 {
+        return None;
+    }
+    let mut gaps: Vec<u64> = sorted_timestamps_ms
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .collect();
+    Some(median_u64(&mut gaps) as f64 / 1e3)
+}
+
+fn median_u64(values: &mut [u64]) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    values[values.len() / 2]
+}
+
+fn median_f64(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(f64::total_cmp);
+    values[values.len() / 2]
+}
+
+/// Largest number of simultaneously in-flight requests observed on any single
+/// pod — a lower bound on the function's configured concurrency.
+fn max_pod_concurrency(per_pod: &BTreeMap<PodId, Vec<(u64, u64)>>) -> u32 {
+    let mut max = 0i64;
+    for intervals in per_pod.values() {
+        let mut edges: Vec<(u64, i64)> = Vec::with_capacity(intervals.len() * 2);
+        for &(start, end) in intervals {
+            edges.push((start, 1));
+            edges.push((end.max(start + 1), -1));
+        }
+        // Ends sort before starts at the same instant, so back-to-back
+        // requests do not count as overlapping.
+        edges.sort_by_key(|&(t, delta)| (t, delta));
+        let mut live = 0i64;
+        for (_, delta) in edges {
+            live += delta;
+            max = max.max(live);
+        }
+    }
+    max.max(0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fntrace::synth::{SynthShape, SynthTraceSpec};
+    use fntrace::{RegionId, RequestId, RequestRecord, Runtime, UserId};
+
+    fn synth_trace(seed: u64) -> RegionTrace {
+        SynthTraceSpec {
+            region: RegionId::new(4),
+            shape: SynthShape::Diurnal,
+            functions: 10,
+            duration_days: 1,
+            mean_requests_per_day: 150.0,
+            keep_alive_secs: 60.0,
+            seed,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn replay_preserves_every_request_as_an_event() {
+        let trace = synth_trace(1);
+        let workload = TraceReplayWorkload::new().build(&trace);
+        assert_eq!(workload.len(), trace.requests.len());
+        assert!(workload.is_replay());
+        assert_eq!(workload.region, RegionId::new(4));
+        for w in workload.events.windows(2) {
+            assert!(w[0].timestamp_ms <= w[1].timestamp_ms);
+        }
+        // Every event references a reconstructed function spec.
+        for e in &workload.events {
+            assert!(workload.function(e.function).is_some());
+        }
+        // Deterministic: same trace, same workload.
+        assert_eq!(workload, TraceReplayWorkload::new().build(&trace));
+    }
+
+    #[test]
+    fn inferred_specs_match_the_function_table() {
+        let trace = synth_trace(2);
+        let workload = TraceReplayWorkload::new().build(&trace);
+        for spec in &workload.functions {
+            let meta = trace.functions.get(spec.function).expect("meta exists");
+            assert_eq!(spec.runtime, meta.runtime);
+            assert_eq!(spec.triggers, meta.triggers);
+            assert_eq!(spec.config, meta.config);
+            assert_eq!(spec.user, meta.user);
+            assert!(spec.median_execution_secs > 0.0);
+            assert!(spec.base_requests_per_day > 0.0);
+            assert!(spec.concurrency >= 1);
+            if spec.primary_trigger() == TriggerType::Timer {
+                assert!(spec.timer_period_secs >= 1.0);
+            } else {
+                assert_eq!(spec.timer_period_secs, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_layers_are_read_from_cold_start_components() {
+        let trace = synth_trace(3);
+        let workload = TraceReplayWorkload::new().build(&trace);
+        for spec in &workload.functions {
+            let expected = trace
+                .cold_starts
+                .records()
+                .iter()
+                .any(|cs| cs.function == spec.function && cs.deploy_dep_us > 0);
+            assert_eq!(spec.has_dependencies, expected, "{}", spec.function);
+        }
+    }
+
+    #[test]
+    fn calibration_spans_the_trace_and_can_be_overridden() {
+        let trace = synth_trace(4);
+        let inferred = TraceReplayWorkload::new().build(&trace);
+        let (_, hi) = trace.time_span_ms().unwrap();
+        assert!(inferred.duration_ms() > hi);
+
+        let fixed = Calibration {
+            duration_days: 9,
+            ..Calibration::default()
+        };
+        let overridden = TraceReplayWorkload::new()
+            .with_calibration(fixed)
+            .with_profile(RegionProfile::r1())
+            .build(&trace);
+        assert_eq!(overridden.calibration.duration_days, 9);
+        assert_eq!(
+            overridden.profile.component_base,
+            RegionProfile::r1().component_base
+        );
+    }
+
+    #[test]
+    fn concurrency_is_inferred_from_overlapping_pod_requests() {
+        let mut trace = RegionTrace::new(RegionId::new(1));
+        // Two overlapping requests on the same pod, one disjoint.
+        for (i, (ts, exec_ms)) in [(0u64, 10_000u64), (5_000, 10_000), (60_000, 100)]
+            .into_iter()
+            .enumerate()
+        {
+            trace.requests.push(RequestRecord {
+                timestamp_ms: ts,
+                pod: PodId::new(1),
+                cluster: 0,
+                function: FunctionId::new(1),
+                user: UserId::new(1),
+                request: RequestId::new(i as u64),
+                execution_time_us: exec_ms * 1000,
+                cpu_usage_millicores: 50.0,
+                memory_usage_bytes: 1 << 20,
+            });
+        }
+        let workload = TraceReplayWorkload::new().build(&trace);
+        assert_eq!(workload.functions.len(), 1);
+        assert_eq!(workload.functions[0].concurrency, 2);
+        // Back-to-back requests never overlap.
+        let mut seq = RegionTrace::new(RegionId::new(1));
+        for (i, ts) in [0u64, 1000, 2000].into_iter().enumerate() {
+            seq.requests.push(RequestRecord {
+                timestamp_ms: ts,
+                pod: PodId::new(1),
+                cluster: 0,
+                function: FunctionId::new(1),
+                user: UserId::new(1),
+                request: RequestId::new(i as u64),
+                execution_time_us: 1_000_000,
+                cpu_usage_millicores: 50.0,
+                memory_usage_bytes: 1 << 20,
+            });
+        }
+        let workload = TraceReplayWorkload::new().build(&seq);
+        assert_eq!(workload.functions[0].concurrency, 1);
+    }
+
+    #[test]
+    fn functions_missing_from_the_metadata_table_get_defaults() {
+        let mut trace = RegionTrace::new(RegionId::new(2));
+        trace.requests.push(RequestRecord {
+            timestamp_ms: 500,
+            pod: PodId::new(9),
+            cluster: 1,
+            function: FunctionId::new(77),
+            user: UserId::new(5),
+            request: RequestId::new(1),
+            execution_time_us: 20_000,
+            cpu_usage_millicores: 80.0,
+            memory_usage_bytes: 4 << 20,
+        });
+        let workload = TraceReplayWorkload::new().build(&trace);
+        let spec = &workload.functions[0];
+        assert_eq!(spec.runtime, Runtime::Unknown);
+        assert_eq!(spec.triggers, vec![TriggerType::Unknown]);
+        assert_eq!(spec.function, FunctionId::new(77));
+    }
+
+    #[test]
+    fn build_dataset_lowers_every_region() {
+        let ds = fntrace::synth::dataset(&[
+            SynthTraceSpec {
+                region: RegionId::new(1),
+                functions: 4,
+                ..SynthTraceSpec::default()
+            },
+            SynthTraceSpec {
+                region: RegionId::new(2),
+                functions: 4,
+                ..SynthTraceSpec::default()
+            },
+        ]);
+        let workloads = TraceReplayWorkload::new().build_dataset(&ds);
+        assert_eq!(workloads.len(), 2);
+        assert_eq!(workloads[0].region, RegionId::new(1));
+        assert_eq!(workloads[1].region, RegionId::new(2));
+        assert!(workloads.iter().all(|w| w.is_replay()));
+    }
+}
