@@ -1,4 +1,4 @@
-//! Trace-replay benchmark: drive the policy grid from trace records.
+//! Trace-replay benchmark: drive the policy session from trace records.
 //!
 //! ```text
 //! cargo run --release --bin replay -- --smoke
@@ -10,20 +10,25 @@
 //! suite also asserts: generate a preset workload, record its simulated
 //! trace, write the trace as CSV, parse it back, lower it into a
 //! replay-tagged workload with `faas_workload::replay`, and run the policy
-//! scenarios over the replayed events on the parallel grid. With
-//! `--trace-dir` it replays an on-disk CSV fileset in the public data-release
-//! layout instead.
+//! scenarios over the replayed events through one
+//! `coldstarts::session::ExperimentSession`. With `--trace-dir` it replays
+//! an on-disk CSV fileset in the public data-release layout instead. Chunked
+//! streaming runs as a second session over `ChunkSource::split` windows.
 //!
-//! The report is written as `BENCH_replay.json` in the stable
-//! `faas-coldstarts/replay/v1` schema that CI validates and archives.
+//! The report is written as `BENCH_replay.json` in the shared
+//! `faas-coldstarts/session/v1` envelope (kind `replay`) that CI validates
+//! and archives.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use coldstarts::evaluation::Scenario;
-use coldstarts::replay::ReplayGrid;
-use coldstarts::sweep::json::{f64_lit, push_str_lit};
+use coldstarts::session::envelope::{cells_value, JsonValue};
+use coldstarts::session::{
+    seeds, ChunkSource, ExperimentSession, PolicyConfig, ProgressLog, ReplayTraceSource,
+    WorkloadSource,
+};
 use faas_platform::{PlatformConfig, SimReport, SimulationSpec};
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::RegionProfile;
@@ -59,7 +64,7 @@ fn usage() -> String {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
-        seed: 7,
+        seed: seeds::DEFAULT_SEED,
         days: 1,
         region: 2,
         preset: ScenarioPreset::Diurnal,
@@ -157,21 +162,6 @@ fn synthetic_roundtrip(args: &Args) -> Result<(SimReport, RegionTrace), String> 
     Ok((direct, parsed))
 }
 
-fn scenario_json(out: &mut String, scenario: &str, report: &SimReport) {
-    out.push_str("    {\"scenario\": ");
-    push_str_lit(out, scenario);
-    out.push_str(&format!(
-        ", \"requests\": {}, \"cold_starts\": {}, \"cold_start_rate\": {}, \
-         \"prewarmed_pods\": {}, \"p99_wait_s\": {}, \"mem_gb_s_wasted\": {}}}",
-        report.requests,
-        report.cold_starts,
-        f64_lit(report.cold_start_rate()),
-        report.prewarmed_pods,
-        f64_lit(report.cold_start_latency.p99_s),
-        f64_lit(report.mem_gb_s_wasted),
-    ));
-}
-
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -181,7 +171,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (source, direct, trace) = match &args.trace_dir {
+    let (source_origin, direct, trace) = match &args.trace_dir {
         Some(dir) => match RegionTrace::read_csv_dir(RegionId::new(args.region), dir) {
             Ok(trace) => ("csv-dir".to_string(), None, trace),
             Err(e) => {
@@ -209,9 +199,14 @@ fn main() -> ExitCode {
                 .with_calibration(args.preset.calibration(args.days.max(1)));
         }
     }
-    let workload = Arc::new(builder.build(&trace));
+    let source = ReplayTraceSource::from_trace_with(
+        format!("replay/r{}", trace.region.index()),
+        &builder,
+        &trace,
+    );
+    let workload = Arc::clone(source.spec());
     eprintln!(
-        "replaying {} events over {} functions (region {}, source {source})",
+        "replaying {} events over {} functions (region {}, source {source_origin})",
         workload.len(),
         workload.functions.len(),
         workload.region.index(),
@@ -226,20 +221,36 @@ fn main() -> ExitCode {
     } else {
         Scenario::ALL.to_vec()
     };
-    let grid = ReplayGrid {
-        scenarios: scenarios.clone(),
-        seeds: vec![args.seed],
-        threads: args.threads,
-        ..ReplayGrid::new(Arc::clone(&workload))
-    };
-    let report = grid.run();
+
+    // One ExperimentSession is the run: scenarios × the replayed trace.
+    let session = ExperimentSession::new()
+        .scenarios(&scenarios)
+        .source(source)
+        .with_seeds(vec![args.seed])
+        .with_threads(args.threads);
+    let mut progress = ProgressLog::stderr();
+    let report = session.run_with_sinks(&mut [&mut progress]);
     print!("{}", report.render());
 
-    let chunks = grid.run_chunked(Scenario::Baseline, MILLIS_PER_HOUR);
+    // Chunked streaming: a second session over the chunk windows under the
+    // baseline scenario.
+    let chunk_sources = ChunkSource::split(&workload, MILLIS_PER_HOUR);
+    let chunk_events: Vec<u64> = chunk_sources.iter().map(|c| c.len() as u64).collect();
+    let chunk_session = ExperimentSession::new()
+        .policy(PolicyConfig::scenario(Scenario::Baseline))
+        .source_arcs(
+            chunk_sources
+                .into_iter()
+                .map(|c| Arc::new(c) as Arc<dyn WorkloadSource>),
+        )
+        .with_seeds(vec![args.seed])
+        .with_threads(args.threads);
+    let chunk_report = chunk_session.run();
+
     let baseline = &report
         .cells
         .iter()
-        .find(|c| c.scenario == Scenario::Baseline)
+        .find(|c| c.policy == Scenario::Baseline.name())
         .expect("the scenario set always includes the baseline")
         .report;
     let replay_rate = baseline.cold_start_rate();
@@ -253,81 +264,94 @@ fn main() -> ExitCode {
         );
     }
 
-    // Emit the stable faas-coldstarts/replay/v1 document.
-    let mut out = String::with_capacity(4096);
-    out.push_str("{\n");
-    out.push_str("  \"schema\": \"faas-coldstarts/replay/v1\",\n");
-    out.push_str("  \"source\": ");
-    push_str_lit(&mut out, &source);
-    out.push_str(",\n");
-    out.push_str("  \"preset\": ");
-    push_str_lit(&mut out, args.preset.name());
-    out.push_str(",\n");
-    out.push_str(&format!("  \"region\": {},\n", workload.region.index()));
-    out.push_str(&format!("  \"seed\": {},\n", args.seed));
-    out.push_str(&format!(
-        "  \"days\": {},\n",
-        workload.calibration.duration_days
-    ));
-    out.push_str(&format!(
-        "  \"trace\": {{\"requests\": {}, \"cold_starts\": {}, \"functions\": {}}},\n",
-        trace.requests.len(),
-        trace.cold_starts.len(),
-        trace.functions.len(),
-    ));
-    out.push_str(&format!(
-        "  \"replay\": {{\"events\": {}, \"functions\": {}}},\n",
-        workload.len(),
-        workload.functions.len(),
-    ));
-    match (direct.as_ref(), direct_rate) {
-        (Some(direct), Some(direct_rate)) => {
-            out.push_str(&format!(
-                "  \"roundtrip\": {{\"direct_requests\": {}, \"direct_cold_starts\": {}, \
-                 \"direct_cold_start_rate\": {}, \"replay_cold_start_rate\": {}, \
-                 \"rate_deviation\": {}}},\n",
-                direct.requests,
-                direct.cold_starts,
-                f64_lit(direct_rate),
-                f64_lit(replay_rate),
-                f64_lit((replay_rate - direct_rate).abs()),
-            ));
-        }
-        _ => out.push_str("  \"roundtrip\": null,\n"),
-    }
-    out.push_str("  \"scenarios\": [\n");
-    for (i, cell) in report.cells.iter().enumerate() {
-        scenario_json(&mut out, cell.scenario.name(), &cell.report);
-        out.push_str(if i + 1 < report.cells.len() {
-            ",\n"
-        } else {
-            "\n"
-        });
-    }
-    out.push_str("  ],\n");
-    out.push_str("  \"top_functions\": [\n");
-    let top = baseline.top_cold_start_functions(5);
-    for (i, stats) in top.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"function\": {}, \"requests\": {}, \"cold_starts\": {}}}",
-            stats.function.raw(),
-            stats.requests,
-            stats.cold_starts,
-        ));
-        out.push_str(if i + 1 < top.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ],\n");
-    let max_chunk = chunks.iter().map(|c| c.events).max().unwrap_or(0);
-    out.push_str(&format!(
-        "  \"chunks\": {{\"chunk_ms\": {}, \"count\": {}, \"max_events\": {}, \"events\": {}}}\n",
-        MILLIS_PER_HOUR,
-        chunks.len(),
-        max_chunk,
-        chunks.iter().map(|c| c.events).sum::<u64>(),
-    ));
-    out.push_str("}\n");
+    // Emit the shared faas-coldstarts/session/v1 envelope (kind "replay"):
+    // the common session section plus the replay payload.
+    let mut envelope = report
+        .envelope("replay")
+        .with("source", JsonValue::str(&source_origin))
+        .with("preset", JsonValue::str(args.preset.name()))
+        .with("region", JsonValue::U64(u64::from(workload.region.index())))
+        .with("seed", JsonValue::U64(args.seed))
+        .with(
+            "days",
+            JsonValue::U64(u64::from(workload.calibration.duration_days)),
+        )
+        .with(
+            "trace",
+            JsonValue::object(vec![
+                ("requests", JsonValue::U64(trace.requests.len() as u64)),
+                (
+                    "cold_starts",
+                    JsonValue::U64(trace.cold_starts.len() as u64),
+                ),
+                ("functions", JsonValue::U64(trace.functions.len() as u64)),
+            ]),
+        )
+        .with(
+            "replay",
+            JsonValue::object(vec![
+                ("events", JsonValue::U64(workload.len() as u64)),
+                ("functions", JsonValue::U64(workload.functions.len() as u64)),
+            ]),
+        );
+    envelope.push(
+        "roundtrip",
+        match (direct.as_ref(), direct_rate) {
+            (Some(direct), Some(direct_rate)) => JsonValue::object(vec![
+                ("direct_requests", JsonValue::U64(direct.requests)),
+                ("direct_cold_starts", JsonValue::U64(direct.cold_starts)),
+                ("direct_cold_start_rate", JsonValue::F64(direct_rate)),
+                ("replay_cold_start_rate", JsonValue::F64(replay_rate)),
+                (
+                    "rate_deviation",
+                    JsonValue::F64((replay_rate - direct_rate).abs()),
+                ),
+            ]),
+            _ => JsonValue::Null,
+        },
+    );
+    envelope.push(
+        "top_functions",
+        JsonValue::Array(
+            baseline
+                .top_cold_start_functions(5)
+                .iter()
+                .map(|stats| {
+                    JsonValue::object(vec![
+                        ("function", JsonValue::U64(stats.function.raw())),
+                        ("requests", JsonValue::U64(stats.requests)),
+                        ("cold_starts", JsonValue::U64(stats.cold_starts)),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    envelope.push(
+        "chunks",
+        JsonValue::object(vec![
+            ("chunk_ms", JsonValue::U64(MILLIS_PER_HOUR)),
+            ("count", JsonValue::U64(chunk_events.len() as u64)),
+            (
+                "max_events",
+                JsonValue::U64(chunk_events.iter().copied().max().unwrap_or(0)),
+            ),
+            ("events", JsonValue::U64(chunk_events.iter().sum())),
+        ]),
+    );
+    envelope.push(
+        "chunk_cells",
+        cells_value(chunk_report.cells.iter().map(|c| {
+            (
+                c.policy.as_str(),
+                c.source.as_str(),
+                c.seed,
+                c.region.index(),
+                &c.report,
+            )
+        })),
+    );
 
-    if let Err(e) = std::fs::write(&args.out, out) {
+    if let Err(e) = std::fs::write(&args.out, envelope.to_json()) {
         eprintln!("failed to write {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }

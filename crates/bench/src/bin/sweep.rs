@@ -5,17 +5,19 @@
 //! cargo run --release --bin sweep -- --days 2 --seed 7 --regions 2,3 --out BENCH_sweep.json
 //! ```
 //!
-//! Expands every policy family's parameter space, runs each configuration
-//! over the scenario presets (diurnal, bursty, holiday-peak,
-//! low-traffic-tail), prints the per-configuration table with the Pareto
-//! front over (cold-start rate, memory-GB-seconds wasted), and writes the
-//! report as `BENCH_sweep.json` in the stable `faas-coldstarts/sweep/v1`
-//! schema that CI validates and archives.
+//! Expands every policy family's parameter space, declares one
+//! `coldstarts::session::ExperimentSession` over the scenario presets
+//! (diurnal, bursty, holiday-peak, low-traffic-tail), streams per-cell
+//! progress to stderr through a `ReportSink`, prints the per-configuration
+//! table with the Pareto front over (cold-start rate, memory-GB-seconds
+//! wasted), and writes the report as `BENCH_sweep.json` in the shared
+//! `faas-coldstarts/session/v1` envelope that CI validates and archives.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use coldstarts::sweep::PolicySweep;
+use coldstarts::session::ProgressLog;
+use coldstarts::sweep::{PolicyFamily, PolicySweep};
 use faas_workload::profile::RegionProfile;
 
 struct Args {
@@ -100,18 +102,6 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut sweep = if args.smoke {
-        PolicySweep::smoke(args.seed)
-    } else {
-        PolicySweep {
-            seeds: vec![args.seed],
-            ..PolicySweep::default()
-        }
-    };
-    if let Some(days) = args.days {
-        sweep.duration_days = days.max(1);
-    }
-    sweep.threads = args.threads;
     let mut regions = Vec::new();
     for index in &args.regions {
         match RegionProfile::paper_region(*index) {
@@ -122,8 +112,32 @@ fn main() -> ExitCode {
             }
         }
     }
-    sweep.regions = regions;
 
+    // Declare the sweep: every family's (smoke or full) parameter space over
+    // the scenario presets × regions × the seed.
+    let spaces = PolicyFamily::ALL
+        .iter()
+        .map(|f| {
+            if args.smoke {
+                f.smoke_space()
+            } else {
+                f.param_space()
+            }
+        })
+        .collect();
+    let sweep = PolicySweep {
+        seeds: vec![args.seed],
+        spaces,
+        duration_days: args.days.unwrap_or(if args.smoke { 1 } else { 2 }).max(1),
+        regions,
+        threads: args.threads,
+        ..PolicySweep::default()
+    };
+
+    // One ExperimentSession is the run: the sweep declaration lowers into
+    // policies × preset sources × seeds, and the report is folded back from
+    // the session's deterministic cell stream.
+    let session = sweep.session();
     eprintln!(
         "sweeping {} configs x {} presets x {} regions x {} seeds \
          ({} cells, {} day(s) each)...",
@@ -131,10 +145,11 @@ fn main() -> ExitCode {
         sweep.presets.len(),
         sweep.regions.len(),
         sweep.seeds.len(),
-        sweep.cell_count(),
+        session.cell_count(),
         sweep.duration_days,
     );
-    let report = sweep.run();
+    let mut progress = ProgressLog::stderr();
+    let report = sweep.fold(session.run_with_sinks(&mut [&mut progress]));
 
     print!("{}", report.render());
     println!();
@@ -152,7 +167,7 @@ fn main() -> ExitCode {
         );
     }
 
-    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+    if let Err(e) = std::fs::write(&args.out, report.to_envelope().to_json()) {
         eprintln!("failed to write {}: {e}", args.out.display());
         return ExitCode::FAILURE;
     }

@@ -5,11 +5,12 @@
 //! and latency deltas relative to the baseline — the data behind the policy
 //! ablation experiment.
 //!
-//! This is the single-workload corner of the experiment grid: scenario
-//! policies are built by [`ScenarioPolicies`] and the scenarios execute
-//! concurrently through [`run_scenarios`]. Sweeps over many regions and
-//! seeds should declare an
-//! [`ExperimentGrid`](crate::experiment::ExperimentGrid) instead.
+//! This is the single-workload corner of the session API: scenario policies
+//! are built by [`ScenarioPolicies`] and the scenarios execute concurrently
+//! through [`run_scenarios`], which wraps the workload in a
+//! [`FixedWorkloadSource`](crate::session::FixedWorkloadSource) and runs an
+//! [`ExperimentSession`](crate::session::ExperimentSession). Ablations over
+//! many sources and seeds should declare a session directly.
 
 use serde::{Deserialize, Serialize};
 

@@ -4,13 +4,24 @@
 //! regions, and seeds. [`ExperimentGrid`] declares that whole space once —
 //! scenarios × region profiles × seeds plus the shared calibration,
 //! population, and platform configuration — and executes every cell
-//! concurrently with `std::thread::scope`. Each cell replays its region's
-//! workload through a fresh [`SimulationSpec`] whose [`ScenarioPolicies`]
-//! factory builds clean policy state per run, so a cell's result depends only
-//! on its `(scenario, region, seed)` coordinates: parallel and sequential
-//! execution of the same grid produce identical reports, merged in the same
+//! concurrently. Each cell replays its region's workload through a fresh
+//! [`SimulationSpec`] whose [`ScenarioPolicies`] factory builds clean policy
+//! state per run, so a cell's result depends only on its
+//! `(scenario, region, seed)` coordinates: parallel and sequential execution
+//! of the same grid produce identical reports, merged in the same
 //! deterministic cell order.
+//!
+//! Since the [`crate::session`] redesign the grid is a thin shim: it builds
+//! an [`ExperimentSession`] from one [`RegionSource`] per region profile and
+//! one [`PolicyConfig`] per scenario, and converts the session cells back
+//! into the historical [`GridReport`] shape. New code should declare
+//! sessions directly; this type remains for the established grid vocabulary
+//! (scenario/region/seed coordinates and outcome tables).
+//!
+//! This module also hosts the scoped-thread fan-out engine
+//! (`parallel_map` / `parallel_map_streamed`) the session executes on.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -22,13 +33,16 @@ use faas_platform::{
 use faas_platform::{PlatformConfig, PolicyFactory, SimReport, SimulationSpec};
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::{Calibration, RegionProfile};
-use faas_workload::{MultiRegionWorkload, WorkloadSpec};
+use faas_workload::WorkloadSpec;
 use fntrace::RegionId;
 
 use crate::evaluation::{outcome, Scenario, ScenarioOutcome};
 use crate::policies::keepalive::{keep_alive_for_scenario, KeepAliveScenario};
 use crate::policies::peak_shaving::AsyncPeakShaving;
 use crate::policies::prewarm::{DemandPrewarm, TimerPrewarm, WorkflowChainPrewarm};
+use crate::session::{
+    ExperimentSession, FixedWorkloadSource, PolicyConfig, RegionSource, WorkloadSource,
+};
 
 /// [`PolicyFactory`] that builds the policy set of one named [`Scenario`].
 ///
@@ -245,6 +259,11 @@ impl ExperimentGrid {
     /// The paper's full ablation: all eight scenarios over all five paper
     /// regions, one seed, scaled-down populations so the grid runs in
     /// seconds.
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare an ExperimentSession over RegionSource::multi instead; \
+                this shimmed constructor remains for the transition"
+    )]
     pub fn full_ablation() -> Self {
         Self {
             regions: (1..=5)
@@ -259,61 +278,49 @@ impl ExperimentGrid {
         self.scenarios.len() * self.regions.len() * self.seeds.len()
     }
 
+    /// The equivalent [`ExperimentSession`]: one
+    /// [`RegionSource`] per region profile, one scenario
+    /// [`PolicyConfig`] per scenario, the grid's seeds, platform, and
+    /// thread count. `run` and `run_sequential` execute exactly this
+    /// session.
+    pub fn session(&self) -> ExperimentSession {
+        ExperimentSession::new()
+            .with_platform(self.platform.clone())
+            .with_seeds(self.seeds.clone())
+            .with_threads(self.threads)
+            .policies(self.scenarios.iter().map(|&scenario| {
+                PolicyConfig::scenario_with_delay(scenario, self.peak_shaving_delay_ms)
+            }))
+            .source_arcs(
+                RegionSource::multi(&self.regions, self.calibration, &self.population)
+                    .into_iter()
+                    .map(|s| Arc::new(s) as Arc<dyn WorkloadSource>),
+            )
+    }
+
     /// Executes the grid concurrently.
     pub fn run(&self) -> GridReport {
-        self.execute(self.threads)
+        self.to_grid_report(self.session().run())
     }
 
     /// Executes the same cells on the calling thread, in the same order.
     pub fn run_sequential(&self) -> GridReport {
-        self.execute(1)
+        self.to_grid_report(self.session().run_sequential())
     }
 
-    fn execute(&self, threads: usize) -> GridReport {
-        // Workloads depend only on (region, seed): build one multi-region
-        // set per seed, concurrently, then share them read-only across
-        // scenario cells.
-        let workload_sets: Vec<MultiRegionWorkload> =
-            parallel_map(self.seeds.len(), threads, |s| {
-                MultiRegionWorkload::generate(
-                    &self.regions,
-                    self.calibration,
-                    &self.population,
-                    self.seeds[s],
-                )
-            });
-
-        let cells: Vec<(Scenario, usize, usize)> = self
-            .scenarios
-            .iter()
-            .flat_map(|&scenario| {
-                let seed_count = self.seeds.len();
-                (0..self.regions.len())
-                    .flat_map(move |r| (0..seed_count).map(move |s| (scenario, r, s)))
-            })
-            .collect();
-
-        let reports: Vec<SimReport> = parallel_map(cells.len(), threads, |i| {
-            let (scenario, r, s) = cells[i];
-            ScenarioPolicies::spec(
-                scenario,
-                &self.platform,
-                self.seeds[s],
-                self.peak_shaving_delay_ms,
-            )
-            .run(&workload_sets[s].workloads[r])
-            .0
-        });
-
+    /// Converts session cells (policy-major, source, seed order — identical
+    /// to the grid's scenario, region, seed declaration order) back into the
+    /// historical grid shape.
+    fn to_grid_report(&self, report: crate::session::SessionReport) -> GridReport {
         GridReport {
-            cells: cells
+            cells: report
+                .cells
                 .into_iter()
-                .zip(reports)
-                .map(|((scenario, r, s), report)| GridCellReport {
-                    scenario,
-                    region: self.regions[r].region,
-                    seed: self.seeds[s],
-                    report,
+                .map(|cell| GridCellReport {
+                    scenario: self.scenarios[cell.policy_index],
+                    region: cell.region,
+                    seed: cell.seed,
+                    report: cell.report,
                 })
                 .collect(),
         }
@@ -322,7 +329,13 @@ impl ExperimentGrid {
 
 /// Runs `scenarios` over one already-generated workload, returning one report
 /// per scenario in input order. This is the single-workload corner of the
-/// grid; [`crate::evaluation::PolicyEvaluation`] wraps it.
+/// session; [`crate::evaluation::PolicyEvaluation`] wraps it.
+///
+/// The borrowed workload is cloned once into the session's shared `Arc`.
+/// Callers holding a large workload (a month-long replay) in an
+/// `Arc<WorkloadSpec>` already should declare an
+/// [`ExperimentSession`] over a [`FixedWorkloadSource`] directly and skip
+/// the copy.
 pub fn run_scenarios(
     platform: &PlatformConfig,
     seed: u64,
@@ -331,18 +344,54 @@ pub fn run_scenarios(
     scenarios: &[Scenario],
     threads: usize,
 ) -> Vec<SimReport> {
-    parallel_map(scenarios.len(), threads, |i| {
-        ScenarioPolicies::spec(scenarios[i], platform, seed, peak_shaving_delay_ms)
-            .run(workload)
-            .0
-    })
+    let session = ExperimentSession::new()
+        .with_platform(platform.clone())
+        .with_seeds(vec![seed])
+        .with_threads(threads)
+        .policies(
+            scenarios
+                .iter()
+                .map(|&s| PolicyConfig::scenario_with_delay(s, peak_shaving_delay_ms)),
+        )
+        .source(FixedWorkloadSource::new(
+            "workload",
+            Arc::new(workload.clone()),
+        ));
+    session
+        .run()
+        .cells
+        .into_iter()
+        .map(|cell| cell.report)
+        .collect()
 }
 
 /// Maps `f` over `0..n` on up to `threads` scoped workers (0 means one per
 /// available core), merging results in index order so the output is
 /// independent of scheduling. This is the fan-out engine shared by the
-/// experiment grid and the [`crate::sweep`] subsystem.
+/// [`crate::session`] executor (and therefore every entry point built on
+/// it).
 pub(crate) fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_streamed(n, threads, f, &mut |_, _| {})
+}
+
+/// [`parallel_map`] that additionally streams each result, in index order,
+/// to `on_ready` as soon as the contiguous prefix up to it has completed.
+///
+/// Workers buffer out-of-order completions; whichever worker closes a gap
+/// drains the ready prefix while holding the merge lock, so `on_ready`
+/// observes exactly the sequence `(0, &r0), (1, &r1), …` regardless of
+/// thread scheduling — this is what lets session sinks stream cells
+/// deterministically while the fan-out is still running.
+pub(crate) fn parallel_map_streamed<T, F>(
+    n: usize,
+    threads: usize,
+    f: F,
+    on_ready: &mut (dyn FnMut(usize, &T) + Send),
+) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -359,35 +408,54 @@ where
     };
     let workers = threads.min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let value = f(i);
+            on_ready(i, &value);
+            out.push(value);
+        }
+        return out;
     }
-    let next = AtomicUsize::new(0);
-    let gathered: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+
+    struct Merge<'a, T> {
+        /// Completed indices waiting for the prefix before them.
+        pending: BTreeMap<usize, T>,
+        /// Next index to release to `on_ready`.
+        next: usize,
+        /// Released results, in index order.
+        done: Vec<T>,
+        on_ready: &'a mut (dyn FnMut(usize, &T) + Send),
+    }
+
+    let next_cell = AtomicUsize::new(0);
+    let merge = Mutex::new(Merge {
+        pending: BTreeMap::new(),
+        next: 0,
+        done: Vec::with_capacity(n),
+        on_ready,
+    });
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| {
-                let mut local = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local.push((i, f(i)));
+            scope.spawn(|| loop {
+                let i = next_cell.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
-                if !local.is_empty() {
-                    gathered.lock().expect("no poisoned workers").extend(local);
+                let value = f(i);
+                let mut guard = merge.lock().expect("no poisoned workers");
+                let state = &mut *guard;
+                state.pending.insert(i, value);
+                while let Some(value) = state.pending.remove(&state.next) {
+                    (state.on_ready)(state.next, &value);
+                    state.done.push(value);
+                    state.next += 1;
                 }
             });
         }
     });
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for (i, value) in gathered.into_inner().expect("no poisoned workers") {
-        slots[i] = Some(value);
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every index computed exactly once"))
-        .collect()
+    let state = merge.into_inner().expect("no poisoned workers");
+    debug_assert!(state.pending.is_empty() && state.done.len() == n);
+    state.done
 }
 
 #[cfg(test)]

@@ -31,16 +31,59 @@
 //! | [`policies::cross_region`] | Cross-region function migration |
 //! | [`policies::concurrency`] | Concurrency adjustment advisor |
 //!
+//! # Experiment sessions (the one experiment API)
+//!
+//! Every experiment in this crate — the policy ablation, the parameter
+//! sweeps, the trace replays — is one shape: **policies × workload sources ×
+//! seeds → cold-start metrics**. [`session::ExperimentSession`] declares
+//! that shape once: pluggable [`session::WorkloadSource`]s (scenario
+//! presets, calibrated regions, replayed traces, synthesized traces) times
+//! typed [`session::PolicyConfig`]s (named scenarios or sweep
+//! configurations), executed concurrently with a deterministic merge and
+//! streamed through [`session::ReportSink`]s into the shared
+//! `faas-coldstarts/session/v1` report envelope.
+//!
+//! ```
+//! use coldstarts::evaluation::Scenario;
+//! use coldstarts::session::{ExperimentSession, PolicyConfig, RegionSource};
+//! use faas_workload::population::PopulationConfig;
+//! use faas_workload::profile::{Calibration, RegionProfile};
+//!
+//! let session = ExperimentSession::new()
+//!     .scenarios(&[Scenario::Baseline, Scenario::Combined])
+//!     .source(RegionSource::new(
+//!         RegionProfile::r2(),
+//!         Calibration { duration_days: 1, ..Calibration::default() },
+//!         PopulationConfig {
+//!             function_scale: 0.002,
+//!             volume_scale: 2.0e-6,
+//!             max_requests_per_day: 2_000.0,
+//!             min_functions: 15,
+//!         },
+//!     ))
+//!     .with_seeds(vec![7]);
+//! let report = session.run();             // == session.run_sequential()
+//! assert_eq!(report.cells.len(), 2);
+//! let json = report.envelope("ablation").to_json();
+//! assert!(json.contains("\"schema\": \"faas-coldstarts/session/v1\""));
+//! ```
+//!
+//! The pre-session entry points — [`ExperimentGrid`],
+//! [`sweep::PolicySweep`], [`ReplayGrid`], and [`PolicyEvaluation`] — are
+//! kept as thin shims that build sessions internally; their dedicated
+//! constructors are `#[deprecated]` and CI fails if the examples or bench
+//! binaries still call them. Prefer declaring sessions in new code.
+//!
 //! # Parameter sweeps
 //!
 //! [`sweep`] turns the one-configuration-at-a-time ablation into a search:
 //! each policy family describes its tunable axes as a
 //! [`sweep::ParamSpace`], a [`sweep::PolicySweep`] fans the cross-product
-//! out over scenario presets × regions × seeds on the experiment grid's
-//! parallel engine, and the resulting [`sweep::SweepReport`] carries the
-//! Pareto front over (cold-start rate, memory-GB-seconds wasted).
+//! out over scenario presets × regions × seeds on the session engine, and
+//! the resulting [`sweep::SweepReport`] carries the Pareto front over
+//! (cold-start rate, memory-GB-seconds wasted).
 //!
-//! # Quick start
+//! # Characterization quick start
 //!
 //! ```
 //! use coldstarts::pipeline::CharacterizationPipeline;
@@ -69,6 +112,7 @@ pub mod pipeline;
 pub mod policies;
 pub mod replay;
 pub mod report;
+pub mod session;
 pub mod sweep;
 
 pub use evaluation::{PolicyEvaluation, Scenario, ScenarioOutcome};
@@ -76,4 +120,7 @@ pub use experiment::{ExperimentGrid, GridCellReport, GridReport, ScenarioPolicie
 pub use pipeline::CharacterizationPipeline;
 pub use replay::{ChunkReport, ReplayGrid};
 pub use report::CharacterizationReport;
+pub use session::{
+    ExperimentSession, PolicyConfig, ReportSink, SessionCell, SessionReport, WorkloadSource,
+};
 pub use sweep::{ParamSpace, PolicyFamily, PolicySweep, ReplaySource, SweepConfig, SweepReport};

@@ -1,21 +1,28 @@
-//! Replayed-trace experiments on the parallel grid engine.
+//! Replayed-trace experiments on the session engine.
 //!
 //! [`ReplayGrid`] is the trace-driven counterpart of
 //! [`ExperimentGrid`](crate::ExperimentGrid): instead of generating synthetic
 //! workloads per (region, seed) cell, it takes one replay-tagged
 //! [`WorkloadSpec`] — produced by [`faas_workload::replay`] from trace CSV
 //! records — and fans the policy scenarios × simulation seeds out over the
-//! same deterministic `parallel_map` engine. Parallel and sequential
-//! execution produce identical [`GridReport`]s, which the golden-fixture
-//! suite asserts byte for byte.
+//! deterministic session engine. Parallel and sequential execution produce
+//! identical [`GridReport`]s, which the golden-fixture suite asserts byte
+//! for byte.
 //!
-//! For traces too long to hold derived simulation state for in one pass,
-//! [`ReplayGrid::run_chunked`] splits the replayed event stream with
-//! [`WorkloadSpec::chunked`] and simulates every chunk as an independent
-//! cell, all chunks in flight across the grid's worker threads. Chunk
-//! reports describe each window in isolation (warm state does not carry
-//! across chunk boundaries), which is the streaming trade-off this path
-//! exists to make.
+//! Since the [`crate::session`] redesign the grid is a thin shim: `run`
+//! executes an [`ExperimentSession`] over one [`ReplayTraceSource`], and
+//! `run_chunked` executes one over [`ChunkSource::split`] windows. New code
+//! should declare sessions directly.
+//!
+//! For traces too long to simulate in one pass,
+//! [`ReplayGrid::run_chunked`] splits the replayed event stream into time
+//! windows and simulates every chunk as an independent cell, all chunks in
+//! flight across the session's worker threads. Chunk reports describe each
+//! window in isolation (warm state does not carry across chunk boundaries),
+//! which is the streaming trade-off this path exists to make. The chunk
+//! columns are materialised for the whole run, so the session holds one
+//! extra copy of the event stream (plus per-chunk function tables) beyond
+//! the shared base workload — see [`ChunkSource`] for the exact cost.
 
 use std::sync::Arc;
 
@@ -23,10 +30,14 @@ use faas_platform::{PlatformConfig, SimReport};
 use faas_workload::WorkloadSpec;
 
 use crate::evaluation::Scenario;
-use crate::experiment::{parallel_map, GridCellReport, GridReport, ScenarioPolicies};
+use crate::experiment::{GridCellReport, GridReport};
+use crate::session::{seeds, ChunkSource, ExperimentSession, PolicyConfig, ReplayTraceSource};
 
 /// Declarative replay experiment: policy scenarios × seeds over one replayed
 /// workload.
+///
+/// Kept as a shim over [`ExperimentSession`]; prefer declaring a session
+/// with a [`ReplayTraceSource`] directly.
 #[derive(Debug, Clone)]
 pub struct ReplayGrid {
     /// The replayed workload every cell simulates.
@@ -45,11 +56,16 @@ pub struct ReplayGrid {
 
 impl ReplayGrid {
     /// Creates a grid running every scenario over `workload` with one seed.
+    #[deprecated(
+        since = "0.1.0",
+        note = "declare an ExperimentSession over a ReplayTraceSource instead; \
+                this shimmed constructor remains for the transition"
+    )]
     pub fn new(workload: Arc<WorkloadSpec>) -> Self {
         Self {
             workload,
             scenarios: Scenario::ALL.to_vec(),
-            seeds: vec![7],
+            seeds: vec![seeds::DEFAULT_SEED],
             platform: PlatformConfig {
                 record_trace: false,
                 ..PlatformConfig::default()
@@ -64,80 +80,87 @@ impl ReplayGrid {
         self.scenarios.len() * self.seeds.len()
     }
 
+    /// The equivalent [`ExperimentSession`]: one
+    /// [`ReplayTraceSource`] wrapping the workload, one scenario
+    /// [`PolicyConfig`] per scenario, the grid's seeds, platform, and thread
+    /// count.
+    pub fn session(&self) -> ExperimentSession {
+        ExperimentSession::new()
+            .with_platform(self.platform.clone())
+            .with_seeds(self.seeds.clone())
+            .with_threads(self.threads)
+            .policies(self.scenarios.iter().map(|&scenario| {
+                PolicyConfig::scenario_with_delay(scenario, self.peak_shaving_delay_ms)
+            }))
+            .source(ReplayTraceSource::new(
+                format!("replay/r{}", self.workload.region.index()),
+                Arc::clone(&self.workload),
+            ))
+    }
+
     /// Executes the grid concurrently.
     pub fn run(&self) -> GridReport {
-        self.execute(self.threads)
+        self.to_grid_report(self.session().run())
     }
 
     /// Executes the same cells on the calling thread, in the same order.
     pub fn run_sequential(&self) -> GridReport {
-        self.execute(1)
+        self.to_grid_report(self.session().run_sequential())
     }
 
-    fn execute(&self, threads: usize) -> GridReport {
-        let cells: Vec<(Scenario, usize)> = self
-            .scenarios
-            .iter()
-            .flat_map(|&scenario| (0..self.seeds.len()).map(move |s| (scenario, s)))
-            .collect();
-        let reports: Vec<SimReport> = parallel_map(cells.len(), threads, |i| {
-            let (scenario, s) = cells[i];
-            ScenarioPolicies::spec(
-                scenario,
-                &self.platform,
-                self.seeds[s],
-                self.peak_shaving_delay_ms,
-            )
-            .run(&self.workload)
-            .0
-        });
+    fn to_grid_report(&self, report: crate::session::SessionReport) -> GridReport {
         GridReport {
-            cells: cells
+            cells: report
+                .cells
                 .into_iter()
-                .zip(reports)
-                .map(|((scenario, s), report)| GridCellReport {
-                    scenario,
-                    region: self.workload.region,
-                    seed: self.seeds[s],
-                    report,
+                .map(|cell| GridCellReport {
+                    scenario: self.scenarios[cell.policy_index],
+                    region: cell.region,
+                    seed: cell.seed,
+                    report: cell.report,
                 })
                 .collect(),
         }
     }
 
-    /// Streams the replayed workload through the grid in time chunks of
+    /// Streams the replayed workload through the session in time chunks of
     /// `chunk_ms`, simulating every chunk as an independent parallel cell
-    /// under `scenario` and the first configured seed.
+    /// under `scenario` and the first configured seed (or
+    /// [`seeds::DEFAULT_SEED`] when none is configured — the
+    /// [`crate::session::seeds`] helper every entry point shares).
     ///
     /// Chunks are returned in chronological order; parallel and sequential
     /// execution agree because each chunk's simulation depends only on its
     /// own events.
     pub fn run_chunked(&self, scenario: Scenario, chunk_ms: u64) -> Vec<ChunkReport> {
-        let seed = self.seeds.first().copied().unwrap_or(7);
-        let chunks = self.workload.chunked(chunk_ms);
-        // Clone the workload's shared parts once into an events-free template;
-        // each worker then materialises only its own chunk's events, so total
-        // copying is O(total events) and peak memory O(threads × chunk).
-        let template = WorkloadSpec {
-            events: Vec::new(),
-            ..(*self.workload).clone()
-        };
-        let reports: Vec<SimReport> = parallel_map(chunks.len(), self.threads, |i| {
-            let chunk_spec = WorkloadSpec {
-                events: chunks[i].to_vec(),
-                ..template.clone()
-            };
-            ScenarioPolicies::spec(scenario, &self.platform, seed, self.peak_shaving_delay_ms)
-                .run(&chunk_spec)
-                .0
-        });
-        chunks
+        let seed = seeds::first_seed(&self.seeds);
+        let chunks = ChunkSource::split(&self.workload, chunk_ms);
+        let coords: Vec<(u64, u64)> = chunks
             .iter()
-            .zip(reports)
-            .map(|(chunk, report)| ChunkReport {
-                start_ms: chunk.first().map(|e| e.timestamp_ms).unwrap_or(0),
-                events: chunk.len() as u64,
-                report,
+            .map(|c| (c.start_ms(), c.len() as u64))
+            .collect();
+        let session = ExperimentSession::new()
+            .with_platform(self.platform.clone())
+            .with_seeds(vec![seed])
+            .with_threads(self.threads)
+            .policy(PolicyConfig::scenario_with_delay(
+                scenario,
+                self.peak_shaving_delay_ms,
+            ))
+            .source_arcs(
+                chunks
+                    .into_iter()
+                    .map(|c| Arc::new(c) as Arc<dyn crate::session::WorkloadSource>),
+            );
+        session
+            .run()
+            .cells
+            .into_iter()
+            .zip(coords)
+            .map(|(cell, (start_ms, events))| ChunkReport {
+                start_ms,
+                events,
+                report: cell.report,
             })
             .collect()
     }
@@ -175,6 +198,7 @@ mod tests {
         Arc::new(TraceReplayWorkload::new().build(&trace))
     }
 
+    #[allow(deprecated)]
     fn tiny_grid() -> ReplayGrid {
         ReplayGrid {
             scenarios: vec![Scenario::Baseline, Scenario::TimerPrewarm],
@@ -231,5 +255,23 @@ mod tests {
         }
         .run_chunked(Scenario::Baseline, MILLIS_PER_HOUR);
         assert_eq!(chunks, sequential);
+    }
+
+    #[test]
+    fn chunked_replay_uses_the_shared_default_seed_when_unseeded() {
+        // An empty seed list and an explicit DEFAULT_SEED must agree — the
+        // seed fallback lives in session::seeds, not in this entry point.
+        let unseeded = ReplayGrid {
+            seeds: Vec::new(),
+            ..tiny_grid()
+        };
+        let pinned = ReplayGrid {
+            seeds: vec![seeds::DEFAULT_SEED],
+            ..tiny_grid()
+        };
+        assert_eq!(
+            unseeded.run_chunked(Scenario::Baseline, MILLIS_PER_HOUR),
+            pinned.run_chunked(Scenario::Baseline, MILLIS_PER_HOUR)
+        );
     }
 }

@@ -1,0 +1,709 @@
+//! One declarative API for every experiment shape.
+//!
+//! All of the paper's results are instances of one shape — **policies ×
+//! workload sources × seeds → cold-start metrics** — yet the codebase grew
+//! three divergent APIs for it: the experiment grid, the policy parameter
+//! sweep, and the replay grid, each re-implementing workload selection,
+//! parallel fan-out, and JSON emission. [`ExperimentSession`] collapses them
+//! into a single declarative session:
+//!
+//! ```text
+//!  WorkloadSource (trait)          ExperimentSession             ReportSink (trait)
+//!  ┌─────────────────────┐   ┌──────────────────────────┐   ┌──────────────────────┐
+//!  │ PresetSource        │   │ policies: [PolicyConfig] │   │ CellCollector        │
+//!  │ RegionSource        ├──▶│ sources:  [dyn Source]   ├──▶│ ProgressLog          │
+//!  │ ReplayTraceSource   │   │ seeds:    [u64]          │   │ JsonWriter           │
+//!  │ SynthTraceSource    │   │ platform, threads        │   │ (your own impl)      │
+//!  │ (your own impl)     │   └─────────┬────────────────┘   └──────────────────────┘
+//!  └─────────────────────┘             │ parallel fan-out, deterministic merge
+//!                                      ▼
+//!                         SessionReport → Envelope (faas-coldstarts/session/v1)
+//! ```
+//!
+//! A session declares typed [`PolicyConfig`]s (named scenarios or sweep
+//! configurations) times pluggable [`WorkloadSource`]s times seeds,
+//! materialises each `(source, seed)` workload exactly once, executes every
+//! cell on the same scoped-thread engine the grid has always used, and
+//! streams completed cells through [`ReportSink`]s in declaration order.
+//! Parallel and sequential execution produce byte-identical
+//! [`SessionReport`]s — and therefore byte-identical
+//! [`envelope`](SessionReport::envelope) JSON — which
+//! `tests/session_determinism.rs` property-tests across every built-in
+//! source.
+//!
+//! The pre-session entry points are kept as thin shims over this module:
+//! [`ExperimentGrid`](crate::ExperimentGrid),
+//! [`PolicySweep`](crate::sweep::PolicySweep),
+//! [`ReplayGrid`](crate::ReplayGrid), and
+//! [`PolicyEvaluation`](crate::PolicyEvaluation) all build an
+//! `ExperimentSession` internally, so new workload sources and policy
+//! families plug in once and are immediately available everywhere.
+//!
+//! # Quick start
+//!
+//! ```
+//! use coldstarts::evaluation::Scenario;
+//! use coldstarts::session::{ExperimentSession, PolicyConfig, RegionSource};
+//! use faas_workload::population::PopulationConfig;
+//! use faas_workload::profile::{Calibration, RegionProfile};
+//!
+//! let session = ExperimentSession::new()
+//!     .policies([Scenario::Baseline, Scenario::TimerPrewarm].map(PolicyConfig::scenario))
+//!     .source(RegionSource::new(
+//!         RegionProfile::r2(),
+//!         Calibration { duration_days: 1, ..Calibration::default() },
+//!         PopulationConfig {
+//!             function_scale: 0.002,
+//!             volume_scale: 2.0e-6,
+//!             max_requests_per_day: 2_000.0,
+//!             min_functions: 15,
+//!         },
+//!     ))
+//!     .with_seeds(vec![7]);
+//! let report = session.run();
+//! assert_eq!(report.cells.len(), 2);
+//! assert!(report.cells[1].report.cold_starts <= report.cells[0].report.cold_starts);
+//! ```
+
+pub mod envelope;
+pub mod seeds;
+pub mod sink;
+pub mod source;
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use faas_platform::{PlatformConfig, PolicyFactory, SimReport, SimulationSpec};
+use faas_workload::WorkloadSpec;
+use fntrace::RegionId;
+
+use crate::evaluation::Scenario;
+use crate::experiment::{parallel_map, parallel_map_streamed, ScenarioPolicies};
+use crate::sweep::SweepConfig;
+
+pub use envelope::{Envelope, JsonValue};
+pub use sink::{CellCollector, JsonWriter, ProgressLog, ReportSink};
+pub use source::{
+    ChunkSource, FixedWorkloadSource, PresetSource, RegionSource, ReplayTraceSource, SourceKind,
+    SynthTraceSource, WorkloadSource,
+};
+
+/// Default maximum delay of the peak-shaving scenarios, in milliseconds.
+pub const DEFAULT_PEAK_SHAVING_DELAY_MS: u64 = 180_000;
+
+/// One typed policy configuration a session evaluates.
+///
+/// This replaces the per-subsystem factory plumbing: a named ablation
+/// [`Scenario`] and a sweep [`SweepConfig`] are both just policies of a
+/// session, so any mix of the two can share one run.
+#[derive(Debug, Clone)]
+pub struct PolicyConfig {
+    kind: PolicyKind,
+}
+
+#[derive(Debug, Clone)]
+enum PolicyKind {
+    Scenario {
+        scenario: Scenario,
+        peak_shaving_delay_ms: u64,
+    },
+    Sweep(SweepConfig),
+}
+
+impl PolicyConfig {
+    /// A named ablation scenario with the default peak-shaving delay.
+    pub fn scenario(scenario: Scenario) -> Self {
+        Self::scenario_with_delay(scenario, DEFAULT_PEAK_SHAVING_DELAY_MS)
+    }
+
+    /// A named ablation scenario with an explicit peak-shaving delay.
+    pub fn scenario_with_delay(scenario: Scenario, peak_shaving_delay_ms: u64) -> Self {
+        Self {
+            kind: PolicyKind::Scenario {
+                scenario,
+                peak_shaving_delay_ms,
+            },
+        }
+    }
+
+    /// A point in a sweep's parameter space.
+    pub fn sweep(config: SweepConfig) -> Self {
+        Self {
+            kind: PolicyKind::Sweep(config),
+        }
+    }
+
+    /// Stable label of the policy (scenario name or sweep config label).
+    pub fn label(&self) -> &str {
+        match &self.kind {
+            PolicyKind::Scenario { scenario, .. } => scenario.name(),
+            PolicyKind::Sweep(config) => config.label(),
+        }
+    }
+
+    /// The scenario, when this policy is a named scenario.
+    pub fn as_scenario(&self) -> Option<Scenario> {
+        match &self.kind {
+            PolicyKind::Scenario { scenario, .. } => Some(*scenario),
+            PolicyKind::Sweep(_) => None,
+        }
+    }
+
+    /// The sweep configuration, when this policy is a sweep point.
+    pub fn as_sweep(&self) -> Option<&SweepConfig> {
+        match &self.kind {
+            PolicyKind::Sweep(config) => Some(config),
+            PolicyKind::Scenario { .. } => None,
+        }
+    }
+
+    /// Platform configuration for this policy's cells (sweep families whose
+    /// knob lives in the platform rewrite it; scenarios run `base` as-is).
+    pub fn platform(&self, base: &PlatformConfig) -> PlatformConfig {
+        match &self.kind {
+            PolicyKind::Scenario { .. } => base.clone(),
+            PolicyKind::Sweep(config) => config.platform(base),
+        }
+    }
+
+    /// Workload transformation for this policy, or `None` to share the
+    /// untransformed workload (sweep concurrency family scales limits).
+    pub fn adjust_workload(&self, workload: &WorkloadSpec) -> Option<WorkloadSpec> {
+        match &self.kind {
+            PolicyKind::Scenario { .. } => None,
+            PolicyKind::Sweep(config) => config.apply_workload(workload),
+        }
+    }
+
+    /// Builds the shareable policy factory for this policy's cells.
+    ///
+    /// `platform` must be the per-policy configuration returned by
+    /// [`platform`](Self::platform) — scenario policies read the pre-warm
+    /// tick interval from it.
+    pub fn factory(&self, platform: &PlatformConfig) -> Arc<dyn PolicyFactory> {
+        match &self.kind {
+            PolicyKind::Scenario {
+                scenario,
+                peak_shaving_delay_ms,
+            } => Arc::new(ScenarioPolicies::new(
+                *scenario,
+                platform,
+                *peak_shaving_delay_ms,
+            )),
+            PolicyKind::Sweep(config) => Arc::new(config.clone()),
+        }
+    }
+}
+
+/// One completed session cell: coordinates, labels, and the simulator report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionCell {
+    /// Index into the session's policy list.
+    pub policy_index: usize,
+    /// Index into the session's source list.
+    pub source_index: usize,
+    /// Label of the policy (scenario name or sweep config label).
+    pub policy: String,
+    /// Label of the workload source.
+    pub source: String,
+    /// Coarse source classification.
+    pub source_kind: SourceKind,
+    /// Declared seed of the cell.
+    pub seed: u64,
+    /// Region of the cell's workload.
+    pub region: RegionId,
+    /// Aggregate simulation outcome.
+    pub report: SimReport,
+}
+
+/// Label and kind of one declared source, as recorded in reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceInfo {
+    /// The source's stable label.
+    pub label: String,
+    /// The source's coarse classification.
+    pub kind: SourceKind,
+}
+
+/// Results of a session, in deterministic cell order (policy-major, then
+/// source, then seed — the declaration order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Labels of the declared policies, in declaration order.
+    pub policies: Vec<String>,
+    /// Labels and kinds of the declared sources, in declaration order.
+    pub sources: Vec<SourceInfo>,
+    /// Declared seeds.
+    pub seeds: Vec<u64>,
+    /// All cell results.
+    pub cells: Vec<SessionCell>,
+}
+
+impl SessionReport {
+    /// Looks up one cell by coordinates.
+    pub fn cell(
+        &self,
+        policy_index: usize,
+        source_index: usize,
+        seed: u64,
+    ) -> Option<&SessionCell> {
+        self.cells.iter().find(|c| {
+            c.policy_index == policy_index && c.source_index == source_index && c.seed == seed
+        })
+    }
+
+    /// Per-policy reports for one `(source, seed)` column, in policy order.
+    pub fn column(&self, source_index: usize, seed: u64) -> Vec<&SessionCell> {
+        self.cells
+            .iter()
+            .filter(|c| c.source_index == source_index && c.seed == seed)
+            .collect()
+    }
+
+    /// Renders every cell as a fixed-width table, one row per cell, in
+    /// deterministic cell order. Byte-identical for byte-identical results.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:<28} {:>6} {:>10} {:>12} {:>12} {:>16}\n",
+            "policy", "source", "seed", "requests", "cold starts", "prewarmed", "mem waste (GB-s)"
+        ));
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<44} {:<28} {:>6} {:>10} {:>12} {:>12} {:>16.2}\n",
+                c.policy,
+                c.source,
+                c.seed,
+                c.report.requests,
+                c.report.cold_starts,
+                c.report.prewarmed_pods,
+                c.report.mem_gb_s_wasted,
+            ));
+        }
+        out
+    }
+
+    /// The shared `faas-coldstarts/session/v1` envelope for this report:
+    /// `schema`, `kind`, `policies`, `sources`, `seeds`, `cell_count`, and
+    /// the per-cell metrics. Producers append kind-specific payload keys.
+    pub fn envelope(&self, kind: &str) -> Envelope {
+        Envelope::new(kind)
+            .with("policies", JsonValue::strings(self.policies.iter()))
+            .with(
+                "sources",
+                JsonValue::Array(
+                    self.sources
+                        .iter()
+                        .map(|s| {
+                            JsonValue::object(vec![
+                                ("label", JsonValue::str(&s.label)),
+                                ("kind", JsonValue::str(s.kind.name())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .with("seeds", JsonValue::u64s(self.seeds.iter().copied()))
+            .with("cell_count", JsonValue::U64(self.cells.len() as u64))
+            .with(
+                "cells",
+                envelope::cells_value(self.cells.iter().map(|c| {
+                    (
+                        c.policy.as_str(),
+                        c.source.as_str(),
+                        c.seed,
+                        c.region.index(),
+                        &c.report,
+                    )
+                })),
+            )
+    }
+}
+
+/// Declarative experiment session: policies × sources × seeds.
+///
+/// See the [module documentation](self) for the architecture and a quick
+/// start. `run` executes every cell concurrently; `run_sequential` executes
+/// the same cells on the calling thread; both produce identical reports.
+#[derive(Clone)]
+pub struct ExperimentSession {
+    /// Policies to evaluate, in declaration order.
+    pub policies: Vec<PolicyConfig>,
+    /// Workload sources, in declaration order.
+    pub sources: Vec<Arc<dyn WorkloadSource>>,
+    /// Declared seeds (each `(source, seed)` pair is one workload column).
+    pub seeds: Vec<u64>,
+    /// Base platform configuration shared by every cell (policies may
+    /// rewrite their family's knobs via [`PolicyConfig::platform`]).
+    pub platform: PlatformConfig,
+    /// Worker threads for `run`; 0 means one per available core.
+    pub threads: usize,
+}
+
+impl Default for ExperimentSession {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExperimentSession {
+    /// An empty session: no policies, no sources, one default seed, the
+    /// default platform with trace recording off.
+    pub fn new() -> Self {
+        Self {
+            policies: Vec::new(),
+            sources: Vec::new(),
+            seeds: vec![seeds::DEFAULT_SEED],
+            platform: PlatformConfig {
+                record_trace: false,
+                ..PlatformConfig::default()
+            },
+            threads: 0,
+        }
+    }
+
+    /// Sets the base platform configuration.
+    pub fn with_platform(mut self, platform: PlatformConfig) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Sets the declared seeds.
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = one per available core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Adds one policy.
+    pub fn policy(mut self, policy: PolicyConfig) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
+    /// Adds several policies.
+    pub fn policies(mut self, policies: impl IntoIterator<Item = PolicyConfig>) -> Self {
+        self.policies.extend(policies);
+        self
+    }
+
+    /// Adds one named scenario per entry — shorthand for
+    /// [`PolicyConfig::scenario`].
+    pub fn scenarios(self, scenarios: &[Scenario]) -> Self {
+        self.policies(scenarios.iter().copied().map(PolicyConfig::scenario))
+    }
+
+    /// Adds one workload source.
+    pub fn source(mut self, source: impl WorkloadSource + 'static) -> Self {
+        self.sources.push(Arc::new(source));
+        self
+    }
+
+    /// Adds an already-shared workload source.
+    pub fn source_arc(mut self, source: Arc<dyn WorkloadSource>) -> Self {
+        self.sources.push(source);
+        self
+    }
+
+    /// Adds several already-shared workload sources.
+    pub fn source_arcs(
+        mut self,
+        sources: impl IntoIterator<Item = Arc<dyn WorkloadSource>>,
+    ) -> Self {
+        self.sources.extend(sources);
+        self
+    }
+
+    /// Number of workload columns (sources × seeds).
+    pub fn column_count(&self) -> usize {
+        self.sources.len() * self.seeds.len()
+    }
+
+    /// Number of cells the session declares.
+    pub fn cell_count(&self) -> usize {
+        self.policies.len() * self.column_count()
+    }
+
+    /// Executes the session concurrently.
+    pub fn run(&self) -> SessionReport {
+        self.execute(self.threads, &mut [])
+    }
+
+    /// Executes the same cells on the calling thread, in the same order.
+    pub fn run_sequential(&self) -> SessionReport {
+        self.execute(1, &mut [])
+    }
+
+    /// Executes concurrently, streaming cells through `sinks` in declaration
+    /// order as they complete.
+    pub fn run_with_sinks(&self, sinks: &mut [&mut dyn ReportSink]) -> SessionReport {
+        self.execute(self.threads, sinks)
+    }
+
+    fn execute(&self, threads: usize, sinks: &mut [&mut dyn ReportSink]) -> SessionReport {
+        let seed_count = self.seeds.len();
+        let columns = self.column_count();
+        let cell_count = self.policies.len() * columns;
+        for sink in sinks.iter_mut() {
+            sink.on_start(cell_count);
+        }
+
+        // Materialise each (source, seed) workload exactly once,
+        // concurrently, then share it read-only across every policy cell.
+        let workloads: Vec<Arc<WorkloadSpec>> = parallel_map(columns, threads, |i| {
+            let (si, ki) = (i / seed_count, i % seed_count);
+            self.sources[si].workload(seeds::sim_seed(self.seeds[ki]))
+        });
+
+        // One platform + factory per policy, shared across its cells (the
+        // factories are stateless; policy state is created per run).
+        let prepared: Vec<(PlatformConfig, Arc<dyn PolicyFactory>)> = self
+            .policies
+            .iter()
+            .map(|p| {
+                let platform = p.platform(&self.platform);
+                let factory = p.factory(&platform);
+                (platform, factory)
+            })
+            .collect();
+
+        // Policy-major cell order; cells stream to the sinks in exactly this
+        // order regardless of which worker finishes first.
+        let make_cell = |i: usize, report: SimReport| {
+            let (pi, wi) = (i / columns.max(1), i % columns.max(1));
+            let (si, ki) = (wi / seed_count, wi % seed_count);
+            SessionCell {
+                policy_index: pi,
+                source_index: si,
+                policy: self.policies[pi].label().to_string(),
+                source: self.sources[si].label().to_string(),
+                source_kind: self.sources[si].kind(),
+                seed: self.seeds[ki],
+                region: workloads[wi].region,
+                report,
+            }
+        };
+        // Sinks observe a per-cell clone during the run; the reports
+        // themselves are moved into the final cells afterwards, so the
+        // sink-less paths (`run`, `run_sequential`) never copy a report.
+        let mut emit = |i: usize, report: &SimReport| {
+            if sinks.is_empty() {
+                return;
+            }
+            let cell = make_cell(i, report.clone());
+            for sink in sinks.iter_mut() {
+                sink.on_cell(&cell);
+            }
+        };
+        let reports = parallel_map_streamed(
+            cell_count,
+            threads,
+            |i| {
+                let (pi, wi) = (i / columns, i % columns);
+                let (platform, factory) = &prepared[pi];
+                let spec = SimulationSpec::new()
+                    .with_config(platform.clone())
+                    .with_seed(seeds::sim_seed(self.seeds[wi % seed_count]))
+                    .with_policies(Arc::clone(factory));
+                let workload = workloads[wi].as_ref();
+                match self.policies[pi].adjust_workload(workload) {
+                    Some(adjusted) => spec.run(&adjusted).0,
+                    None => spec.run(workload).0,
+                }
+            },
+            &mut emit,
+        );
+        let cells: Vec<SessionCell> = reports
+            .into_iter()
+            .enumerate()
+            .map(|(i, report)| make_cell(i, report))
+            .collect();
+
+        let report = SessionReport {
+            policies: self
+                .policies
+                .iter()
+                .map(|p| p.label().to_string())
+                .collect(),
+            sources: self
+                .sources
+                .iter()
+                .map(|s| SourceInfo {
+                    label: s.label().to_string(),
+                    kind: s.kind(),
+                })
+                .collect(),
+            seeds: self.seeds.clone(),
+            cells,
+        };
+        for sink in sinks.iter_mut() {
+            sink.on_complete(&report);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faas_workload::population::PopulationConfig;
+    use faas_workload::profile::{Calibration, RegionProfile};
+    use faas_workload::ScenarioPreset;
+
+    fn tiny_population() -> PopulationConfig {
+        PopulationConfig {
+            function_scale: 0.002,
+            volume_scale: 2.0e-6,
+            max_requests_per_day: 2_000.0,
+            min_functions: 15,
+        }
+    }
+
+    fn tiny_session() -> ExperimentSession {
+        ExperimentSession::new()
+            .scenarios(&[Scenario::Baseline, Scenario::TimerPrewarm])
+            .source(PresetSource::new(
+                ScenarioPreset::Diurnal,
+                RegionProfile::r2(),
+                1,
+                tiny_population(),
+            ))
+            .source(RegionSource::new(
+                RegionProfile::r3(),
+                Calibration {
+                    duration_days: 1,
+                    ..Calibration::default()
+                },
+                tiny_population(),
+            ))
+            .with_seeds(vec![3, 4])
+            // Real worker threads even on single-core machines, so the
+            // parallel path is exercised rather than the n==1 fast path.
+            .with_threads(4)
+    }
+
+    #[test]
+    fn session_runs_every_declared_cell_in_order() {
+        let session = tiny_session();
+        assert_eq!(session.column_count(), 4);
+        assert_eq!(session.cell_count(), 8);
+        let report = session.run();
+        assert_eq!(report.cells.len(), 8);
+        assert_eq!(report.policies, vec!["baseline", "timer-prewarm"]);
+        assert_eq!(report.sources.len(), 2);
+        // Policy-major, then source, then seed.
+        let coords: Vec<(usize, usize, u64)> = report
+            .cells
+            .iter()
+            .map(|c| (c.policy_index, c.source_index, c.seed))
+            .collect();
+        assert_eq!(
+            coords,
+            vec![
+                (0, 0, 3),
+                (0, 0, 4),
+                (0, 1, 3),
+                (0, 1, 4),
+                (1, 0, 3),
+                (1, 0, 4),
+                (1, 1, 3),
+                (1, 1, 4),
+            ]
+        );
+        for cell in &report.cells {
+            assert!(
+                cell.report.requests > 0,
+                "{} x {}",
+                cell.policy,
+                cell.source
+            );
+        }
+        // Source regions flow into the cells.
+        assert_eq!(report.cells[0].region.index(), 2);
+        assert_eq!(report.cells[2].region.index(), 3);
+    }
+
+    #[test]
+    fn parallel_and_sequential_execution_agree_byte_for_byte() {
+        let session = tiny_session();
+        let parallel = session.run();
+        let sequential = session.run_sequential();
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.render(), sequential.render());
+        assert_eq!(
+            parallel.envelope("test").to_json().as_bytes(),
+            sequential.envelope("test").to_json().as_bytes()
+        );
+    }
+
+    #[test]
+    fn sinks_observe_cells_in_declaration_order() {
+        let session = tiny_session();
+        let mut collector = CellCollector::new();
+        let report = session.run_with_sinks(&mut [&mut collector]);
+        assert_eq!(collector.cells, report.cells);
+        // And the collector saw them in declaration order during the run.
+        let indices: Vec<usize> = collector.cells.iter().map(|c| c.policy_index).collect();
+        let mut sorted = indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(indices, sorted);
+    }
+
+    #[test]
+    fn lookup_helpers_find_cells_and_columns() {
+        let report = tiny_session().run();
+        let cell = report.cell(1, 0, 4).expect("cell exists");
+        assert_eq!(cell.policy, "timer-prewarm");
+        assert_eq!(cell.source_kind, SourceKind::Preset);
+        assert!(report.cell(2, 0, 4).is_none());
+        let column = report.column(1, 3);
+        assert_eq!(column.len(), 2);
+        assert_eq!(column[0].policy, "baseline");
+        assert_eq!(column[1].policy, "timer-prewarm");
+    }
+
+    #[test]
+    fn envelope_carries_the_session_shape() {
+        let report = tiny_session().run();
+        let doc = report.envelope("session").to_json();
+        assert!(doc.contains("\"schema\": \"faas-coldstarts/session/v1\""));
+        assert!(doc.contains("\"kind\": \"session\""));
+        assert!(doc.contains("\"policies\": [\"baseline\", \"timer-prewarm\"]"));
+        assert!(doc.contains("\"label\": \"preset/diurnal/r2\", \"kind\": \"preset\""));
+        assert!(doc.contains("\"label\": \"region/r3\", \"kind\": \"region\""));
+        assert!(doc.contains("\"seeds\": [3, 4]"));
+        assert!(doc.contains("\"cell_count\": 8"));
+    }
+
+    #[test]
+    fn policy_config_exposes_its_kind() {
+        let s = PolicyConfig::scenario(Scenario::Combined);
+        assert_eq!(s.label(), "combined");
+        assert_eq!(s.as_scenario(), Some(Scenario::Combined));
+        assert!(s.as_sweep().is_none());
+        let platform = PlatformConfig::default();
+        assert_eq!(s.platform(&platform), platform);
+
+        let config = crate::sweep::PolicyFamily::KeepAlive.smoke_space().expand();
+        let p = PolicyConfig::sweep(config[0].clone());
+        assert!(p.as_scenario().is_none());
+        assert_eq!(p.as_sweep(), Some(&config[0]));
+        assert_eq!(p.label(), config[0].label());
+    }
+
+    #[test]
+    fn empty_sessions_produce_empty_reports() {
+        let report = ExperimentSession::new().run();
+        assert!(report.cells.is_empty());
+        assert_eq!(
+            report.envelope("session").get("cell_count"),
+            Some(&JsonValue::U64(0))
+        );
+    }
+}

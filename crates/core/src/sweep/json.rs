@@ -1,77 +1,39 @@
-//! Minimal deterministic JSON emission.
+//! Minimal deterministic JSON emission (moved).
 //!
-//! The workspace's `serde` is an offline marker stub (see
-//! `crates/compat/serde`), so the machine-readable sweep report is emitted by
-//! hand. The rules are chosen for byte-stability: keys are written in a fixed
-//! order by the caller, floats use Rust's shortest-roundtrip `Display`
-//! (deterministic for a given value), and non-finite floats become `null`
-//! rather than producing invalid JSON.
+//! These helpers now live in [`crate::session::envelope`], the shared
+//! envelope module every benchmark document is emitted through; this module
+//! remains as a thin shim so pre-session callers keep compiling during the
+//! transition.
 
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to coldstarts::session::envelope::push_str_lit"
+)]
 /// Appends `s` as a JSON string literal (with escaping) to `out`.
-///
-/// Public so downstream benchmark binaries can emit sibling schemas (e.g.
-/// `BENCH_replay.json`) with the identical byte-stability rules.
 pub fn push_str_lit(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    crate::session::envelope::push_str_lit(out, s)
 }
 
+#[deprecated(
+    since = "0.1.0",
+    note = "moved to coldstarts::session::envelope::f64_lit"
+)]
 /// Formats a float as a JSON number, or `null` when it is not finite.
 pub fn f64_lit(x: f64) -> String {
-    if x.is_finite() {
-        let text = format!("{x}");
-        // `Display` prints integral floats without a fraction ("3"); keep a
-        // trailing ".0" so the field stays float-typed for strict readers.
-        if text.contains('.') || text.contains('e') || text.contains("inf") {
-            text
-        } else {
-            format!("{text}.0")
-        }
-    } else {
-        "null".to_string()
-    }
+    crate::session::envelope::f64_lit(x)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
 
-    fn lit(s: &str) -> String {
+    #[test]
+    fn shims_delegate_to_the_envelope_module() {
         let mut out = String::new();
-        push_str_lit(&mut out, s);
-        out
-    }
-
-    #[test]
-    fn strings_are_escaped() {
-        assert_eq!(lit("plain"), "\"plain\"");
-        assert_eq!(lit("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(lit("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
-        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
-    }
-
-    #[test]
-    fn floats_are_stable_and_always_valid_json() {
-        assert_eq!(f64_lit(0.25), "0.25");
+        push_str_lit(&mut out, "a\"b");
+        assert_eq!(out, "\"a\\\"b\"");
         assert_eq!(f64_lit(3.0), "3.0");
-        assert_eq!(f64_lit(0.0), "0.0");
-        assert_eq!(f64_lit(-1.5), "-1.5");
         assert_eq!(f64_lit(f64::NAN), "null");
-        assert_eq!(f64_lit(f64::INFINITY), "null");
-        // Shortest-roundtrip display is deterministic for a given value.
-        assert_eq!(f64_lit(0.1 + 0.2), f64_lit(0.30000000000000004));
     }
 }

@@ -16,10 +16,19 @@
 //!    Pareto front over (cold-start rate, memory waste).
 //!
 //! Workload diversity comes from the scenario presets in
-//! [`faas_workload::presets`], optionally mixed with replayed traces via
-//! [`ReplaySource`]; the machine-readable output (`BENCH_sweep.json`) is
-//! emitted by [`SweepReport::to_json`] in a stable, byte-deterministic
-//! schema.
+//! [`faas_workload::presets`], optionally mixed with replayed traces; the
+//! machine-readable output (`BENCH_sweep.json`) is emitted by
+//! [`SweepReport::to_envelope`] in the shared, byte-deterministic
+//! `faas-coldstarts/session/v1` envelope.
+//!
+//! Since the [`crate::session`] redesign, [`PolicySweep`] is a thin shim: it
+//! builds an [`ExperimentSession`] from one [`PresetSource`] per
+//! (preset, region) pair plus one [`ReplayTraceSource`] per replayed trace,
+//! with one sweep [`PolicyConfig`] per expanded configuration, and folds the
+//! session cells into the
+//! historical [`SweepReport`] shape. New code should declare sessions
+//! directly; the sweep type remains for the parameter-space vocabulary
+//! (spaces, configurations, Pareto fronts).
 
 pub mod json;
 pub mod params;
@@ -29,24 +38,25 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use faas_platform::{PlatformConfig, SimReport, SimulationSpec};
+use faas_platform::{PlatformConfig, SimReport};
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::RegionProfile;
 use faas_workload::{ScenarioPreset, WorkloadSpec};
 use fntrace::RegionId;
 
-use crate::experiment::parallel_map;
-use json::{f64_lit, push_str_lit};
+use crate::session::envelope::{self, f64_lit, push_str_lit, Envelope, JsonValue};
+use crate::session::{
+    ExperimentSession, PolicyConfig, PresetSource, ReplayTraceSource, SourceKind, WorkloadSource,
+};
 pub use params::{ParamAxis, ParamSpace, ParamValue, PolicyFamily, SweepConfig};
 pub use pareto::pareto_front;
 
 /// A replayed-trace workload mixed into a sweep alongside the synthetic
 /// presets.
 ///
-/// The workload is typically produced by
-/// [`faas_workload::replay::TraceReplayWorkload`] from trace CSV records; it
-/// is shared read-only (one `Arc` bump per cell) across every configuration
-/// and seed, so adding a replay column costs no workload regeneration.
+/// Kept as a shim for the transition to the session API, which models the
+/// same thing as a [`ReplayTraceSource`]; the sweep lowers each entry into
+/// one when it builds its session.
 #[derive(Debug, Clone)]
 pub struct ReplaySource {
     /// Stable label identifying the trace in cells, tables, and JSON.
@@ -57,6 +67,11 @@ pub struct ReplaySource {
 
 impl ReplaySource {
     /// Wraps a replayed workload under a label.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use coldstarts::session::ReplayTraceSource instead; this \
+                shimmed constructor remains for the transition"
+    )]
     pub fn new(label: impl Into<String>, workload: Arc<WorkloadSpec>) -> Self {
         Self {
             label: label.into(),
@@ -139,6 +154,12 @@ impl Default for PolicySweep {
 impl PolicySweep {
     /// The reduced sweep the CI bench-smoke job runs: all four presets, all
     /// four families, one region, one seed, one day.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build the smoke spaces with PolicyFamily::smoke_space and \
+                declare an ExperimentSession (or a PolicySweep literal); this \
+                shimmed constructor remains for the transition"
+    )]
     pub fn smoke(seed: u64) -> Self {
         Self {
             seeds: vec![seed],
@@ -165,97 +186,100 @@ impl PolicySweep {
         self.configs().len() * self.column_count()
     }
 
+    /// The equivalent [`ExperimentSession`]: one
+    /// [`PresetSource`] per (preset, region) pair plus one
+    /// [`ReplayTraceSource`] per replayed trace, with one sweep
+    /// [`PolicyConfig`] per expanded configuration. `run` and
+    /// `run_sequential` execute exactly this session and fold its cells.
+    pub fn session(&self) -> ExperimentSession {
+        let preset_sources = self.presets.iter().flat_map(|&preset| {
+            self.regions.iter().map(move |region| {
+                Arc::new(PresetSource::new(
+                    preset,
+                    region.clone(),
+                    self.duration_days,
+                    self.population,
+                )) as Arc<dyn WorkloadSource>
+            })
+        });
+        let replay_sources = self.replays.iter().map(|replay| {
+            Arc::new(ReplayTraceSource::new(
+                replay.label.clone(),
+                Arc::clone(&replay.workload),
+            )) as Arc<dyn WorkloadSource>
+        });
+        ExperimentSession::new()
+            .with_platform(self.platform.clone())
+            .with_seeds(self.seeds.clone())
+            .with_threads(self.threads)
+            .policies(self.configs().into_iter().map(PolicyConfig::sweep))
+            .source_arcs(preset_sources.chain(replay_sources))
+    }
+
     /// Executes the sweep concurrently.
     pub fn run(&self) -> SweepReport {
-        self.execute(self.threads)
+        self.fold(self.session().run())
     }
 
     /// Executes the same cells on the calling thread, in the same order.
     pub fn run_sequential(&self) -> SweepReport {
-        self.execute(1)
+        self.fold(self.session().run_sequential())
     }
 
-    fn execute(&self, threads: usize) -> SweepReport {
+    /// Folds session cells (config-major, then preset/region/seed — the
+    /// sweep's historical cell order) into a [`SweepReport`]: per-cell
+    /// coordinates, per-configuration summaries, and the Pareto front.
+    ///
+    /// # Panics
+    ///
+    /// The report must come from running [`session`](Self::session) on this
+    /// same declaration; a report whose shape or policy labels do not match
+    /// the declaration panics instead of silently mis-assigning cells to
+    /// configurations.
+    pub fn fold(&self, session: crate::session::SessionReport) -> SweepReport {
         let configs = self.configs();
+        assert_eq!(
+            session.cells.len(),
+            self.cell_count(),
+            "session report does not match this sweep's declared cell space"
+        );
+        assert!(
+            session
+                .policies
+                .iter()
+                .map(String::as_str)
+                .eq(configs.iter().map(|c| c.label())),
+            "session report policies do not match this sweep's configurations"
+        );
+        let preset_columns = self.presets.len() * self.regions.len();
 
-        // Synthetic workloads depend only on (preset, region, seed):
-        // generate each one once, concurrently, then share them read-only
-        // across all configs.
-        let coords: Vec<(usize, usize, usize)> = (0..self.presets.len())
-            .flat_map(|p| {
-                let seeds = self.seeds.len();
-                (0..self.regions.len()).flat_map(move |r| (0..seeds).map(move |s| (p, r, s)))
-            })
-            .collect();
-        let preset_workloads: Vec<WorkloadSpec> = parallel_map(coords.len(), threads, |i| {
-            let (p, r, s) = coords[i];
-            let preset = self.presets[p];
-            WorkloadSpec::generate(
-                &preset.profile(&self.regions[r]),
-                preset.calibration(self.duration_days),
-                &self.population,
-                self.seeds[s],
-            )
-        });
-
-        // One workload column per synthetic coordinate, then one per replay
-        // source per seed (replays are pre-built and simply borrowed).
-        let mut columns: Vec<(SweepWorkloadSource, usize, &WorkloadSpec)> = coords
+        let cells: Vec<SweepCellReport> = session
+            .cells
             .iter()
-            .enumerate()
-            .map(|(i, &(p, _, s))| {
-                (
-                    SweepWorkloadSource::Preset(self.presets[p]),
-                    s,
-                    &preset_workloads[i],
-                )
-            })
-            .collect();
-        for replay in &self.replays {
-            for s in 0..self.seeds.len() {
-                columns.push((
-                    SweepWorkloadSource::Replay(replay.label.clone()),
-                    s,
-                    replay.workload.as_ref(),
-                ));
-            }
-        }
-
-        // Config-major cell order keeps each configuration's results
-        // contiguous for the fold below.
-        let reports: Vec<SimReport> = parallel_map(configs.len() * columns.len(), threads, |i| {
-            let (ci, wi) = (i / columns.len(), i % columns.len());
-            let config = &configs[ci];
-            let (_, s, workload) = &columns[wi];
-            let spec = SimulationSpec::new()
-                .with_config(config.platform(&self.platform))
-                .with_seed(self.seeds[*s])
-                .with_policies(Arc::new(config.clone()));
-            match config.apply_workload(workload) {
-                Some(adjusted) => spec.run(&adjusted).0,
-                None => spec.run(workload).0,
-            }
-        });
-
-        let cells: Vec<SweepCellReport> = reports
-            .iter()
-            .enumerate()
-            .map(|(i, report)| {
-                let (ci, wi) = (i / columns.len(), i % columns.len());
-                let (source, s, workload) = &columns[wi];
-                SweepCellReport {
-                    config_index: ci,
-                    source: source.clone(),
-                    region: workload.region,
-                    seed: self.seeds[*s],
-                    report: report.clone(),
-                }
+            .map(|cell| SweepCellReport {
+                config_index: cell.policy_index,
+                source: if cell.source_index < preset_columns {
+                    SweepWorkloadSource::Preset(
+                        self.presets[cell.source_index / self.regions.len().max(1)],
+                    )
+                } else {
+                    SweepWorkloadSource::Replay(
+                        self.replays[cell.source_index - preset_columns]
+                            .label
+                            .clone(),
+                    )
+                },
+                region: cell.region,
+                seed: cell.seed,
+                report: cell.report.clone(),
             })
             .collect();
 
+        let reports: Vec<SimReport> = session.cells.into_iter().map(|c| c.report).collect();
+        let columns = self.column_count();
         let mut summaries: Vec<ConfigSummary> = configs
             .into_iter()
-            .zip(reports.chunks(columns.len().max(1)))
+            .zip(reports.chunks(columns.max(1)))
             .map(|(config, chunk)| ConfigSummary::fold(config, chunk))
             .collect();
         let front = pareto_front(
@@ -415,8 +439,154 @@ impl SweepReport {
         out
     }
 
-    /// Serialises the report into the stable `BENCH_sweep.json` schema
+    /// The label a preset cell carries in the shared envelope — the same
+    /// `preset/<name>/r<region>` form [`PresetSource`] uses.
+    fn cell_source_label(cell: &SweepCellReport) -> String {
+        match &cell.source {
+            SweepWorkloadSource::Preset(p) => {
+                format!("preset/{}/r{}", p.name(), cell.region.index())
+            }
+            SweepWorkloadSource::Replay(label) => label.clone(),
+        }
+    }
+
+    /// Migration shim serialising the report as the shared
+    /// `faas-coldstarts/session/v1` [`Envelope`] (kind `"sweep"`): the common
+    /// session section — `policies`, `sources`, `seeds`, `cell_count`,
+    /// `cells` — followed by the sweep payload (`duration_days`, `presets`,
+    /// `replays`, `regions`, `families`, `configs`, `pareto_front`).
+    ///
+    /// This is what `BENCH_sweep.json` now contains; the legacy
+    /// `faas-coldstarts/sweep/v1` layout of [`to_json`](Self::to_json)
+    /// remains available while downstream consumers migrate, and CI's schema
+    /// validation accepts both during the transition.
+    pub fn to_envelope(&self) -> Envelope {
+        let mut sources: Vec<JsonValue> = Vec::new();
+        for p in &self.presets {
+            for r in &self.regions {
+                sources.push(JsonValue::object(vec![
+                    (
+                        "label",
+                        JsonValue::Str(format!("preset/{}/r{}", p.name(), r.index())),
+                    ),
+                    ("kind", JsonValue::str(SourceKind::Preset.name())),
+                ]));
+            }
+        }
+        for label in &self.replays {
+            sources.push(JsonValue::object(vec![
+                ("label", JsonValue::str(label)),
+                ("kind", JsonValue::str(SourceKind::Replay.name())),
+            ]));
+        }
+
+        let cell_labels: Vec<(String, String)> = self
+            .cells
+            .iter()
+            .map(|c| {
+                (
+                    self.configs[c.config_index].config.label().to_string(),
+                    Self::cell_source_label(c),
+                )
+            })
+            .collect();
+
+        Envelope::new("sweep")
+            .with(
+                "policies",
+                JsonValue::strings(self.configs.iter().map(|c| c.config.label())),
+            )
+            .with("sources", JsonValue::Array(sources))
+            .with("seeds", JsonValue::u64s(self.seeds.iter().copied()))
+            .with("cell_count", JsonValue::U64(self.cells.len() as u64))
+            .with(
+                "cells",
+                envelope::cells_value(self.cells.iter().zip(&cell_labels).map(
+                    |(c, (policy, source))| {
+                        (
+                            policy.as_str(),
+                            source.as_str(),
+                            c.seed,
+                            c.region.index(),
+                            &c.report,
+                        )
+                    },
+                )),
+            )
+            .with(
+                "duration_days",
+                JsonValue::U64(u64::from(self.duration_days)),
+            )
+            .with(
+                "presets",
+                JsonValue::strings(self.presets.iter().map(|p| p.name())),
+            )
+            .with("replays", JsonValue::strings(self.replays.iter()))
+            .with(
+                "regions",
+                JsonValue::u64s(self.regions.iter().map(|r| u64::from(r.index()))),
+            )
+            .with("families", JsonValue::strings(self.families()))
+            .with(
+                "configs",
+                JsonValue::Array(
+                    self.configs
+                        .iter()
+                        .map(|c| {
+                            JsonValue::object(vec![
+                                ("family", JsonValue::str(c.config.family.name())),
+                                ("label", JsonValue::str(c.config.label())),
+                                (
+                                    "params",
+                                    JsonValue::Object(
+                                        c.config
+                                            .params
+                                            .iter()
+                                            .map(|(name, value)| {
+                                                (
+                                                    (*name).to_string(),
+                                                    match value {
+                                                        ParamValue::U64(v) => JsonValue::U64(*v),
+                                                        ParamValue::Str(s) => JsonValue::str(*s),
+                                                    },
+                                                )
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                                ("requests", JsonValue::U64(c.requests)),
+                                ("cold_starts", JsonValue::U64(c.cold_starts)),
+                                ("cold_start_rate", JsonValue::F64(c.cold_start_rate)),
+                                ("p99_wait_s", JsonValue::F64(c.p99_wait_s)),
+                                ("mem_gb_s_wasted", JsonValue::F64(c.mem_gb_s_wasted)),
+                                ("pareto", JsonValue::Bool(c.on_front)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+            .with(
+                "pareto_front",
+                JsonValue::Array(
+                    self.pareto
+                        .iter()
+                        .map(|&ci| {
+                            let c = &self.configs[ci];
+                            JsonValue::object(vec![
+                                ("label", JsonValue::str(c.config.label())),
+                                ("cold_start_rate", JsonValue::F64(c.cold_start_rate)),
+                                ("mem_gb_s_wasted", JsonValue::F64(c.mem_gb_s_wasted)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Serialises the report into the **legacy** `BENCH_sweep.json` schema
     /// (`faas-coldstarts/sweep/v1`). Byte-identical for identical reports.
+    /// Kept for the transition to the shared session envelope; new consumers
+    /// should read [`to_envelope`](Self::to_envelope) output.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
@@ -575,6 +745,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // exercises the transition shim on purpose
     fn replay_sources_add_columns_next_to_presets() {
         use faas_workload::replay::TraceReplayWorkload;
         use fntrace::synth::{SynthShape, SynthTraceSpec};
@@ -669,6 +840,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn envelope_adopts_the_shared_session_schema() {
+        let sweep = tiny_sweep();
+        let report = sweep.run();
+        let doc = report.to_envelope().to_json();
+        assert!(doc.starts_with(
+            "{\n  \"schema\": \"faas-coldstarts/session/v1\",\n  \"kind\": \"sweep\",\n"
+        ));
+        for key in [
+            "\"policies\"",
+            "\"sources\"",
+            "\"seeds\": [7]",
+            "\"cell_count\": 12",
+            "\"cells\"",
+            "\"duration_days\": 1",
+            "\"presets\": [\"diurnal\", \"low-traffic-tail\"]",
+            "\"replays\": []",
+            "\"families\": [\"keepalive\", \"concurrency\"]",
+            "\"pareto_front\"",
+        ] {
+            assert!(doc.contains(key), "missing {key}");
+        }
+        assert!(doc.contains("{\"label\": \"preset/diurnal/r2\", \"kind\": \"preset\"}"));
+        // The envelope is as deterministic as the legacy document.
+        let again = sweep.run_sequential();
+        assert_eq!(doc.as_bytes(), again.to_envelope().to_json().as_bytes());
+        // Every cell row carries the shared metric keys.
+        assert!(doc.contains("\"policy\": \"keepalive/mode=fixed,duration_ms=30000\""));
+        assert!(doc.contains("\"mem_gb_s_wasted\""));
     }
 
     #[test]

@@ -2,12 +2,18 @@
 //!
 //! The original [`Simulator`](crate::Simulator) builder owns boxed policy
 //! objects, so it is consumed by every run — fine for a one-off simulation,
-//! useless for an experiment grid that wants to stamp out hundreds of
+//! useless for an experiment layer that wants to stamp out hundreds of
 //! identical runs across threads. [`SimulationSpec`] fixes that: it holds a
 //! [`PolicyFactory`] (cheap to share, `Send + Sync`) instead of policy
 //! instances, and builds a fresh [`SimulationEngine`] — with fresh policy
 //! state — for every [`run`](SimulationSpec::run). Two runs of the same spec
 //! on the same workload are bit-identical, whichever thread they execute on.
+//!
+//! This pair is the integration point the `coldstarts` session API builds
+//! on: a session turns each of its typed policy configurations into one
+//! shared `Arc<dyn PolicyFactory>`, stamps out one spec per cell, and relies
+//! on the run-for-run freshness above for its parallel == sequential
+//! byte-equality guarantee.
 
 use std::sync::Arc;
 
@@ -23,10 +29,11 @@ use crate::report::SimReport;
 /// Builds one run's worth of policies for a given workload.
 ///
 /// Implementations must be `Send + Sync` so one factory can stamp out policy
-/// sets concurrently across experiment-grid worker threads. The factory is
-/// invoked once per run, so stateful policies (adaptive keep-alive histories,
-/// demand pre-warmers) start every run from a clean slate — exactly the
-/// property that makes parallel and sequential grid execution agree.
+/// sets concurrently across experiment-session worker threads. The factory
+/// is invoked once per run, so stateful policies (adaptive keep-alive
+/// histories, demand pre-warmers) start every run from a clean slate —
+/// exactly the property that makes parallel and sequential session
+/// execution agree.
 pub trait PolicyFactory: Send + Sync {
     /// Builds the keep-alive policy for one run over `workload`.
     fn keep_alive(&self, workload: &WorkloadSpec) -> Box<dyn KeepAlivePolicy>;

@@ -3,69 +3,114 @@
 //! adaptive / timer-aware keep-alive, peak shaving, resource-pool prediction,
 //! and cross-region migration.
 //!
-//! The ablation is declared once as an [`ExperimentGrid`] — all eight
-//! scenarios over all five paper regions — and every cell runs concurrently.
+//! The ablation is declared once as a `coldstarts::session::ExperimentSession`
+//! — all eight scenario policies × one workload source per paper region —
+//! and every cell runs concurrently through the session's deterministic
+//! merge.
 //!
 //! ```text
 //! cargo run --release --example policy_comparison
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use coldstarts::evaluation::{PolicyEvaluation, Scenario};
-use coldstarts::experiment::ExperimentGrid;
+use coldstarts::evaluation::Scenario;
 use coldstarts::policies::cross_region::CrossRegionScheduler;
 use coldstarts::policies::pool_prediction::PoolDemandPredictor;
+use coldstarts::session::{ExperimentSession, RegionSource, SessionReport, WorkloadSource};
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::{Calibration, RegionProfile};
 use faas_workload::{SyntheticTraceBuilder, TraceScale};
 use fntrace::RegionId;
+
+/// Prints one region's ablation table: per-scenario cold starts and the
+/// reductions relative to that region's baseline cell.
+fn print_region_table(report: &SessionReport, source_index: usize, seed: u64) {
+    let column = report.column(source_index, seed);
+    let Some(baseline) = column.first() else {
+        return;
+    };
+    println!(
+        "{:<24} {:>12} {:>10} {:>14} {:>12}",
+        "scenario", "cold starts", "reduction", "mean added (s)", "idle change"
+    );
+    for cell in &column {
+        let reduction = if baseline.report.cold_starts == 0 {
+            0.0
+        } else {
+            1.0 - cell.report.cold_starts as f64 / baseline.report.cold_starts as f64
+        };
+        let idle_change = if baseline.report.idle_pod_time_s <= 0.0 {
+            0.0
+        } else {
+            cell.report.idle_pod_time_s / baseline.report.idle_pod_time_s - 1.0
+        };
+        println!(
+            "{:<24} {:>12} {:>9.1}% {:>14.4} {:>11.1}%",
+            cell.policy,
+            cell.report.cold_starts,
+            100.0 * reduction,
+            cell.report.mean_added_latency_s,
+            100.0 * idle_change,
+        );
+    }
+}
 
 fn main() {
     let calibration = Calibration {
         duration_days: 3,
         ..Calibration::default()
     };
-
-    // Declarative multi-region ablation: 8 scenarios × 5 regions × 1 seed,
-    // executed concurrently (one worker per core).
-    let grid = ExperimentGrid {
-        calibration,
-        population: PopulationConfig {
-            function_scale: 0.008,
-            volume_scale: 8.0e-6,
-            max_requests_per_day: 5_000.0,
-            min_functions: 40,
-        },
-        seeds: vec![11],
-        ..ExperimentGrid::full_ablation()
+    let population = PopulationConfig {
+        function_scale: 0.008,
+        volume_scale: 8.0e-6,
+        max_requests_per_day: 5_000.0,
+        min_functions: 40,
     };
+    let regions: Vec<RegionProfile> = (1..=5)
+        .map(|i| RegionProfile::paper_region(i).expect("regions 1..=5 exist"))
+        .collect();
+    let seed = 11;
+
+    // Declarative multi-region ablation: 8 scenario policies × 5 region
+    // sources × 1 seed, executed concurrently (one worker per core).
+    let session = ExperimentSession::new()
+        .scenarios(&Scenario::ALL)
+        .source_arcs(
+            RegionSource::multi(&regions, calibration, &population)
+                .into_iter()
+                .map(|s| Arc::new(s) as Arc<dyn WorkloadSource>),
+        )
+        .with_seeds(vec![seed]);
     println!(
-        "policy ablation grid: {} scenarios x {} regions x {} seeds = {} cells ({} days each)",
-        grid.scenarios.len(),
-        grid.regions.len(),
-        grid.seeds.len(),
-        grid.cell_count(),
+        "policy ablation session: {} policies x {} sources x 1 seed = {} cells ({} days each)",
+        session.policies.len(),
+        session.sources.len(),
+        session.cell_count(),
         calibration.duration_days
     );
     let start = Instant::now();
-    let result = grid.run();
+    let report = session.run();
     println!(
         "ran {} cells in {:.2?}\n",
-        result.cells.len(),
+        report.cells.len(),
         start.elapsed()
     );
 
     // Per-region ablation tables, relative to each region's baseline cell.
-    for region in &grid.regions {
-        if let Some(outcomes) = result.outcomes(region.region, grid.seeds[0]) {
-            println!("region {}:", region.region.index());
-            println!("{}", PolicyEvaluation::render(&outcomes));
-        }
+    for (i, source) in report.sources.iter().enumerate() {
+        println!("{}:", source.label);
+        print_region_table(&report, i, seed);
+        println!();
     }
 
     // Scenario comparison for the paper's region of interest.
-    if let Some(cell) = result.cell(Scenario::Combined, RegionId::new(2), grid.seeds[0]) {
+    let combined_index = Scenario::ALL
+        .iter()
+        .position(|&s| s == Scenario::Combined)
+        .expect("combined is declared");
+    if let Some(cell) = report.cell(combined_index, 1, seed) {
         println!(
             "region 2 combined policies: {} cold starts over {} requests ({:.2}% cold)",
             cell.report.cold_starts,
@@ -83,7 +128,7 @@ fn main() {
         ])
         .with_scale(TraceScale::tiny())
         .with_calibration(calibration)
-        .with_seed(11)
+        .with_seed(seed)
         .build();
 
     if let Some(r2) = dataset.region(RegionId::new(2)) {

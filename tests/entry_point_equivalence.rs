@@ -1,0 +1,231 @@
+//! Seed-derivation regression: the same `(source, seed)` cell must be
+//! byte-identical through **every** entry point. Before the session
+//! redesign, the grid, the sweep, and chunked replay each derived their
+//! simulation seeds independently (the sweep re-derived them per workload
+//! column, chunked replay hard-coded its own fallback); all of them now
+//! route through `coldstarts::session::seeds`, and this suite pins the
+//! equivalence.
+
+use std::sync::Arc;
+
+use coldstarts::evaluation::{PolicyEvaluation, Scenario};
+use coldstarts::replay::ReplayGrid;
+use coldstarts::session::{
+    ExperimentSession, FixedWorkloadSource, PolicyConfig, RegionSource, ReplayTraceSource,
+};
+use coldstarts::sweep::{ParamAxis, ParamSpace, PolicyFamily, PolicySweep};
+use faas_platform::{PlatformConfig, SimReport};
+use faas_workload::population::PopulationConfig;
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::replay::TraceReplayWorkload;
+use faas_workload::WorkloadSpec;
+use fntrace::synth::{SynthShape, SynthTraceSpec};
+use fntrace::RegionId;
+
+const SEED: u64 = 13;
+
+fn platform() -> PlatformConfig {
+    PlatformConfig {
+        record_trace: false,
+        ..PlatformConfig::default()
+    }
+}
+
+fn replayed_workload() -> Arc<WorkloadSpec> {
+    let trace = SynthTraceSpec {
+        region: RegionId::new(2),
+        shape: SynthShape::Diurnal,
+        functions: 8,
+        duration_days: 1,
+        mean_requests_per_day: 150.0,
+        keep_alive_secs: 60.0,
+        seed: 21,
+    }
+    .generate();
+    Arc::new(TraceReplayWorkload::new().build(&trace))
+}
+
+/// The baseline scenario and the keep-alive sweep point
+/// `mode=fixed,duration_ms=60000` build identical policy sets (the platform
+/// default keep-alive is 60 s, no pre-warming, no admission control), so a
+/// cell with the same workload and seed must produce the same bytes through
+/// either policy vocabulary.
+fn baseline_sweep_space() -> ParamSpace {
+    ParamSpace {
+        family: PolicyFamily::KeepAlive,
+        axes: vec![
+            ParamAxis::strings("mode", &["fixed"]),
+            ParamAxis::u64s("duration_ms", &[60_000]),
+        ],
+    }
+}
+
+fn assert_same_report(name: &str, report: &SimReport, reference: &SimReport) {
+    assert_eq!(report, reference, "{name} diverged from the reference cell");
+    // Byte-identical, not merely PartialEq: the debug rendering (which
+    // includes every float) must match exactly.
+    assert_eq!(format!("{report:?}"), format!("{reference:?}"), "{name}");
+}
+
+#[test]
+fn replay_cell_is_byte_identical_across_all_entry_points() {
+    let workload = replayed_workload();
+
+    // Reference: the session API itself.
+    let session = ExperimentSession::new()
+        .with_platform(platform())
+        .scenarios(&[Scenario::Baseline])
+        .source(ReplayTraceSource::new("replay/r2", Arc::clone(&workload)))
+        .with_seeds(vec![SEED]);
+    let reference = session.run().cells.remove(0).report;
+
+    // Entry point 1: the replay grid shim.
+    let grid = ReplayGrid {
+        workload: Arc::clone(&workload),
+        scenarios: vec![Scenario::Baseline],
+        seeds: vec![SEED],
+        platform: platform(),
+        peak_shaving_delay_ms: 180_000,
+        threads: 4,
+    };
+    assert_same_report("ReplayGrid", &grid.run().cells[0].report, &reference);
+
+    // Entry point 2: the policy evaluation shim.
+    let evaluation = PolicyEvaluation {
+        platform: platform(),
+        seed: SEED,
+        peak_shaving_delay_ms: 180_000,
+    };
+    assert_same_report(
+        "PolicyEvaluation",
+        &evaluation.run_scenario(Scenario::Baseline, &workload),
+        &reference,
+    );
+
+    // Entry point 3: the policy sweep shim, with the replayed trace as its
+    // only column and the baseline-equivalent keep-alive point.
+    #[allow(deprecated)]
+    let sweep = PolicySweep {
+        presets: Vec::new(),
+        replays: vec![coldstarts::sweep::ReplaySource::new(
+            "replay/r2",
+            Arc::clone(&workload),
+        )],
+        seeds: vec![SEED],
+        spaces: vec![baseline_sweep_space()],
+        duration_days: 1,
+        threads: 4,
+        ..PolicySweep::default()
+    };
+    let sweep_report = sweep.run();
+    assert_eq!(sweep_report.cells.len(), 1);
+    assert_same_report("PolicySweep", &sweep_report.cells[0].report, &reference);
+}
+
+#[test]
+fn generated_cell_is_byte_identical_across_grid_evaluation_and_session() {
+    let calibration = Calibration {
+        duration_days: 1,
+        ..Calibration::default()
+    };
+    let population = PopulationConfig {
+        function_scale: 0.002,
+        volume_scale: 2.0e-6,
+        max_requests_per_day: 2_000.0,
+        min_functions: 15,
+    };
+
+    // Reference: a session over the region source.
+    let session = ExperimentSession::new()
+        .with_platform(platform())
+        .scenarios(&[Scenario::TimerPrewarm])
+        .source(RegionSource::new(
+            RegionProfile::r3(),
+            calibration,
+            population,
+        ))
+        .with_seeds(vec![SEED]);
+    let reference = session.run().cells.remove(0).report;
+
+    // Entry point 1: the experiment grid shim.
+    let grid = coldstarts::experiment::ExperimentGrid {
+        scenarios: vec![Scenario::TimerPrewarm],
+        regions: vec![RegionProfile::r3()],
+        seeds: vec![SEED],
+        calibration,
+        population,
+        platform: platform(),
+        peak_shaving_delay_ms: 180_000,
+        threads: 4,
+    };
+    assert_same_report("ExperimentGrid", &grid.run().cells[0].report, &reference);
+
+    // Entry point 2: the evaluation shim over the identical workload (the
+    // session's fixed source wraps the same generated spec).
+    let workload = WorkloadSpec::generate(&RegionProfile::r3(), calibration, &population, SEED);
+    let evaluation = PolicyEvaluation {
+        platform: platform(),
+        seed: SEED,
+        peak_shaving_delay_ms: 180_000,
+    };
+    assert_same_report(
+        "PolicyEvaluation",
+        &evaluation.run_scenario(Scenario::TimerPrewarm, &workload),
+        &reference,
+    );
+
+    // Entry point 3: a session over the pre-generated workload — fixed and
+    // generative sources must agree for the same (workload, seed).
+    let fixed = ExperimentSession::new()
+        .with_platform(platform())
+        .scenarios(&[Scenario::TimerPrewarm])
+        .source(FixedWorkloadSource::new("fixed", Arc::new(workload)))
+        .with_seeds(vec![SEED]);
+    assert_same_report(
+        "FixedWorkloadSource session",
+        &fixed.run().cells[0].report,
+        &reference,
+    );
+}
+
+#[test]
+fn sweep_replay_columns_share_the_session_seed_derivation_per_seed() {
+    // Two declared seeds: the sweep's replay column for each seed must match
+    // the session cell for the same seed (this is the "sweep re-derives
+    // seeds per column" regression).
+    let workload = replayed_workload();
+    #[allow(deprecated)]
+    let sweep = PolicySweep {
+        presets: Vec::new(),
+        replays: vec![coldstarts::sweep::ReplaySource::new(
+            "replay/r2",
+            Arc::clone(&workload),
+        )],
+        seeds: vec![SEED, SEED + 1],
+        spaces: vec![baseline_sweep_space()],
+        duration_days: 1,
+        threads: 4,
+        ..PolicySweep::default()
+    };
+    let report = sweep.run();
+    assert_eq!(report.cells.len(), 2);
+
+    let session = ExperimentSession::new()
+        .with_platform(platform())
+        .policy(PolicyConfig::sweep(
+            baseline_sweep_space().expand().remove(0),
+        ))
+        .source(ReplayTraceSource::new("replay/r2", workload))
+        .with_seeds(vec![SEED, SEED + 1]);
+    let cells = session.run().cells;
+    for (sweep_cell, session_cell) in report.cells.iter().zip(&cells) {
+        assert_eq!(sweep_cell.seed, session_cell.seed);
+        assert_same_report(
+            "sweep replay column",
+            &sweep_cell.report,
+            &session_cell.report,
+        );
+    }
+    // Different seeds genuinely change the simulation stream.
+    assert_ne!(cells[0].report, cells[1].report);
+}

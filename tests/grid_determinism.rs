@@ -105,6 +105,7 @@ fn grid_cells_match_independent_single_runs() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the transition shim on purpose
 fn full_ablation_covers_eight_scenarios_and_five_regions() {
     let grid = ExperimentGrid {
         calibration: Calibration {

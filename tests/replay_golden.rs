@@ -95,6 +95,7 @@ fn fixture_replay_infers_the_hand_written_structure() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the transition shim on purpose
 fn fixture_replay_simulation_is_byte_deterministic_across_grid_modes() {
     let workload = Arc::new(TraceReplayWorkload::new().build(&fixture_trace()));
     let grid = ReplayGrid {

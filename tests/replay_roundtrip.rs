@@ -103,6 +103,7 @@ fn preset_to_trace_to_replay_roundtrip_stays_within_one_percent() {
 }
 
 #[test]
+#[allow(deprecated)] // exercises the transition shim on purpose
 fn full_policy_sweep_runs_end_to_end_on_a_replayed_trace() {
     // Build a replayed workload out of a recorded simulation trace.
     let seed = 11;

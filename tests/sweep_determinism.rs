@@ -32,6 +32,11 @@ fn parallel_sweep_matches_sequential_sweep_byte_for_byte() {
     assert_eq!(parallel, sequential);
     assert_eq!(parallel.render(), sequential.render());
     assert_eq!(parallel.to_json(), sequential.to_json());
+    // The shared session envelope is byte-deterministic too.
+    assert_eq!(
+        parallel.to_envelope().to_json().as_bytes(),
+        sequential.to_envelope().to_json().as_bytes()
+    );
 }
 
 #[test]
@@ -43,7 +48,13 @@ fn repeated_runs_are_byte_identical() {
     let json_a = a.to_json();
     let json_b = b.to_json();
     assert_eq!(json_a.as_bytes(), json_b.as_bytes());
+    // Legacy schema and the migration envelope coexist during the
+    // transition; both are stable.
     assert!(json_a.contains("\"schema\": \"faas-coldstarts/sweep/v1\""));
+    let envelope_a = a.to_envelope().to_json();
+    assert_eq!(envelope_a.as_bytes(), b.to_envelope().to_json().as_bytes());
+    assert!(envelope_a.contains("\"schema\": \"faas-coldstarts/session/v1\""));
+    assert!(envelope_a.contains("\"kind\": \"sweep\""));
 }
 
 #[test]
