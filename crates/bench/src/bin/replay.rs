@@ -229,11 +229,12 @@ fn main() -> ExitCode {
         .with_seeds(vec![args.seed])
         .with_threads(args.threads);
     let mut progress = ProgressLog::stderr();
-    let report = session.run_with_sinks(&mut [&mut progress]);
+    let (report, mut perf) = session.run_timed(&mut [&mut progress]);
     print!("{}", report.render());
 
     // Chunked streaming: a second session over the chunk windows under the
-    // baseline scenario.
+    // baseline scenario. Each chunk cell streams its window straight off the
+    // shared base workload — no per-chunk event copies.
     let chunk_sources = ChunkSource::split(&workload, MILLIS_PER_HOUR);
     let chunk_events: Vec<u64> = chunk_sources.iter().map(|c| c.len() as u64).collect();
     let chunk_session = ExperimentSession::new()
@@ -245,7 +246,8 @@ fn main() -> ExitCode {
         )
         .with_seeds(vec![args.seed])
         .with_threads(args.threads);
-    let chunk_report = chunk_session.run();
+    let (chunk_report, chunk_perf) = chunk_session.run_timed(&mut []);
+    perf.cells.extend(chunk_perf.cells);
 
     let baseline = &report
         .cells
@@ -350,6 +352,16 @@ fn main() -> ExitCode {
             )
         })),
     );
+    // Throughput counters (scenario + chunk cells) for CI's perf gate; the
+    // block rides after the deterministic payload because wall-clock values
+    // differ run to run.
+    eprintln!(
+        "throughput: {} events in {:.0} ms of cell time ({:.0} events/sec)",
+        perf.total_events(),
+        perf.total_wall_ms(),
+        perf.events_per_sec(),
+    );
+    envelope.push("perf", perf.to_value());
 
     if let Err(e) = std::fs::write(&args.out, envelope.to_json()) {
         eprintln!("failed to write {}: {e}", args.out.display());

@@ -21,15 +21,21 @@
 //! ```
 //!
 //! A session declares typed [`PolicyConfig`]s (named scenarios or sweep
-//! configurations) times pluggable [`WorkloadSource`]s times seeds,
-//! materialises each `(source, seed)` workload exactly once, executes every
-//! cell on the same scoped-thread engine the grid has always used, and
-//! streams completed cells through [`ReportSink`]s in declaration order.
-//! Parallel and sequential execution produce byte-identical
-//! [`SessionReport`]s — and therefore byte-identical
+//! configurations) times pluggable [`WorkloadSource`]s times seeds, lowers
+//! each cell's source to a lazy
+//! [`ArrivalStream`](faas_workload::stream::ArrivalStream) on the worker
+//! that runs it (see [`WorkloadSource::lower`] — memory stays bounded by
+//! the population, never the horizon), executes every cell on the same
+//! scoped-thread engine the grid has always used, and streams completed
+//! cells through [`ReportSink`]s in declaration order. Parallel,
+//! sequential, and eagerly materialised
+//! ([`run_materialized`](ExperimentSession::run_materialized)) execution
+//! produce byte-identical [`SessionReport`]s — and therefore byte-identical
 //! [`envelope`](SessionReport::envelope) JSON — which
 //! `tests/session_determinism.rs` property-tests across every built-in
-//! source.
+//! source. [`run_timed`](ExperimentSession::run_timed) additionally returns
+//! [`SessionPerf`] throughput counters (events, wall-clock, events/sec) for
+//! the envelope's optional `perf` block.
 //!
 //! The pre-session entry points are kept as thin shims over this module:
 //! [`ExperimentGrid`](crate::ExperimentGrid),
@@ -71,6 +77,7 @@ pub mod sink;
 pub mod source;
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
@@ -85,8 +92,8 @@ use crate::sweep::SweepConfig;
 pub use envelope::{Envelope, JsonValue};
 pub use sink::{CellCollector, JsonWriter, ProgressLog, ReportSink};
 pub use source::{
-    ChunkSource, FixedWorkloadSource, PresetSource, RegionSource, ReplayTraceSource, SourceKind,
-    SynthTraceSource, WorkloadSource,
+    ChunkSource, FixedWorkloadSource, LoweredWorkload, PresetSource, RegionSource,
+    ReplayTraceSource, SourceKind, SynthTraceSource, WorkloadSource,
 };
 
 /// Default maximum delay of the peak-shaving scenarios, in milliseconds.
@@ -164,6 +171,15 @@ impl PolicyConfig {
         match &self.kind {
             PolicyKind::Scenario { .. } => base.clone(),
             PolicyKind::Sweep(config) => config.platform(base),
+        }
+    }
+
+    /// Whether [`adjust_workload`](Self::adjust_workload) would transform a
+    /// workload, decidable without building one.
+    pub fn adjusts_workload(&self) -> bool {
+        match &self.kind {
+            PolicyKind::Scenario { .. } => false,
+            PolicyKind::Sweep(config) => config.adjusts_workload(),
         }
     }
 
@@ -321,6 +337,111 @@ impl SessionReport {
     }
 }
 
+/// Wall-clock measurements of one session cell.
+///
+/// Deliberately **not** part of [`SessionCell`]: timings vary run to run and
+/// machine to machine, so they are returned beside the deterministic report
+/// (see [`ExperimentSession::run_timed`]) and never enter report equality or
+/// the envelope's deterministic section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPerf {
+    /// Label of the cell's policy.
+    pub policy: String,
+    /// Label of the cell's workload source.
+    pub source: String,
+    /// Declared seed of the cell.
+    pub seed: u64,
+    /// Arrival events the engine consumed.
+    pub events: u64,
+    /// Wall-clock time of the cell's run (lowering + simulation), in
+    /// milliseconds.
+    pub wall_ms: f64,
+}
+
+impl CellPerf {
+    /// Streaming throughput of the cell, in events per second.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / (self.wall_ms / 1e3)
+        }
+    }
+}
+
+/// Per-cell and aggregate throughput counters for one session run.
+///
+/// Serialised by [`to_value`](Self::to_value) as the optional `perf` block
+/// of the `faas-coldstarts/session/v1` envelope, which CI's bench-smoke job
+/// gates on: a >30% aggregate events/sec regression against the committed
+/// baseline fails the build.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SessionPerf {
+    /// One entry per cell, in deterministic cell order.
+    pub cells: Vec<CellPerf>,
+}
+
+impl SessionPerf {
+    /// Total arrival events consumed across all cells.
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.events).sum()
+    }
+
+    /// Summed per-cell wall-clock time in milliseconds (cells may have run
+    /// concurrently, so this is aggregate work, not elapsed time).
+    pub fn total_wall_ms(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_ms).sum()
+    }
+
+    /// Aggregate throughput: total events over summed cell wall-clock.
+    pub fn events_per_sec(&self) -> f64 {
+        let wall_ms = self.total_wall_ms();
+        if wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.total_events() as f64 / (wall_ms / 1e3)
+        }
+    }
+
+    /// The envelope `perf` block: aggregate counters plus one object per
+    /// cell. Wall-clock values differ run to run, so this block is appended
+    /// by producers *after* the deterministic envelope section.
+    pub fn to_value(&self) -> JsonValue {
+        JsonValue::object(vec![
+            ("events", JsonValue::U64(self.total_events())),
+            ("wall_ms", JsonValue::F64(self.total_wall_ms())),
+            ("events_per_sec", JsonValue::F64(self.events_per_sec())),
+            (
+                "cells",
+                JsonValue::Array(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            JsonValue::object(vec![
+                                ("policy", JsonValue::str(&c.policy)),
+                                ("source", JsonValue::str(&c.source)),
+                                ("seed", JsonValue::U64(c.seed)),
+                                ("events", JsonValue::U64(c.events)),
+                                ("wall_ms", JsonValue::F64(c.wall_ms)),
+                                ("events_per_sec", JsonValue::F64(c.events_per_sec())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// How a session obtains each cell's events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Execution {
+    /// Lower each cell's source to a lazy stream (the primary path).
+    Streamed,
+    /// Materialise each `(source, seed)` column once and share it.
+    Materialized,
+}
+
 /// Declarative experiment session: policies × sources × seeds.
 ///
 /// See the [module documentation](self) for the architecture and a quick
@@ -430,23 +551,44 @@ impl ExperimentSession {
         self.policies.len() * self.column_count()
     }
 
-    /// Executes the session concurrently.
+    /// Executes the session concurrently over lazily lowered streams.
     pub fn run(&self) -> SessionReport {
-        self.execute(self.threads, &mut [])
+        self.execute(self.threads, &mut [], Execution::Streamed).0
     }
 
     /// Executes the same cells on the calling thread, in the same order.
     pub fn run_sequential(&self) -> SessionReport {
-        self.execute(1, &mut [])
+        self.execute(1, &mut [], Execution::Streamed).0
+    }
+
+    /// Executes with each `(source, seed)` column materialised once and
+    /// shared read-only across its policy cells — the pre-streaming
+    /// behaviour, kept as an escape hatch and as the oracle the
+    /// streamed-equals-materialised property tests compare against.
+    pub fn run_materialized(&self) -> SessionReport {
+        self.execute(self.threads, &mut [], Execution::Materialized)
+            .0
     }
 
     /// Executes concurrently, streaming cells through `sinks` in declaration
     /// order as they complete.
     pub fn run_with_sinks(&self, sinks: &mut [&mut dyn ReportSink]) -> SessionReport {
-        self.execute(self.threads, sinks)
+        self.execute(self.threads, sinks, Execution::Streamed).0
     }
 
-    fn execute(&self, threads: usize, sinks: &mut [&mut dyn ReportSink]) -> SessionReport {
+    /// [`run_with_sinks`](Self::run_with_sinks) that additionally returns
+    /// the per-cell throughput counters (events, wall-clock, events/sec)
+    /// benchmark producers append as the envelope's `perf` block.
+    pub fn run_timed(&self, sinks: &mut [&mut dyn ReportSink]) -> (SessionReport, SessionPerf) {
+        self.execute(self.threads, sinks, Execution::Streamed)
+    }
+
+    fn execute(
+        &self,
+        threads: usize,
+        sinks: &mut [&mut dyn ReportSink],
+        mode: Execution,
+    ) -> (SessionReport, SessionPerf) {
         let seed_count = self.seeds.len();
         let columns = self.column_count();
         let cell_count = self.policies.len() * columns;
@@ -454,12 +596,18 @@ impl ExperimentSession {
             sink.on_start(cell_count);
         }
 
-        // Materialise each (source, seed) workload exactly once,
+        // Eager mode: materialise each (source, seed) workload exactly once,
         // concurrently, then share it read-only across every policy cell.
-        let workloads: Vec<Arc<WorkloadSpec>> = parallel_map(columns, threads, |i| {
-            let (si, ki) = (i / seed_count, i % seed_count);
-            self.sources[si].workload(seeds::sim_seed(self.seeds[ki]))
-        });
+        // Streamed mode materialises nothing up front — each cell lowers its
+        // source to a lazy stream on the worker that runs it.
+        let workloads: Vec<Arc<WorkloadSpec>> = if mode == Execution::Materialized {
+            parallel_map(columns, threads, |i| {
+                let (si, ki) = (i / seed_count, i % seed_count);
+                self.sources[si].workload(seeds::sim_seed(self.seeds[ki]))
+            })
+        } else {
+            Vec::new()
+        };
 
         // One platform + factory per policy, shared across its cells (the
         // factories are stateless; policy state is created per run).
@@ -475,7 +623,7 @@ impl ExperimentSession {
 
         // Policy-major cell order; cells stream to the sinks in exactly this
         // order regardless of which worker finishes first.
-        let make_cell = |i: usize, report: SimReport| {
+        let make_cell = |i: usize, report: SimReport, region: RegionId| {
             let (pi, wi) = (i / columns.max(1), i % columns.max(1));
             let (si, ki) = (wi / seed_count, wi % seed_count);
             SessionCell {
@@ -485,44 +633,91 @@ impl ExperimentSession {
                 source: self.sources[si].label().to_string(),
                 source_kind: self.sources[si].kind(),
                 seed: self.seeds[ki],
-                region: workloads[wi].region,
+                region,
                 report,
             }
         };
         // Sinks observe a per-cell clone during the run; the reports
         // themselves are moved into the final cells afterwards, so the
         // sink-less paths (`run`, `run_sequential`) never copy a report.
-        let mut emit = |i: usize, report: &SimReport| {
+        let mut emit = |i: usize, outcome: &(SimReport, RegionId, f64)| {
             if sinks.is_empty() {
                 return;
             }
-            let cell = make_cell(i, report.clone());
+            let cell = make_cell(i, outcome.0.clone(), outcome.1);
             for sink in sinks.iter_mut() {
                 sink.on_cell(&cell);
             }
         };
-        let reports = parallel_map_streamed(
+        let outcomes = parallel_map_streamed(
             cell_count,
             threads,
             |i| {
                 let (pi, wi) = (i / columns, i % columns);
+                let (si, ki) = (wi / seed_count, wi % seed_count);
                 let (platform, factory) = &prepared[pi];
                 let spec = SimulationSpec::new()
                     .with_config(platform.clone())
-                    .with_seed(seeds::sim_seed(self.seeds[wi % seed_count]))
+                    .with_seed(seeds::sim_seed(self.seeds[ki]))
                     .with_policies(Arc::clone(factory));
-                let workload = workloads[wi].as_ref();
-                match self.policies[pi].adjust_workload(workload) {
-                    Some(adjusted) => spec.run(&adjusted).0,
-                    None => spec.run(workload).0,
-                }
+                let started = Instant::now();
+                let (report, region) = match mode {
+                    Execution::Streamed => {
+                        let lowered = self.sources[si].lower(seeds::sim_seed(self.seeds[ki]));
+                        let region = lowered.header.region;
+                        // Policies only ever transform the static tables
+                        // (e.g. concurrency boosts), so an adjusted header
+                        // still pairs with the untouched event stream. The
+                        // adjustment runs against an event-free copy: a
+                        // spec-backed header owns the full event vector,
+                        // which run_streamed ignores and adjust_workload
+                        // must therefore never clone.
+                        let report = if self.policies[pi].adjusts_workload() {
+                            let stripped = WorkloadSpec {
+                                region: lowered.header.region,
+                                profile: lowered.header.profile.clone(),
+                                calibration: lowered.header.calibration,
+                                functions: lowered.header.functions.clone(),
+                                events: Vec::new(),
+                                source: lowered.header.source,
+                            };
+                            let adjusted = self.policies[pi]
+                                .adjust_workload(&stripped)
+                                .unwrap_or(stripped);
+                            spec.run_streamed(&adjusted, lowered.stream).0
+                        } else {
+                            spec.run_streamed(&lowered.header, lowered.stream).0
+                        };
+                        (report, region)
+                    }
+                    Execution::Materialized => {
+                        let workload = workloads[wi].as_ref();
+                        let report = match self.policies[pi].adjust_workload(workload) {
+                            Some(adjusted) => spec.run(&adjusted).0,
+                            None => spec.run(workload).0,
+                        };
+                        (report, workload.region)
+                    }
+                };
+                (report, region, started.elapsed().as_secs_f64() * 1e3)
             },
             &mut emit,
         );
-        let cells: Vec<SessionCell> = reports
+        let mut perf = SessionPerf::default();
+        let cells: Vec<SessionCell> = outcomes
             .into_iter()
             .enumerate()
-            .map(|(i, report)| make_cell(i, report))
+            .map(|(i, (report, region, wall_ms))| {
+                let cell = make_cell(i, report, region);
+                perf.cells.push(CellPerf {
+                    policy: cell.policy.clone(),
+                    source: cell.source.clone(),
+                    seed: cell.seed,
+                    events: cell.report.events_processed,
+                    wall_ms,
+                });
+                cell
+            })
             .collect();
 
         let report = SessionReport {
@@ -545,7 +740,7 @@ impl ExperimentSession {
         for sink in sinks.iter_mut() {
             sink.on_complete(&report);
         }
-        report
+        (report, perf)
     }
 }
 

@@ -21,13 +21,15 @@
 //! session API: the sweep's `SweepWorkloadSource`/`ReplaySource` pair and the
 //! grid's region lists are now thin shims that construct sources.
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::{Calibration, RegionProfile};
 use faas_workload::replay::TraceReplayWorkload;
+use faas_workload::stream::{ArrivalStream, SpecStream, StreamedWorkload};
 use faas_workload::{MultiRegionWorkload, ScenarioPreset, WorkloadSpec};
 use fntrace::synth::SynthTraceSpec;
 use fntrace::RegionTrace;
@@ -60,13 +62,56 @@ impl SourceKind {
     }
 }
 
+/// A workload lowered to *header + event stream* for one session cell.
+///
+/// The header is the spec the simulator's static state builds from (function
+/// table, profile, calibration, region); the stream produces the cell's
+/// events on demand. For sources backed by a materialised spec the stream is
+/// a cursor over the shared `Arc` — no copying; for generative sources the
+/// header carries no events at all and the stream generates them in `O(k)`
+/// memory (see [`faas_workload::stream`]).
+pub struct LoweredWorkload {
+    /// Static tables; `events` may be empty for lazily generated streams.
+    /// The engine's streamed path never reads them — the stream below is
+    /// the cell's only event source.
+    pub header: Arc<WorkloadSpec>,
+    /// The cell's event source, consistent with what
+    /// [`WorkloadSource::workload`] would materialise for the same seed.
+    pub stream: Box<dyn ArrivalStream + Send>,
+}
+
+impl LoweredWorkload {
+    /// Lowers a fully materialised spec: the stream is a cursor over the
+    /// shared `Arc`, copying nothing.
+    pub fn from_spec(spec: Arc<WorkloadSpec>) -> Self {
+        Self {
+            stream: Box::new(SpecStream::new(Arc::clone(&spec))),
+            header: spec,
+        }
+    }
+
+    /// Lowers one chunk window `[start, end)` of a shared base spec. The
+    /// stream covers only the window; the header stays the shared base.
+    pub fn from_spec_range(spec: Arc<WorkloadSpec>, start: usize, end: usize) -> Self {
+        Self {
+            stream: Box::new(SpecStream::range(Arc::clone(&spec), start, end)),
+            header: spec,
+        }
+    }
+
+    /// Pairs an event-free header with the stream that generates its events.
+    pub fn from_stream(header: Arc<WorkloadSpec>, stream: Box<dyn ArrivalStream + Send>) -> Self {
+        Self { header, stream }
+    }
+}
+
 /// One origin of workloads for a session.
 ///
 /// Implementations must be deterministic: the same `seed` must always
-/// produce the same workload, because the session materialises each
-/// `(source, seed)` column exactly once and shares it read-only across every
-/// policy cell — that is what makes parallel and sequential session execution
-/// byte-identical.
+/// produce the same workload, because every policy cell of a `(source,
+/// seed)` column lowers the source independently (possibly on different
+/// worker threads) and the cells must still agree byte for byte — that is
+/// what makes parallel and sequential session execution identical.
 pub trait WorkloadSource: Send + Sync {
     /// Stable label identifying the source in cells, tables, and envelopes.
     fn label(&self) -> &str;
@@ -80,6 +125,20 @@ pub trait WorkloadSource: Send + Sync {
     /// may ignore the seed and return the same `Arc` every time; generative
     /// sources must derive the workload from it deterministically.
     fn workload(&self, seed: u64) -> Arc<WorkloadSpec>;
+
+    /// Lowers the workload for one seed into a header plus event stream —
+    /// the session's primary path.
+    ///
+    /// The default materialises via [`workload`](Self::workload) and streams
+    /// the shared spec, which is free for artifact-backed sources.
+    /// Generative sources override this to return an event-free header and
+    /// a lazy stream, so a cell's memory never scales with its horizon. The
+    /// two forms must agree: `lower(seed)` collected equals
+    /// `workload(seed)`'s events (property-tested in
+    /// `tests/session_determinism.rs`).
+    fn lower(&self, seed: u64) -> LoweredWorkload {
+        LoweredWorkload::from_spec(self.workload(seed))
+    }
 }
 
 /// A [`ScenarioPreset`] applied to a base region profile — the sweep
@@ -132,6 +191,17 @@ impl WorkloadSource for PresetSource {
             &self.population,
             seed,
         ))
+    }
+
+    fn lower(&self, seed: u64) -> LoweredWorkload {
+        let streamed = StreamedWorkload::generate(
+            &self.preset.profile(&self.region),
+            self.preset.calibration(self.duration_days),
+            &self.population,
+            seed,
+        );
+        let stream = Box::new(streamed.stream());
+        LoweredWorkload::from_stream(Arc::clone(streamed.header()), stream)
     }
 }
 
@@ -196,6 +266,16 @@ impl WorkloadSource for RegionSource {
         );
         Arc::new(multi.workloads.remove(0))
     }
+
+    fn lower(&self, seed: u64) -> LoweredWorkload {
+        // `MultiRegionWorkload` generates each region with
+        // `WorkloadSpec::generate`, whose streaming twin this is — the
+        // lowered stream collects to the exact multi-region member.
+        let streamed =
+            StreamedWorkload::generate(&self.profile, self.calibration, &self.population, seed);
+        let stream = Box::new(streamed.stream());
+        LoweredWorkload::from_stream(Arc::clone(streamed.header()), stream)
+    }
 }
 
 /// A replay-tagged workload lowered from trace records.
@@ -258,13 +338,29 @@ impl WorkloadSource for ReplayTraceSource {
 /// The session seed replaces the spec's own `seed` field, so the seed axis
 /// varies the synthesized trace (and therefore the replayed workload) while
 /// everything else about the spec stays fixed.
-#[derive(Debug, Clone)]
+///
+/// Synthesis plus lowering is the most expensive `workload` of the built-in
+/// sources, and streamed sessions lower once per *cell*, so the source
+/// memoises the workload per seed — every policy cell of a column then
+/// shares one `Arc`, exactly as the artifact-backed sources do. The shape
+/// and builder are fixed at construction (private fields), so the memo can
+/// never serve a workload from a stale configuration.
+#[derive(Debug)]
 pub struct SynthTraceSource {
     /// Trace shape; its `seed` field is overridden per cell.
-    pub spec: SynthTraceSpec,
+    spec: SynthTraceSpec,
     /// Builder lowering the generated trace into a workload.
-    pub builder: TraceReplayWorkload,
+    builder: TraceReplayWorkload,
     label: String,
+    cache: Mutex<HashMap<u64, Arc<WorkloadSpec>>>,
+}
+
+impl Clone for SynthTraceSource {
+    fn clone(&self) -> Self {
+        // The memo is an optimisation, not state: a clone starts empty and
+        // regenerates identical workloads on demand.
+        Self::with_builder(self.spec, self.builder.clone())
+    }
 }
 
 impl SynthTraceSource {
@@ -280,7 +376,19 @@ impl SynthTraceSource {
             spec,
             builder,
             label,
+            cache: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The trace shape workloads are synthesized from (seed overridden per
+    /// cell).
+    pub fn spec(&self) -> &SynthTraceSpec {
+        &self.spec
+    }
+
+    /// The builder lowering generated traces into workloads.
+    pub fn builder(&self) -> &TraceReplayWorkload {
+        &self.builder
     }
 }
 
@@ -294,8 +402,20 @@ impl WorkloadSource for SynthTraceSource {
     }
 
     fn workload(&self, seed: u64) -> Arc<WorkloadSpec> {
+        if let Some(workload) = self.cache.lock().expect("cache lock").get(&seed) {
+            return Arc::clone(workload);
+        }
+        // Generate outside the lock; concurrent racers produce identical
+        // workloads (generation is deterministic) and the first insert wins.
         let trace = SynthTraceSpec { seed, ..self.spec }.generate();
-        Arc::new(self.builder.build(&trace))
+        let workload = Arc::new(self.builder.build(&trace));
+        Arc::clone(
+            self.cache
+                .lock()
+                .expect("cache lock")
+                .entry(seed)
+                .or_insert(workload),
+        )
     }
 }
 
@@ -409,6 +529,12 @@ impl WorkloadSource for ChunkSource {
             events: self.base.events[self.start..self.end].to_vec(),
             source: self.base.source,
         })
+    }
+
+    fn lower(&self, _seed: u64) -> LoweredWorkload {
+        // The streamed chunk is a cursor over the shared base — unlike
+        // `workload`, it copies nothing at all.
+        LoweredWorkload::from_spec_range(Arc::clone(&self.base), self.start, self.end)
     }
 }
 

@@ -266,17 +266,21 @@ impl SweepConfig {
         config
     }
 
+    /// Whether [`apply_workload`](Self::apply_workload) would transform a
+    /// workload — lets callers skip building one to find out (the session's
+    /// streamed path uses this to avoid cloning event-owning headers).
+    pub fn adjusts_workload(&self) -> bool {
+        self.family == PolicyFamily::Concurrency && self.get_u64("concurrency_boost", 1).max(1) > 1
+    }
+
     /// Workload transformation for this point: the concurrency family scales
     /// every function's concurrency limit; other families return `None` and
     /// share the untransformed workload.
     pub fn apply_workload(&self, workload: &WorkloadSpec) -> Option<WorkloadSpec> {
-        if self.family != PolicyFamily::Concurrency {
+        if !self.adjusts_workload() {
             return None;
         }
         let boost = self.get_u64("concurrency_boost", 1).max(1) as u32;
-        if boost == 1 {
-            return None;
-        }
         let mut adjusted = workload.clone();
         for f in &mut adjusted.functions {
             f.concurrency = f.concurrency.saturating_mul(boost);

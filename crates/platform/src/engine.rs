@@ -8,7 +8,15 @@
 //! builder or, for replicated experiment runs, by a
 //! [`SimulationSpec`](crate::SimulationSpec) whose policy factory builds a
 //! fresh set of policies per run.
+//!
+//! The primary entry point is [`SimulationEngine::run_streamed`], which
+//! consumes any [`ArrivalStream`] — arrivals are pulled one at a time, so
+//! memory stays proportional to the live simulation state (pods, queue,
+//! histories) rather than the event count. [`SimulationEngine::run`] is a
+//! thin adapter that wraps a materialised spec's event slice in a
+//! [`SliceStream`] and feeds it to the same loop.
 
+use faas_workload::stream::{ArrivalStream, SliceStream};
 use faas_workload::WorkloadSpec;
 use fntrace::{FunctionId, PodId, RegionTrace};
 
@@ -47,22 +55,74 @@ impl SimulationEngine {
         }
     }
 
-    /// Runs the workload, returning the report and, when trace recording is
-    /// enabled, the full simulated region trace.
-    pub fn run(mut self, workload: &WorkloadSpec) -> (SimReport, Option<RegionTrace>) {
-        let mut state = SimState::new(workload, &self.config, self.seed);
-        let duration = workload.duration_ms();
+    /// Runs a materialised workload, returning the report and, when trace
+    /// recording is enabled, the full simulated region trace.
+    ///
+    /// Thin adapter over [`run_streamed`](Self::run_streamed): the spec's
+    /// event slice is wrapped in a [`SliceStream`], so the eager and
+    /// streaming paths share one event loop and produce identical reports
+    /// for identical event sequences.
+    pub fn run(self, workload: &WorkloadSpec) -> (SimReport, Option<RegionTrace>) {
+        let stream = SliceStream::new(&workload.events, workload.duration_ms());
+        self.run_streamed(workload, stream)
+    }
 
-        // Initial periodic ticks.
-        state
-            .queue
-            .push(self.config.prewarm_interval_ms, Event::PrewarmTick);
+    /// Runs the engine over a lazily produced [`ArrivalStream`].
+    ///
+    /// `workload` supplies the static tables (function specs, profile,
+    /// calibration, region); its `events` field is **ignored** — the stream
+    /// is the event source, which is what lets multi-day horizons run
+    /// without ever materialising their event list. The number of events
+    /// consumed is recorded in
+    /// [`SimReport::events_processed`](crate::SimReport).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use faas_platform::SimulationSpec;
+    /// use faas_workload::population::PopulationConfig;
+    /// use faas_workload::profile::{Calibration, RegionProfile};
+    /// use faas_workload::StreamedWorkload;
+    ///
+    /// let workload = StreamedWorkload::generate(
+    ///     &RegionProfile::r2(),
+    ///     Calibration { duration_days: 1, ..Calibration::default() },
+    ///     &PopulationConfig {
+    ///         function_scale: 0.002,
+    ///         volume_scale: 2.0e-6,
+    ///         max_requests_per_day: 2_000.0,
+    ///         min_functions: 15,
+    ///     },
+    ///     7,
+    /// );
+    /// let spec = SimulationSpec::new();
+    /// let engine = spec.engine(workload.header());
+    /// let (report, _) = engine.run_streamed(workload.header(), workload.stream());
+    /// assert!(report.requests > 0);
+    /// assert_eq!(report.events_processed, report.requests);
+    /// ```
+    pub fn run_streamed(
+        mut self,
+        workload: &WorkloadSpec,
+        events: impl ArrivalStream,
+    ) -> (SimReport, Option<RegionTrace>) {
+        let mut state = SimState::new(workload, &self.config, self.seed);
+        // The stream's horizon is the simulation end: periodic ticks stop
+        // rescheduling past it and surviving pods are finalised at it.
+        let duration = events.horizon_ms();
+
+        // Initial periodic ticks, scheduled exactly like their reschedules.
         state.queue.push(
-            self.config.pool.replenish_interval_ms.max(1),
+            tick_after(0, self.config.prewarm_interval_ms),
+            Event::PrewarmTick,
+        );
+        state.queue.push(
+            tick_after(0, self.config.pool.replenish_interval_ms),
             Event::PoolReplenishTick,
         );
 
-        for event in &workload.events {
+        for event in events {
+            state.report.events_processed += 1;
             while let Some((t, e)) = state.queue.pop_due(event.timestamp_ms) {
                 self.handle_internal(&mut state, t, e, duration);
             }
@@ -108,7 +168,7 @@ impl SimulationEngine {
                     }
                     state.reset_recent_arrivals();
                     state.queue.push(
-                        t + self.config.prewarm_interval_ms.max(1),
+                        tick_after(t, self.config.prewarm_interval_ms),
                         Event::PrewarmTick,
                     );
                 }
@@ -117,7 +177,7 @@ impl SimulationEngine {
                 if t <= duration {
                     state.pools.replenish(t);
                     state.queue.push(
-                        t + self.config.pool.replenish_interval_ms.max(1),
+                        tick_after(t, self.config.pool.replenish_interval_ms),
                         Event::PoolReplenishTick,
                     );
                 }
@@ -151,5 +211,109 @@ impl SimulationEngine {
             }
         }
         state.dispatch(function, t, self.keep_alive.as_ref());
+    }
+}
+
+/// Schedule time of the next periodic tick after `now`.
+///
+/// Every periodic tick — initial or rescheduled, pre-warm or pool-replenish
+/// — goes through this one helper, so a zero interval can never schedule a
+/// tick at the current instant and loop forever: the period is clamped to
+/// one millisecond.
+fn tick_after(now: u64, interval_ms: u64) -> u64 {
+    now + interval_ms.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlatformConfig;
+    use crate::SimulationSpec;
+    use faas_workload::population::PopulationConfig;
+    use faas_workload::profile::{Calibration, RegionProfile};
+    use faas_workload::StreamedWorkload;
+
+    fn tiny_workload(seed: u64) -> WorkloadSpec {
+        WorkloadSpec::generate(
+            &RegionProfile::r2(),
+            Calibration {
+                duration_days: 1,
+                ..Calibration::default()
+            },
+            &PopulationConfig {
+                function_scale: 0.002,
+                volume_scale: 2.0e-6,
+                max_requests_per_day: 2_000.0,
+                min_functions: 15,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn ticks_are_always_scheduled_strictly_in_the_future() {
+        assert_eq!(tick_after(0, 0), 1);
+        assert_eq!(tick_after(0, 60_000), 60_000);
+        assert_eq!(tick_after(500, 0), 501);
+        assert_eq!(tick_after(500, 250), 750);
+    }
+
+    #[test]
+    fn zero_tick_intervals_behave_exactly_like_one_millisecond() {
+        // Regression test: the initial PrewarmTick used to be pushed at the
+        // raw interval while reschedules clamped to >= 1 ms, so a zero
+        // interval fired its first tick at t = 0 and every later one on the
+        // clamped cadence. Both now route through `tick_after`, making a
+        // zero interval indistinguishable from the 1 ms it is clamped to.
+        let workload = tiny_workload(41);
+        // A short horizon keeps the per-millisecond tick cadence cheap.
+        let cut = workload
+            .events
+            .iter()
+            .take_while(|e| e.timestamp_ms < 5_000)
+            .count();
+        let run_with = |prewarm_ms: u64, replenish_ms: u64| {
+            let mut config = PlatformConfig {
+                record_trace: false,
+                ..PlatformConfig::default()
+            };
+            config.prewarm_interval_ms = prewarm_ms;
+            config.pool.replenish_interval_ms = replenish_ms;
+            let spec = SimulationSpec::new().with_config(config);
+            let stream = SliceStream::new(&workload.events[..cut], 5_000);
+            spec.engine(&workload).run_streamed(&workload, stream).0
+        };
+        let zero = run_with(0, 0);
+        let one = run_with(1, 1);
+        assert_eq!(zero, one);
+        assert_eq!(zero.events_processed, cut as u64);
+    }
+
+    #[test]
+    fn streamed_and_materialised_runs_are_identical() {
+        let seed = 17;
+        let workload = tiny_workload(seed);
+        let streamed = StreamedWorkload::generate(
+            &RegionProfile::r2(),
+            Calibration {
+                duration_days: 1,
+                ..Calibration::default()
+            },
+            &PopulationConfig {
+                function_scale: 0.002,
+                volume_scale: 2.0e-6,
+                max_requests_per_day: 2_000.0,
+                min_functions: 15,
+            },
+            seed,
+        );
+        let spec = SimulationSpec::new().with_seed(3);
+        let (eager, eager_trace) = spec.run(&workload);
+        let (lazy, lazy_trace) = spec
+            .engine(streamed.header())
+            .run_streamed(streamed.header(), streamed.stream());
+        assert_eq!(eager, lazy);
+        assert_eq!(eager_trace, lazy_trace);
+        assert_eq!(eager.events_processed, workload.events.len() as u64);
     }
 }

@@ -58,6 +58,11 @@ pub struct FunctionStats {
 /// Aggregate outcome of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct SimReport {
+    /// Arrival events pulled from the workload stream. Matches `requests`
+    /// whenever every event references a known function; kept separately so
+    /// streaming throughput (events/second) is measured against what the
+    /// engine actually consumed.
+    pub events_processed: u64,
     /// Requests admitted and executed.
     pub requests: u64,
     /// Requests served by an already warm pod.

@@ -17,6 +17,7 @@
 
 use std::sync::Arc;
 
+use faas_workload::stream::ArrivalStream;
 use faas_workload::WorkloadSpec;
 use fntrace::RegionTrace;
 
@@ -134,6 +135,18 @@ impl SimulationSpec {
     /// as many times as needed, from as many threads as needed.
     pub fn run(&self, workload: &WorkloadSpec) -> (SimReport, Option<RegionTrace>) {
         self.engine(workload).run(workload)
+    }
+
+    /// Runs one lazily produced arrival stream against the workload's static
+    /// tables (see [`SimulationEngine::run_streamed`]). `workload` may be an
+    /// event-free header — only its function specs, profile, and calibration
+    /// are read.
+    pub fn run_streamed(
+        &self,
+        workload: &WorkloadSpec,
+        events: impl ArrivalStream,
+    ) -> (SimReport, Option<RegionTrace>) {
+        self.engine(workload).run_streamed(workload, events)
     }
 }
 

@@ -6,11 +6,21 @@
 //! weekly, and holiday patterns of the region and function) for everything
 //! else. Timer functions are deliberately unaffected by the holiday — the
 //! paper observes exactly that.
+//!
+//! Generation is stream-first: every function owns an RNG forked off the
+//! shared arrival RNG (labelled by its function id), and its arrivals are
+//! produced lazily in timestamp order by
+//! [`FunctionEventStream`](crate::stream::FunctionEventStream) — timers as
+//! an arithmetic progression, Poisson processes one hour window at a time.
+//! [`ArrivalGenerator::generate`] is simply that stream collected, and
+//! [`crate::stream::SyntheticStream`] merges the per-function streams with
+//! a binary heap instead of collect-then-sort, which is what lets workloads
+//! of any horizon generate in memory proportional to the population only.
 
 use serde::{Deserialize, Serialize};
 
 use faas_stats::rng::Xoshiro256pp;
-use fntrace::{FunctionId, TriggerType, MILLIS_PER_HOUR};
+use fntrace::{FunctionId, TriggerType};
 
 use crate::population::FunctionSpec;
 use crate::profile::{Calibration, RegionProfile};
@@ -91,53 +101,31 @@ impl ArrivalGenerator {
         (diurnal * weekly * holiday).max(0.0)
     }
 
-    /// Generates the arrival stream of one function.
+    /// Generates the arrival stream of one function, collected.
+    ///
+    /// This is [`function_stream`](Self::function_stream) drained into a
+    /// vector — the lazy and eager forms consume the RNG identically, so the
+    /// two can never drift apart.
     pub fn generate(&self, spec: &FunctionSpec, rng: &mut Xoshiro256pp) -> FunctionArrivals {
-        let timestamps_ms = if spec.primary_trigger() == TriggerType::Timer {
-            self.generate_timer(spec, rng)
-        } else {
-            self.generate_poisson(spec, rng)
-        };
+        let timestamps_ms = self
+            .function_stream(spec, rng)
+            .map(|e| e.timestamp_ms)
+            .collect();
         FunctionArrivals {
             function: spec.function,
             timestamps_ms,
         }
     }
 
-    fn generate_timer(&self, spec: &FunctionSpec, rng: &mut Xoshiro256pp) -> Vec<u64> {
-        let period_ms = (spec.timer_period_secs.max(1.0) * 1000.0) as u64;
-        let duration_ms = self.calibration.duration_ms();
-        // Random phase so timers from different functions do not align.
-        let phase = rng.uniform_usize(period_ms as usize) as u64;
-        let mut out = Vec::with_capacity((duration_ms / period_ms + 1) as usize);
-        let mut t = phase;
-        while t < duration_ms {
-            out.push(t);
-            t += period_ms;
-        }
-        out
-    }
-
-    fn generate_poisson(&self, spec: &FunctionSpec, rng: &mut Xoshiro256pp) -> Vec<u64> {
-        let hours = u64::from(self.calibration.duration_days) * 24;
-        let base_per_hour = spec.base_requests_per_day / 24.0;
-        let mut out = Vec::new();
-        for hour in 0..hours {
-            let rate = base_per_hour * self.rate_multiplier(spec, hour);
-            if rate <= 0.0 {
-                continue;
-            }
-            let count = rng.poisson(rate);
-            if count == 0 {
-                continue;
-            }
-            let hour_start = hour * MILLIS_PER_HOUR;
-            for _ in 0..count {
-                out.push(hour_start + rng.uniform_usize(MILLIS_PER_HOUR as usize) as u64);
-            }
-        }
-        out.sort_unstable();
-        out
+    /// Lazy form of [`generate`](Self::generate): forks a per-function RNG
+    /// (labelled by the function id) off `rng` and returns the function's
+    /// arrival stream, which produces timestamps on demand in sorted order.
+    pub fn function_stream<'a>(
+        &'a self,
+        spec: &'a FunctionSpec,
+        rng: &mut Xoshiro256pp,
+    ) -> crate::stream::FunctionEventStream<'a> {
+        crate::stream::FunctionEventStream::new(self, spec, rng.fork(spec.function.raw()))
     }
 }
 
@@ -145,6 +133,7 @@ impl ArrivalGenerator {
 mod tests {
     use super::*;
     use crate::population::{FunctionPopulation, PopulationConfig};
+    use fntrace::MILLIS_PER_HOUR;
 
     fn spec_with(trigger: TriggerType, rpd: f64, amplitude: f64) -> FunctionSpec {
         FunctionSpec {

@@ -34,6 +34,12 @@
 //! [`replay::TraceReplayWorkload`] lowers recorded trace tables (real or
 //! synthetic CSV datasets) back into replay-tagged [`simio::WorkloadSpec`]s,
 //! so the same policy experiments run against replayed traces.
+//!
+//! Generation is stream-first: [`stream`] defines the [`ArrivalStream`]
+//! abstraction and the per-function k-way merge behind it, so arbitrarily
+//! long horizons generate lazily in memory proportional to the function
+//! population — [`simio::WorkloadSpec::from_population`] is simply that
+//! stream collected.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +52,7 @@ pub mod presets;
 pub mod profile;
 pub mod replay;
 pub mod simio;
+pub mod stream;
 pub mod synth;
 
 pub use arrivals::{ArrivalGenerator, FunctionArrivals};
@@ -56,4 +63,5 @@ pub use presets::ScenarioPreset;
 pub use profile::{Calibration, HolidayResponse, RegionProfile};
 pub use replay::TraceReplayWorkload;
 pub use simio::{WorkloadEvent, WorkloadSource, WorkloadSpec};
+pub use stream::{ArrivalStream, SliceStream, SpecStream, StreamedWorkload, SyntheticStream};
 pub use synth::{SyntheticTraceBuilder, TraceScale};

@@ -54,7 +54,8 @@ use fntrace::{Dataset, FunctionId, PodId, RegionTrace, TriggerType, MILLIS_PER_D
 
 use crate::population::FunctionSpec;
 use crate::profile::{Calibration, RegionProfile};
-use crate::simio::{WorkloadEvent, WorkloadSource, WorkloadSpec};
+use crate::simio::{WorkloadSource, WorkloadSpec};
+use crate::stream::ReplayStream;
 
 /// Builder lowering trace records into replayable [`WorkloadSpec`]s.
 ///
@@ -90,18 +91,25 @@ impl TraceReplayWorkload {
     }
 
     /// Lowers one region's trace into a replay-tagged workload.
+    ///
+    /// This is [`build_streamed`](Self::build_streamed) collected: the
+    /// events come out of the same ordered [`ReplayStream`] the streaming
+    /// path yields window by window.
     pub fn build(&self, trace: &RegionTrace) -> WorkloadSpec {
-        let mut events: Vec<WorkloadEvent> = trace
-            .requests
-            .records()
-            .iter()
-            .map(|r| WorkloadEvent {
-                timestamp_ms: r.timestamp_ms,
-                function: r.function,
-            })
-            .collect();
-        events.sort_by_key(|e| (e.timestamp_ms, e.function.raw()));
+        let (mut spec, stream) = self.build_streamed(trace);
+        spec.events = stream.collect();
+        spec
+    }
 
+    /// Lowers a trace into an event-free header spec plus the
+    /// [`ReplayStream`] that yields its events in `(timestamp, function)`
+    /// order.
+    ///
+    /// The stream borrows the trace's request table and holds only a sorted
+    /// index permutation, so replaying never duplicates the event list; the
+    /// header carries the reconstructed function specs, profile, and
+    /// calibration the simulator's static state needs.
+    pub fn build_streamed<'a>(&self, trace: &'a RegionTrace) -> (WorkloadSpec, ReplayStream<'a>) {
         let calibration = self.calibration.unwrap_or_else(|| {
             let span_end = trace.time_span_ms().map(|(_, hi)| hi + 1).unwrap_or(0);
             Calibration {
@@ -120,14 +128,16 @@ impl TraceReplayWorkload {
 
         let functions = infer_functions(trace, &calibration);
 
-        WorkloadSpec {
+        let spec = WorkloadSpec {
             region: trace.region,
             profile,
             calibration,
             functions,
-            events,
+            events: Vec::new(),
             source: WorkloadSource::Replay,
-        }
+        };
+        let stream = ReplayStream::new(trace, spec.duration_ms());
+        (spec, stream)
     }
 
     /// Lowers every region of a dataset, in ascending region-id order.

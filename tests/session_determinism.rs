@@ -66,7 +66,13 @@ fn replay_source(seed: u64) -> ReplayTraceSource {
     ReplayTraceSource::from_trace("replay-synth-r3", &trace)
 }
 
-/// Asserts parallel == sequential == repeat, byte for byte.
+/// Asserts parallel == sequential == repeat == materialised, byte for byte.
+///
+/// `run`/`run_sequential` lower every cell's source to a lazy
+/// [`ArrivalStream`](faas_workload::ArrivalStream); `run_materialized` is
+/// the pre-streaming oracle that builds each `(source, seed)` workload
+/// eagerly and shares it across policy cells. The envelopes must agree to
+/// the byte across all of them.
 fn assert_deterministic(session: &ExperimentSession) {
     let parallel = session.run();
     let sequential = session.run_sequential();
@@ -80,6 +86,13 @@ fn assert_deterministic(session: &ExperimentSession) {
     assert_eq!(
         doc.as_bytes(),
         again.envelope("determinism").to_json().as_bytes()
+    );
+    let materialized = session.run_materialized();
+    assert_eq!(parallel, materialized);
+    assert_eq!(
+        doc.as_bytes(),
+        materialized.envelope("determinism").to_json().as_bytes(),
+        "streamed and materialised execution must serialise identically"
     );
 }
 
@@ -116,6 +129,85 @@ fn all_four_source_impls_agree_across_execution_modes() {
         );
     }
     assert_deterministic(&session);
+}
+
+#[test]
+fn every_source_lowers_to_the_stream_its_workload_materialises() {
+    let sources: Vec<Arc<dyn WorkloadSource>> = vec![
+        Arc::new(preset_source(ScenarioPreset::Diurnal)),
+        Arc::new(region_source(RegionProfile::r3())),
+        Arc::new(replay_source(29)),
+        Arc::new(SynthTraceSource::new(synth_spec(2))),
+    ];
+    for source in sources {
+        for seed in [1u64, 42] {
+            let materialised = source.workload(seed);
+            let lowered = source.lower(seed);
+            assert_eq!(
+                lowered.header.functions,
+                materialised.functions,
+                "{} headers must carry the materialised function table",
+                source.label()
+            );
+            assert_eq!(lowered.header.region, materialised.region);
+            assert_eq!(lowered.header.calibration, materialised.calibration);
+            let events: Vec<_> = lowered.stream.collect();
+            assert_eq!(
+                events,
+                materialised.events,
+                "{} stream must yield the materialised events",
+                source.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn chunk_sources_stream_their_windows_without_copying() {
+    let base = replay_source(31).workload(0);
+    let chunks = coldstarts::session::ChunkSource::split(&base, fntrace::MILLIS_PER_HOUR);
+    assert!(chunks.len() > 1);
+    let session = ExperimentSession::new()
+        .scenarios(&[Scenario::Baseline])
+        .source_arcs(
+            chunks
+                .into_iter()
+                .map(|c| Arc::new(c) as Arc<dyn WorkloadSource>),
+        )
+        .with_seeds(vec![7])
+        .with_threads(4);
+    assert_deterministic(&session);
+    // Every replayed event lands in exactly one chunk cell.
+    let report = session.run();
+    let total: u64 = report.cells.iter().map(|c| c.report.events_processed).sum();
+    assert_eq!(total, base.events.len() as u64);
+}
+
+#[test]
+fn timed_runs_count_every_streamed_event() {
+    let session = ExperimentSession::new()
+        .scenarios(&[Scenario::Baseline, Scenario::TimerPrewarm])
+        .source(preset_source(ScenarioPreset::Bursty))
+        .with_seeds(vec![11])
+        .with_threads(2);
+    let (report, perf) = session.run_timed(&mut []);
+    assert_eq!(perf.cells.len(), report.cells.len());
+    for (cell, timing) in report.cells.iter().zip(&perf.cells) {
+        assert_eq!(timing.policy, cell.policy);
+        assert_eq!(timing.source, cell.source);
+        assert_eq!(timing.seed, cell.seed);
+        assert_eq!(timing.events, cell.report.events_processed);
+        assert!(timing.wall_ms >= 0.0);
+    }
+    let total: u64 = report.cells.iter().map(|c| c.report.events_processed).sum();
+    assert_eq!(perf.total_events(), total);
+    // The perf block rides outside the deterministic envelope section.
+    let doc = report
+        .envelope("timed")
+        .with("perf", perf.to_value())
+        .to_json();
+    assert!(doc.contains("\"perf\": {\"events\": "));
+    assert!(doc.contains("\"events_per_sec\": "));
 }
 
 proptest! {
