@@ -18,8 +18,9 @@
 
 use faas_workload::stream::{ArrivalStream, SliceStream};
 use faas_workload::WorkloadSpec;
-use fntrace::{FunctionId, PodId, RegionTrace};
+use fntrace::{FunctionId, RegionTrace};
 
+use crate::arena::PodIdx;
 use crate::config::PlatformConfig;
 use crate::event::Event;
 use crate::keepalive::KeepAlivePolicy;
@@ -126,7 +127,7 @@ impl SimulationEngine {
             while let Some((t, e)) = state.queue.pop_due(event.timestamp_ms) {
                 self.handle_internal(&mut state, t, e, duration);
             }
-            self.handle_arrival(&mut state, event.function, event.timestamp_ms, true);
+            self.handle_arrival(&mut state, event.function, event.timestamp_ms);
         }
         // Drain the remaining internal events (completions, expiries, final
         // ticks). Periodic ticks are not rescheduled past the duration.
@@ -134,10 +135,11 @@ impl SimulationEngine {
             self.handle_internal(&mut state, t, e, duration);
         }
         // Terminate anything still alive at the end of the horizon, and
-        // settle the pools' idle-memory integral up to it.
-        let live: Vec<PodId> = state.pods.keys().copied().collect();
-        for pod_id in live {
-            state.finalize_pod(pod_id, duration);
+        // settle the pools' idle-memory integral up to it. Arena slot order
+        // is deterministic, so this walk is too.
+        let live: Vec<PodIdx> = state.pods.live_indices().collect();
+        for pod_idx in live {
+            state.finalize_pod(pod_idx, duration);
         }
         state.pools.integrate_to(duration);
 
@@ -155,15 +157,25 @@ impl SimulationEngine {
             }
             Event::PodExpire { pod, generation } => state.expire_pod(pod, t, generation),
             Event::DelayedArrival { function } => {
-                self.handle_arrival(state, function, t, false);
+                // Admission and history were handled when the request first
+                // arrived; the delayed re-entry dispatches directly.
+                state.dispatch(function, t, self.keep_alive.as_ref());
             }
             Event::PrewarmTick => {
                 if t <= duration {
-                    let view = state.platform_view(t);
-                    let requests = self.prewarm.prewarm(&view);
-                    for req in requests {
-                        for _ in 0..req.count {
-                            state.prewarm_pod(req.function, t, self.keep_alive.as_ref());
+                    // A no-op policy never reads the view and never pre-warms:
+                    // skip building the (expensive) whole-platform snapshot.
+                    // The recent-arrival reset and the reschedule still run —
+                    // admission policies observe those counters.
+                    if !self.prewarm.is_noop() {
+                        let view = state.platform_view(t);
+                        let requests = self.prewarm.prewarm(&view);
+                        for req in requests {
+                            if let Some(idx) = state.resolve(req.function) {
+                                for _ in 0..req.count {
+                                    state.prewarm_pod(idx, t, self.keep_alive.as_ref());
+                                }
+                            }
                         }
                     }
                     state.reset_recent_arrivals();
@@ -185,32 +197,35 @@ impl SimulationEngine {
         }
     }
 
-    fn handle_arrival(
-        &mut self,
-        state: &mut SimState<'_>,
-        function: FunctionId,
-        t: u64,
-        allow_delay: bool,
-    ) {
-        if allow_delay {
-            state.observe_arrival(function, t);
-            let view = state.function_view(function, t);
-            if let Some(view) = view {
-                if view.trigger.synchronicity() == fntrace::Synchronicity::Asynchronous {
-                    let delay = self.admission.delay_ms(&view, t);
-                    if delay > 0 {
-                        state.report.delayed_requests += 1;
-                        state.report.total_admission_delay_s += delay as f64 / 1e3;
-                        state.added_latency_s += delay as f64 / 1e3;
-                        state
-                            .queue
-                            .push(t + delay, Event::DelayedArrival { function });
-                        return;
-                    }
+    /// Handles one external arrival: resolve the public function id to its
+    /// dense index (the only hash lookup on the arrival path), record it,
+    /// run admission control, and dispatch.
+    fn handle_arrival(&mut self, state: &mut SimState<'_>, function: FunctionId, t: u64) {
+        let Some(idx) = state.resolve(function) else {
+            // Unknown function (possible with hand-written replay traces):
+            // its history is tracked, nothing is dispatched.
+            state.observe_unknown_arrival(function, t);
+            return;
+        };
+        state.observe_arrival(idx, t);
+        // A no-op admission policy never delays anything: skip assembling
+        // the per-function view (a pure read) and the synchronicity check.
+        if !self.admission.is_noop() {
+            let view = state.function_view(idx, t);
+            if view.trigger.synchronicity() == fntrace::Synchronicity::Asynchronous {
+                let delay = self.admission.delay_ms(&view, t);
+                if delay > 0 {
+                    state.report.delayed_requests += 1;
+                    state.report.total_admission_delay_s += delay as f64 / 1e3;
+                    state.added_latency_s += delay as f64 / 1e3;
+                    state
+                        .queue
+                        .push(t + delay, Event::DelayedArrival { function: idx });
+                    return;
                 }
             }
         }
-        state.dispatch(function, t, self.keep_alive.as_ref());
+        state.dispatch(idx, t, self.keep_alive.as_ref());
     }
 }
 

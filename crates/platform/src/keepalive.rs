@@ -10,15 +10,31 @@
 //! and [`TimerAwareKeepAlive`] (release timer pods early, retain them just
 //! long enough when the period is close to the default).
 
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 use fntrace::{FunctionId, TriggerType};
 
 /// Per-function observation history available to keep-alive policies.
+///
+/// The recent inter-arrival window is a circular buffer: once full, the
+/// oldest observation is overwritten in place, so recording an arrival is
+/// O(1) with no per-arrival shifting. Percentile queries sort a cached copy
+/// of the window lazily — the cache is invalidated by each arrival and
+/// rebuilt only when a policy actually asks (the adaptive keep-alive does;
+/// the fixed and timer-aware policies never do), which keeps the
+/// per-arrival hot path free of any sorted-structure maintenance.
 #[derive(Debug, Clone, Default)]
 pub struct FunctionHistory {
-    /// Recent inter-arrival times in milliseconds (bounded ring).
+    /// Recent inter-arrival times in milliseconds (circular once full;
+    /// `head` marks the oldest entry).
     recent_iat_ms: Vec<u64>,
+    /// Index of the oldest entry in `recent_iat_ms` once the ring is full.
+    head: usize,
+    /// Lazily sorted copy of the window, rebuilt on query when stale.
+    sorted_cache: RefCell<Vec<u64>>,
+    /// Whether `sorted_cache` is out of date with the ring.
+    sorted_stale: Cell<bool>,
     /// Timestamp of the most recent arrival.
     last_arrival_ms: Option<u64>,
     /// Total arrivals observed.
@@ -35,9 +51,12 @@ impl FunctionHistory {
         if let Some(last) = self.last_arrival_ms {
             let iat = now_ms.saturating_sub(last);
             if self.recent_iat_ms.len() == HISTORY_CAP {
-                self.recent_iat_ms.remove(0);
+                self.recent_iat_ms[self.head] = iat;
+                self.head = (self.head + 1) % HISTORY_CAP;
+            } else {
+                self.recent_iat_ms.push(iat);
             }
-            self.recent_iat_ms.push(iat);
+            self.sorted_stale.set(true);
         }
         self.last_arrival_ms = Some(now_ms);
         self.arrivals += 1;
@@ -53,25 +72,35 @@ impl FunctionHistory {
         self.last_arrival_ms
     }
 
+    /// Refreshes the sorted cache from the ring if it is stale.
+    fn refresh_sorted(&self) {
+        if self.sorted_stale.replace(false) {
+            let mut cache = self.sorted_cache.borrow_mut();
+            cache.clear();
+            cache.extend_from_slice(&self.recent_iat_ms);
+            cache.sort_unstable();
+        }
+    }
+
     /// A high percentile (approximately p90) of the recent inter-arrival
     /// times, or `None` when fewer than four observations exist.
     pub fn iat_p90_ms(&self) -> Option<u64> {
-        if self.recent_iat_ms.len() < 4 {
+        self.refresh_sorted();
+        let sorted = self.sorted_cache.borrow();
+        if sorted.len() < 4 {
             return None;
         }
-        let mut sorted = self.recent_iat_ms.clone();
-        sorted.sort_unstable();
         let idx = ((sorted.len() as f64) * 0.9).ceil() as usize - 1;
         Some(sorted[idx.min(sorted.len() - 1)])
     }
 
     /// Median of the recent inter-arrival times, if enough history exists.
     pub fn iat_median_ms(&self) -> Option<u64> {
-        if self.recent_iat_ms.len() < 4 {
+        self.refresh_sorted();
+        let sorted = self.sorted_cache.borrow();
+        if sorted.len() < 4 {
             return None;
         }
-        let mut sorted = self.recent_iat_ms.clone();
-        sorted.sort_unstable();
         Some(sorted[sorted.len() / 2])
     }
 }
@@ -250,7 +279,38 @@ mod tests {
             h.observe_arrival(i * 10);
         }
         assert!(h.recent_iat_ms.len() <= HISTORY_CAP);
+        assert!(h.iat_p90_ms().is_some());
+        assert_eq!(h.sorted_cache.borrow().len(), h.recent_iat_ms.len());
         assert_eq!(h.arrivals, HISTORY_CAP as u64 * 3);
+    }
+
+    #[test]
+    fn lazy_percentiles_match_a_sort_oracle() {
+        // Deterministic pseudo-random arrival gaps (with duplicates) across
+        // several evictions of the bounded window, querying after every
+        // arrival so the lazy cache is exercised in its worst case.
+        let mut h = FunctionHistory::default();
+        let mut t = 0u64;
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..(HISTORY_CAP * 4) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t += x % 50;
+            h.observe_arrival(t);
+            let mut oracle = h.recent_iat_ms.clone();
+            oracle.sort_unstable();
+            if oracle.len() >= 4 {
+                let idx = ((oracle.len() as f64) * 0.9).ceil() as usize - 1;
+                assert_eq!(h.iat_p90_ms(), Some(oracle[idx.min(oracle.len() - 1)]));
+                assert_eq!(h.iat_median_ms(), Some(oracle[oracle.len() / 2]));
+            } else {
+                assert_eq!(h.iat_p90_ms(), None);
+                assert_eq!(h.iat_median_ms(), None);
+            }
+            // Repeat queries without a new arrival hit the cached copy.
+            assert_eq!(h.iat_p90_ms(), h.iat_p90_ms());
+        }
     }
 
     #[test]
@@ -431,10 +491,10 @@ mod expiry_edge_tests {
         let policy = FixedKeepAlive {
             duration_ms: 10_000,
         };
-        let f = FunctionId::new(1);
 
         // Path A: the scheduled expiry event fires at its exact due time.
         let mut a = SimState::new(&w, &cfg, 9);
+        let f = a.resolve(FunctionId::new(1)).expect("function in workload");
         a.dispatch(f, 0, &policy);
         let (t_complete, event) = a.queue.pop().expect("completion scheduled");
         let Event::RequestComplete { pod, busy_ms } = event else {
@@ -483,9 +543,11 @@ mod expiry_edge_tests {
         let policy = FixedKeepAlive {
             duration_ms: 10_000,
         };
-        let f = FunctionId::new(1);
 
         let mut state = SimState::new(&w, &cfg, 11);
+        let f = state
+            .resolve(FunctionId::new(1))
+            .expect("function in workload");
         state.dispatch(f, 0, &policy);
         let (t_complete, event) = state.queue.pop().expect("completion scheduled");
         let Event::RequestComplete { pod, busy_ms } = event else {

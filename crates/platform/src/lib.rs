@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cluster;
 pub mod config;
 pub mod engine;
@@ -43,6 +44,7 @@ pub mod simulator;
 pub mod spec;
 pub mod state;
 
+pub use arena::{FnIdx, PodArena, PodIdx};
 pub use cluster::ClusterState;
 pub use config::PlatformConfig;
 pub use engine::SimulationEngine;

@@ -53,7 +53,10 @@ pub struct Pod {
     /// Last time the pod finished serving a request (keep-alive anchor).
     pub last_activity_ms: u64,
     /// Generation counter for keep-alive expiry events: bumping it
-    /// invalidates previously scheduled expiries.
+    /// invalidates previously scheduled expiries. Pods inserted into a
+    /// recycled [`crate::arena::PodArena`] slot start at the slot's epoch
+    /// (one past the previous occupant's final generation), so stale
+    /// expiries queued against an earlier occupant can never match.
     pub expiry_generation: u64,
     /// Whether the pod was created by a pre-warm policy.
     pub prewarmed: bool,

@@ -62,6 +62,18 @@ pub trait PrewarmPolicy {
 
     /// Human-readable policy name (used in reports).
     fn name(&self) -> &'static str;
+
+    /// Whether this policy never pre-warms and never inspects the view.
+    ///
+    /// When `true`, the engine skips building the whole-platform
+    /// [`PlatformView`] snapshot on every tick — a pure read, so skipping it
+    /// cannot change any simulation outcome, but on long horizons with many
+    /// functions it is a large share of tick cost. Only override this to
+    /// return `true` for policies whose [`prewarm`](Self::prewarm) is
+    /// side-effect-free and always returns no requests.
+    fn is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// Baseline: never pre-warm.
@@ -76,6 +88,10 @@ impl PrewarmPolicy for NoPrewarm {
     fn name(&self) -> &'static str {
         "no-prewarm"
     }
+
+    fn is_noop(&self) -> bool {
+        true
+    }
 }
 
 /// Admission policy: may delay the execution of a request (peak shaving of
@@ -87,6 +103,15 @@ pub trait AdmissionPolicy {
 
     /// Human-readable policy name (used in reports).
     fn name(&self) -> &'static str;
+
+    /// Whether this policy is a guaranteed no-op: it never delays a request
+    /// and keeps no internal state. The engine skips assembling the
+    /// per-arrival [`FunctionView`] (a pure read of simulation state) for
+    /// no-op policies, so this must only return `true` when `delay_ms` is
+    /// side-effect-free and always returns zero.
+    fn is_noop(&self) -> bool {
+        false
+    }
 }
 
 /// Baseline: admit everything immediately.
@@ -100,6 +125,10 @@ impl AdmissionPolicy for NoAdmissionControl {
 
     fn name(&self) -> &'static str {
         "no-admission-control"
+    }
+
+    fn is_noop(&self) -> bool {
+        true
     }
 }
 
@@ -133,6 +162,24 @@ mod tests {
         };
         assert!(p.prewarm(&platform).is_empty());
         assert_eq!(p.name(), "no-prewarm");
+        assert!(p.is_noop());
+    }
+
+    #[test]
+    fn prewarm_policies_are_not_noop_by_default() {
+        struct AlwaysOne;
+        impl PrewarmPolicy for AlwaysOne {
+            fn prewarm(&mut self, _view: &PlatformView) -> Vec<PrewarmRequest> {
+                vec![PrewarmRequest {
+                    function: FunctionId::new(1),
+                    count: 1,
+                }]
+            }
+            fn name(&self) -> &'static str {
+                "always-one"
+            }
+        }
+        assert!(!AlwaysOne.is_noop());
     }
 
     #[test]
@@ -140,5 +187,20 @@ mod tests {
         let mut p = NoAdmissionControl;
         assert_eq!(p.delay_ms(&view(), 123), 0);
         assert_eq!(p.name(), "no-admission-control");
+        assert!(p.is_noop());
+    }
+
+    #[test]
+    fn admission_policies_are_not_noop_by_default() {
+        struct DelayEverything;
+        impl AdmissionPolicy for DelayEverything {
+            fn delay_ms(&mut self, _view: &FunctionView, _now_ms: u64) -> u64 {
+                1
+            }
+            fn name(&self) -> &'static str {
+                "delay-everything"
+            }
+        }
+        assert!(!DelayEverything.is_noop());
     }
 }

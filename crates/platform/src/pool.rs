@@ -8,8 +8,6 @@
 //! background towards a target size, which the resource-pool-prediction
 //! policy can adjust over time.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use fntrace::ResourceConfig;
@@ -49,12 +47,25 @@ pub enum PoolAcquire {
     FromScratch,
 }
 
-/// Idle-pod pools keyed by resource configuration.
+/// One pool: a resource configuration with its idle count and replenish
+/// target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PoolEntry {
+    cfg: ResourceConfig,
+    idle: u32,
+    target: u32,
+}
+
+/// Idle-pod pools, one per resource configuration.
+///
+/// There are only a handful of configurations (the four standard ones plus
+/// any added by [`set_target`](Self::set_target)), so the pools live in a
+/// small `Vec` scanned linearly — cheaper than hashing on the cold-start
+/// path and allocation-free on the replenish tick.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourcePools {
     config: PoolConfig,
-    idle: HashMap<ResourceConfig, u32>,
-    targets: HashMap<ResourceConfig, u32>,
+    entries: Vec<PoolEntry>,
     /// Cumulative counters for reporting.
     acquired_from_pool: u64,
     acquired_from_scratch: u64,
@@ -67,16 +78,17 @@ pub struct ResourcePools {
 impl ResourcePools {
     /// Creates pools at their target sizes for the standard configurations.
     pub fn new(config: PoolConfig) -> Self {
-        let mut idle = HashMap::new();
-        let mut targets = HashMap::new();
-        for cfg in ResourceConfig::STANDARD {
-            idle.insert(cfg, config.target_per_config);
-            targets.insert(cfg, config.target_per_config);
-        }
+        let entries = ResourceConfig::STANDARD
+            .into_iter()
+            .map(|cfg| PoolEntry {
+                cfg,
+                idle: config.target_per_config,
+                target: config.target_per_config,
+            })
+            .collect();
         Self {
             config,
-            idle,
-            targets,
+            entries,
             acquired_from_pool: 0,
             acquired_from_scratch: 0,
             integrated_to_ms: 0,
@@ -89,21 +101,35 @@ impl ResourcePools {
         &self.config
     }
 
+    fn entry(&self, cfg: ResourceConfig) -> Option<&PoolEntry> {
+        self.entries.iter().find(|e| e.cfg == cfg)
+    }
+
+    fn entry_mut(&mut self, cfg: ResourceConfig) -> Option<&mut PoolEntry> {
+        self.entries.iter_mut().find(|e| e.cfg == cfg)
+    }
+
     /// Number of idle pods currently pooled for a configuration.
     pub fn idle_count(&self, cfg: ResourceConfig) -> u32 {
-        self.idle.get(&cfg).copied().unwrap_or(0)
+        self.entry(cfg).map(|e| e.idle).unwrap_or(0)
     }
 
     /// Current replenish target for a configuration.
     pub fn target(&self, cfg: ResourceConfig) -> u32 {
-        self.targets.get(&cfg).copied().unwrap_or(0)
+        self.entry(cfg).map(|e| e.target).unwrap_or(0)
     }
 
     /// Sets the replenish target for a configuration (used by the
     /// resource-pool-prediction policy).
     pub fn set_target(&mut self, cfg: ResourceConfig, target: u32) {
-        self.targets.insert(cfg, target);
-        self.idle.entry(cfg).or_insert(0);
+        match self.entry_mut(cfg) {
+            Some(entry) => entry.target = target,
+            None => self.entries.push(PoolEntry {
+                cfg,
+                idle: 0,
+                target,
+            }),
+        }
     }
 
     /// Advances the idle-memory integral to `now_ms`. Called automatically by
@@ -117,9 +143,9 @@ impl ResourcePools {
         }
         let dt_ms = (now_ms - self.integrated_to_ms) as f64;
         let idle_mb: f64 = self
-            .idle
+            .entries
             .iter()
-            .map(|(cfg, count)| f64::from(cfg.memory_mb) * f64::from(*count))
+            .map(|e| f64::from(e.cfg.memory_mb) * f64::from(e.idle))
             .sum();
         self.idle_mem_mb_ms += idle_mb * dt_ms;
         self.integrated_to_ms = now_ms;
@@ -143,9 +169,9 @@ impl ResourcePools {
     ) -> PoolAcquire {
         self.integrate_to(now_ms);
         if pooled_runtime {
-            if let Some(count) = self.idle.get_mut(&cfg) {
-                if *count > 0 {
-                    *count -= 1;
+            if let Some(entry) = self.entry_mut(cfg) {
+                if entry.idle > 0 {
+                    entry.idle -= 1;
                     self.acquired_from_pool += 1;
                     return PoolAcquire::FromPool;
                 }
@@ -160,12 +186,12 @@ impl ResourcePools {
     /// created.
     pub fn replenish(&mut self, now_ms: u64) -> u32 {
         self.integrate_to(now_ms);
+        let per_tick = self.config.replenish_per_tick;
         let mut created = 0;
-        for (cfg, target) in self.targets.clone() {
-            let entry = self.idle.entry(cfg).or_insert(0);
-            if *entry < target {
-                let add = (target - *entry).min(self.config.replenish_per_tick);
-                *entry += add;
+        for entry in &mut self.entries {
+            if entry.idle < entry.target {
+                let add = (entry.target - entry.idle).min(per_tick);
+                entry.idle += add;
                 created += add;
             }
         }
@@ -184,7 +210,7 @@ impl ResourcePools {
 
     /// Total idle pods across all pools (a measure of reserved capacity).
     pub fn total_idle(&self) -> u32 {
-        self.idle.values().sum()
+        self.entries.iter().map(|e| e.idle).sum()
     }
 }
 

@@ -6,8 +6,18 @@
 //! [`crate::engine`] drives it; splitting the two keeps the loop readable and
 //! lets alternative drivers (the experiment grid, future incremental
 //! re-simulation) reuse the state transitions unchanged.
+//!
+//! All hot per-function and per-pod tables are index-addressed (see
+//! [`crate::arena`]): functions resolve once per external arrival from their
+//! hashed [`FunctionId`] to a dense [`FnIdx`], and from there every lookup —
+//! histories, warm-pod lists, recent-arrival counters, specs — is a `Vec`
+//! index. Live pods live in a slot-recycling [`PodArena`]. Arrivals for
+//! functions absent from the workload table (possible with hand-written
+//! replay traces) fall back to a cold-path side map so their histories are
+//! still accounted exactly as before.
 
 use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
 
 use faas_stats::rng::Xoshiro256pp;
 use faas_workload::{ColdStartLatencyModel, FunctionSpec, WorkloadSpec};
@@ -16,6 +26,7 @@ use fntrace::{
     MILLIS_PER_DAY, MILLIS_PER_HOUR,
 };
 
+use crate::arena::{FnIdx, PodArena, PodIdx};
 use crate::cluster::ClusterState;
 use crate::config::PlatformConfig;
 use crate::event::{Event, EventQueue};
@@ -24,6 +35,39 @@ use crate::pod::{Pod, PodState};
 use crate::policy::{FunctionView, PlatformView};
 use crate::pool::{PoolAcquire, ResourcePools};
 use crate::report::{FunctionStats, LatencyStats, SimReport};
+
+/// Hasher for the arrival-path `FunctionId -> FnIdx` map.
+///
+/// Function ids are plain 64-bit values (hashed names or small test
+/// integers), so a SplitMix64 finalizer — four multiply/xor-shift rounds
+/// with full avalanche — replaces SipHash on the one lookup every external
+/// arrival performs. It is keyless and deterministic, and the map is only
+/// ever probed or inserted into, never iterated, so no observable order
+/// depends on it.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct FnIdHasher(u64);
+
+impl std::hash::Hasher for FnIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic byte fallback (FNV-style); the id map only feeds u64s.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type FnIndexMap = HashMap<FunctionId, FnIdx, BuildHasherDefault<FnIdHasher>>;
 
 /// Mutable state of one in-flight simulation run.
 ///
@@ -34,16 +78,23 @@ use crate::report::{FunctionStats, LatencyStats, SimReport};
 pub struct SimState<'a> {
     pub(crate) workload: &'a WorkloadSpec,
     pub(crate) config: PlatformConfig,
-    pub(crate) specs: HashMap<FunctionId, &'a FunctionSpec>,
+    /// Function specs by dense index (position in the workload table).
+    pub(crate) specs: Vec<&'a FunctionSpec>,
+    /// Resolves a hashed function id to its dense index; consulted once per
+    /// external arrival, never on internal events.
+    pub(crate) fn_index: FnIndexMap,
     pub(crate) latency_model: ColdStartLatencyModel,
     pub(crate) rng: Xoshiro256pp,
     pub(crate) queue: EventQueue,
     pub(crate) pools: ResourcePools,
     pub(crate) clusters: ClusterState,
-    pub(crate) pods: HashMap<PodId, Pod>,
-    pub(crate) warm_by_function: HashMap<FunctionId, Vec<PodId>>,
-    pub(crate) histories: HashMap<FunctionId, FunctionHistory>,
-    pub(crate) recent_arrivals: HashMap<FunctionId, u64>,
+    pub(crate) pods: PodArena,
+    pub(crate) warm_by_function: Vec<Vec<PodIdx>>,
+    pub(crate) histories: Vec<FunctionHistory>,
+    /// Histories of functions outside the workload table (replay traces can
+    /// reference them); cold path, keyed by public id.
+    pub(crate) extra_histories: HashMap<FunctionId, FunctionHistory>,
+    pub(crate) recent_arrivals: Vec<u64>,
     pub(crate) next_pod_id: u64,
     pub(crate) next_request_id: u64,
     pub(crate) report: SimReport,
@@ -56,7 +107,15 @@ pub struct SimState<'a> {
 impl<'a> SimState<'a> {
     /// Builds fresh state for one replay of `workload`.
     pub(crate) fn new(workload: &'a WorkloadSpec, config: &PlatformConfig, seed: u64) -> Self {
-        let specs = workload.functions.iter().map(|f| (f.function, f)).collect();
+        let n = workload.functions.len();
+        let mut specs = Vec::with_capacity(n);
+        let mut fn_index = FnIndexMap::with_capacity_and_hasher(n, Default::default());
+        for (i, spec) in workload.functions.iter().enumerate() {
+            specs.push(spec);
+            // On duplicate ids the later entry wins, matching the previous
+            // map-keyed table; the earlier index simply goes unreferenced.
+            fn_index.insert(spec.function, FnIdx::new(i as u32));
+        }
         let trace = if config.record_trace {
             let mut trace = RegionTrace::new(workload.region);
             for spec in &workload.functions {
@@ -76,15 +135,17 @@ impl<'a> SimState<'a> {
             workload,
             config: config.clone(),
             specs,
+            fn_index,
             latency_model: ColdStartLatencyModel::new(workload.profile.clone()),
             rng: Xoshiro256pp::seed_from_u64(seed ^ 0x5151_5151),
             queue: EventQueue::new(),
             pools: ResourcePools::new(config.pool.clone()),
             clusters: ClusterState::new(config.clusters, config.hot_spot_threshold),
-            pods: HashMap::new(),
-            warm_by_function: HashMap::new(),
-            histories: HashMap::new(),
-            recent_arrivals: HashMap::new(),
+            pods: PodArena::new(),
+            warm_by_function: vec![Vec::new(); n],
+            histories: vec![FunctionHistory::default(); n],
+            extra_histories: HashMap::new(),
+            recent_arrivals: vec![0; n],
             next_pod_id: 0,
             next_request_id: 0,
             report: SimReport::default(),
@@ -95,38 +156,44 @@ impl<'a> SimState<'a> {
         }
     }
 
-    pub(crate) fn observe_arrival(&mut self, function: FunctionId, t: u64) {
-        self.histories
+    /// Resolves a public function id to its dense index, if the function is
+    /// in the workload table. The one hash lookup on the arrival path.
+    pub(crate) fn resolve(&self, function: FunctionId) -> Option<FnIdx> {
+        self.fn_index.get(&function).copied()
+    }
+
+    pub(crate) fn observe_arrival(&mut self, function: FnIdx, t: u64) {
+        self.histories[function.index()].observe_arrival(t);
+        self.recent_arrivals[function.index()] += 1;
+    }
+
+    /// Records an arrival for a function outside the workload table.
+    pub(crate) fn observe_unknown_arrival(&mut self, function: FunctionId, t: u64) {
+        self.extra_histories
             .entry(function)
             .or_default()
             .observe_arrival(t);
-        *self.recent_arrivals.entry(function).or_insert(0) += 1;
     }
 
     pub(crate) fn reset_recent_arrivals(&mut self) {
-        self.recent_arrivals.clear();
+        self.recent_arrivals.fill(0);
     }
 
-    pub(crate) fn function_view(&self, function: FunctionId, _now_ms: u64) -> Option<FunctionView> {
-        let spec = self.specs.get(&function)?;
-        let history = self.histories.get(&function);
-        let warm = self
-            .warm_by_function
-            .get(&function)
-            .map(|v| v.len() as u32)
-            .unwrap_or(0);
-        Some(FunctionView {
-            function,
+    pub(crate) fn function_view(&self, function: FnIdx, _now_ms: u64) -> FunctionView {
+        let spec = self.specs[function.index()];
+        let history = &self.histories[function.index()];
+        FunctionView {
+            function: spec.function,
             runtime: spec.runtime,
             trigger: spec.primary_trigger(),
             config: spec.config,
             timer_period_secs: spec.timer_period_secs,
-            warm_pods: warm,
-            arrivals: history.map(|h| h.arrivals).unwrap_or(0),
-            cold_starts: history.map(|h| h.cold_starts).unwrap_or(0),
-            recent_arrivals: self.recent_arrivals.get(&function).copied().unwrap_or(0),
-            last_arrival_ms: history.and_then(|h| h.last_arrival()),
-        })
+            warm_pods: self.warm_by_function[function.index()].len() as u32,
+            arrivals: history.arrivals,
+            cold_starts: history.cold_starts,
+            recent_arrivals: self.recent_arrivals[function.index()],
+            last_arrival_ms: history.last_arrival(),
+        }
     }
 
     pub(crate) fn platform_view(&self, now_ms: u64) -> PlatformView {
@@ -134,26 +201,23 @@ impl<'a> SimState<'a> {
             .workload
             .functions
             .iter()
-            .filter_map(|f| self.function_view(f.function, now_ms))
+            .filter_map(|f| self.resolve(f.function))
+            .map(|idx| self.function_view(idx, now_ms))
             .collect::<Vec<_>>();
         PlatformView {
             now_ms,
-            total_warm_pods: self.pods.len() as u32,
+            total_warm_pods: self.pods.live(),
             pooled_idle_pods: self.pools.total_idle(),
             functions,
         }
     }
 
     /// Samples one cold start for `function` and registers the new pod.
-    /// Returns the pod id and its cold-start duration in microseconds.
-    pub(crate) fn create_pod(
-        &mut self,
-        function: FunctionId,
-        t: u64,
-        prewarmed: bool,
-    ) -> Option<(PodId, u64)> {
-        let spec = *self.specs.get(&function)?;
-        let cluster = self.clusters.place_pod(function);
+    /// Returns the pod's arena slot and its cold-start duration in
+    /// microseconds.
+    pub(crate) fn create_pod(&mut self, function: FnIdx, t: u64, prewarmed: bool) -> (PodIdx, u64) {
+        let spec = self.specs[function.index()];
+        let cluster = self.clusters.place_pod(spec.function);
         let acquire = self
             .pools
             .acquire(spec.config, spec.runtime.has_reserved_pool(), t);
@@ -177,38 +241,34 @@ impl<'a> SimState<'a> {
                 as u64;
         }
 
+        // Public pod ids are minted from a never-reused counter regardless of
+        // arena slot recycling, so traces are independent of slab layout.
         self.next_pod_id += 1;
         let pod_id = PodId::new((u64::from(self.workload.region.index()) << 48) | self.next_pod_id);
         let pod = Pod::new(
             pod_id,
-            function,
+            spec.function,
             cluster,
             spec.config,
             t,
             components.total_us(),
             prewarmed,
         );
-        self.pods.insert(pod_id, pod);
-        self.warm_by_function
-            .entry(function)
-            .or_default()
-            .push(pod_id);
-        self.peak_live_pods = self.peak_live_pods.max(self.pods.len() as u32);
+        let pod_idx = self.pods.insert(pod, function);
+        self.warm_by_function[function.index()].push(pod_idx);
+        self.peak_live_pods = self.peak_live_pods.max(self.pods.live());
 
         if !prewarmed {
             self.report.cold_starts += 1;
             self.cold_latencies_s.push(components.total_secs());
             self.added_latency_s += components.total_secs();
-            self.histories
-                .entry(function)
-                .or_default()
-                .observe_cold_start();
+            self.histories[function.index()].observe_cold_start();
             if let Some(trace) = self.trace.as_mut() {
                 trace.cold_starts.push(ColdStartRecord {
                     timestamp_ms: t,
                     pod: pod_id,
                     cluster,
-                    function,
+                    function: spec.function,
                     user: spec.user,
                     cold_start_us: components.total_us(),
                     pod_alloc_us: components.pod_alloc_us,
@@ -224,47 +284,42 @@ impl<'a> SimState<'a> {
             PoolAcquire::FromPool => self.report.pool_hits += 1,
             PoolAcquire::FromScratch => self.report.scratch_creations += 1,
         }
-        Some((pod_id, components.total_us()))
+        (pod_idx, components.total_us())
     }
 
     /// Dispatches one admitted request.
-    pub(crate) fn dispatch(
-        &mut self,
-        function: FunctionId,
-        t: u64,
-        keep_alive: &dyn KeepAlivePolicy,
-    ) {
-        let Some(spec) = self.specs.get(&function).copied() else {
-            return;
-        };
+    pub(crate) fn dispatch(&mut self, function: FnIdx, t: u64, keep_alive: &dyn KeepAlivePolicy) {
+        let spec = self.specs[function.index()];
         self.report.requests += 1;
 
         // Pick the most recently active warm pod with spare capacity that is
-        // already ready to serve.
-        let warm_pod = self.warm_by_function.get(&function).and_then(|pods| {
-            pods.iter()
-                .filter_map(|id| self.pods.get(id))
-                .filter(|p| p.has_capacity(spec.concurrency) && p.ready_ms <= t)
-                .max_by_key(|p| p.last_activity_ms)
-                .map(|p| p.id)
-        });
+        // already ready to serve. The warm list holds arena slots in the
+        // same creation order the id-keyed list used, so ties resolve to the
+        // same pod.
+        let warm_pod = self.warm_by_function[function.index()]
+            .iter()
+            .filter_map(|&idx| self.pods.get(idx).map(|p| (idx, p)))
+            .filter(|(_, p)| p.has_capacity(spec.concurrency) && p.ready_ms <= t)
+            .max_by_key(|(_, p)| p.last_activity_ms)
+            .map(|(idx, _)| idx);
 
         let exec_secs = (spec.median_execution_secs * (0.6 * self.rng.standard_normal()).exp())
             .clamp(1e-4, 600.0);
         let exec_ms = (exec_secs * 1e3).ceil() as u64;
 
-        let (pod_id, startup_ms) = match warm_pod {
-            Some(pod_id) => {
+        let (pod_idx, startup_ms) = match warm_pod {
+            Some(pod_idx) => {
                 self.report.warm_starts += 1;
-                (pod_id, 0)
+                (pod_idx, 0)
             }
-            None => match self.create_pod(function, t, false) {
-                Some((pod_id, cold_us)) => (pod_id, cold_us.div_ceil(1000)),
-                None => return,
-            },
+            None => {
+                let (pod_idx, cold_us) = self.create_pod(function, t, false);
+                (pod_idx, cold_us.div_ceil(1000))
+            }
         };
 
-        let pod = self.pods.get_mut(&pod_id).expect("pod exists");
+        let pod = self.pods.get_mut(pod_idx).expect("pod exists");
+        let pod_id = pod.id;
         let was_prewarmed_unused = pod.prewarmed && pod.served == 0;
         pod.begin_request();
         if was_prewarmed_unused {
@@ -275,7 +330,7 @@ impl<'a> SimState<'a> {
         self.queue.push(
             t + startup_ms + exec_ms,
             Event::RequestComplete {
-                pod: pod_id,
+                pod: pod_idx,
                 busy_ms: exec_ms,
             },
         );
@@ -290,7 +345,7 @@ impl<'a> SimState<'a> {
                 timestamp_ms: t,
                 pod: pod_id,
                 cluster,
-                function,
+                function: spec.function,
                 user: spec.user,
                 request: RequestId::new(self.next_request_id),
                 execution_time_us: (exec_secs * 1e6) as u64,
@@ -303,36 +358,36 @@ impl<'a> SimState<'a> {
 
     pub(crate) fn complete_request(
         &mut self,
-        pod_id: PodId,
+        pod_idx: PodIdx,
         t: u64,
         busy_ms: u64,
         keep_alive: &dyn KeepAlivePolicy,
     ) {
-        let Some(pod) = self.pods.get_mut(&pod_id) else {
+        let Some((pod, function)) = self.pods.get_mut_with_fn(pod_idx) else {
             return;
         };
         let cluster = pod.cluster;
-        let function = pod.function;
+        let function_id = pod.function;
         let became_idle = pod.complete_request(t, busy_ms);
+        let generation = pod.expiry_generation;
         self.clusters.complete_request(cluster);
         if became_idle {
-            let history = self.histories.entry(function).or_default();
-            let ka = keep_alive.keep_alive_ms(function, history);
-            let generation = pod.expiry_generation;
+            let history = &self.histories[function.index()];
+            let ka = keep_alive.keep_alive_ms(function_id, history);
             self.queue.push(
                 t + ka.max(1),
                 Event::PodExpire {
-                    pod: pod_id,
+                    pod: pod_idx,
                     generation,
                 },
             );
         }
     }
 
-    pub(crate) fn expire_pod(&mut self, pod_id: PodId, t: u64, generation: u64) {
+    pub(crate) fn expire_pod(&mut self, pod_idx: PodIdx, t: u64, generation: u64) {
         let valid = self
             .pods
-            .get(&pod_id)
+            .get(pod_idx)
             .map(|p| {
                 p.in_flight == 0
                     && p.expiry_generation == generation
@@ -340,48 +395,44 @@ impl<'a> SimState<'a> {
             })
             .unwrap_or(false);
         if valid {
-            self.finalize_pod(pod_id, t);
+            self.finalize_pod(pod_idx, t);
         }
     }
 
     /// Removes a pod from the live set and accounts its lifetime.
-    pub(crate) fn finalize_pod(&mut self, pod_id: PodId, t: u64) {
-        let Some(mut pod) = self.pods.remove(&pod_id) else {
+    pub(crate) fn finalize_pod(&mut self, pod_idx: PodIdx, t: u64) {
+        let Some((mut pod, function)) = self.pods.remove(pod_idx) else {
             return;
         };
-        let function = pod.function;
         let (lifetime_ms, _served, busy_ms) = pod.terminate(t);
         self.report.pod_lifetime_s += lifetime_ms as f64 / 1e3;
         let startup_ms = pod.cold_start_us / 1000;
         let idle_s = lifetime_ms.saturating_sub(busy_ms + startup_ms) as f64 / 1e3;
         self.report.idle_pod_time_s += idle_s;
         self.report.mem_gb_s_wasted += idle_s * pod.config.memory_mb as f64 / 1024.0;
-        if let Some(list) = self.warm_by_function.get_mut(&function) {
-            list.retain(|id| *id != pod_id);
-        }
+        self.warm_by_function[function.index()].retain(|&idx| idx != pod_idx);
     }
 
     /// Creates a pre-warmed pod whose startup cost is paid off the critical
     /// path; it joins the warm set once ready and expires like any idle pod.
     pub(crate) fn prewarm_pod(
         &mut self,
-        function: FunctionId,
+        function: FnIdx,
         t: u64,
         keep_alive: &dyn KeepAlivePolicy,
     ) {
-        if let Some((pod_id, _cold_us)) = self.create_pod(function, t, true) {
-            let history = self.histories.entry(function).or_default();
-            let ka = keep_alive.keep_alive_ms(function, history);
-            let pod = self.pods.get(&pod_id).expect("pod exists");
-            let generation = pod.expiry_generation;
-            self.queue.push(
-                pod.ready_ms + ka.max(1),
-                Event::PodExpire {
-                    pod: pod_id,
-                    generation,
-                },
-            );
-        }
+        let (pod_idx, _cold_us) = self.create_pod(function, t, true);
+        let function_id = self.specs[function.index()].function;
+        let ka = keep_alive.keep_alive_ms(function_id, &self.histories[function.index()]);
+        let pod = self.pods.get(pod_idx).expect("pod exists");
+        let generation = pod.expiry_generation;
+        self.queue.push(
+            pod.ready_ms + ka.max(1),
+            Event::PodExpire {
+                pod: pod_idx,
+                generation,
+            },
+        );
     }
 
     pub(crate) fn into_report(
@@ -403,12 +454,23 @@ impl<'a> SimState<'a> {
             let mut per_function: Vec<FunctionStats> = self
                 .histories
                 .iter()
+                .enumerate()
                 .filter(|(_, h)| h.arrivals > 0 || h.cold_starts > 0)
-                .map(|(&function, h)| FunctionStats {
-                    function,
+                .map(|(i, h)| FunctionStats {
+                    function: self.specs[i].function,
                     requests: h.arrivals,
                     cold_starts: h.cold_starts,
                 })
+                .chain(
+                    self.extra_histories
+                        .iter()
+                        .filter(|(_, h)| h.arrivals > 0 || h.cold_starts > 0)
+                        .map(|(&function, h)| FunctionStats {
+                            function,
+                            requests: h.arrivals,
+                            cold_starts: h.cold_starts,
+                        }),
+                )
                 .collect();
             per_function.sort_by_key(|s| s.function);
             self.report.per_function = per_function;
