@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cargo run --release --bin longhaul -- --days 7
+//! cargo run --release --bin longhaul -- --days 7 --shards 4      # sharded engines
 //! cargo run --release --bin longhaul -- --days 7 --materialize   # eager baseline
 //! ```
 //!
@@ -18,6 +19,11 @@
 //! pre-streaming behaviour) and then simulated; under the CI ceiling that
 //! path aborts, which is exactly the contrast the job documents. The
 //! `--max-rss-kb` flag turns the printed peak into a hard check.
+//!
+//! With `--shards N` the streamed run partitions the function population
+//! across `N` engine threads reconciling shared capacity at epoch
+//! boundaries (see `faas_platform::shard`); the report is byte-identical to
+//! `--shards 1`, so the flag measures pure scaling.
 
 use std::process::ExitCode;
 
@@ -26,7 +32,7 @@ use faas_platform::{PlatformConfig, SimulationSpec};
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::RegionProfile;
 use faas_workload::stream::{ArrivalStream, StreamedWorkload};
-use faas_workload::{ScenarioPreset, WorkloadSpec};
+use faas_workload::{ScenarioPreset, ShardPlan, WorkloadSpec};
 
 struct Args {
     days: u32,
@@ -38,13 +44,15 @@ struct Args {
     max_requests_per_day: f64,
     min_functions: usize,
     materialize: bool,
+    shards: u32,
     max_rss_kb: Option<u64>,
 }
 
 fn usage() -> String {
     "usage: longhaul [--days N] [--preset NAME] [--region N] [--seed N]\n\
      \x20               [--function-scale F] [--volume-scale F] [--max-rpd F]\n\
-     \x20               [--min-functions N] [--materialize] [--max-rss-kb N]\n\n\
+     \x20               [--min-functions N] [--materialize] [--shards N]\n\
+     \x20               [--max-rss-kb N]\n\n\
      --days           horizon in days (default 7)\n\
      --preset         scenario preset (default diurnal)\n\
      --region         paper region index 1..=5 (default 2)\n\
@@ -54,6 +62,8 @@ fn usage() -> String {
      --max-rpd        cap on one function's requests/day (default 200000)\n\
      --min-functions  minimum population size (default 50)\n\
      --materialize    build the full event vector first (eager baseline)\n\
+     --shards         intra-cell engine shards, byte-identical results\n\
+     \x20               for every value (default 1; streamed mode only)\n\
      --max-rss-kb     fail if peak RSS (VmHWM) exceeds this many kB"
         .to_string()
 }
@@ -69,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         max_requests_per_day: 200_000.0,
         min_functions: 50,
         materialize: false,
+        shards: 1,
         max_rss_kb: None,
     };
     let mut iter = std::env::args().skip(1);
@@ -88,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
             "--max-rpd" => args.max_requests_per_day = parse(&take("--max-rpd")?)?,
             "--min-functions" => args.min_functions = parse(&take("--min-functions")?)?,
             "--materialize" => args.materialize = true,
+            "--shards" => args.shards = parse(&take("--shards")?)?,
             "--max-rss-kb" => args.max_rss_kb = Some(parse(&take("--max-rss-kb")?)?),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
@@ -131,13 +143,18 @@ fn main() -> ExitCode {
     };
 
     let days = args.days.max(1);
+    let shards = args.shards.max(1);
+    if args.materialize && shards > 1 {
+        eprintln!("longhaul: --shards applies to the streamed mode only");
+        return ExitCode::FAILURE;
+    }
     let mode = if args.materialize {
         "materialized"
     } else {
         "streamed"
     };
     println!(
-        "longhaul: mode={mode} preset={} region={} days={days} seed={}",
+        "longhaul: mode={mode} preset={} region={} days={days} seed={} shards={shards}",
         args.preset.name(),
         args.region,
         args.seed,
@@ -180,7 +197,18 @@ fn main() -> ExitCode {
             workload.header().functions.len(),
             stream.horizon_ms(),
         );
-        spec.run_streamed(workload.header(), stream).0
+        if shards > 1 {
+            // One engine thread per shard over its own slice of the
+            // population, reconciling shared capacity at epoch boundaries.
+            // The report is byte-identical to the single-shard run.
+            let plan = ShardPlan::new(&workload.header().functions, shards);
+            let streams: Vec<_> = (0..plan.shards())
+                .map(|s| workload.stream_shard(&plan, s))
+                .collect();
+            spec.run_sharded(workload.header(), &plan, streams).0
+        } else {
+            spec.run_streamed(workload.header(), stream).0
+        }
     };
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 

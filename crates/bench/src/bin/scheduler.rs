@@ -19,17 +19,32 @@
 //! * `cascade_far_future`: deadlines spread across high wheel levels plus
 //!   beyond the 2^32 ms horizon, forcing cascades and overflow migration.
 //!
+//! Two end-to-end rows measure the intra-cell sharded engine (see
+//! `faas_platform::shard`) rather than the bare wheel:
+//!
+//! * `sharded_run_x1`: a full streamed simulation, single shard — the
+//!   committed single-shard throughput baseline.
+//! * `sharded_run_x4`: the identical workload across four shard threads
+//!   with epoch reconciliation; same report, different wall-clock. On
+//!   single-core runners the barrier overhead makes this row *slower* than
+//!   `x1` — scaling needs cores ≥ shards — so no cross-row ratio is gated.
+//!
 //! Writes `BENCH_engine.json` (`faas-coldstarts/engine/v1`): one entry per
-//! scenario with `events` (pushes + pops), `wall_ms`, and `events_per_sec`,
-//! plus an aggregate `total`. The committed file is the smoke baseline CI
-//! validates and gates against.
+//! scenario with `events` (pushes + pops; processed arrivals for the
+//! sharded rows), `wall_ms`, and `events_per_sec`, plus an aggregate
+//! `total`. The committed file is the smoke baseline CI validates and gates
+//! against (see `docs/bench-schemas.md`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use faas_platform::{Event, EventQueue};
+use faas_platform::{Event, EventQueue, PlatformConfig, SimulationSpec};
 use faas_stats::rng::Xoshiro256pp;
+use faas_workload::population::PopulationConfig;
+use faas_workload::profile::RegionProfile;
+use faas_workload::stream::StreamedWorkload;
+use faas_workload::{ScenarioPreset, ShardPlan};
 
 struct Args {
     smoke: bool,
@@ -139,7 +154,7 @@ fn periodic_tick_train(n: usize, rng: &mut Xoshiro256pp) -> ScenarioResult {
             ops += 1;
         }
         queue.push(now + execs[i], Event::PrewarmTick);
-        queue.push(now + 60_000, Event::PoolReplenishTick);
+        queue.push(now + 60_000, Event::PrewarmTick);
         ops += 2;
     }
     ops += drain_all(&mut queue);
@@ -197,6 +212,53 @@ fn cascade_far_future(n: usize, rng: &mut Xoshiro256pp) -> ScenarioResult {
     ScenarioResult {
         name: "cascade_far_future",
         events: n as u64 + pops,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// End-to-end sharded engine run: a diurnal preset workload sized to
+/// roughly `n` arrivals, streamed through `shards` engine threads. The
+/// reported `events` count is the engine's processed-arrival counter, which
+/// is byte-identical for every shard count — only `wall_ms` varies.
+fn sharded_run(n: usize, seed: u64, shards: u32) -> ScenarioResult {
+    let preset = ScenarioPreset::Diurnal;
+    let profile = RegionProfile::r2();
+    // ~700 events per function over two days at these scales.
+    let population = PopulationConfig {
+        function_scale: 0.01,
+        volume_scale: 2.0e-4,
+        max_requests_per_day: 200_000.0,
+        min_functions: (n / 700).max(50),
+    };
+    let workload = StreamedWorkload::generate(
+        &preset.profile(&profile),
+        preset.calibration(2),
+        &population,
+        seed,
+    );
+    let spec = SimulationSpec::new()
+        .with_config(PlatformConfig {
+            record_trace: false,
+            ..PlatformConfig::default()
+        })
+        .with_seed(seed);
+    let start = Instant::now();
+    let report = if shards > 1 {
+        let plan = ShardPlan::new(&workload.header().functions, shards);
+        let streams: Vec<_> = (0..plan.shards())
+            .map(|s| workload.stream_shard(&plan, s))
+            .collect();
+        spec.run_sharded(workload.header(), &plan, streams).0
+    } else {
+        spec.run_streamed(workload.header(), workload.stream()).0
+    };
+    ScenarioResult {
+        name: if shards > 1 {
+            "sharded_run_x4"
+        } else {
+            "sharded_run_x1"
+        },
+        events: report.events_processed,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -272,6 +334,8 @@ fn main() -> ExitCode {
         periodic_tick_train(per_scenario, &mut rng),
         same_timestamp_bursts(per_scenario, &mut rng),
         cascade_far_future(per_scenario, &mut rng),
+        sharded_run(per_scenario, args.seed, 1),
+        sharded_run(per_scenario, args.seed, 4),
     ];
     for r in &results {
         println!(

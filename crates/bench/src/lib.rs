@@ -5,6 +5,14 @@
 //! series/rows to stdout and writing CSV files under `results/`. The mapping
 //! from experiment id to generator is listed in `DESIGN.md` and the measured
 //! values are recorded in `EXPERIMENTS.md`.
+//!
+//! Four sibling binaries exercise the stack end to end and write the
+//! committed `BENCH_*.json` baselines that CI validates and perf-gates
+//! (schemas documented in `docs/bench-schemas.md`): `sweep` (policy grid),
+//! `replay` (synthesize → replay round trip), `scheduler` (timing-wheel
+//! microbenchmarks plus matched single-shard / 4-shard simulation rows),
+//! and `longhaul` (month-scale O(1)-memory streaming runs; `--shards n`
+//! runs the same spec sharded and must report identical counts).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -41,7 +41,12 @@
 //! typed [`session::PolicyConfig`]s (named scenarios or sweep
 //! configurations), executed concurrently with a deterministic merge and
 //! streamed through [`session::ReportSink`]s into the shared
-//! `faas-coldstarts/session/v1` report envelope.
+//! `faas-coldstarts/session/v1` report envelope. Two independent
+//! parallelism knobs, both byte-identical to the sequential run: `threads`
+//! runs whole cells concurrently, and `shards`
+//! ([`session::ExperimentSession::with_shards`]) splits each streamed
+//! cell's function population across engine threads with epoch-boundary
+//! reconciliation (see `faas_platform::shard` and `ARCHITECTURE.md`).
 //!
 //! ```
 //! use coldstarts::evaluation::Scenario;

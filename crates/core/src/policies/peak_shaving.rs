@@ -7,6 +7,8 @@
 //! even a short delay could significantly reduce peak pod allocations."
 //! [`AsyncPeakShaving`] implements exactly that as an admission policy.
 
+use std::collections::HashMap;
+
 use faas_platform::{AdmissionPolicy, FunctionView};
 use fntrace::{TriggerType, MILLIS_PER_HOUR};
 
@@ -20,8 +22,15 @@ pub struct AsyncPeakShaving {
     pub window_hours: f64,
     /// Maximum delay applied to a deferred request, in milliseconds.
     pub max_delay_ms: u64,
-    /// Counter used to spread deferred requests deterministically.
-    spread_counter: u64,
+    /// Per-function counters used to spread deferred requests
+    /// deterministically.
+    ///
+    /// Keyed by function so each function's delay sequence depends only on
+    /// its own arrival history — the property that keeps the policy
+    /// shard-count-invariant under intra-cell sharding (a global counter
+    /// would interleave differently depending on which functions share an
+    /// engine; see `faas_platform::shard`).
+    spread_counters: HashMap<u64, u64>,
 }
 
 impl AsyncPeakShaving {
@@ -31,7 +40,7 @@ impl AsyncPeakShaving {
             peak_hour,
             window_hours,
             max_delay_ms,
-            spread_counter: 0,
+            spread_counters: HashMap::new(),
         }
     }
 
@@ -64,9 +73,11 @@ impl AdmissionPolicy for AsyncPeakShaving {
         {
             return 0;
         }
-        // Spread deferred requests across the delay budget deterministically.
-        self.spread_counter = self.spread_counter.wrapping_add(0x9E37_79B9);
-        1 + self.spread_counter % self.max_delay_ms
+        // Spread each function's deferred requests across the delay budget
+        // deterministically, independent of other functions' arrivals.
+        let counter = self.spread_counters.entry(view.function.raw()).or_insert(0);
+        *counter = counter.wrapping_add(0x9E37_79B9);
+        1 + *counter % self.max_delay_ms
     }
 
     fn name(&self) -> &'static str {

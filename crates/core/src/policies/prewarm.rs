@@ -124,6 +124,12 @@ impl PrewarmPolicy for DemandPrewarm {
 
 /// Pre-warms synchronous workflow functions when their upstream caller has
 /// recently been invoked (call-chain prediction).
+///
+/// This is the one policy that reads *another* function's view (the
+/// upstream's recent arrivals). It stays shard-count-invariant under
+/// intra-cell sharding because [`faas_workload::ShardPlan`] unions workflow
+/// chains over their upstream edges, so a downstream function and its
+/// caller always land in the same shard's [`PlatformView`].
 #[derive(Debug, Clone)]
 pub struct WorkflowChainPrewarm {
     /// Downstream workflow function → upstream caller.

@@ -12,11 +12,18 @@
 //! reports and traces, which is what keeps outputs byte-identical across
 //! engine internals:
 //!
-//! * **Public ids** are unchanged: [`fntrace::FunctionId`] is the hashed
-//!   64-bit function identifier from the workload, and [`fntrace::PodId`] is
-//!   still minted as `(region << 48) | counter` with a never-reused,
-//!   monotonically increasing counter. Everything written to a trace or a
-//!   report uses these.
+//! * **Public ids** are shard-count-invariant: [`fntrace::FunctionId`] is
+//!   the hashed 64-bit function identifier from the workload, and
+//!   [`fntrace::PodId`] is minted as
+//!   `(region << 48) | (global_index << 26) | counter`, where
+//!   `global_index` is the function's dense position in the *full* workload
+//!   table and `counter` is a never-reused, per-function monotone counter.
+//!   Deriving the id from the function (rather than one run-global counter)
+//!   means a pod's id does not depend on how many shards the run used or
+//!   which functions share its engine — the property the sharded
+//!   byte-equality contract rests on (see [`crate::shard`]). Request ids
+//!   are minted the same way. Everything written to a trace or a report
+//!   uses these.
 //! * **Dense ids** are run-internal. [`FnIdx`] is a function's position in
 //!   the run's [`faas_workload::WorkloadSpec::functions`] table, assigned
 //!   once at state construction (one `HashMap<FunctionId, FnIdx>` lookup per

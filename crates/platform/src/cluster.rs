@@ -76,6 +76,21 @@ impl ClusterState {
     pub fn in_flight(&self, cluster: ClusterId) -> u32 {
         self.in_flight.get(cluster as usize).copied().unwrap_or(0)
     }
+
+    /// Applies one epoch's net in-flight deltas, one entry per cluster.
+    ///
+    /// Deltas beyond the cluster count are ignored and each counter clamps
+    /// at zero, mirroring the bounds-checked saturating behaviour of the
+    /// incremental [`begin_request`](Self::begin_request) /
+    /// [`complete_request`](Self::complete_request) pair. Summing per-shard
+    /// deltas and applying them here is commutative, which is what makes the
+    /// epoch merge order-independent (see [`crate::shard`]).
+    pub fn apply_delta(&mut self, delta: &[i64]) {
+        for (c, &d) in self.in_flight.iter_mut().zip(delta) {
+            let updated = i64::from(*c) + d;
+            *c = u32::try_from(updated.max(0)).unwrap_or(u32::MAX);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -20,6 +20,18 @@ pub struct PlatformConfig {
     /// requests than the least loaded cluster; hot clusters spill new pods to
     /// the least-loaded cluster (Section 2.1's load balancing).
     pub hot_spot_threshold: u32,
+    /// Length of one reconciliation epoch, in milliseconds (clamped to at
+    /// least one).
+    ///
+    /// Shared capacity — resource pools and cluster in-flight counts — is
+    /// observed through a snapshot taken at the last epoch boundary and
+    /// settled at the next one (see [`crate::shard`]). The default matches
+    /// the pre-warm and pool-replenish cadence, so shared state is exactly
+    /// as fresh as the periodic policies that act on it. The epoch length is
+    /// part of the simulation semantics: the same value must be used for a
+    /// single-shard and an `n`-shard run to compare them, and changing it
+    /// changes reported numbers.
+    pub epoch_ms: u64,
 }
 
 impl Default for PlatformConfig {
@@ -30,6 +42,7 @@ impl Default for PlatformConfig {
             prewarm_interval_ms: 60_000,
             record_trace: true,
             hot_spot_threshold: 64,
+            epoch_ms: 60_000,
         }
     }
 }
@@ -45,5 +58,6 @@ mod tests {
         assert_eq!(c.prewarm_interval_ms, 60_000);
         assert!(c.record_trace);
         assert_eq!(c.pool.replenish_interval_ms, 60_000);
+        assert_eq!(c.epoch_ms, 60_000);
     }
 }

@@ -1,13 +1,21 @@
 //! The discrete-event simulation loop.
 //!
 //! [`SimulationEngine`] owns one run's policies and drives a
-//! [`SimState`] through a workload: arrivals,
-//! completions, keep-alive expiries, pre-warm and pool-replenish ticks, and
-//! admission-control delays. Engines are single-use by design — they are
-//! stamped out either by the compatibility [`Simulator`](crate::Simulator)
-//! builder or, for replicated experiment runs, by a
-//! [`SimulationSpec`](crate::SimulationSpec) whose policy factory builds a
-//! fresh set of policies per run.
+//! [`SimState`] through a workload: arrivals, completions, keep-alive
+//! expiries, pre-warm ticks, and admission-control delays. Engines are
+//! single-use by design — they are stamped out either by the compatibility
+//! [`Simulator`](crate::Simulator) builder or, for replicated experiment
+//! runs, by a [`SimulationSpec`](crate::SimulationSpec) whose policy factory
+//! builds a fresh set of policies per run.
+//!
+//! The loop is *epoch-quantized*: simulated time is cut at fixed
+//! [`epoch_ms`](crate::PlatformConfig::epoch_ms) boundaries, and shared
+//! capacity (resource pools, cluster load) is reconciled only there, through
+//! an `EpochSync` (see [`crate::shard`]). Pool replenishment happens as
+//! part of the boundary settlement rather than as a queued event. The
+//! single-shard entry point [`SimulationEngine::run_streamed`] runs the same
+//! boundary protocol with a trivial in-place ledger, which is what makes it
+//! byte-identical to `SimulationSpec::run_sharded` at any shard count.
 //!
 //! The primary entry point is [`SimulationEngine::run_streamed`], which
 //! consumes any [`ArrivalStream`] — arrivals are pulled one at a time, so
@@ -26,9 +34,13 @@ use crate::event::Event;
 use crate::keepalive::KeepAlivePolicy;
 use crate::policy::{AdmissionPolicy, PrewarmPolicy};
 use crate::report::SimReport;
+use crate::shard::{
+    merge_outcomes, EpochLedger, EpochSnapshot, EpochSync, SequentialSync, ShardOutcome,
+};
 use crate::state::SimState;
 
-/// Single-use discrete-event engine for one region replay.
+/// Single-use discrete-event engine for one region replay (or one shard of
+/// one).
 pub struct SimulationEngine {
     config: PlatformConfig,
     keep_alive: Box<dyn KeepAlivePolicy>,
@@ -77,6 +89,11 @@ impl SimulationEngine {
     /// consumed is recorded in
     /// [`SimReport::events_processed`](crate::SimReport).
     ///
+    /// This is the single-shard special case of the sharded protocol: the
+    /// shard owns the whole workload table and reconciles its epoch deltas
+    /// against a private [`EpochLedger`], so the result is byte-identical to
+    /// `SimulationSpec::run_sharded` at any shard count.
+    ///
     /// # Example
     ///
     /// ```
@@ -103,51 +120,116 @@ impl SimulationEngine {
     /// assert_eq!(report.events_processed, report.requests);
     /// ```
     pub fn run_streamed(
-        mut self,
+        self,
         workload: &WorkloadSpec,
         events: impl ArrivalStream,
     ) -> (SimReport, Option<RegionTrace>) {
-        let mut state = SimState::new(workload, &self.config, self.seed);
+        let names = (
+            self.keep_alive.name().to_string(),
+            self.prewarm.name().to_string(),
+            self.admission.name().to_string(),
+        );
+        let mut ledger = EpochLedger::new(&self.config);
+        let members: Vec<u32> = (0..workload.functions.len() as u32).collect();
+        let snapshot = ledger.snapshot();
+        let outcome = {
+            let mut sync = SequentialSync {
+                ledger: &mut ledger,
+            };
+            self.run_shard(workload, events, members, snapshot, &mut sync)
+        };
+        merge_outcomes(
+            workload,
+            vec![outcome],
+            ledger,
+            (&names.0, &names.1, &names.2),
+        )
+    }
+
+    /// Runs one shard: its own event stream, member functions, timing wheel,
+    /// and arena, with shared capacity reconciled through `sync` at every
+    /// epoch boundary.
+    ///
+    /// The boundary sequence is `{k * epoch_ms : k >= 1} ∪ {duration}`
+    /// clipped to the horizon — derived only from the configuration and the
+    /// stream horizon, so every shard of a run crosses the same boundaries
+    /// the same number of times (the threaded [`EpochSync`] relies on that
+    /// for its barrier). Internal events strictly before a boundary are
+    /// drained first; events exactly *at* a boundary run after it, against
+    /// the fresh snapshot.
+    pub(crate) fn run_shard(
+        mut self,
+        workload: &WorkloadSpec,
+        events: impl ArrivalStream,
+        members: Vec<u32>,
+        snapshot: EpochSnapshot,
+        sync: &mut dyn EpochSync,
+    ) -> ShardOutcome {
+        let mut state = SimState::new(workload, &self.config, self.seed, members, snapshot);
         // The stream's horizon is the simulation end: periodic ticks stop
         // rescheduling past it and surviving pods are finalised at it.
         let duration = events.horizon_ms();
+        let epoch = self.config.epoch_ms.max(1);
 
-        // Initial periodic ticks, scheduled exactly like their reschedules.
+        // Initial periodic tick, scheduled exactly like its reschedules.
         state.queue.push(
             tick_after(0, self.config.prewarm_interval_ms),
             Event::PrewarmTick,
         );
-        state.queue.push(
-            tick_after(0, self.config.pool.replenish_interval_ms),
-            Event::PoolReplenishTick,
-        );
 
+        let mut next_boundary = Some(epoch.min(duration));
         for event in events {
             state.report.events_processed += 1;
+            while let Some(b) = next_boundary {
+                if event.timestamp_ms < b {
+                    break;
+                }
+                self.cross_boundary(&mut state, b, duration, sync);
+                next_boundary = next_boundary_after(b, epoch, duration);
+            }
             while let Some((t, e)) = state.queue.pop_due(event.timestamp_ms) {
                 self.handle_internal(&mut state, t, e, duration);
             }
             self.handle_arrival(&mut state, event.function, event.timestamp_ms);
         }
-        // Drain the remaining internal events (completions, expiries, final
-        // ticks). Periodic ticks are not rescheduled past the duration.
+        // Cross the boundaries the arrivals never reached — the threaded
+        // sync needs every shard to complete the full sequence even if its
+        // stream ran dry early.
+        while let Some(b) = next_boundary {
+            self.cross_boundary(&mut state, b, duration, sync);
+            next_boundary = next_boundary_after(b, epoch, duration);
+        }
+        // Drain the remaining internal events (completions and expiries at
+        // or past the final boundary) against the frozen final snapshot.
         while let Some((t, e)) = state.queue.pop() {
             self.handle_internal(&mut state, t, e, duration);
         }
-        // Terminate anything still alive at the end of the horizon, and
-        // settle the pools' idle-memory integral up to it. Arena slot order
-        // is deterministic, so this walk is too.
+        // Terminate anything still alive at the end of the horizon. Arena
+        // slot order is deterministic, so this walk is too.
         let live: Vec<PodIdx> = state.pods.live_indices().collect();
         for pod_idx in live {
             state.finalize_pod(pod_idx, duration);
         }
-        state.pools.integrate_to(duration);
+        state.into_outcome()
+    }
 
-        state.into_report(
-            self.keep_alive.name(),
-            self.prewarm.name(),
-            self.admission.name(),
-        )
+    /// Crosses one epoch boundary: drains internal events strictly before
+    /// it, posts the shard's delta, and installs the reconciled snapshot.
+    fn cross_boundary(
+        &mut self,
+        state: &mut SimState<'_>,
+        boundary: u64,
+        duration: u64,
+        sync: &mut dyn EpochSync,
+    ) {
+        if boundary > 0 {
+            while let Some((t, e)) = state.queue.pop_due(boundary - 1) {
+                self.handle_internal(state, t, e, duration);
+            }
+        }
+        let delta = state.take_delta();
+        let snapshot = sync.reconcile(boundary, delta);
+        state.begin_epoch(snapshot);
     }
 
     fn handle_internal(&mut self, state: &mut SimState<'_>, t: u64, event: Event, duration: u64) {
@@ -185,20 +267,11 @@ impl SimulationEngine {
                     );
                 }
             }
-            Event::PoolReplenishTick => {
-                if t <= duration {
-                    state.pools.replenish(t);
-                    state.queue.push(
-                        tick_after(t, self.config.pool.replenish_interval_ms),
-                        Event::PoolReplenishTick,
-                    );
-                }
-            }
         }
     }
 
     /// Handles one external arrival: resolve the public function id to its
-    /// dense index (the only hash lookup on the arrival path), record it,
+    /// local index (the only hash lookup on the arrival path), record it,
     /// run admission control, and dispatch.
     fn handle_arrival(&mut self, state: &mut SimState<'_>, function: FunctionId, t: u64) {
         let Some(idx) = state.resolve(function) else {
@@ -216,8 +289,9 @@ impl SimulationEngine {
                 let delay = self.admission.delay_ms(&view, t);
                 if delay > 0 {
                     state.report.delayed_requests += 1;
-                    state.report.total_admission_delay_s += delay as f64 / 1e3;
-                    state.added_latency_s += delay as f64 / 1e3;
+                    let delay_s = delay as f64 / 1e3;
+                    state.accum[idx.index()].admission_delay_s += delay_s;
+                    state.accum[idx.index()].added_latency_s += delay_s;
                     state
                         .queue
                         .push(t + delay, Event::DelayedArrival { function: idx });
@@ -231,12 +305,21 @@ impl SimulationEngine {
 
 /// Schedule time of the next periodic tick after `now`.
 ///
-/// Every periodic tick — initial or rescheduled, pre-warm or pool-replenish
-/// — goes through this one helper, so a zero interval can never schedule a
-/// tick at the current instant and loop forever: the period is clamped to
-/// one millisecond.
-fn tick_after(now: u64, interval_ms: u64) -> u64 {
+/// Every periodic tick — initial or rescheduled — goes through this one
+/// helper, so a zero interval can never schedule a tick at the current
+/// instant and loop forever: the period is clamped to one millisecond.
+pub(crate) fn tick_after(now: u64, interval_ms: u64) -> u64 {
     now + interval_ms.max(1)
+}
+
+/// The epoch boundary after `boundary`, if any: multiples of `epoch` clipped
+/// to `duration`, which is always the final boundary.
+pub(crate) fn next_boundary_after(boundary: u64, epoch: u64, duration: u64) -> Option<u64> {
+    if boundary >= duration {
+        None
+    } else {
+        Some((boundary + epoch).min(duration))
+    }
 }
 
 #[cfg(test)]
@@ -274,14 +357,40 @@ mod tests {
     }
 
     #[test]
+    fn boundary_sequence_covers_the_horizon_exactly_once() {
+        let walk = |epoch: u64, duration: u64| {
+            let mut seen = Vec::new();
+            let mut next = Some(epoch.max(1).min(duration));
+            while let Some(b) = next {
+                seen.push(b);
+                next = next_boundary_after(b, epoch.max(1), duration);
+            }
+            seen
+        };
+        assert_eq!(
+            walk(60_000, 250_000),
+            vec![60_000, 120_000, 180_000, 240_000, 250_000]
+        );
+        assert_eq!(
+            walk(60_000, 240_000),
+            vec![60_000, 120_000, 180_000, 240_000]
+        );
+        assert_eq!(walk(60_000, 30_000), vec![30_000]);
+        assert_eq!(walk(60_000, 0), vec![0]);
+        // The sequence depends only on (epoch, duration): every shard of a
+        // run derives the identical sequence, which the barrier sync needs.
+    }
+
+    #[test]
     fn zero_tick_intervals_behave_exactly_like_one_millisecond() {
         // Regression test: the initial PrewarmTick used to be pushed at the
         // raw interval while reschedules clamped to >= 1 ms, so a zero
         // interval fired its first tick at t = 0 and every later one on the
         // clamped cadence. Both now route through `tick_after`, making a
         // zero interval indistinguishable from the 1 ms it is clamped to.
+        // The replenish interval is boundary-quantized the same way: zero
+        // and one millisecond run the same number of intervals per epoch.
         let workload = tiny_workload(41);
-        // A short horizon keeps the per-millisecond tick cadence cheap.
         let cut = workload
             .events
             .iter()

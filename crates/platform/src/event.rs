@@ -35,12 +35,15 @@
 //!
 //! The wheel is observationally identical to the binary-heap queue it
 //! replaced: events pop in ascending `(time_ms, seq)` order, where `seq` is
-//! the global push counter — i.e. time order with same-timestamp FIFO
-//! stability. `tests/wheel_properties.rs` pins this with a heap oracle under
-//! randomized push/pop/pop_due interleavings, including far-future overflow
-//! and same-timestamp bursts. Every committed envelope and BENCH baseline
-//! was produced under this order and must stay byte-identical across
-//! scheduler implementations.
+//! the queue's own push counter — i.e. time order with same-timestamp FIFO
+//! stability. In a sharded run every shard engine owns one queue, so `seq`
+//! orders each shard's events independently; cross-shard ordering is fixed
+//! by the epoch merge instead (see [`crate::shard`]).
+//! `tests/wheel_properties.rs` pins the queue order with a heap oracle
+//! under randomized push/pop/pop_due interleavings, including far-future
+//! overflow and same-timestamp bursts. Every committed envelope and BENCH
+//! baseline was produced under this order and must stay byte-identical
+//! across scheduler implementations.
 
 use std::collections::BinaryHeap;
 
@@ -75,9 +78,10 @@ pub enum Event {
         function: FnIdx,
     },
     /// Periodic tick that lets the pre-warm policy act.
+    ///
+    /// Pool replenishment has no event of its own: it happens at epoch
+    /// boundaries, outside the wheel (see [`crate::shard`]).
     PrewarmTick,
-    /// Periodic tick that replenishes the resource pools.
-    PoolReplenishTick,
 }
 
 /// A timestamped event with a deterministic tie-break sequence number.
@@ -410,7 +414,7 @@ mod tests {
     fn events_pop_in_time_order() {
         let mut q = EventQueue::new();
         q.push(30, Event::PrewarmTick);
-        q.push(10, Event::PoolReplenishTick);
+        q.push(10, Event::PrewarmTick);
         q.push(
             20,
             Event::RequestComplete {
@@ -448,7 +452,7 @@ mod tests {
     fn pop_due_respects_horizon() {
         let mut q = EventQueue::new();
         q.push(100, Event::PrewarmTick);
-        q.push(50, Event::PoolReplenishTick);
+        q.push(50, Event::PrewarmTick);
         assert_eq!(q.peek_time(), Some(50));
         assert!(q.pop_due(40).is_none());
         assert_eq!(q.pop_due(60).unwrap().0, 50);
@@ -505,7 +509,7 @@ mod tests {
                 },
             );
         }
-        q.push(60_001, Event::PoolReplenishTick);
+        q.push(60_001, Event::PrewarmTick);
         assert_eq!(q.pop().unwrap().0, 59_999);
         for pod in 0..300u32 {
             let (t, e) = q.pop().unwrap();
@@ -531,7 +535,7 @@ mod tests {
         assert!(q.pop_due(10).is_none());
         // ...so a later push at a smaller time lands behind the cursor and
         // must still pop in correct time order.
-        q.push(500, Event::PoolReplenishTick);
+        q.push(500, Event::PrewarmTick);
         q.push(600, Event::PrewarmTick);
         let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
         assert_eq!(times, vec![500, 600, 1_000_000]);
@@ -541,7 +545,7 @@ mod tests {
     fn same_time_push_while_batch_is_draining_stays_fifo() {
         let mut q = EventQueue::new();
         q.push(42, Event::PrewarmTick);
-        q.push(42, Event::PoolReplenishTick);
+        q.push(42, Event::PrewarmTick);
         assert_eq!(q.pop().unwrap(), (42, Event::PrewarmTick));
         // The batch at t=42 is active; a same-timestamp push joins it at
         // the back (it has the largest seq).
@@ -552,7 +556,7 @@ mod tests {
                 generation: 1,
             },
         );
-        assert_eq!(q.pop().unwrap(), (42, Event::PoolReplenishTick));
+        assert_eq!(q.pop().unwrap(), (42, Event::PrewarmTick));
         assert_eq!(
             q.pop().unwrap(),
             (

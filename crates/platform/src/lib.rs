@@ -26,6 +26,21 @@
 //! The simulator emits both a [`SimReport`] (aggregate outcome metrics) and,
 //! optionally, a full [`fntrace::RegionTrace`] so the characterization
 //! pipeline can analyse simulated data exactly like measured data.
+//!
+//! # Entry points and scaling
+//!
+//! [`SimulationSpec::run_streamed`] drives one engine over any
+//! [`faas_workload::stream::ArrivalStream`] in memory proportional to the
+//! live state, not the event count.
+//! [`SimulationSpec::run_sharded`](spec::SimulationSpec::run_sharded)
+//! partitions a cell's function population across engine threads (one
+//! timing wheel and arena per shard) and reconciles shared capacity at
+//! fixed epoch boundaries ([`shard`]); its report and trace are
+//! byte-identical to `run_streamed` for every shard count — the invariant
+//! pinned by `tests/sharded_determinism.rs` and documented end to end in
+//! the repository's `ARCHITECTURE.md`. Hot-path internals live in
+//! [`event`] (hierarchical timing wheel) and [`arena`] (dense
+//! index-addressed state).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +55,7 @@ pub mod pod;
 pub mod policy;
 pub mod pool;
 pub mod report;
+pub mod shard;
 pub mod simulator;
 pub mod spec;
 pub mod state;
@@ -57,5 +73,6 @@ pub use policy::{
 };
 pub use pool::{PoolConfig, ResourcePools};
 pub use report::{FunctionStats, LatencyStats, SimReport};
+pub use shard::{EpochLedger, EpochSnapshot, ShardDelta};
 pub use simulator::Simulator;
 pub use spec::{BaselinePolicies, PolicyFactory, SimulationSpec};

@@ -198,6 +198,56 @@ impl ResourcePools {
         created
     }
 
+    /// The pools' current idle counts by configuration, in entry order.
+    ///
+    /// This is the per-epoch snapshot shard engines draw against (see
+    /// [`crate::shard`]); indices into the returned vector align with the
+    /// draw totals [`apply_draws`](Self::apply_draws) consumes.
+    pub fn snapshot_idle(&self) -> Vec<(ResourceConfig, u32)> {
+        self.entries.iter().map(|e| (e.cfg, e.idle)).collect()
+    }
+
+    /// Settles one epoch's pod draws against the pools at `now_ms`.
+    ///
+    /// `draws` holds the per-entry totals accumulated by the shard engines
+    /// during the epoch, aligned with [`snapshot_idle`](Self::snapshot_idle).
+    /// Each entry is clamped at zero: shards draw against the epoch-start
+    /// snapshot, so their combined optimistic draws may exceed what was
+    /// actually pooled — the surplus is simply absorbed (the oversubscription
+    /// is the documented epoch-granularity approximation). The idle-memory
+    /// integral is advanced to `now_ms` first, so the epoch is charged at the
+    /// snapshot level the shards actually saw.
+    pub fn apply_draws(&mut self, now_ms: u64, draws: &[u64]) {
+        self.integrate_to(now_ms);
+        for (entry, &drawn) in self.entries.iter_mut().zip(draws) {
+            let drawn = u32::try_from(drawn).unwrap_or(u32::MAX);
+            entry.idle -= drawn.min(entry.idle);
+        }
+    }
+
+    /// Runs `times` replenish ticks' worth of refill in one call at `now_ms`.
+    ///
+    /// Equivalent to `times` consecutive [`replenish`](Self::replenish)
+    /// calls except that the idle-memory integral is advanced once at
+    /// `now_ms` instead of stepwise — the form the epoch-quantized engine
+    /// uses when several replenish intervals elapse within one epoch.
+    pub fn replenish_times(&mut self, now_ms: u64, times: u64) -> u32 {
+        self.integrate_to(now_ms);
+        let budget = self
+            .config
+            .replenish_per_tick
+            .saturating_mul(u32::try_from(times).unwrap_or(u32::MAX));
+        let mut created = 0;
+        for entry in &mut self.entries {
+            if entry.idle < entry.target {
+                let add = (entry.target - entry.idle).min(budget);
+                entry.idle += add;
+                created += add;
+            }
+        }
+        created
+    }
+
     /// Total pods handed out from pools so far.
     pub fn pool_hits(&self) -> u64 {
         self.acquired_from_pool

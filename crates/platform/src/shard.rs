@@ -1,0 +1,394 @@
+//! Epoch-quantized reconciliation of shared capacity across shards.
+//!
+//! A cell's functions only interact through two pieces of shared platform
+//! state: the idle-pod [`ResourcePools`] and the per-cluster in-flight
+//! counters ([`ClusterState`]). Everything else — per-function RNG streams,
+//! histories, warm-pod lists, the timing wheel — is private to a function
+//! and therefore private to whichever shard owns it. This module makes that
+//! interaction *epoch-quantized*: shared state is only observed through an
+//! [`EpochSnapshot`] taken at the last epoch boundary and only mutated by a
+//! deterministic merge of per-shard [`ShardDelta`]s at the next boundary.
+//!
+//! ```text
+//!   shard 0 ──events──▶ ┐                      ┌─▶ snapshot ──▶ shard 0
+//!   shard 1 ──events──▶ ├─ barrier ─ ledger ───┼─▶ snapshot ──▶ shard 1
+//!   shard n ──events──▶ ┘   (merge by shard id)└─▶ snapshot ──▶ shard n
+//!        epoch k                boundary k+1            epoch k+1
+//! ```
+//!
+//! Because every within-epoch decision depends only on a function's own
+//! state plus the epoch-start snapshot, the simulation outcome is invariant
+//! in the shard count: `run_sharded(n)` equals `run_streamed` byte for byte
+//! for every `n`. The single-shard engine runs the *same* epoch protocol
+//! (with a trivial in-place ledger), so the equality holds by construction,
+//! not by coincidence — see `SimulationSpec::run_sharded`.
+//!
+//! The merge itself is deterministic because every component is either a
+//! commutative sum (`u64` counters, pool draws, cluster deltas, summed in
+//! shard order anyway) or an explicitly ordered fold: `f64` accumulators
+//! are kept per function and folded in dense table order, cold-start
+//! latencies concatenate in shard order before the (sorting) distribution
+//! summary, and trace tables concatenate then sort by their total
+//! `(timestamp, unique id)` keys.
+//!
+//! The epoch model is an *approximation*, chosen deliberately: within one
+//! epoch each function may draw from the pool snapshot up to the snapshot's
+//! idle count, so the combined draws of many functions can oversubscribe a
+//! pool; the surplus is clamped at the boundary. Cluster placement likewise
+//! reacts to load with up to one epoch of lag. With the default
+//! `epoch_ms == 60_000` the staleness equals the pre-warm and
+//! pool-replenish cadence that already governed this state.
+
+use std::sync::{Barrier, Mutex};
+
+use faas_workload::WorkloadSpec;
+use fntrace::{RegionTrace, ResourceConfig};
+
+use crate::cluster::ClusterState;
+use crate::config::PlatformConfig;
+use crate::pool::ResourcePools;
+use crate::report::{FunctionStats, LatencyStats, SimReport};
+
+/// Shared-capacity state as of an epoch boundary.
+///
+/// Shards read this — and only this — when they need pool availability,
+/// cluster load, or platform-wide pod counts during an epoch. Snapshots are
+/// plain data, cheap to clone per shard per epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochSnapshot {
+    /// Idle pooled pods per resource configuration, in ledger entry order.
+    /// Indices align with [`ShardDelta::pool_draws`].
+    pub pool_idle: Vec<(ResourceConfig, u32)>,
+    /// Cluster in-flight counters as of the boundary.
+    pub clusters: ClusterState,
+    /// Live pods across all shards at the boundary.
+    pub live_pods: u64,
+}
+
+impl EpochSnapshot {
+    /// Pool entry index and idle count for a configuration, if pooled.
+    pub(crate) fn pool_slot(&self, cfg: ResourceConfig) -> Option<(usize, u32)> {
+        self.pool_idle
+            .iter()
+            .position(|&(c, _)| c == cfg)
+            .map(|i| (i, self.pool_idle[i].1))
+    }
+
+    /// Total idle pooled pods at the boundary.
+    pub(crate) fn pooled_idle(&self) -> u32 {
+        self.pool_idle.iter().map(|&(_, idle)| idle).sum()
+    }
+}
+
+/// One shard's contribution to shared state over one epoch.
+///
+/// All fields are commutative aggregates, so summing the deltas of all
+/// shards — in any order — before applying them to the ledger yields one
+/// well-defined boundary state.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardDelta {
+    /// Pods drawn from each pool entry during the epoch, aligned with
+    /// [`EpochSnapshot::pool_idle`].
+    pub pool_draws: Vec<u64>,
+    /// Net in-flight change per cluster (begins minus completes).
+    pub cluster_delta: Vec<i64>,
+    /// Pods live on the shard at the boundary instant.
+    pub live_pods: u64,
+}
+
+/// The authoritative shared state, advanced once per epoch boundary.
+///
+/// One ledger exists per run (not per shard). At each boundary it settles
+/// the epoch's pool draws, runs any replenish intervals that became due,
+/// applies the net cluster deltas, and samples the platform-wide live-pod
+/// peak. Between boundaries it is immutable, which is what lets shards run
+/// an epoch without synchronization.
+#[derive(Debug)]
+pub struct EpochLedger {
+    pools: ResourcePools,
+    clusters: ClusterState,
+    replenish_interval_ms: u64,
+    last_replenish_ms: u64,
+    last_live_pods: u64,
+    peak_live_pods: u64,
+}
+
+impl EpochLedger {
+    /// Creates the run's ledger from the platform configuration.
+    pub fn new(config: &PlatformConfig) -> Self {
+        Self {
+            pools: ResourcePools::new(config.pool.clone()),
+            clusters: ClusterState::new(config.clusters, config.hot_spot_threshold),
+            replenish_interval_ms: config.pool.replenish_interval_ms,
+            last_replenish_ms: 0,
+            last_live_pods: 0,
+            peak_live_pods: 0,
+        }
+    }
+
+    /// The snapshot shards observe until the next boundary. Live pods are
+    /// not tracked incrementally; the count is the sum the shards posted at
+    /// the previous boundary.
+    pub fn snapshot(&self) -> EpochSnapshot {
+        EpochSnapshot {
+            pool_idle: self.pools.snapshot_idle(),
+            clusters: self.clusters.clone(),
+            live_pods: self.last_live_pods,
+        }
+    }
+
+    /// Settles one boundary: applies the shards' deltas (in shard-id order,
+    /// though every operation is commutative), runs due replenish intervals,
+    /// and samples the live-pod peak.
+    pub fn reconcile<'a>(
+        &mut self,
+        boundary_ms: u64,
+        deltas: impl IntoIterator<Item = &'a ShardDelta>,
+    ) {
+        let mut draws = vec![0u64; self.pools.snapshot_idle().len()];
+        let mut cluster = vec![0i64; usize::from(self.clusters.clusters())];
+        let mut live = 0u64;
+        for d in deltas {
+            for (acc, &x) in draws.iter_mut().zip(&d.pool_draws) {
+                *acc += x;
+            }
+            for (acc, &x) in cluster.iter_mut().zip(&d.cluster_delta) {
+                *acc += x;
+            }
+            live += d.live_pods;
+        }
+        // Draws settle first (they happened during the epoch), then any
+        // replenish intervals that became due at or before this boundary —
+        // the same order the event loop used when replenishment was a tick.
+        self.pools.apply_draws(boundary_ms, &draws);
+        let interval = self.replenish_interval_ms.max(1);
+        if boundary_ms > self.last_replenish_ms {
+            let elapsed = (boundary_ms - self.last_replenish_ms) / interval;
+            if elapsed > 0 {
+                self.pools.replenish_times(boundary_ms, elapsed);
+                self.last_replenish_ms += elapsed * interval;
+            }
+        }
+        self.clusters.apply_delta(&cluster);
+        self.last_live_pods = live;
+        self.peak_live_pods = self.peak_live_pods.max(live);
+    }
+
+    /// Consumes the ledger after the final boundary, yielding the pools
+    /// (for their memory-waste integral) and the sampled live-pod peak.
+    pub(crate) fn into_parts(self) -> (ResourcePools, u64) {
+        (self.pools, self.peak_live_pods)
+    }
+}
+
+/// How a shard's engine reaches the ledger at each boundary.
+///
+/// The single-shard path ([`SequentialSync`]) and the threaded path
+/// ([`SharedSync`]) implement the same protocol, which is what makes
+/// `run_streamed` and `run_sharded(n)` byte-identical by construction: the
+/// engine cannot tell which one it is running under.
+pub(crate) trait EpochSync {
+    /// Posts this shard's delta for the epoch ending at `boundary_ms` and
+    /// returns the reconciled snapshot for the next epoch. Every shard of a
+    /// run must call this for the same sequence of boundaries.
+    fn reconcile(&mut self, boundary_ms: u64, delta: ShardDelta) -> EpochSnapshot;
+}
+
+/// In-place reconciliation for a single shard: no barrier, no locking.
+pub(crate) struct SequentialSync<'a> {
+    pub ledger: &'a mut EpochLedger,
+}
+
+impl EpochSync for SequentialSync<'_> {
+    fn reconcile(&mut self, boundary_ms: u64, delta: ShardDelta) -> EpochSnapshot {
+        self.ledger.reconcile(boundary_ms, std::iter::once(&delta));
+        self.ledger.snapshot()
+    }
+}
+
+/// Shared state for barrier-synchronised reconciliation across threads.
+pub(crate) struct SharedEpochState {
+    barrier: Barrier,
+    slots: Vec<Mutex<Option<ShardDelta>>>,
+    ledger: Mutex<EpochLedger>,
+    published: Mutex<EpochSnapshot>,
+}
+
+impl SharedEpochState {
+    pub(crate) fn new(ledger: EpochLedger, shards: usize) -> Self {
+        let published = Mutex::new(ledger.snapshot());
+        Self {
+            barrier: Barrier::new(shards),
+            slots: (0..shards).map(|_| Mutex::new(None)).collect(),
+            ledger: Mutex::new(ledger),
+            published,
+        }
+    }
+
+    pub(crate) fn initial_snapshot(&self) -> EpochSnapshot {
+        self.published.lock().expect("snapshot lock").clone()
+    }
+
+    pub(crate) fn into_ledger(self) -> EpochLedger {
+        self.ledger.into_inner().expect("ledger lock")
+    }
+}
+
+/// One shard's handle onto the shared epoch state.
+///
+/// At a boundary every shard posts its delta into its own slot and waits on
+/// the barrier; one arbitrary thread (the barrier leader) drains the slots
+/// in shard-id order, advances the ledger, publishes the new snapshot, and a
+/// second barrier releases everyone to read it. Which thread leads is
+/// irrelevant to the result because the ledger merge is commutative.
+pub(crate) struct SharedSync<'a> {
+    pub state: &'a SharedEpochState,
+    pub shard: usize,
+}
+
+impl EpochSync for SharedSync<'_> {
+    fn reconcile(&mut self, boundary_ms: u64, delta: ShardDelta) -> EpochSnapshot {
+        *self.state.slots[self.shard].lock().expect("slot lock") = Some(delta);
+        if self.state.barrier.wait().is_leader() {
+            let deltas: Vec<ShardDelta> = self
+                .state
+                .slots
+                .iter()
+                .map(|s| s.lock().expect("slot lock").take().expect("delta posted"))
+                .collect();
+            let mut ledger = self.state.ledger.lock().expect("ledger lock");
+            ledger.reconcile(boundary_ms, deltas.iter());
+            *self.state.published.lock().expect("snapshot lock") = ledger.snapshot();
+        }
+        self.state.barrier.wait();
+        self.state.published.lock().expect("snapshot lock").clone()
+    }
+}
+
+/// Per-function floating-point accumulators.
+///
+/// Kept per function rather than globally so the final report can fold them
+/// in dense table order, independent of how functions were interleaved
+/// across shards during the run.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FnAccum {
+    pub pod_lifetime_s: f64,
+    pub idle_pod_time_s: f64,
+    pub mem_gb_s_wasted: f64,
+    pub added_latency_s: f64,
+    pub admission_delay_s: f64,
+}
+
+impl FnAccum {
+    fn add(&mut self, other: &FnAccum) {
+        self.pod_lifetime_s += other.pod_lifetime_s;
+        self.idle_pod_time_s += other.idle_pod_time_s;
+        self.mem_gb_s_wasted += other.mem_gb_s_wasted;
+        self.added_latency_s += other.added_latency_s;
+        self.admission_delay_s += other.admission_delay_s;
+    }
+}
+
+/// Everything a shard produces that the merge needs.
+pub(crate) struct ShardOutcome {
+    /// Aggregate counters; only the `u64` tallies are meaningful here — the
+    /// floating-point fields are rebuilt from `accum` during the merge.
+    pub report: SimReport,
+    /// Dense workload-table indices of the shard's member functions,
+    /// ascending; parallel to `accum`.
+    pub members: Vec<u32>,
+    /// Per-member floating-point accumulators.
+    pub accum: Vec<FnAccum>,
+    /// Cold-start latencies observed on the shard, in event order.
+    pub cold_latencies_s: Vec<f64>,
+    /// Per-function replay statistics (replay workloads only).
+    pub per_function: Vec<FunctionStats>,
+    /// The shard's slice of the trace, if tracing is enabled.
+    pub trace: Option<RegionTrace>,
+}
+
+/// Folds per-shard outcomes into the run's [`SimReport`] and trace.
+///
+/// Deterministic in the shard count: counter sums are commutative,
+/// floating-point accumulators are folded in dense table order, cold-start
+/// latencies feed an order-insensitive distribution summary, and trace
+/// tables are re-sorted by their total `(timestamp, unique id)` keys.
+pub(crate) fn merge_outcomes(
+    workload: &WorkloadSpec,
+    outcomes: Vec<ShardOutcome>,
+    ledger: EpochLedger,
+    policy_names: (&str, &str, &str),
+) -> (SimReport, Option<RegionTrace>) {
+    let n = workload.functions.len();
+    let mut merged = SimReport::default();
+    let mut dense = vec![FnAccum::default(); n];
+    let mut cold: Vec<f64> = Vec::new();
+    let mut per_function: Vec<FunctionStats> = Vec::new();
+    let mut trace: Option<RegionTrace> = None;
+
+    for outcome in outcomes {
+        let r = &outcome.report;
+        merged.events_processed += r.events_processed;
+        merged.requests += r.requests;
+        merged.warm_starts += r.warm_starts;
+        merged.cold_starts += r.cold_starts;
+        merged.prewarmed_pods += r.prewarmed_pods;
+        merged.prewarmed_pods_used += r.prewarmed_pods_used;
+        merged.pool_hits += r.pool_hits;
+        merged.scratch_creations += r.scratch_creations;
+        merged.delayed_requests += r.delayed_requests;
+        for (&idx, acc) in outcome.members.iter().zip(&outcome.accum) {
+            dense[idx as usize].add(acc);
+        }
+        cold.extend_from_slice(&outcome.cold_latencies_s);
+        per_function.extend(outcome.per_function);
+        if let Some(shard_trace) = outcome.trace {
+            // Duplicate function ids are co-sharded by construction, so the
+            // metadata sets of distinct shards are disjoint and the (hash
+            // map) iteration order cannot affect the merged table.
+            let merged_trace = trace.get_or_insert_with(|| RegionTrace::new(workload.region));
+            for meta in shard_trace.functions.iter() {
+                merged_trace.functions.insert(meta.clone());
+            }
+            for &record in shard_trace.requests.records() {
+                merged_trace.requests.push(record);
+            }
+            for &record in shard_trace.cold_starts.records() {
+                merged_trace.cold_starts.push(record);
+            }
+        }
+    }
+
+    let mut added_latency_s = 0.0;
+    for acc in &dense {
+        merged.pod_lifetime_s += acc.pod_lifetime_s;
+        merged.idle_pod_time_s += acc.idle_pod_time_s;
+        merged.mem_gb_s_wasted += acc.mem_gb_s_wasted;
+        merged.total_admission_delay_s += acc.admission_delay_s;
+        added_latency_s += acc.added_latency_s;
+    }
+    merged.cold_start_latency = LatencyStats::from_secs(&cold);
+    merged.mean_added_latency_s = if merged.requests == 0 {
+        0.0
+    } else {
+        added_latency_s / merged.requests as f64
+    };
+
+    let (pools, peak_live_pods) = ledger.into_parts();
+    merged.peak_live_pods = u32::try_from(peak_live_pods).unwrap_or(u32::MAX);
+    merged.mem_gb_s_wasted += pools.mem_gb_s();
+
+    if workload.is_replay() {
+        per_function.sort_by_key(|f| f.function);
+        merged.per_function = per_function;
+    }
+
+    merged.keep_alive_policy = policy_names.0.to_string();
+    merged.prewarm_policy = policy_names.1.to_string();
+    merged.admission_policy = policy_names.2.to_string();
+
+    if let Some(t) = trace.as_mut() {
+        t.sort_by_time();
+    }
+    (merged, trace)
+}

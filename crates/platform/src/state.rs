@@ -1,20 +1,28 @@
 //! Mutable simulation state.
 //!
-//! [`SimState`] owns everything that changes while a workload replays: the
-//! event queue, live pods, per-function histories, resource pools, cluster
-//! load, the RNG stream, and the report being accumulated. The event loop in
-//! [`crate::engine`] drives it; splitting the two keeps the loop readable and
-//! lets alternative drivers (the experiment grid, future incremental
-//! re-simulation) reuse the state transitions unchanged.
+//! [`SimState`] owns everything that changes while (one shard of) a workload
+//! replays: the event queue, live pods, per-function histories and RNG
+//! streams, the snapshot of shared capacity, and the report being
+//! accumulated. The event loop in [`crate::engine`] drives it; splitting the
+//! two keeps the loop readable and lets alternative drivers (the experiment
+//! grid, future incremental re-simulation) reuse the state transitions
+//! unchanged.
 //!
-//! All hot per-function and per-pod tables are index-addressed (see
-//! [`crate::arena`]): functions resolve once per external arrival from their
-//! hashed [`FunctionId`] to a dense [`FnIdx`], and from there every lookup —
-//! histories, warm-pod lists, recent-arrival counters, specs — is a `Vec`
-//! index. Live pods live in a slot-recycling [`PodArena`]. Arrivals for
-//! functions absent from the workload table (possible with hand-written
-//! replay traces) fall back to a cold-path side map so their histories are
-//! still accounted exactly as before.
+//! A state covers a *shard*: a subset of the workload table identified by
+//! its ascending `members` (dense global indices). The unsharded engine is
+//! simply the one-shard special case where `members` is the whole table.
+//! Everything per-function — specs, histories, warm-pod lists, RNG streams,
+//! accumulators — is indexed by the *local* member position ([`FnIdx`]), so
+//! a shard's memory is proportional to its own population, not the cell's.
+//!
+//! Shared capacity (resource pools, cluster load) is never touched directly:
+//! the state reads the epoch-start [`EpochSnapshot`] and records its draws
+//! and deltas for the boundary reconciliation (see [`crate::shard`]). All
+//! randomness is drawn from per-function streams derived independently from
+//! the run seed and the function's *global* index, and all public ids (pods,
+//! requests) are minted from per-function counters tagged with the global
+//! index — which is why nothing the state produces depends on how functions
+//! were interleaved across shards.
 
 use std::collections::HashMap;
 use std::hash::BuildHasherDefault;
@@ -23,18 +31,18 @@ use faas_stats::rng::Xoshiro256pp;
 use faas_workload::{ColdStartLatencyModel, FunctionSpec, WorkloadSpec};
 use fntrace::{
     ColdStartRecord, FunctionId, FunctionMeta, PodId, RegionTrace, RequestId, RequestRecord,
-    MILLIS_PER_DAY, MILLIS_PER_HOUR,
+    ResourceConfig, MILLIS_PER_DAY, MILLIS_PER_HOUR,
 };
 
 use crate::arena::{FnIdx, PodArena, PodIdx};
-use crate::cluster::ClusterState;
 use crate::config::PlatformConfig;
 use crate::event::{Event, EventQueue};
 use crate::keepalive::{FunctionHistory, KeepAlivePolicy};
 use crate::pod::{Pod, PodState};
 use crate::policy::{FunctionView, PlatformView};
-use crate::pool::{PoolAcquire, ResourcePools};
-use crate::report::{FunctionStats, LatencyStats, SimReport};
+use crate::pool::PoolAcquire;
+use crate::report::{FunctionStats, SimReport};
+use crate::shard::{EpochSnapshot, FnAccum, ShardDelta, ShardOutcome};
 
 /// Hasher for the arrival-path `FunctionId -> FnIdx` map.
 ///
@@ -60,34 +68,52 @@ impl std::hash::Hasher for FnIdHasher {
     }
 
     fn write_u64(&mut self, x: u64) {
-        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        self.0 = z ^ (z >> 31);
+        self.0 = splitmix_mix(x);
     }
+}
+
+/// SplitMix64 finalizer: a keyless, bijective 64-bit mix.
+fn splitmix_mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 type FnIndexMap = HashMap<FunctionId, FnIdx, BuildHasherDefault<FnIdHasher>>;
 
-/// Mutable state of one in-flight simulation run.
+/// Derives the simulation RNG stream of one function.
 ///
-/// Everything here is owned by a single run; the engine constructs one
-/// `SimState` per [`WorkloadSpec`] replay and consumes it into the final
-/// report, so replicating a run is as cheap as building a new state from the
-/// same borrowed workload.
+/// Streams are derived *independently* — run seed mixed with the function's
+/// global table index — rather than forked from a parent stream, because a
+/// fork advances the parent: any scheme with a sequential parent would make
+/// a function's randomness depend on which functions came before it, and
+/// therefore on the sharding.
+fn fn_rng(seed: u64, global_idx: u32) -> Xoshiro256pp {
+    Xoshiro256pp::seed_from_u64((seed ^ 0x5151_5151) ^ splitmix_mix(u64::from(global_idx)))
+}
+
+/// Mutable state of one shard of one in-flight simulation run.
+///
+/// Everything here is owned by a single shard of a single run; the engine
+/// constructs one `SimState` per shard and consumes it into a
+/// `ShardOutcome`, which the merge in [`crate::shard`] folds into the
+/// final report.
 pub struct SimState<'a> {
     pub(crate) workload: &'a WorkloadSpec,
     pub(crate) config: PlatformConfig,
-    /// Function specs by dense index (position in the workload table).
+    /// Global (workload-table) index of each member, ascending; maps the
+    /// local [`FnIdx`] back to the dense table position.
+    pub(crate) members: Vec<u32>,
+    /// Function specs by local member position.
     pub(crate) specs: Vec<&'a FunctionSpec>,
-    /// Resolves a hashed function id to its dense index; consulted once per
+    /// Resolves a hashed function id to its local index; consulted once per
     /// external arrival, never on internal events.
     pub(crate) fn_index: FnIndexMap,
     pub(crate) latency_model: ColdStartLatencyModel,
-    pub(crate) rng: Xoshiro256pp,
+    /// Per-member simulation RNG streams (see [`fn_rng`]).
+    pub(crate) fn_rngs: Vec<Xoshiro256pp>,
     pub(crate) queue: EventQueue,
-    pub(crate) pools: ResourcePools,
-    pub(crate) clusters: ClusterState,
     pub(crate) pods: PodArena,
     pub(crate) warm_by_function: Vec<Vec<PodIdx>>,
     pub(crate) histories: Vec<FunctionHistory>,
@@ -95,30 +121,62 @@ pub struct SimState<'a> {
     /// reference them); cold path, keyed by public id.
     pub(crate) extra_histories: HashMap<FunctionId, FunctionHistory>,
     pub(crate) recent_arrivals: Vec<u64>,
-    pub(crate) next_pod_id: u64,
-    pub(crate) next_request_id: u64,
+    /// Per-member pod-id counters; public pod ids are
+    /// `(region << 48) | (global_idx << 26) | counter`, so they are unique
+    /// across shards and independent of creation interleaving.
+    pub(crate) pod_counters: Vec<u32>,
+    /// Per-member request-id counters (advanced only when tracing); public
+    /// request ids are `((global_idx + 1) << 32) | counter`.
+    pub(crate) req_counters: Vec<u32>,
     pub(crate) report: SimReport,
     pub(crate) cold_latencies_s: Vec<f64>,
-    pub(crate) added_latency_s: f64,
+    /// Per-member floating-point accumulators, folded in global table order
+    /// at the merge.
+    pub(crate) accum: Vec<FnAccum>,
     pub(crate) trace: Option<RegionTrace>,
-    pub(crate) peak_live_pods: u32,
+    /// Shared capacity as of the last epoch boundary.
+    pub(crate) snapshot: EpochSnapshot,
+    /// Pods drawn from each pool entry this epoch (delta for the boundary).
+    pub(crate) pool_draws: Vec<u64>,
+    /// Net in-flight change per cluster this epoch.
+    pub(crate) cluster_delta: Vec<i64>,
+    /// Per-member draw budget bookkeeping: `draw_marks[i] == epoch` means
+    /// `draw_counts[i]` is current, anything else means zero draws so far.
+    pub(crate) draw_marks: Vec<u32>,
+    pub(crate) draw_counts: Vec<u32>,
+    /// Current epoch number, starting at 1 so zeroed marks read as stale.
+    pub(crate) epoch: u32,
 }
 
 impl<'a> SimState<'a> {
-    /// Builds fresh state for one replay of `workload`.
-    pub(crate) fn new(workload: &'a WorkloadSpec, config: &PlatformConfig, seed: u64) -> Self {
-        let n = workload.functions.len();
+    /// Builds fresh state for one shard of one run: the members of the shard
+    /// (ascending global indices into the workload table) and the initial
+    /// shared-capacity snapshot.
+    pub(crate) fn new(
+        workload: &'a WorkloadSpec,
+        config: &PlatformConfig,
+        seed: u64,
+        members: Vec<u32>,
+        snapshot: EpochSnapshot,
+    ) -> Self {
+        let n = members.len();
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
         let mut specs = Vec::with_capacity(n);
+        let mut fn_rngs = Vec::with_capacity(n);
         let mut fn_index = FnIndexMap::with_capacity_and_hasher(n, Default::default());
-        for (i, spec) in workload.functions.iter().enumerate() {
+        for (local, &global) in members.iter().enumerate() {
+            let spec = &workload.functions[global as usize];
             specs.push(spec);
+            fn_rngs.push(fn_rng(seed, global));
             // On duplicate ids the later entry wins, matching the previous
-            // map-keyed table; the earlier index simply goes unreferenced.
-            fn_index.insert(spec.function, FnIdx::new(i as u32));
+            // map-keyed table; duplicates are co-sharded (see
+            // `faas_workload::ShardPlan`), so the winner is the same
+            // whatever the shard count.
+            fn_index.insert(spec.function, FnIdx::new(local as u32));
         }
         let trace = if config.record_trace {
             let mut trace = RegionTrace::new(workload.region);
-            for spec in &workload.functions {
+            for &spec in &specs {
                 trace.functions.insert(FunctionMeta {
                     function: spec.function,
                     user: spec.user,
@@ -131,33 +189,39 @@ impl<'a> SimState<'a> {
         } else {
             None
         };
+        let pool_slots = snapshot.pool_idle.len();
+        let clusters = usize::from(snapshot.clusters.clusters());
         Self {
             workload,
             config: config.clone(),
+            members,
             specs,
             fn_index,
             latency_model: ColdStartLatencyModel::new(workload.profile.clone()),
-            rng: Xoshiro256pp::seed_from_u64(seed ^ 0x5151_5151),
+            fn_rngs,
             queue: EventQueue::new(),
-            pools: ResourcePools::new(config.pool.clone()),
-            clusters: ClusterState::new(config.clusters, config.hot_spot_threshold),
             pods: PodArena::new(),
             warm_by_function: vec![Vec::new(); n],
             histories: vec![FunctionHistory::default(); n],
             extra_histories: HashMap::new(),
             recent_arrivals: vec![0; n],
-            next_pod_id: 0,
-            next_request_id: 0,
+            pod_counters: vec![0; n],
+            req_counters: vec![0; n],
             report: SimReport::default(),
             cold_latencies_s: Vec::new(),
-            added_latency_s: 0.0,
+            accum: vec![FnAccum::default(); n],
             trace,
-            peak_live_pods: 0,
+            snapshot,
+            pool_draws: vec![0; pool_slots],
+            cluster_delta: vec![0; clusters],
+            draw_marks: vec![0; n],
+            draw_counts: vec![0; n],
+            epoch: 1,
         }
     }
 
-    /// Resolves a public function id to its dense index, if the function is
-    /// in the workload table. The one hash lookup on the arrival path.
+    /// Resolves a public function id to its local index, if the function is
+    /// a member of this shard. The one hash lookup on the arrival path.
     pub(crate) fn resolve(&self, function: FunctionId) -> Option<FnIdx> {
         self.fn_index.get(&function).copied()
     }
@@ -179,6 +243,63 @@ impl<'a> SimState<'a> {
         self.recent_arrivals.fill(0);
     }
 
+    /// This shard's contribution to shared state since the last boundary,
+    /// leaving the accumulators zeroed for the next epoch.
+    pub(crate) fn take_delta(&mut self) -> ShardDelta {
+        ShardDelta {
+            pool_draws: std::mem::replace(
+                &mut self.pool_draws,
+                vec![0; self.snapshot.pool_idle.len()],
+            ),
+            cluster_delta: std::mem::replace(
+                &mut self.cluster_delta,
+                vec![0; usize::from(self.snapshot.clusters.clusters())],
+            ),
+            live_pods: u64::from(self.pods.live()),
+        }
+    }
+
+    /// Installs the reconciled snapshot and opens the next epoch (lazily
+    /// invalidating every member's pool-draw budget via the epoch stamp).
+    pub(crate) fn begin_epoch(&mut self, snapshot: EpochSnapshot) {
+        self.snapshot = snapshot;
+        self.epoch += 1;
+    }
+
+    /// Tries to draw a pooled pod against the epoch-start snapshot.
+    ///
+    /// A draw succeeds while the function's own draws this epoch are below
+    /// the snapshot's idle count for its configuration. Draws by *other*
+    /// functions (on this or any other shard) are invisible until the next
+    /// boundary — that independence is the documented epoch-granularity
+    /// approximation, and the reason the decision cannot depend on the
+    /// sharding. The ledger clamps any aggregate oversubscription when the
+    /// draws settle.
+    fn try_draw(
+        &mut self,
+        function: FnIdx,
+        cfg: ResourceConfig,
+        pooled_runtime: bool,
+    ) -> PoolAcquire {
+        if pooled_runtime {
+            if let Some((slot, idle)) = self.snapshot.pool_slot(cfg) {
+                let i = function.index();
+                if self.draw_marks[i] != self.epoch {
+                    self.draw_marks[i] = self.epoch;
+                    self.draw_counts[i] = 0;
+                }
+                if self.draw_counts[i] < idle {
+                    self.draw_counts[i] += 1;
+                    self.pool_draws[slot] += 1;
+                    self.report.pool_hits += 1;
+                    return PoolAcquire::FromPool;
+                }
+            }
+        }
+        self.report.scratch_creations += 1;
+        PoolAcquire::FromScratch
+    }
+
     pub(crate) fn function_view(&self, function: FnIdx, _now_ms: u64) -> FunctionView {
         let spec = self.specs[function.index()];
         let history = &self.histories[function.index()];
@@ -196,18 +317,22 @@ impl<'a> SimState<'a> {
         }
     }
 
+    /// Platform-wide view for the pre-warm policy: the shard's member
+    /// functions (in ascending global-table order) plus shared totals from
+    /// the epoch-start snapshot. Platform totals are epoch-stale by design;
+    /// per-function fields are live.
     pub(crate) fn platform_view(&self, now_ms: u64) -> PlatformView {
         let functions = self
-            .workload
-            .functions
+            .members
             .iter()
-            .filter_map(|f| self.resolve(f.function))
+            .map(|&global| &self.workload.functions[global as usize])
+            .filter_map(|spec| self.resolve(spec.function))
             .map(|idx| self.function_view(idx, now_ms))
             .collect::<Vec<_>>();
         PlatformView {
             now_ms,
-            total_warm_pods: self.pods.live(),
-            pooled_idle_pods: self.pools.total_idle(),
+            total_warm_pods: u32::try_from(self.snapshot.live_pods).unwrap_or(u32::MAX),
+            pooled_idle_pods: self.snapshot.pooled_idle(),
             functions,
         }
     }
@@ -217,10 +342,8 @@ impl<'a> SimState<'a> {
     /// microseconds.
     pub(crate) fn create_pod(&mut self, function: FnIdx, t: u64, prewarmed: bool) -> (PodIdx, u64) {
         let spec = self.specs[function.index()];
-        let cluster = self.clusters.place_pod(spec.function);
-        let acquire = self
-            .pools
-            .acquire(spec.config, spec.runtime.has_reserved_pool(), t);
+        let cluster = self.snapshot.clusters.place_pod(spec.function);
+        let acquire = self.try_draw(function, spec.config, spec.runtime.has_reserved_pool());
         let day = (t / MILLIS_PER_DAY) as u32;
         let hour = ((t % MILLIS_PER_DAY) / MILLIS_PER_HOUR) as f64;
         let load_factor =
@@ -232,7 +355,7 @@ impl<'a> SimState<'a> {
             spec.config.size_class(),
             spec.has_dependencies,
             load_factor,
-            &mut self.rng,
+            &mut self.fn_rngs[function.index()],
         );
         if acquire == PoolAcquire::FromScratch && spec.runtime.has_reserved_pool() {
             // The pool was empty: pay the from-scratch allocation path.
@@ -241,10 +364,17 @@ impl<'a> SimState<'a> {
                 as u64;
         }
 
-        // Public pod ids are minted from a never-reused counter regardless of
-        // arena slot recycling, so traces are independent of slab layout.
-        self.next_pod_id += 1;
-        let pod_id = PodId::new((u64::from(self.workload.region.index()) << 48) | self.next_pod_id);
+        // Public pod ids are minted from a per-function never-reused counter
+        // tagged with the function's global index, so they are unique across
+        // shards, independent of arena slot recycling, and independent of
+        // how pod creations interleave across functions.
+        self.pod_counters[function.index()] += 1;
+        let global = u64::from(self.members[function.index()]);
+        let pod_id = PodId::new(
+            (u64::from(self.workload.region.index()) << 48)
+                | (global << 26)
+                | u64::from(self.pod_counters[function.index()]),
+        );
         let pod = Pod::new(
             pod_id,
             spec.function,
@@ -256,12 +386,11 @@ impl<'a> SimState<'a> {
         );
         let pod_idx = self.pods.insert(pod, function);
         self.warm_by_function[function.index()].push(pod_idx);
-        self.peak_live_pods = self.peak_live_pods.max(self.pods.live());
 
         if !prewarmed {
             self.report.cold_starts += 1;
             self.cold_latencies_s.push(components.total_secs());
-            self.added_latency_s += components.total_secs();
+            self.accum[function.index()].added_latency_s += components.total_secs();
             self.histories[function.index()].observe_cold_start();
             if let Some(trace) = self.trace.as_mut() {
                 trace.cold_starts.push(ColdStartRecord {
@@ -279,10 +408,6 @@ impl<'a> SimState<'a> {
             }
         } else {
             self.report.prewarmed_pods += 1;
-        }
-        match acquire {
-            PoolAcquire::FromPool => self.report.pool_hits += 1,
-            PoolAcquire::FromScratch => self.report.scratch_creations += 1,
         }
         (pod_idx, components.total_us())
     }
@@ -303,8 +428,9 @@ impl<'a> SimState<'a> {
             .max_by_key(|(_, p)| p.last_activity_ms)
             .map(|(idx, _)| idx);
 
-        let exec_secs = (spec.median_execution_secs * (0.6 * self.rng.standard_normal()).exp())
-            .clamp(1e-4, 600.0);
+        let exec_secs = (spec.median_execution_secs
+            * (0.6 * self.fn_rngs[function.index()].standard_normal()).exp())
+        .clamp(1e-4, 600.0);
         let exec_ms = (exec_secs * 1e3).ceil() as u64;
 
         let (pod_idx, startup_ms) = match warm_pod {
@@ -326,7 +452,7 @@ impl<'a> SimState<'a> {
             self.report.prewarmed_pods_used += 1;
         }
         let cluster = pod.cluster;
-        self.clusters.begin_request(cluster);
+        self.cluster_delta[usize::from(cluster)] += 1;
         self.queue.push(
             t + startup_ms + exec_ms,
             Event::RequestComplete {
@@ -336,18 +462,21 @@ impl<'a> SimState<'a> {
         );
 
         if let Some(trace) = self.trace.as_mut() {
-            self.next_request_id += 1;
-            let cpu = (spec.cpu_millicores * (0.3 * self.rng.standard_normal()).exp())
+            self.req_counters[function.index()] += 1;
+            let global = u64::from(self.members[function.index()]);
+            let rng = &mut self.fn_rngs[function.index()];
+            let cpu = (spec.cpu_millicores * (0.3 * rng.standard_normal()).exp())
                 .clamp(5.0, spec.config.millicores as f64);
-            let memory =
-                ((spec.memory_bytes as f64) * (0.9 + 0.2 * self.rng.next_f64())).round() as u64;
+            let memory = ((spec.memory_bytes as f64) * (0.9 + 0.2 * rng.next_f64())).round() as u64;
             trace.requests.push(RequestRecord {
                 timestamp_ms: t,
                 pod: pod_id,
                 cluster,
                 function: spec.function,
                 user: spec.user,
-                request: RequestId::new(self.next_request_id),
+                request: RequestId::new(
+                    ((global + 1) << 32) | u64::from(self.req_counters[function.index()]),
+                ),
                 execution_time_us: (exec_secs * 1e6) as u64,
                 cpu_usage_millicores: cpu,
                 memory_usage_bytes: memory,
@@ -370,7 +499,7 @@ impl<'a> SimState<'a> {
         let function_id = pod.function;
         let became_idle = pod.complete_request(t, busy_ms);
         let generation = pod.expiry_generation;
-        self.clusters.complete_request(cluster);
+        self.cluster_delta[usize::from(cluster)] -= 1;
         if became_idle {
             let history = &self.histories[function.index()];
             let ka = keep_alive.keep_alive_ms(function_id, history);
@@ -405,11 +534,12 @@ impl<'a> SimState<'a> {
             return;
         };
         let (lifetime_ms, _served, busy_ms) = pod.terminate(t);
-        self.report.pod_lifetime_s += lifetime_ms as f64 / 1e3;
+        let acc = &mut self.accum[function.index()];
+        acc.pod_lifetime_s += lifetime_ms as f64 / 1e3;
         let startup_ms = pod.cold_start_us / 1000;
         let idle_s = lifetime_ms.saturating_sub(busy_ms + startup_ms) as f64 / 1e3;
-        self.report.idle_pod_time_s += idle_s;
-        self.report.mem_gb_s_wasted += idle_s * pod.config.memory_mb as f64 / 1024.0;
+        acc.idle_pod_time_s += idle_s;
+        acc.mem_gb_s_wasted += idle_s * pod.config.memory_mb as f64 / 1024.0;
         self.warm_by_function[function.index()].retain(|&idx| idx != pod_idx);
     }
 
@@ -435,24 +565,12 @@ impl<'a> SimState<'a> {
         );
     }
 
-    pub(crate) fn into_report(
-        mut self,
-        keep_alive: &str,
-        prewarm: &str,
-        admission: &str,
-    ) -> (SimReport, Option<RegionTrace>) {
-        self.report.cold_start_latency = LatencyStats::from_secs(&self.cold_latencies_s);
-        self.report.mean_added_latency_s = if self.report.requests == 0 {
-            0.0
-        } else {
-            self.added_latency_s / self.report.requests as f64
-        };
-        self.report.peak_live_pods = self.peak_live_pods;
-        // Replay-tagged workloads carry real function identities: fold the
-        // per-function histories into the report, sorted for determinism.
-        if self.workload.is_replay() {
-            let mut per_function: Vec<FunctionStats> = self
-                .histories
+    /// Consumes the shard's state into the pieces the cross-shard merge
+    /// needs (see [`crate::shard::merge_outcomes`]). Per-function replay
+    /// statistics are left unsorted here; the merge sorts the combined set.
+    pub(crate) fn into_outcome(self) -> ShardOutcome {
+        let per_function: Vec<FunctionStats> = if self.workload.is_replay() {
+            self.histories
                 .iter()
                 .enumerate()
                 .filter(|(_, h)| h.arrivals > 0 || h.cold_starts > 0)
@@ -471,23 +589,17 @@ impl<'a> SimState<'a> {
                             cold_starts: h.cold_starts,
                         }),
                 )
-                .collect();
-            per_function.sort_by_key(|s| s.function);
-            self.report.per_function = per_function;
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ShardOutcome {
+            report: self.report,
+            members: self.members,
+            accum: self.accum,
+            cold_latencies_s: self.cold_latencies_s,
+            per_function,
+            trace: self.trace,
         }
-        // Reserved pool capacity is wasted memory just like keep-alive idling;
-        // the engine advances the pool integral to the horizon before this.
-        self.report.mem_gb_s_wasted += self.pools.mem_gb_s();
-        self.report.keep_alive_policy = keep_alive.to_string();
-        self.report.prewarm_policy = prewarm.to_string();
-        self.report.admission_policy = admission.to_string();
-        // Pool statistics.
-        self.report.pool_hits = self.pools.pool_hits();
-        self.report.scratch_creations = self.pools.scratch_creations();
-        let mut trace = self.trace;
-        if let Some(trace) = trace.as_mut() {
-            trace.sort_by_time();
-        }
-        (self.report, trace)
     }
 }

@@ -39,7 +39,13 @@
 //! abstraction and the per-function k-way merge behind it, so arbitrarily
 //! long horizons generate lazily in memory proportional to the function
 //! population — [`simio::WorkloadSpec::from_population`] is simply that
-//! stream collected.
+//! stream collected. For intra-cell parallel simulation, [`shard`] builds a
+//! [`shard::ShardPlan`] that deterministically partitions a function table
+//! (co-sharding workflow chains and duplicate ids) so disjoint per-shard
+//! streams ([`stream::StreamedWorkload::stream_shard`],
+//! [`stream::ShardedStream`]) replay the exact same arrivals the unsharded
+//! stream would — the workload-side half of the platform's
+//! shard-count-invariance contract (see `ARCHITECTURE.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +57,7 @@ pub mod population;
 pub mod presets;
 pub mod profile;
 pub mod replay;
+pub mod shard;
 pub mod simio;
 pub mod stream;
 pub mod synth;
@@ -62,6 +69,9 @@ pub use population::{FunctionPopulation, FunctionSpec, PopulationConfig};
 pub use presets::ScenarioPreset;
 pub use profile::{Calibration, HolidayResponse, RegionProfile};
 pub use replay::TraceReplayWorkload;
+pub use shard::ShardPlan;
 pub use simio::{WorkloadEvent, WorkloadSource, WorkloadSpec};
-pub use stream::{ArrivalStream, SliceStream, SpecStream, StreamedWorkload, SyntheticStream};
+pub use stream::{
+    ArrivalStream, ShardedStream, SliceStream, SpecStream, StreamedWorkload, SyntheticStream,
+};
 pub use synth::{SyntheticTraceBuilder, TraceScale};

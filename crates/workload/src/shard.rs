@@ -1,0 +1,279 @@
+//! Shard assignment for intra-cell parallel simulation.
+//!
+//! A [`ShardPlan`] partitions one cell's function population across `n`
+//! shards so that `n` independent engine instances can replay disjoint
+//! slices of the same workload and reconcile shared capacity at epoch
+//! boundaries (see `faas_platform::shard`). The plan is pure data — it
+//! depends only on the function table and the shard count, never on the
+//! event stream — so every consumer (stream partitioning, engine state
+//! construction, event routing) derives the identical partition.
+//!
+//! Two invariants make the partition sound:
+//!
+//! * **Workflow chains are co-sharded.** Functions linked through
+//!   [`FunctionSpec::upstream`] interact through chain-aware policies
+//!   (e.g. workflow pre-warming), so a union-find over the upstream edges
+//!   groups each chain and the whole group lands on one shard.
+//! * **Duplicate ids are co-sharded.** The simulator resolves a duplicated
+//!   [`FunctionId`] to its last table entry; the plan unions all entries
+//!   sharing an id so the winner and the shadowed entries agree on a shard.
+//!
+//! Groups are dealt round-robin in first-appearance order, which keeps the
+//! shard populations balanced for the common case of mostly-singleton
+//! groups. Events for ids outside the table (hand-written replay traces)
+//! route by a hash of the id so each unknown function is owned by exactly
+//! one shard.
+
+use std::collections::HashMap;
+
+use fntrace::FunctionId;
+
+use crate::population::FunctionSpec;
+
+/// A deterministic assignment of a function table's entries to `n` shards.
+///
+/// Built once per sharded run from the workload header's function table;
+/// cheap to clone behind an `Arc` and share across shard threads.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: u32,
+    /// Shard of each dense function index (position in the table).
+    assignment: Vec<u32>,
+    /// Shard owning each public id; for duplicated ids this is the shard of
+    /// the winning (last) entry, which the co-sharding invariant makes equal
+    /// to the shard of every entry with that id.
+    route: HashMap<u64, u32>,
+}
+
+impl ShardPlan {
+    /// The trivial plan: every function on shard 0.
+    pub fn single(functions: usize) -> Self {
+        Self {
+            shards: 1,
+            assignment: vec![0; functions],
+            route: HashMap::new(),
+        }
+    }
+
+    /// Partitions `functions` across `shards` workers (clamped to at least
+    /// one), co-sharding workflow chains and duplicate ids.
+    pub fn new(functions: &[FunctionSpec], shards: u32) -> Self {
+        let shards = shards.max(1);
+        if shards == 1 {
+            let mut plan = Self::single(functions.len());
+            for spec in functions {
+                plan.route.insert(spec.function.raw(), 0);
+            }
+            return plan;
+        }
+        let n = functions.len();
+        // Union-find over dense indices; paths are short (chains), so plain
+        // path-halving find without ranks is plenty.
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(parent: &mut [u32], mut x: u32) -> u32 {
+            while parent[x as usize] != x {
+                parent[x as usize] = parent[parent[x as usize] as usize];
+                x = parent[x as usize];
+            }
+            x
+        }
+        let union = |parent: &mut Vec<u32>, a: u32, b: u32| {
+            let (ra, rb) = (find(parent, a), find(parent, b));
+            if ra != rb {
+                // Smaller root wins so group identity is order-independent.
+                let (lo, hi) = (ra.min(rb), ra.max(rb));
+                parent[hi as usize] = lo;
+            }
+        };
+        // First index seen for each public id; later entries union into it.
+        let mut first_by_id: HashMap<u64, u32> = HashMap::with_capacity(n);
+        for (i, spec) in functions.iter().enumerate() {
+            let i = i as u32;
+            match first_by_id.entry(spec.function.raw()) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    union(&mut parent, *e.get(), i);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+            }
+        }
+        for (i, spec) in functions.iter().enumerate() {
+            if let Some(up) = spec.upstream {
+                if let Some(&j) = first_by_id.get(&up.raw()) {
+                    union(&mut parent, i as u32, j);
+                }
+            }
+        }
+        // Deal groups round-robin in order of their first member's index.
+        let mut group_shard: HashMap<u32, u32> = HashMap::new();
+        let mut next_shard = 0u32;
+        let mut assignment = vec![0u32; n];
+        for i in 0..n as u32 {
+            let root = find(&mut parent, i);
+            let shard = *group_shard.entry(root).or_insert_with(|| {
+                let s = next_shard;
+                next_shard = (next_shard + 1) % shards;
+                s
+            });
+            assignment[i as usize] = shard;
+        }
+        // Route by public id: iterate in table order so the last entry wins,
+        // mirroring the simulator's duplicate-id resolution.
+        let mut route = HashMap::with_capacity(n);
+        for (i, spec) in functions.iter().enumerate() {
+            route.insert(spec.function.raw(), assignment[i]);
+        }
+        Self {
+            shards,
+            assignment,
+            route,
+        }
+    }
+
+    /// Number of shards in the plan (at least one).
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Number of function-table entries covered by the plan.
+    pub fn functions(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Shard owning the function at dense table index `index`.
+    pub fn shard_of_index(&self, index: usize) -> u32 {
+        self.assignment[index]
+    }
+
+    /// Shard owning events for the public id `function`.
+    ///
+    /// Ids in the table route to their (winning) entry's shard; unknown ids
+    /// route by a SplitMix64 hash of the raw id so replay traces referencing
+    /// functions outside the table still land on exactly one shard.
+    pub fn route(&self, function: FunctionId) -> u32 {
+        match self.route.get(&function.raw()) {
+            Some(&s) => s,
+            None => {
+                let mut z = function.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) % u64::from(self.shards)) as u32
+            }
+        }
+    }
+
+    /// Dense table indices owned by `shard`, ascending.
+    pub fn member_indices(&self, shard: u32) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of table entries owned by `shard`.
+    pub fn shard_len(&self, shard: u32) -> usize {
+        self.assignment.iter().filter(|&&s| s == shard).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+    use crate::profile::{Calibration, RegionProfile};
+    use crate::WorkloadSpec;
+
+    fn specs() -> Vec<FunctionSpec> {
+        WorkloadSpec::generate(
+            &RegionProfile::r2(),
+            Calibration {
+                duration_days: 1,
+                ..Calibration::default()
+            },
+            &PopulationConfig {
+                function_scale: 0.002,
+                volume_scale: 2.0e-6,
+                max_requests_per_day: 2_000.0,
+                min_functions: 40,
+            },
+            9,
+        )
+        .functions
+    }
+
+    #[test]
+    fn plan_covers_every_function_exactly_once() {
+        let functions = specs();
+        for shards in [1u32, 2, 3, 5, 8] {
+            let plan = ShardPlan::new(&functions, shards);
+            assert_eq!(plan.shards(), shards);
+            assert_eq!(plan.functions(), functions.len());
+            let total: usize = (0..shards).map(|s| plan.shard_len(s)).sum();
+            assert_eq!(total, functions.len());
+            for (i, spec) in functions.iter().enumerate() {
+                assert_eq!(plan.route(spec.function), plan.shard_of_index(i));
+            }
+        }
+    }
+
+    #[test]
+    fn workflow_chains_are_co_sharded() {
+        let functions = specs();
+        let plan = ShardPlan::new(&functions, 4);
+        for (i, spec) in functions.iter().enumerate() {
+            if let Some(up) = spec.upstream {
+                if let Some(j) = functions.iter().position(|f| f.function == up) {
+                    assert_eq!(
+                        plan.shard_of_index(i),
+                        plan.shard_of_index(j),
+                        "chain split across shards"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_are_co_sharded() {
+        let mut functions = specs();
+        let dup = functions[0].clone();
+        functions.push(dup);
+        let plan = ShardPlan::new(&functions, 3);
+        assert_eq!(
+            plan.shard_of_index(0),
+            plan.shard_of_index(functions.len() - 1)
+        );
+        assert_eq!(
+            plan.route(functions[0].function),
+            plan.shard_of_index(functions.len() - 1)
+        );
+    }
+
+    #[test]
+    fn more_shards_than_functions_leaves_some_empty() {
+        let functions = specs();
+        let shards = functions.len() as u32 + 7;
+        let plan = ShardPlan::new(&functions, shards);
+        let total: usize = (0..shards).map(|s| plan.shard_len(s)).sum();
+        assert_eq!(total, functions.len());
+        assert!((0..shards).any(|s| plan.shard_len(s) == 0));
+    }
+
+    #[test]
+    fn unknown_ids_route_stably_within_range() {
+        let functions = specs();
+        let plan = ShardPlan::new(&functions, 5);
+        for raw in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            let id = FunctionId::new(raw);
+            if plan.route.contains_key(&raw) {
+                continue;
+            }
+            let s = plan.route(id);
+            assert!(s < 5);
+            assert_eq!(s, plan.route(id));
+        }
+    }
+}
