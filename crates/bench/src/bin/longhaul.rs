@@ -4,6 +4,8 @@
 //! cargo run --release --bin longhaul -- --days 7
 //! cargo run --release --bin longhaul -- --days 7 --shards 4      # sharded engines
 //! cargo run --release --bin longhaul -- --days 7 --materialize   # eager baseline
+//! cargo run --release --bin longhaul -- --days 7 --write-trace DIR  # emit a CSV fileset
+//! cargo run --release --bin longhaul -- --trace-dir DIR          # disk-streamed replay
 //! ```
 //!
 //! Generates a multi-day scenario-preset workload through
@@ -24,15 +26,28 @@
 //! across `N` engine threads reconciling shared capacity at epoch
 //! boundaries (see `faas_platform::shard`); the report is byte-identical to
 //! `--shards 1`, so the flag measures pure scaling.
+//!
+//! The same contract extends to disk: `--trace-dir DIR` replays an on-disk
+//! CSV fileset (the `RegionTrace::write_csv_dir` layout) through
+//! `TraceReplayWorkload::open_csv_dir`, so peak RSS is bounded by the
+//! function population and the reorder window — not the trace length — while
+//! `--trace-dir DIR --materialize` parses the whole request table into
+//! memory first (the pre-streaming behaviour). `--write-trace DIR` generates
+//! the multi-day synthetic CSV fileset those modes consume; CI runs it
+//! outside the ceiling, then replays under it.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use coldstarts::session::seeds;
 use faas_platform::{PlatformConfig, SimulationSpec};
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::RegionProfile;
-use faas_workload::stream::{ArrivalStream, StreamedWorkload};
+use faas_workload::replay::TraceReplayWorkload;
+use faas_workload::stream::{ArrivalStream, ShardedStream, StreamedWorkload};
 use faas_workload::{ScenarioPreset, ShardPlan, WorkloadSpec};
+use fntrace::synth::{SynthShape, SynthTraceSpec};
+use fntrace::{RegionId, RegionTrace};
 
 struct Args {
     days: u32,
@@ -46,13 +61,18 @@ struct Args {
     materialize: bool,
     shards: u32,
     max_rss_kb: Option<u64>,
+    trace_dir: Option<PathBuf>,
+    write_trace: Option<PathBuf>,
+    trace_functions: usize,
+    trace_rpd: f64,
 }
 
 fn usage() -> String {
     "usage: longhaul [--days N] [--preset NAME] [--region N] [--seed N]\n\
      \x20               [--function-scale F] [--volume-scale F] [--max-rpd F]\n\
      \x20               [--min-functions N] [--materialize] [--shards N]\n\
-     \x20               [--max-rss-kb N]\n\n\
+     \x20               [--max-rss-kb N] [--trace-dir DIR] [--write-trace DIR]\n\
+     \x20               [--trace-functions N] [--trace-rpd F]\n\n\
      --days           horizon in days (default 7)\n\
      --preset         scenario preset (default diurnal)\n\
      --region         paper region index 1..=5 (default 2)\n\
@@ -61,10 +81,16 @@ fn usage() -> String {
      --volume-scale   per-function volume scale (default 2.0e-4)\n\
      --max-rpd        cap on one function's requests/day (default 200000)\n\
      --min-functions  minimum population size (default 50)\n\
-     --materialize    build the full event vector first (eager baseline)\n\
+     --materialize    build the full event vector first (eager baseline);\n\
+     \x20               with --trace-dir, parse the whole request table first\n\
      --shards         intra-cell engine shards, byte-identical results\n\
-     \x20               for every value (default 1; streamed mode only)\n\
-     --max-rss-kb     fail if peak RSS (VmHWM) exceeds this many kB"
+     \x20               for every value (default 1; streamed modes only)\n\
+     --max-rss-kb     fail if peak RSS (VmHWM) exceeds this many kB\n\
+     --trace-dir      replay an on-disk CSV fileset, streamed from disk\n\
+     --write-trace    generate a synthetic CSV fileset into DIR and exit\n\
+     --trace-functions  functions in the --write-trace fileset (default 40)\n\
+     --trace-rpd      mean requests/day per function for --write-trace\n\
+     \x20               (default 2000)"
         .to_string()
 }
 
@@ -81,6 +107,10 @@ fn parse_args() -> Result<Args, String> {
         materialize: false,
         shards: 1,
         max_rss_kb: None,
+        trace_dir: None,
+        write_trace: None,
+        trace_functions: 40,
+        trace_rpd: 2_000.0,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -101,6 +131,10 @@ fn parse_args() -> Result<Args, String> {
             "--materialize" => args.materialize = true,
             "--shards" => args.shards = parse(&take("--shards")?)?,
             "--max-rss-kb" => args.max_rss_kb = Some(parse(&take("--max-rss-kb")?)?),
+            "--trace-dir" => args.trace_dir = Some(PathBuf::from(take("--trace-dir")?)),
+            "--write-trace" => args.write_trace = Some(PathBuf::from(take("--write-trace")?)),
+            "--trace-functions" => args.trace_functions = parse(&take("--trace-functions")?)?,
+            "--trace-rpd" => args.trace_rpd = parse(&take("--trace-rpd")?)?,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
         }
@@ -131,23 +165,41 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let Some(profile) = RegionProfile::paper_region(args.region) else {
-        eprintln!("unknown region {} (paper regions are 1..=5)", args.region);
-        return ExitCode::FAILURE;
-    };
-    let population = PopulationConfig {
-        function_scale: args.function_scale,
-        volume_scale: args.volume_scale,
-        max_requests_per_day: args.max_requests_per_day,
-        min_functions: args.min_functions,
-    };
-
     let days = args.days.max(1);
     let shards = args.shards.max(1);
     if args.materialize && shards > 1 {
-        eprintln!("longhaul: --shards applies to the streamed mode only");
+        eprintln!("longhaul: --shards applies to the streamed modes only");
         return ExitCode::FAILURE;
     }
+
+    // Fileset generation: emit the synthetic multi-day trace CSVs that the
+    // --trace-dir modes replay, then exit. CI runs this step outside the
+    // address-space ceiling; the replay below runs under it.
+    if let Some(dir) = &args.write_trace {
+        let trace = SynthTraceSpec {
+            region: RegionId::new(args.region),
+            shape: SynthShape::Diurnal,
+            functions: args.trace_functions,
+            duration_days: days,
+            mean_requests_per_day: args.trace_rpd,
+            keep_alive_secs: 60.0,
+            seed: args.seed,
+        }
+        .generate();
+        if let Err(e) = trace.write_csv_dir(dir) {
+            eprintln!("longhaul: failed to write {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "longhaul: wrote trace requests={} cold_starts={} functions={} dir={}",
+            trace.requests.len(),
+            trace.cold_starts.len(),
+            trace.functions.len(),
+            dir.display(),
+        );
+        return ExitCode::SUCCESS;
+    }
+
     let mode = if args.materialize {
         "materialized"
     } else {
@@ -169,6 +221,84 @@ fn main() -> ExitCode {
         })
         .with_seed(args.seed);
     let started = std::time::Instant::now();
+
+    // Disk-backed replay: the horizon and event count come from the trace
+    // fileset, not from the preset generator.
+    if let Some(dir) = &args.trace_dir {
+        let region = RegionId::new(args.region);
+        let report = if args.materialize {
+            // Eager contrast: the whole request table, then the full event
+            // vector, are resident before the first event simulates.
+            let trace = match RegionTrace::read_csv_dir(region, dir) {
+                Ok(trace) => trace,
+                Err(e) => {
+                    eprintln!("longhaul: failed to read trace from {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let workload = TraceReplayWorkload::new().build(&trace);
+            println!(
+                "longhaul: materialized {} events ({} MiB event vector)",
+                workload.len(),
+                (workload.len() * std::mem::size_of::<faas_workload::WorkloadEvent>()) >> 20,
+            );
+            spec.run(&workload).0
+        } else {
+            let streamed = match TraceReplayWorkload::new().open_csv_dir(region, dir) {
+                Ok(streamed) => streamed,
+                Err(e) => {
+                    eprintln!("longhaul: failed to open trace at {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "longhaul: streaming {} trace requests over {} functions from {}",
+                streamed.request_count(),
+                streamed.header().functions.len(),
+                dir.display(),
+            );
+            if shards > 1 {
+                let plan = ShardPlan::new(&streamed.header().functions, shards);
+                let plan = std::sync::Arc::new(plan);
+                let mut streams = Vec::new();
+                for s in 0..plan.shards() {
+                    match streamed.stream() {
+                        Ok(stream) => streams.push(ShardedStream::new(
+                            stream,
+                            std::sync::Arc::clone(&plan),
+                            s,
+                        )),
+                        Err(e) => {
+                            eprintln!("longhaul: failed to open trace stream: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                spec.run_sharded(streamed.header(), &plan, streams).0
+            } else {
+                match streamed.stream() {
+                    Ok(stream) => spec.run_streamed(streamed.header(), stream).0,
+                    Err(e) => {
+                        eprintln!("longhaul: failed to open trace stream: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+        return finish(&args, report, started);
+    }
+
+    let Some(profile) = RegionProfile::paper_region(args.region) else {
+        eprintln!("unknown region {} (paper regions are 1..=5)", args.region);
+        return ExitCode::FAILURE;
+    };
+    let population = PopulationConfig {
+        function_scale: args.function_scale,
+        volume_scale: args.volume_scale,
+        max_requests_per_day: args.max_requests_per_day,
+        min_functions: args.min_functions,
+    };
+
     let report = if args.materialize {
         // Eager baseline: the full Vec<WorkloadEvent> is allocated before
         // the first event simulates — memory scales with horizon x rate.
@@ -210,6 +340,12 @@ fn main() -> ExitCode {
             spec.run_streamed(workload.header(), stream).0
         }
     };
+    finish(&args, report, started)
+}
+
+/// Prints the count/throughput/RSS summary shared by every mode and applies
+/// the `--max-rss-kb` ceiling.
+fn finish(args: &Args, report: faas_platform::SimReport, started: std::time::Instant) -> ExitCode {
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
     let events_per_sec = if wall_ms > 0.0 {

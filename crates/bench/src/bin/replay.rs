@@ -12,8 +12,12 @@
 //! replay-tagged workload with `faas_workload::replay`, and run the policy
 //! scenarios over the replayed events through one
 //! `coldstarts::session::ExperimentSession`. With `--trace-dir` it replays
-//! an on-disk CSV fileset in the public data-release layout instead. Chunked
-//! streaming runs as a second session over `ChunkSource::split` windows.
+//! an on-disk CSV fileset in the public data-release layout instead — opened
+//! through the streaming `TraceDirSource`, so every session cell reads its
+//! events straight from disk instead of materialising the request table.
+//! Chunked streaming runs as a second session over `ChunkSource::split`
+//! windows (which needs the materialised base workload; the primary cells do
+//! not).
 //!
 //! The report is written as `BENCH_replay.json` in the shared
 //! `faas-coldstarts/session/v1` envelope (kind `replay`) that CI validates
@@ -27,7 +31,7 @@ use coldstarts::evaluation::Scenario;
 use coldstarts::session::envelope::{cells_value, JsonValue};
 use coldstarts::session::{
     seeds, ChunkSource, ExperimentSession, PolicyConfig, ProgressLog, ReplayTraceSource,
-    WorkloadSource,
+    TraceDirSource, WorkloadSource,
 };
 use faas_platform::{PlatformConfig, SimReport, SimulationSpec};
 use faas_workload::population::PopulationConfig;
@@ -171,40 +175,74 @@ fn main() -> ExitCode {
         }
     };
 
-    let (source_origin, direct, trace) = match &args.trace_dir {
-        Some(dir) => match RegionTrace::read_csv_dir(RegionId::new(args.region), dir) {
-            Ok(trace) => ("csv-dir".to_string(), None, trace),
-            Err(e) => {
-                eprintln!("failed to read trace from {}: {e}", dir.display());
-                return ExitCode::FAILURE;
-            }
-        },
+    // Counts of the ingested trace tables, for the envelope's `trace` block.
+    struct TraceCounts {
+        requests: u64,
+        cold_starts: u64,
+        functions: u64,
+    }
+
+    let (source_origin, direct, source, counts): (
+        String,
+        Option<SimReport>,
+        Arc<dyn WorkloadSource>,
+        TraceCounts,
+    ) = match &args.trace_dir {
+        Some(dir) => {
+            // Stream-first ingestion: one bounded-memory pass validates the
+            // fileset and infers the replay header; each session cell then
+            // streams its events straight from disk.
+            let region = RegionId::new(args.region);
+            let source = match TraceDirSource::open(format!("replay/r{}", args.region), region, dir)
+            {
+                Ok(source) => source,
+                Err(e) => {
+                    eprintln!("failed to read trace from {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let counts = TraceCounts {
+                requests: source.streamed().request_count(),
+                cold_starts: source.streamed().cold_start_count(),
+                functions: source.streamed().function_count(),
+            };
+            ("csv-dir".to_string(), None, Arc::new(source), counts)
+        }
         None => match synthetic_roundtrip(&args) {
-            Ok((direct, trace)) => ("synthetic-roundtrip".to_string(), Some(direct), trace),
+            Ok((direct, trace)) => {
+                // Lower the trace into a replay-tagged workload, pinning
+                // profile and calibration to the preset's so the replayed
+                // run is comparable to the direct run.
+                let mut builder = TraceReplayWorkload::new();
+                if let Some(profile) = RegionProfile::paper_region(args.region) {
+                    builder = builder
+                        .with_profile(args.preset.profile(&profile))
+                        .with_calibration(args.preset.calibration(args.days.max(1)));
+                }
+                let source = ReplayTraceSource::from_trace_with(
+                    format!("replay/r{}", trace.region.index()),
+                    &builder,
+                    &trace,
+                );
+                let counts = TraceCounts {
+                    requests: trace.requests.len() as u64,
+                    cold_starts: trace.cold_starts.len() as u64,
+                    functions: trace.functions.len() as u64,
+                };
+                (
+                    "synthetic-roundtrip".to_string(),
+                    Some(direct),
+                    Arc::new(source),
+                    counts,
+                )
+            }
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         },
     };
-
-    // Lower the trace into a replay-tagged workload. For the synthetic round
-    // trip, pin profile and calibration to the preset's so the replayed run
-    // is comparable to the direct run.
-    let mut builder = TraceReplayWorkload::new();
-    if args.trace_dir.is_none() {
-        if let Some(profile) = RegionProfile::paper_region(args.region) {
-            builder = builder
-                .with_profile(args.preset.profile(&profile))
-                .with_calibration(args.preset.calibration(args.days.max(1)));
-        }
-    }
-    let source = ReplayTraceSource::from_trace_with(
-        format!("replay/r{}", trace.region.index()),
-        &builder,
-        &trace,
-    );
-    let workload = Arc::clone(source.spec());
+    let workload = source.workload(args.seed);
     eprintln!(
         "replaying {} events over {} functions (region {}, source {source_origin})",
         workload.len(),
@@ -225,7 +263,7 @@ fn main() -> ExitCode {
     // One ExperimentSession is the run: scenarios × the replayed trace.
     let session = ExperimentSession::new()
         .scenarios(&scenarios)
-        .source(source)
+        .source_arcs(std::iter::once(source))
         .with_seeds(vec![args.seed])
         .with_threads(args.threads);
     let mut progress = ProgressLog::stderr();
@@ -281,12 +319,9 @@ fn main() -> ExitCode {
         .with(
             "trace",
             JsonValue::object(vec![
-                ("requests", JsonValue::U64(trace.requests.len() as u64)),
-                (
-                    "cold_starts",
-                    JsonValue::U64(trace.cold_starts.len() as u64),
-                ),
-                ("functions", JsonValue::U64(trace.functions.len() as u64)),
+                ("requests", JsonValue::U64(counts.requests)),
+                ("cold_starts", JsonValue::U64(counts.cold_starts)),
+                ("functions", JsonValue::U64(counts.functions)),
             ]),
         )
         .with(

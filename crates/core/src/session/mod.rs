@@ -93,7 +93,8 @@ pub use envelope::{Envelope, JsonValue};
 pub use sink::{CellCollector, JsonWriter, ProgressLog, ReportSink};
 pub use source::{
     ChunkSource, FixedWorkloadSource, LoweredWorkload, PresetSource, RegionSource,
-    ReplayTraceSource, ShardedLowered, SourceKind, SynthTraceSource, WorkloadSource,
+    ReplayTraceSource, ShardedLowered, SourceKind, SynthTraceSource, TraceDirSource,
+    WorkloadSource,
 };
 
 /// Default maximum delay of the peak-shaving scenarios, in milliseconds.

@@ -22,17 +22,18 @@
 //! grid's region lists are now thin shims that construct sources.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 use serde::{Deserialize, Serialize};
 
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::{Calibration, RegionProfile};
-use faas_workload::replay::TraceReplayWorkload;
+use faas_workload::replay::{StreamedTraceDir, TraceReplayWorkload, TraceStreamError};
 use faas_workload::stream::{ArrivalStream, ShardedStream, SpecStream, StreamedWorkload};
 use faas_workload::{MultiRegionWorkload, ScenarioPreset, ShardPlan, WorkloadSpec};
 use fntrace::synth::SynthTraceSpec;
-use fntrace::RegionTrace;
+use fntrace::{RegionId, RegionTrace};
 
 /// Coarse classification of a source, carried into report envelopes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -413,6 +414,121 @@ impl WorkloadSource for ReplayTraceSource {
     }
 }
 
+/// A trace directory replayed straight from disk — the larger-than-memory
+/// counterpart of [`ReplayTraceSource`].
+///
+/// Opening the source runs one streaming pass over the directory's CSV files
+/// (validating every row and inferring the function specs in bounded
+/// memory); each session cell then streams its events from disk again via
+/// [`StreamedTraceDir::stream`], so no cell ever holds the request table.
+/// The seed is ignored, exactly as for [`ReplayTraceSource`]: the trace is a
+/// fixed artifact.
+///
+/// `workload()` — the materialising oracle used by chunk splitting and
+/// equality tests — collects the disk stream once and memoises it; sessions
+/// that only call [`lower`](WorkloadSource::lower) never pay that cost.
+#[derive(Debug)]
+pub struct TraceDirSource {
+    label: String,
+    streamed: StreamedTraceDir,
+    memo: Mutex<Option<Arc<WorkloadSpec>>>,
+}
+
+impl Clone for TraceDirSource {
+    fn clone(&self) -> Self {
+        // The memo is an optimisation, not state.
+        Self {
+            label: self.label.clone(),
+            streamed: self.streamed.clone(),
+            memo: Mutex::new(None),
+        }
+    }
+}
+
+impl TraceDirSource {
+    /// Opens `dir` (the [`RegionTrace::write_csv_dir`] layout) with a
+    /// default [`TraceReplayWorkload`] builder and reorder window.
+    pub fn open(
+        label: impl Into<String>,
+        region: RegionId,
+        dir: &Path,
+    ) -> Result<Self, TraceStreamError> {
+        Ok(Self::from_streamed(
+            label,
+            TraceReplayWorkload::new().open_csv_dir(region, dir)?,
+        ))
+    }
+
+    /// Opens `dir` with a configured builder (profile or calibration
+    /// overrides) and an explicit reorder window.
+    pub fn open_with(
+        label: impl Into<String>,
+        builder: &TraceReplayWorkload,
+        region: RegionId,
+        dir: &Path,
+        window_ms: u64,
+    ) -> Result<Self, TraceStreamError> {
+        Ok(Self::from_streamed(
+            label,
+            builder.open_csv_dir_with_window(region, dir, window_ms)?,
+        ))
+    }
+
+    /// Wraps an already-opened streamed trace directory under a label.
+    pub fn from_streamed(label: impl Into<String>, streamed: StreamedTraceDir) -> Self {
+        Self {
+            label: label.into(),
+            streamed,
+            memo: Mutex::new(None),
+        }
+    }
+
+    /// The opened trace directory (header, counts, stream access).
+    pub fn streamed(&self) -> &StreamedTraceDir {
+        &self.streamed
+    }
+}
+
+impl WorkloadSource for TraceDirSource {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn kind(&self) -> SourceKind {
+        SourceKind::Replay
+    }
+
+    fn workload(&self, _seed: u64) -> Arc<WorkloadSpec> {
+        if let Some(workload) = self.memo.lock().expect("memo lock").as_ref() {
+            return Arc::clone(workload);
+        }
+        // Collect outside the lock; concurrent racers produce identical
+        // workloads (the stream is deterministic) and the first insert wins.
+        let header = self.streamed.header();
+        let events = self
+            .streamed
+            .stream()
+            .expect("trace dir validated at open")
+            .collect();
+        let workload = Arc::new(WorkloadSpec {
+            region: header.region,
+            profile: header.profile.clone(),
+            calibration: header.calibration,
+            functions: header.functions.clone(),
+            events,
+            source: header.source,
+        });
+        Arc::clone(self.memo.lock().expect("memo lock").get_or_insert(workload))
+    }
+
+    fn lower(&self, _seed: u64) -> LoweredWorkload {
+        // The directory was fully validated at open, so a failure to reopen
+        // the request file mid-session is fatal, not recoverable.
+        let stream = self.streamed.stream().expect("trace dir validated at open");
+        LoweredWorkload::from_stream(Arc::clone(self.streamed.header()), Box::new(stream))
+    }
+}
+
 /// A seeded [`fntrace::synth`] trace, lowered through the replay path.
 ///
 /// The session seed replaces the spec's own `seed` field, so the seed axis
@@ -720,6 +836,43 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert!(a.is_replay());
         assert_eq!(a.len(), trace.requests.len());
+    }
+
+    #[test]
+    fn trace_dir_source_matches_the_eager_replay_source() {
+        let trace = SynthTraceSpec {
+            seed: 77,
+            ..synth_spec()
+        }
+        .generate();
+        let dir = std::env::temp_dir().join("coldstarts_trace_dir_source_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        trace.write_csv_dir(&dir).unwrap();
+
+        let eager = ReplayTraceSource::from_trace("synth-r2", &trace);
+        let streamed = TraceDirSource::open("synth-r2", trace.region, &dir).unwrap();
+        assert_eq!(streamed.kind(), SourceKind::Replay);
+        assert_eq!(streamed.label(), eager.label());
+        assert_eq!(
+            streamed.streamed().request_count(),
+            trace.requests.len() as u64
+        );
+
+        // The materialised workload is identical to the eager path, and the
+        // memo hands back one shared Arc across seeds.
+        let a = streamed.workload(1);
+        let b = streamed.workload(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, *eager.workload(0));
+
+        // Lowering streams from disk: same header, same events, no
+        // materialised table.
+        let lowered = streamed.lower(0);
+        assert!(Arc::ptr_eq(&lowered.header, streamed.streamed().header()));
+        let events: Vec<_> = lowered.stream.collect();
+        assert_eq!(events, a.events);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

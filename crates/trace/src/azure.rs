@@ -1,0 +1,685 @@
+//! Adapter for the Azure Functions–style public trace layout.
+//!
+//! The Azure Functions 2019 release (`azurefunctions-dataset2019`) ships a
+//! different shape than our native per-request tables: a per-function
+//! *invocations* table with one count column per minute of the day
+//! (`HashOwner,HashApp,HashFunction,Trigger,1,2,…,1440`), a per-function
+//! *durations* table of execution-time statistics in milliseconds, and a
+//! per-app *memory* table of allocated megabytes. This module lowers that
+//! layout into the native [`RequestRecord`]/[`FunctionMeta`] pipeline so
+//! public production traces drive the simulator through the exact same
+//! ingestion, inference, and replay code as the Huawei-style tables.
+//!
+//! Lowering is deterministic: identifiers are FNV-1a hashes of the released
+//! hash strings, the `n` invocations of a minute are spread evenly across
+//! that minute, and request ids are the global expansion sequence number.
+//!
+//! # Memory contract
+//!
+//! [`AzureAdapter::stream_requests`] expands invocation rows lazily: resident
+//! state is the per-function duration/memory maps (function-count-sized, read
+//! once up front) plus a single row's minute counts — never the expanded
+//! request set, so day-long tables with millions of invocations stream in
+//! bounded memory. [`AzureAdapter::to_region_trace`] is the eager
+//! counterpart; it materializes every expanded record and is meant for
+//! slices that fit in RAM (its output can then be written with
+//! [`RegionTrace::write_csv_dir`] and replayed via the streaming
+//! `--trace-dir` path).
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::Path;
+
+use crate::csv::CsvError;
+use crate::ids::{hash_name, FunctionId, PodId, RegionId, RequestId, UserId};
+use crate::record::{FunctionMeta, RequestRecord};
+use crate::timebin::{MILLIS_PER_DAY, MILLIS_PER_MIN};
+use crate::types::{ResourceConfig, Runtime, TriggerType};
+use crate::RegionTrace;
+
+/// Leading (non-minute) columns of the invocations table.
+const INVOCATION_PREFIX: [&str; 4] = ["HashOwner", "HashApp", "HashFunction", "Trigger"];
+/// Leading columns of the durations table; percentile columns after these are
+/// tolerated and ignored.
+const DURATION_PREFIX: [&str; 7] = [
+    "HashOwner",
+    "HashApp",
+    "HashFunction",
+    "Average",
+    "Count",
+    "Minimum",
+    "Maximum",
+];
+/// Leading columns of the per-app memory table; percentile columns after
+/// these are tolerated and ignored.
+const MEMORY_PREFIX: [&str; 4] = ["HashOwner", "HashApp", "SampleCount", "AverageAllocatedMb"];
+
+/// Execution time assumed when a function has no durations row (µs).
+const DEFAULT_EXECUTION_US: u64 = 100_000;
+/// Memory usage assumed when an app has no memory row (bytes).
+const DEFAULT_MEMORY_BYTES: u64 = 128 << 20;
+/// CPU usage attributed to every request; the Azure release publishes no CPU
+/// telemetry, so this is a fixed documented placeholder.
+const DEFAULT_CPU_MILLICORES: f64 = 200.0;
+
+/// Maps the Azure trigger taxonomy onto the native [`TriggerType`] set.
+pub fn trigger_from_azure(label: &str) -> TriggerType {
+    match label.trim().to_ascii_lowercase().as_str() {
+        "http" => TriggerType::ApigSync,
+        "timer" => TriggerType::Timer,
+        "queue" => TriggerType::Kafka,
+        "storage" | "blob" => TriggerType::Obs,
+        "event" | "eventhub" => TriggerType::Dis,
+        "orchestration" => TriggerType::WorkflowAsync,
+        _ => TriggerType::Unknown,
+    }
+}
+
+fn parse_err(line: usize, message: String) -> CsvError {
+    CsvError::Parse { line, message }
+}
+
+/// Splits a header row and checks it starts with `prefix`, returning the
+/// remaining column labels.
+fn check_header<'a>(
+    line: &'a str,
+    lineno: usize,
+    prefix: &[&str],
+    table: &str,
+) -> Result<Vec<&'a str>, CsvError> {
+    let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+    if cols.len() < prefix.len() || cols[..prefix.len()] != *prefix {
+        return Err(parse_err(
+            lineno,
+            format!(
+                "{table} header must start with {}, got {line:?}",
+                prefix.join(",")
+            ),
+        ));
+    }
+    Ok(cols[prefix.len()..].to_vec())
+}
+
+/// Per-function statistics from the durations table (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AzureDuration {
+    /// Mean execution time in milliseconds.
+    pub average_ms: f64,
+    /// Number of samples behind the average.
+    pub count: u64,
+}
+
+/// One parsed invocations row: a function, its trigger, and its per-minute
+/// invocation counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AzureInvocationRow {
+    /// Hashed owner string from the release.
+    pub owner: String,
+    /// Hashed app string from the release.
+    pub app: String,
+    /// Hashed function string from the release.
+    pub function: String,
+    /// Trigger label (Azure taxonomy).
+    pub trigger: String,
+    /// Invocation count per minute of the day (index 0 = minute 1).
+    pub counts: Vec<u64>,
+}
+
+impl AzureInvocationRow {
+    /// Total invocations across the day.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Streaming parser for the invocations table: yields one row at a time.
+///
+/// The header is validated on construction and fixes the number of minute
+/// columns; every data row must match it exactly.
+pub struct AzureInvocationReader<R: BufRead> {
+    reader: R,
+    buf: String,
+    lineno: usize,
+    minutes: usize,
+    done: bool,
+}
+
+impl<R: BufRead> AzureInvocationReader<R> {
+    /// Reads and validates the header line.
+    pub fn new(mut reader: R) -> Result<Self, CsvError> {
+        let mut buf = String::new();
+        let n = reader.read_line(&mut buf).map_err(CsvError::Io)?;
+        if n == 0 {
+            return Err(parse_err(1, "empty invocations table".to_string()));
+        }
+        let minute_cols = check_header(buf.trim(), 1, &INVOCATION_PREFIX, "invocations")?;
+        if minute_cols.is_empty() {
+            return Err(parse_err(
+                1,
+                "invocations header has no minute columns".to_string(),
+            ));
+        }
+        for (i, col) in minute_cols.iter().enumerate() {
+            if col.parse::<usize>() != Ok(i + 1) {
+                return Err(parse_err(
+                    1,
+                    format!(
+                        "minute column {} is labelled {col:?}, expected {}",
+                        i + 1,
+                        i + 1
+                    ),
+                ));
+            }
+        }
+        Ok(Self {
+            reader,
+            buf: String::new(),
+            lineno: 1,
+            minutes: minute_cols.len(),
+            done: false,
+        })
+    }
+
+    /// Number of minute columns fixed by the header (1440 in the release).
+    pub fn minutes(&self) -> usize {
+        self.minutes
+    }
+}
+
+impl<R: BufRead> Iterator for AzureInvocationReader<R> {
+    type Item = Result<AzureInvocationRow, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            let n = match self.reader.read_line(&mut self.buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(CsvError::Io(e)));
+                }
+            };
+            if n == 0 {
+                self.done = true;
+                return None;
+            }
+            self.lineno += 1;
+            let line = self.buf.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let res = self.parse_row(line);
+            if res.is_err() {
+                self.done = true;
+            }
+            return Some(res);
+        }
+    }
+}
+
+impl<R: BufRead> AzureInvocationReader<R> {
+    fn parse_row(&self, line: &str) -> Result<AzureInvocationRow, CsvError> {
+        let lineno = self.lineno;
+        let mut fields = line.split(',').map(str::trim);
+        let mut named = |name: &str| {
+            fields
+                .next()
+                .map(str::to_string)
+                .ok_or_else(|| parse_err(lineno, format!("missing column {name}")))
+        };
+        let owner = named("HashOwner")?;
+        let app = named("HashApp")?;
+        let function = named("HashFunction")?;
+        let trigger = named("Trigger")?;
+        let mut counts = Vec::with_capacity(self.minutes);
+        for (i, raw) in fields.enumerate() {
+            if i >= self.minutes {
+                return Err(parse_err(
+                    lineno,
+                    format!(
+                        "expected {} minute columns, found extra trailing data",
+                        self.minutes
+                    ),
+                ));
+            }
+            counts.push(raw.parse::<u64>().map_err(|_| {
+                parse_err(lineno, format!("invalid minute-{} count: {raw:?}", i + 1))
+            })?);
+        }
+        if counts.len() != self.minutes {
+            return Err(parse_err(
+                lineno,
+                format!(
+                    "expected {} minute columns, found {}",
+                    self.minutes,
+                    counts.len()
+                ),
+            ));
+        }
+        Ok(AzureInvocationRow {
+            owner,
+            app,
+            function,
+            trigger,
+            counts,
+        })
+    }
+}
+
+/// Parses the durations table into a map keyed by `app/function` hash pair.
+pub fn read_durations<R: BufRead>(
+    reader: R,
+) -> Result<HashMap<(String, String), AzureDuration>, CsvError> {
+    let mut out = HashMap::new();
+    let mut header_done = false;
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(CsvError::Io)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !header_done {
+            check_header(line, lineno, &DURATION_PREFIX, "durations")?;
+            header_done = true;
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cols.len() < DURATION_PREFIX.len() {
+            return Err(parse_err(
+                lineno,
+                format!("expected at least {} columns", DURATION_PREFIX.len()),
+            ));
+        }
+        let average_ms: f64 = cols[3]
+            .parse()
+            .map_err(|_| parse_err(lineno, format!("invalid Average: {:?}", cols[3])))?;
+        let count: u64 = cols[4]
+            .parse()
+            .map_err(|_| parse_err(lineno, format!("invalid Count: {:?}", cols[4])))?;
+        out.insert(
+            (cols[1].to_string(), cols[2].to_string()),
+            AzureDuration { average_ms, count },
+        );
+    }
+    Ok(out)
+}
+
+/// Parses the per-app memory table into a map of `HashApp` → average
+/// allocated megabytes.
+pub fn read_memory<R: BufRead>(reader: R) -> Result<HashMap<String, f64>, CsvError> {
+    let mut out = HashMap::new();
+    let mut header_done = false;
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i + 1;
+        let line = line.map_err(CsvError::Io)?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !header_done {
+            check_header(line, lineno, &MEMORY_PREFIX, "memory")?;
+            header_done = true;
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cols.len() < MEMORY_PREFIX.len() {
+            return Err(parse_err(
+                lineno,
+                format!("expected at least {} columns", MEMORY_PREFIX.len()),
+            ));
+        }
+        let mb: f64 = cols[3]
+            .parse()
+            .map_err(|_| parse_err(lineno, format!("invalid AverageAllocatedMb: {:?}", cols[3])))?;
+        out.insert(cols[1].to_string(), mb);
+    }
+    Ok(out)
+}
+
+/// Lowers an Azure-layout trace (one invocations day plus optional duration
+/// and memory tables) into the native record pipeline.
+#[derive(Debug, Clone)]
+pub struct AzureAdapter {
+    region: RegionId,
+    /// 0-based day index; minute 1 of the invocations table maps to
+    /// `day_index * MILLIS_PER_DAY`.
+    day_index: u32,
+    durations: HashMap<(String, String), AzureDuration>,
+    memory_mb: HashMap<String, f64>,
+}
+
+impl AzureAdapter {
+    /// Creates an adapter with no duration or memory metadata (defaults are
+    /// used for every function).
+    pub fn new(region: RegionId, day_index: u32) -> Self {
+        Self {
+            region,
+            day_index,
+            durations: HashMap::new(),
+            memory_mb: HashMap::new(),
+        }
+    }
+
+    /// Attaches a parsed durations table.
+    pub fn with_durations(mut self, durations: HashMap<(String, String), AzureDuration>) -> Self {
+        self.durations = durations;
+        self
+    }
+
+    /// Attaches a parsed per-app memory table.
+    pub fn with_memory(mut self, memory_mb: HashMap<String, f64>) -> Self {
+        self.memory_mb = memory_mb;
+        self
+    }
+
+    /// Loads duration/memory tables from files (either may be absent).
+    pub fn load_metadata(
+        mut self,
+        durations: Option<&Path>,
+        memory: Option<&Path>,
+    ) -> Result<Self, CsvError> {
+        if let Some(path) = durations {
+            let file = std::fs::File::open(path)?;
+            self.durations = read_durations(std::io::BufReader::new(file))?;
+        }
+        if let Some(path) = memory {
+            let file = std::fs::File::open(path)?;
+            self.memory_mb = read_memory(std::io::BufReader::new(file))?;
+        }
+        Ok(self)
+    }
+
+    fn function_id(row: &AzureInvocationRow) -> FunctionId {
+        FunctionId::new(hash_name(&format!("{}/{}", row.app, row.function)))
+    }
+
+    fn execution_us(&self, row: &AzureInvocationRow) -> u64 {
+        self.durations
+            .get(&(row.app.clone(), row.function.clone()))
+            .map(|d| (d.average_ms * 1000.0).round().max(1.0) as u64)
+            .unwrap_or(DEFAULT_EXECUTION_US)
+    }
+
+    fn memory_bytes(&self, row: &AzureInvocationRow) -> u64 {
+        self.memory_mb
+            .get(&row.app)
+            .map(|mb| (mb * (1u64 << 20) as f64).round().max(1.0) as u64)
+            .unwrap_or(DEFAULT_MEMORY_BYTES)
+    }
+
+    /// Builds the native function-metadata record for one invocations row.
+    pub fn function_meta(&self, row: &AzureInvocationRow) -> FunctionMeta {
+        let memory_mb = self
+            .memory_mb
+            .get(&row.app)
+            .map(|mb| mb.round().max(1.0) as u32)
+            .unwrap_or(128);
+        FunctionMeta {
+            function: Self::function_id(row),
+            user: UserId::new(hash_name(&row.owner)),
+            runtime: Runtime::Unknown,
+            triggers: vec![trigger_from_azure(&row.trigger)],
+            config: ResourceConfig::new(300, memory_mb),
+        }
+    }
+
+    /// Expands one invocations row into request records, appending them via
+    /// `emit`. `seq` is the global expansion sequence counter (becomes the
+    /// request id), advanced per emitted record.
+    ///
+    /// The `n` invocations of minute `m` are spread evenly across that
+    /// minute: the k-th lands at `minute_start + k * 60_000 / n` ms.
+    pub fn expand_row<F: FnMut(RequestRecord)>(
+        &self,
+        row: &AzureInvocationRow,
+        seq: &mut u64,
+        emit: &mut F,
+    ) {
+        let function = Self::function_id(row);
+        let user = UserId::new(hash_name(&row.owner));
+        let pod = PodId::new(hash_name(&format!("{}/{}", row.app, row.function)));
+        let execution_time_us = self.execution_us(row);
+        let memory_usage_bytes = self.memory_bytes(row);
+        let day_start = u64::from(self.day_index) * MILLIS_PER_DAY;
+        for (minute, &count) in row.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let minute_start = day_start + minute as u64 * MILLIS_PER_MIN;
+            for k in 0..count {
+                emit(RequestRecord {
+                    timestamp_ms: minute_start + k * MILLIS_PER_MIN / count,
+                    pod,
+                    cluster: 0,
+                    function,
+                    user,
+                    request: RequestId::new(*seq),
+                    execution_time_us,
+                    cpu_usage_millicores: DEFAULT_CPU_MILLICORES,
+                    memory_usage_bytes,
+                });
+                *seq += 1;
+            }
+        }
+    }
+
+    /// Streams expanded request records from an invocations table without
+    /// materializing them: one row is resident at a time (see the module
+    /// docs for the memory contract).
+    pub fn stream_requests<R: BufRead>(
+        &self,
+        invocations: AzureInvocationReader<R>,
+    ) -> AzureRequestStream<'_, R> {
+        AzureRequestStream {
+            adapter: self,
+            rows: invocations,
+            pending: Vec::new(),
+            next: 0,
+            seq: 0,
+        }
+    }
+
+    /// Eagerly lowers an invocations table into a native [`RegionTrace`]
+    /// (requests sorted chronologically, function table populated, no cold
+    /// starts — the Azure release does not publish them).
+    pub fn to_region_trace<R: BufRead>(
+        &self,
+        invocations: AzureInvocationReader<R>,
+    ) -> Result<RegionTrace, CsvError> {
+        let mut trace = RegionTrace::new(self.region);
+        let mut seq = 0u64;
+        for row in invocations {
+            let row = row?;
+            if row.total() == 0 {
+                continue;
+            }
+            trace.functions.insert(self.function_meta(&row));
+            self.expand_row(&row, &mut seq, &mut |rec| trace.requests.push(rec));
+        }
+        trace.sort_by_time();
+        Ok(trace)
+    }
+}
+
+/// Iterator over expanded request records (see
+/// [`AzureAdapter::stream_requests`]). Records arrive grouped by invocations
+/// row, minutes ascending within a row; they are **not** globally
+/// time-sorted — callers either sort (eager path) or window them.
+pub struct AzureRequestStream<'a, R: BufRead> {
+    adapter: &'a AzureAdapter,
+    rows: AzureInvocationReader<R>,
+    pending: Vec<RequestRecord>,
+    next: usize,
+    seq: u64,
+}
+
+impl<R: BufRead> Iterator for AzureRequestStream<'_, R> {
+    type Item = Result<RequestRecord, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.next < self.pending.len() {
+                let rec = self.pending[self.next];
+                self.next += 1;
+                return Some(Ok(rec));
+            }
+            self.pending.clear();
+            self.next = 0;
+            match self.rows.next()? {
+                Ok(row) => {
+                    let pending = &mut self.pending;
+                    let mut emit = |rec: RequestRecord| pending.push(rec);
+                    self.adapter.expand_row(&row, &mut self.seq, &mut emit);
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INVOCATIONS: &str = "\
+HashOwner,HashApp,HashFunction,Trigger,1,2,3,4
+o1,a1,f1,http,2,0,1,0
+o1,a1,f2,timer,0,3,0,0
+o2,a2,f3,queue,1,1,1,1
+";
+
+    const DURATIONS: &str = "\
+HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum,percentile_Average_50
+o1,a1,f1,250.5,3,100,900,240
+o1,a1,f2,1000,3,1000,1000,1000
+";
+
+    const MEMORY: &str = "\
+HashOwner,HashApp,SampleCount,AverageAllocatedMb,AverageAllocatedMb_pct50
+o1,a1,10,96.5,90
+";
+
+    fn adapter() -> AzureAdapter {
+        AzureAdapter::new(RegionId::new(1), 0)
+            .with_durations(read_durations(DURATIONS.as_bytes()).unwrap())
+            .with_memory(read_memory(MEMORY.as_bytes()).unwrap())
+    }
+
+    #[test]
+    fn invocation_rows_parse() {
+        let reader = AzureInvocationReader::new(INVOCATIONS.as_bytes()).unwrap();
+        assert_eq!(reader.minutes(), 4);
+        let rows: Vec<_> = reader.collect::<Result<_, _>>().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].counts, vec![2, 0, 1, 0]);
+        assert_eq!(rows[0].total(), 3);
+        assert_eq!(rows[1].trigger, "timer");
+    }
+
+    #[test]
+    fn bad_headers_and_rows_are_errors() {
+        assert!(AzureInvocationReader::new("HashOwner,HashApp\n".as_bytes()).is_err());
+        assert!(AzureInvocationReader::new(
+            "HashOwner,HashApp,HashFunction,Trigger,1,3\n".as_bytes()
+        )
+        .is_err());
+        let short = "HashOwner,HashApp,HashFunction,Trigger,1,2\no1,a1,f1,http,5\n";
+        let err = AzureInvocationReader::new(short.as_bytes())
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+        let long = "HashOwner,HashApp,HashFunction,Trigger,1,2\no1,a1,f1,http,5,6,7\n";
+        assert!(AzureInvocationReader::new(long.as_bytes())
+            .unwrap()
+            .collect::<Result<Vec<_>, _>>()
+            .is_err());
+    }
+
+    #[test]
+    fn lowering_is_deterministic_and_mapped() {
+        let trace = adapter()
+            .to_region_trace(AzureInvocationReader::new(INVOCATIONS.as_bytes()).unwrap())
+            .unwrap();
+        assert_eq!(trace.requests.len(), 3 + 3 + 4);
+        assert_eq!(trace.functions.len(), 3);
+        assert!(trace.cold_starts.is_empty());
+
+        // Requests are chronologically sorted and evenly spread: f1 minute 1
+        // has 2 invocations at 0ms and 30s.
+        let ts: Vec<u64> = trace
+            .requests
+            .records()
+            .iter()
+            .map(|r| r.timestamp_ms)
+            .collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        assert_eq!(ts, sorted);
+        assert!(ts.contains(&0) && ts.contains(&30_000));
+
+        // Duration and memory metadata are applied.
+        let f1 = FunctionId::new(hash_name("a1/f1"));
+        let r = trace
+            .requests
+            .records()
+            .iter()
+            .find(|r| r.function == f1)
+            .unwrap();
+        assert_eq!(r.execution_time_us, 250_500);
+        assert_eq!(r.memory_usage_bytes, (96.5f64 * 1048576.0).round() as u64);
+        // f3 has no metadata rows: defaults.
+        let f3 = FunctionId::new(hash_name("a2/f3"));
+        let r3 = trace
+            .requests
+            .records()
+            .iter()
+            .find(|r| r.function == f3)
+            .unwrap();
+        assert_eq!(r3.execution_time_us, DEFAULT_EXECUTION_US);
+        assert_eq!(r3.memory_usage_bytes, DEFAULT_MEMORY_BYTES);
+
+        let meta = trace.functions.get(f1).unwrap();
+        assert_eq!(meta.triggers, vec![TriggerType::ApigSync]);
+        assert_eq!(meta.config.memory_mb, 97);
+
+        // Same input twice → identical traces.
+        let again = adapter()
+            .to_region_trace(AzureInvocationReader::new(INVOCATIONS.as_bytes()).unwrap())
+            .unwrap();
+        assert_eq!(trace, again);
+    }
+
+    #[test]
+    fn streamed_expansion_matches_eager() {
+        let eager = adapter()
+            .to_region_trace(AzureInvocationReader::new(INVOCATIONS.as_bytes()).unwrap())
+            .unwrap();
+        let a = adapter();
+        let mut streamed: Vec<RequestRecord> = a
+            .stream_requests(AzureInvocationReader::new(INVOCATIONS.as_bytes()).unwrap())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        streamed.sort_by_key(|r| (r.timestamp_ms, r.request.raw()));
+        let mut expected = eager.requests.records().to_vec();
+        expected.sort_by_key(|r| (r.timestamp_ms, r.request.raw()));
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn day_index_offsets_timestamps() {
+        let a = AzureAdapter::new(RegionId::new(1), 2);
+        let trace = a
+            .to_region_trace(AzureInvocationReader::new(INVOCATIONS.as_bytes()).unwrap())
+            .unwrap();
+        let lo = trace.time_span_ms().unwrap().0;
+        assert_eq!(lo, 2 * MILLIS_PER_DAY);
+    }
+}

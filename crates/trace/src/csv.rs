@@ -10,7 +10,7 @@
 
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 use crate::ids::{FunctionId, PodId, RequestId, UserId};
@@ -66,9 +66,11 @@ pub fn request_table_to_csv(table: &RequestTable) -> String {
     out.push_str(REQUEST_HEADER);
     out.push('\n');
     for r in table.records() {
+        // `{}` on f64 is shortest-round-trip formatting, so write → parse →
+        // write is idempotent for any finite value (unlike a fixed `{:.3}`).
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{},{:.3},{}",
+            "{},{},{},{},{},{},{},{},{}",
             r.timestamp_ms,
             r.pod.raw(),
             r.cluster,
@@ -135,108 +137,153 @@ pub fn function_table_to_csv(table: &FunctionTable) -> String {
     out
 }
 
-fn split_row(line: &str) -> Vec<&str> {
-    line.split(',').map(str::trim).collect()
+/// Zero-allocation cursor over the comma-separated fields of one row.
+///
+/// Fields are consumed left to right via [`Fields::next_str`] /
+/// [`Fields::next_parse`]; [`Fields::expect_end`] then enforces the exact
+/// column count, so rows with trailing extra columns are rejected instead of
+/// parsing silently.
+struct Fields<'a> {
+    iter: std::str::Split<'a, char>,
+    lineno: usize,
 }
 
-fn parse_field<T: std::str::FromStr>(
-    fields: &[&str],
-    idx: usize,
-    line: usize,
-    name: &str,
-) -> Result<T, CsvError> {
-    let raw = fields.get(idx).ok_or_else(|| CsvError::Parse {
-        line,
-        message: format!("missing column {name}"),
+impl<'a> Fields<'a> {
+    fn new(row: &'a str, lineno: usize) -> Self {
+        Fields {
+            iter: row.split(','),
+            lineno,
+        }
+    }
+
+    fn next_str(&mut self, name: &str) -> Result<&'a str, CsvError> {
+        self.iter
+            .next()
+            .map(str::trim)
+            .ok_or_else(|| CsvError::Parse {
+                line: self.lineno,
+                message: format!("missing column {name}"),
+            })
+    }
+
+    fn next_parse<T: std::str::FromStr>(&mut self, name: &str) -> Result<T, CsvError> {
+        let raw = self.next_str(name)?;
+        raw.parse::<T>().map_err(|_| CsvError::Parse {
+            line: self.lineno,
+            message: format!("invalid {name}: {raw:?}"),
+        })
+    }
+
+    fn expect_end(mut self, expected: usize) -> Result<(), CsvError> {
+        if self.iter.next().is_some() {
+            return Err(CsvError::Parse {
+                line: self.lineno,
+                message: format!("expected exactly {expected} columns, found extra trailing data"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Parses one request-table data row. `lineno` is the 1-based (global) line
+/// number used in error reports; header and blank-line handling is the
+/// caller's job (see [`crate::stream::TraceReader`]).
+pub fn parse_request_row(row: &str, lineno: usize) -> Result<RequestRecord, CsvError> {
+    let mut f = Fields::new(row, lineno);
+    let rec = RequestRecord {
+        timestamp_ms: f.next_parse("timestamp_ms")?,
+        pod: PodId::new(f.next_parse("pod_id")?),
+        cluster: f.next_parse("cluster")?,
+        function: FunctionId::new(f.next_parse("function_name")?),
+        user: UserId::new(f.next_parse("user_id")?),
+        request: RequestId::new(f.next_parse("request_id")?),
+        execution_time_us: f.next_parse("execution_time_us")?,
+        cpu_usage_millicores: f.next_parse("cpu_usage_millicores")?,
+        memory_usage_bytes: f.next_parse("memory_usage_bytes")?,
+    };
+    f.expect_end(9)?;
+    Ok(rec)
+}
+
+/// Parses one cold-start-table data row (see [`parse_request_row`]).
+pub fn parse_cold_start_row(row: &str, lineno: usize) -> Result<ColdStartRecord, CsvError> {
+    let mut f = Fields::new(row, lineno);
+    let rec = ColdStartRecord {
+        timestamp_ms: f.next_parse("timestamp_ms")?,
+        pod: PodId::new(f.next_parse("pod_id")?),
+        cluster: f.next_parse("cluster")?,
+        function: FunctionId::new(f.next_parse("function_name")?),
+        user: UserId::new(f.next_parse("user_id")?),
+        cold_start_us: f.next_parse("cold_start_us")?,
+        pod_alloc_us: f.next_parse("pod_alloc_us")?,
+        deploy_code_us: f.next_parse("deploy_code_us")?,
+        deploy_dep_us: f.next_parse("deploy_dep_us")?,
+        scheduling_us: f.next_parse("scheduling_us")?,
+    };
+    f.expect_end(10)?;
+    Ok(rec)
+}
+
+/// Parses one function-table data row (see [`parse_request_row`]).
+pub fn parse_function_row(row: &str, lineno: usize) -> Result<FunctionMeta, CsvError> {
+    let mut f = Fields::new(row, lineno);
+    let function = FunctionId::new(f.next_parse("function_name")?);
+    let user = UserId::new(f.next_parse("user_id")?);
+    let runtime = Runtime::from_label(f.next_str("runtime")?);
+    let triggers_raw = f.next_str("trigger_types")?;
+    let triggers: Vec<TriggerType> = if triggers_raw.is_empty() {
+        Vec::new()
+    } else {
+        triggers_raw
+            .split(';')
+            .map(TriggerType::from_label)
+            .collect()
+    };
+    let config_raw = f.next_str("cpu_mem")?;
+    let config = ResourceConfig::from_label(config_raw).ok_or_else(|| CsvError::Parse {
+        line: lineno,
+        message: format!("invalid cpu_mem: {config_raw:?}"),
     })?;
-    raw.parse::<T>().map_err(|_| CsvError::Parse {
-        line,
-        message: format!("invalid {name}: {raw:?}"),
+    f.expect_end(5)?;
+    Ok(FunctionMeta {
+        function,
+        user,
+        runtime,
+        triggers,
+        config,
     })
 }
 
-/// Parses a request-level CSV (header optional).
+/// Parses a request-level CSV (header optional; repeated exact headers, as
+/// produced by file concatenation, are tolerated anywhere).
+///
+/// This is the eager counterpart of [`crate::stream::TraceReader`] and is
+/// implemented on top of it, so eager and streamed ingestion agree on every
+/// record and on every error line number by construction.
 pub fn request_table_from_csv(text: &str) -> Result<RequestTable, CsvError> {
     let mut table = RequestTable::new();
-    for (i, line) in text.lines().enumerate() {
-        let lineno = i + 1;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with("timestamp_ms") {
-            continue;
-        }
-        let f = split_row(line);
-        table.push(RequestRecord {
-            timestamp_ms: parse_field(&f, 0, lineno, "timestamp_ms")?,
-            pod: PodId::new(parse_field(&f, 1, lineno, "pod_id")?),
-            cluster: parse_field(&f, 2, lineno, "cluster")?,
-            function: FunctionId::new(parse_field(&f, 3, lineno, "function_name")?),
-            user: UserId::new(parse_field(&f, 4, lineno, "user_id")?),
-            request: RequestId::new(parse_field(&f, 5, lineno, "request_id")?),
-            execution_time_us: parse_field(&f, 6, lineno, "execution_time_us")?,
-            cpu_usage_millicores: parse_field(&f, 7, lineno, "cpu_usage_millicores")?,
-            memory_usage_bytes: parse_field(&f, 8, lineno, "memory_usage_bytes")?,
-        });
+    for rec in crate::stream::TraceReader::<_, RequestRecord>::new(text.as_bytes()) {
+        table.push(rec?);
     }
     Ok(table)
 }
 
-/// Parses a pod-level (cold start) CSV (header optional).
+/// Parses a pod-level (cold start) CSV (header optional; repeated exact
+/// headers are tolerated anywhere). See [`request_table_from_csv`].
 pub fn cold_start_table_from_csv(text: &str) -> Result<ColdStartTable, CsvError> {
     let mut table = ColdStartTable::new();
-    for (i, line) in text.lines().enumerate() {
-        let lineno = i + 1;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with("timestamp_ms") {
-            continue;
-        }
-        let f = split_row(line);
-        table.push(ColdStartRecord {
-            timestamp_ms: parse_field(&f, 0, lineno, "timestamp_ms")?,
-            pod: PodId::new(parse_field(&f, 1, lineno, "pod_id")?),
-            cluster: parse_field(&f, 2, lineno, "cluster")?,
-            function: FunctionId::new(parse_field(&f, 3, lineno, "function_name")?),
-            user: UserId::new(parse_field(&f, 4, lineno, "user_id")?),
-            cold_start_us: parse_field(&f, 5, lineno, "cold_start_us")?,
-            pod_alloc_us: parse_field(&f, 6, lineno, "pod_alloc_us")?,
-            deploy_code_us: parse_field(&f, 7, lineno, "deploy_code_us")?,
-            deploy_dep_us: parse_field(&f, 8, lineno, "deploy_dep_us")?,
-            scheduling_us: parse_field(&f, 9, lineno, "scheduling_us")?,
-        });
+    for rec in crate::stream::TraceReader::<_, ColdStartRecord>::new(text.as_bytes()) {
+        table.push(rec?);
     }
     Ok(table)
 }
 
-/// Parses a function-level CSV (header optional).
+/// Parses a function-level CSV (header optional; repeated exact headers are
+/// tolerated anywhere). See [`request_table_from_csv`].
 pub fn function_table_from_csv(text: &str) -> Result<FunctionTable, CsvError> {
     let mut table = FunctionTable::new();
-    for (i, line) in text.lines().enumerate() {
-        let lineno = i + 1;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with("function_name") {
-            continue;
-        }
-        let f = split_row(line);
-        let config_raw: String = parse_field(&f, 4, lineno, "cpu_mem")?;
-        let config = ResourceConfig::from_label(&config_raw).ok_or_else(|| CsvError::Parse {
-            line: lineno,
-            message: format!("invalid cpu_mem: {config_raw:?}"),
-        })?;
-        let triggers_raw = f.get(3).copied().unwrap_or("");
-        let triggers: Vec<TriggerType> = if triggers_raw.is_empty() {
-            Vec::new()
-        } else {
-            triggers_raw
-                .split(';')
-                .map(TriggerType::from_label)
-                .collect()
-        };
-        table.insert(FunctionMeta {
-            function: FunctionId::new(parse_field(&f, 0, lineno, "function_name")?),
-            user: UserId::new(parse_field(&f, 1, lineno, "user_id")?),
-            runtime: Runtime::from_label(f.get(2).copied().unwrap_or("unknown")),
-            triggers,
-            config,
-        });
+    for rec in crate::stream::TraceReader::<_, FunctionMeta>::new(text.as_bytes()) {
+        table.insert(rec?);
     }
     Ok(table)
 }
@@ -252,15 +299,13 @@ pub fn write_text(path: &Path, text: &str) -> Result<(), CsvError> {
     Ok(())
 }
 
-/// Reads a whole file into a string.
+/// Reads a whole file into a string, byte-for-byte.
+///
+/// The content is returned exactly as stored — no CRLF normalization and no
+/// appended trailing newline — so byte-exact golden-fixture tests see the
+/// real file bytes. The line-based parsers accept `\r\n` endings themselves.
 pub fn read_text(path: &Path) -> Result<String, CsvError> {
-    let mut out = String::new();
-    let reader = BufReader::new(File::open(path)?);
-    for line in reader.lines() {
-        out.push_str(&line?);
-        out.push('\n');
-    }
-    Ok(out)
+    Ok(std::fs::read_to_string(path)?)
 }
 
 #[cfg(test)]

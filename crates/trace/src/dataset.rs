@@ -6,13 +6,39 @@
 //! per region) plus the cold-start totals.
 
 use std::collections::{BTreeMap, HashSet};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
 use crate::csv;
 use crate::ids::RegionId;
+use crate::record::{ColdStartRecord, FunctionMeta, RequestRecord};
+use crate::stream::TraceReader;
 use crate::table::{ColdStartTable, FunctionTable, RequestTable};
+
+/// Paths of the three per-region CSV files under the public data-release
+/// naming convention (`{region}_requests.csv` etc.).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceDirPaths {
+    /// Request-level table file.
+    pub requests: PathBuf,
+    /// Pod-level cold-start table file.
+    pub cold_starts: PathBuf,
+    /// Function-level metadata table file.
+    pub functions: PathBuf,
+}
+
+impl TraceDirPaths {
+    /// Resolves the file names for `region` inside `dir`.
+    pub fn new(region: RegionId, dir: &Path) -> Self {
+        let prefix = region.label().to_lowercase();
+        Self {
+            requests: dir.join(format!("{prefix}_requests.csv")),
+            cold_starts: dir.join(format!("{prefix}_cold_starts.csv")),
+            functions: dir.join(format!("{prefix}_functions.csv")),
+        }
+    }
+}
 
 /// All trace data collected from a single region.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -100,17 +126,24 @@ impl RegionTrace {
 
     /// Reads the three tables back from a directory written by
     /// [`write_csv_dir`](Self::write_csv_dir).
+    ///
+    /// Files are parsed record-at-a-time (no whole-file buffering), but the
+    /// resulting tables are fully resident; for larger-than-memory replay use
+    /// the streaming path built on [`TraceReader`] instead.
     pub fn read_csv_dir(region: RegionId, dir: &Path) -> Result<Self, csv::CsvError> {
-        let prefix = region.label().to_lowercase();
-        let requests = csv::request_table_from_csv(&csv::read_text(
-            &dir.join(format!("{prefix}_requests.csv")),
-        )?)?;
-        let cold_starts = csv::cold_start_table_from_csv(&csv::read_text(
-            &dir.join(format!("{prefix}_cold_starts.csv")),
-        )?)?;
-        let functions = csv::function_table_from_csv(&csv::read_text(
-            &dir.join(format!("{prefix}_functions.csv")),
-        )?)?;
+        let paths = TraceDirPaths::new(region, dir);
+        let mut requests = RequestTable::new();
+        for rec in TraceReader::<_, RequestRecord>::from_path(&paths.requests)? {
+            requests.push(rec?);
+        }
+        let mut cold_starts = ColdStartTable::new();
+        for rec in TraceReader::<_, ColdStartRecord>::from_path(&paths.cold_starts)? {
+            cold_starts.push(rec?);
+        }
+        let mut functions = FunctionTable::new();
+        for rec in TraceReader::<_, FunctionMeta>::from_path(&paths.functions)? {
+            functions.insert(rec?);
+        }
         Ok(Self {
             region,
             requests,

@@ -37,18 +37,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod azure;
 pub mod csv;
 pub mod dataset;
 pub mod ids;
 pub mod record;
+pub mod stream;
 pub mod synth;
 pub mod table;
 pub mod timebin;
 pub mod types;
 
-pub use dataset::{Dataset, DatasetSummary, RegionTrace};
+pub use dataset::{Dataset, DatasetSummary, RegionTrace, TraceDirPaths};
 pub use ids::{ClusterId, FunctionId, PodId, RegionId, RequestId, UserId};
 pub use record::{ColdStartRecord, FunctionMeta, RequestRecord};
+pub use stream::{CsvRecord, RecordChunks, TraceReader};
 pub use synth::{SynthShape, SynthTraceSpec};
 pub use table::{ColdStartTable, FunctionTable, RequestTable};
 pub use timebin::{TimeBinner, MICROS_PER_SEC, MILLIS_PER_DAY, MILLIS_PER_HOUR, MILLIS_PER_MIN};

@@ -1,0 +1,246 @@
+//! Streaming, chunked CSV ingestion.
+//!
+//! [`TraceReader`] parses trace tables record-at-a-time from any [`BufRead`]
+//! source; [`RecordChunks`] groups the records into bounded windows for
+//! callers that want batch-shaped input. Both exist so multi-week trace files
+//! can be replayed without materializing whole tables in RAM — the eager
+//! `*_table_from_csv` functions in [`crate::csv`] are thin wrappers over
+//! [`TraceReader`], which guarantees that streamed and eager ingestion agree
+//! on every record and every error line number.
+//!
+//! # Memory contract
+//!
+//! A [`TraceReader`] holds exactly one reused line buffer (the length of the
+//! longest line seen so far) plus the underlying reader's buffer; memory use
+//! is independent of file length. [`RecordChunks`] additionally holds at most
+//! one chunk of records at a time. Nothing in this module ever buffers the
+//! whole file.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::marker::PhantomData;
+use std::path::Path;
+
+use crate::csv::{self, CsvError, COLD_START_HEADER, FUNCTION_HEADER, REQUEST_HEADER};
+use crate::record::{ColdStartRecord, FunctionMeta, RequestRecord};
+
+/// A record type that can be parsed from one row of a trace CSV table.
+pub trait CsvRecord: Sized {
+    /// The exact header line of this table. Only lines equal to this (after
+    /// trimming) are skipped as headers; near-miss headers fall through to
+    /// [`CsvRecord::parse_row`] and surface as [`CsvError::Parse`] instead of
+    /// silently dropping data.
+    const HEADER: &'static str;
+
+    /// Parses one data row; `lineno` is the 1-based global line number used
+    /// in error reports.
+    fn parse_row(row: &str, lineno: usize) -> Result<Self, CsvError>;
+}
+
+impl CsvRecord for RequestRecord {
+    const HEADER: &'static str = REQUEST_HEADER;
+
+    fn parse_row(row: &str, lineno: usize) -> Result<Self, CsvError> {
+        csv::parse_request_row(row, lineno)
+    }
+}
+
+impl CsvRecord for ColdStartRecord {
+    const HEADER: &'static str = COLD_START_HEADER;
+
+    fn parse_row(row: &str, lineno: usize) -> Result<Self, CsvError> {
+        csv::parse_cold_start_row(row, lineno)
+    }
+}
+
+impl CsvRecord for FunctionMeta {
+    const HEADER: &'static str = FUNCTION_HEADER;
+
+    fn parse_row(row: &str, lineno: usize) -> Result<Self, CsvError> {
+        csv::parse_function_row(row, lineno)
+    }
+}
+
+/// Streaming reader over one trace CSV table.
+///
+/// Yields `Result<T, CsvError>` per data row, skipping blank lines and exact
+/// header repeats (as produced by concatenating per-day files). Line numbers
+/// in errors are global 1-based positions in the underlying stream. The
+/// iterator fuses after the first error: a parse error is terminal, exactly
+/// like the eager parsers.
+///
+/// See the [module docs](self) for the memory contract.
+pub struct TraceReader<R: BufRead, T: CsvRecord> {
+    reader: R,
+    buf: String,
+    lineno: usize,
+    done: bool,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<R: BufRead, T: CsvRecord> TraceReader<R, T> {
+    /// Wraps a buffered reader.
+    pub fn new(reader: R) -> Self {
+        TraceReader {
+            reader,
+            buf: String::new(),
+            lineno: 0,
+            done: false,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The 1-based number of the last line read (0 before the first read).
+    pub fn line(&self) -> usize {
+        self.lineno
+    }
+
+    /// Groups the remaining records into windows of at most `size` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0.
+    pub fn chunks(self, size: usize) -> RecordChunks<R, T> {
+        assert!(size > 0, "chunk size must be at least 1");
+        RecordChunks { reader: self, size }
+    }
+}
+
+impl<T: CsvRecord> TraceReader<BufReader<File>, T> {
+    /// Opens a file for streaming ingestion.
+    pub fn from_path(path: &Path) -> Result<Self, CsvError> {
+        Ok(Self::new(BufReader::new(File::open(path)?)))
+    }
+}
+
+impl<R: BufRead, T: CsvRecord> Iterator for TraceReader<R, T> {
+    type Item = Result<T, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            let n = match self.reader.read_line(&mut self.buf) {
+                Ok(n) => n,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(CsvError::Io(e)));
+                }
+            };
+            if n == 0 {
+                self.done = true;
+                return None;
+            }
+            self.lineno += 1;
+            let line = self.buf.trim();
+            if line.is_empty() || line == T::HEADER {
+                continue;
+            }
+            let res = T::parse_row(line, self.lineno);
+            if res.is_err() {
+                self.done = true;
+            }
+            return Some(res);
+        }
+    }
+}
+
+/// Bounded-window batch iterator over a [`TraceReader`].
+///
+/// Yields `Ok(Vec<T>)` of up to `size` records; the final chunk may be
+/// shorter. On a parse or I/O error the partial chunk is discarded and the
+/// error is yielded instead (errors are terminal, matching [`TraceReader`]).
+/// At most one chunk is resident at a time.
+pub struct RecordChunks<R: BufRead, T: CsvRecord> {
+    reader: TraceReader<R, T>,
+    size: usize,
+}
+
+impl<R: BufRead, T: CsvRecord> Iterator for RecordChunks<R, T> {
+    type Item = Result<Vec<T>, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let mut out = Vec::new();
+        while out.len() < self.size {
+            match self.reader.next() {
+                Some(Ok(rec)) => out.push(rec),
+                Some(Err(e)) => return Some(Err(e)),
+                None => break,
+            }
+        }
+        if out.is_empty() {
+            None
+        } else {
+            Some(Ok(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::{request_table_from_csv, request_table_to_csv};
+    use crate::ids::{FunctionId, PodId, RequestId, UserId};
+
+    fn sample_csv(rows: u64) -> String {
+        let mut t = crate::table::RequestTable::new();
+        for i in 0..rows {
+            t.push(RequestRecord {
+                timestamp_ms: i * 250,
+                pod: PodId::new(i % 3),
+                cluster: (i % 2) as u8,
+                function: FunctionId::new(40 + i % 4),
+                user: UserId::new(5),
+                request: RequestId::new(i),
+                execution_time_us: 900 + i,
+                cpu_usage_millicores: 100.25 + i as f64,
+                memory_usage_bytes: 1 << 16,
+            });
+        }
+        request_table_to_csv(&t)
+    }
+
+    #[test]
+    fn streamed_equals_eager_at_every_chunk_size() {
+        let csv = sample_csv(13);
+        let eager = request_table_from_csv(&csv).unwrap();
+        for size in 1..=14 {
+            let mut streamed = Vec::new();
+            for chunk in TraceReader::<_, RequestRecord>::new(csv.as_bytes()).chunks(size) {
+                streamed.extend(chunk.unwrap());
+            }
+            assert_eq!(streamed.as_slice(), eager.records(), "chunk size {size}");
+        }
+    }
+
+    #[test]
+    fn error_line_numbers_are_global() {
+        let csv = format!("{}\n1,2,3,4,5,6,7,8.5,9\n\nbogus,row\n", REQUEST_HEADER);
+        let err = TraceReader::<_, RequestRecord>::new(csv.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        match err {
+            CsvError::Parse { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn reader_fuses_after_error() {
+        let csv = "bogus\n1,2,3,4,5,6,7,8.5,9\n";
+        let mut reader = TraceReader::<_, RequestRecord>::new(csv.as_bytes());
+        assert!(reader.next().unwrap().is_err());
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn near_miss_headers_are_errors_not_skips() {
+        // The old parser skipped any line starting with "timestamp_ms",
+        // including a header with renamed columns — which would silently
+        // accept a file in the wrong layout.
+        let csv = "timestamp_ms,pod_id,cluster\n";
+        assert!(request_table_from_csv(csv).is_err());
+    }
+}

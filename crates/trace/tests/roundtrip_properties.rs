@@ -7,7 +7,7 @@ use fntrace::csv::{
 };
 use fntrace::{
     ColdStartRecord, ColdStartTable, FunctionId, PodId, RequestId, RequestRecord, RequestTable,
-    ResourceConfig, Runtime, TimeBinner, TriggerType, UserId,
+    ResourceConfig, Runtime, TimeBinner, TraceReader, TriggerType, UserId,
 };
 use proptest::prelude::*;
 
@@ -32,7 +32,7 @@ fn arb_request() -> impl Strategy<Value = RequestRecord> {
                 user: UserId::new(user),
                 request: RequestId::new(req),
                 execution_time_us: exec,
-                cpu_usage_millicores: (cpu * 1000.0).round() / 1000.0,
+                cpu_usage_millicores: cpu,
                 memory_usage_bytes: mem,
             },
         )
@@ -75,13 +75,56 @@ proptest! {
         let csv = request_table_to_csv(&table);
         let parsed = request_table_from_csv(&csv).unwrap();
         prop_assert_eq!(parsed.len(), table.len());
+        // Shortest-round-trip float formatting makes the CSV round trip
+        // exact, not approximate — including cpu_usage_millicores.
         for (a, b) in parsed.records().iter().zip(table.records()) {
-            prop_assert_eq!(a.timestamp_ms, b.timestamp_ms);
-            prop_assert_eq!(a.function, b.function);
-            prop_assert_eq!(a.execution_time_us, b.execution_time_us);
-            prop_assert_eq!(a.memory_usage_bytes, b.memory_usage_bytes);
-            prop_assert!((a.cpu_usage_millicores - b.cpu_usage_millicores).abs() < 1e-3);
+            prop_assert_eq!(a, b);
         }
+        // Write → parse → write is idempotent at the byte level.
+        prop_assert_eq!(request_table_to_csv(&parsed), csv);
+    }
+
+    #[test]
+    fn chunked_streaming_equals_eager_parse_at_every_chunk_size(
+        records in proptest::collection::vec(arb_request(), 0..40),
+        chunk_size in 1usize..16,
+    ) {
+        let table = RequestTable::from_records(records);
+        let csv = request_table_to_csv(&table);
+        let eager = request_table_from_csv(&csv).unwrap();
+        let mut streamed: Vec<RequestRecord> = Vec::new();
+        for chunk in TraceReader::<_, RequestRecord>::new(csv.as_bytes()).chunks(chunk_size) {
+            let chunk = chunk.unwrap();
+            prop_assert!(chunk.len() <= chunk_size);
+            streamed.extend(chunk);
+        }
+        prop_assert_eq!(streamed.as_slice(), eager.records());
+    }
+
+    #[test]
+    fn streamed_errors_carry_the_same_global_line_number_as_eager(
+        records in proptest::collection::vec(arb_request(), 1..30),
+        bad_at in 0usize..30,
+        chunk_size in 1usize..16,
+    ) {
+        let table = RequestTable::from_records(records);
+        let mut lines: Vec<String> = request_table_to_csv(&table).lines().map(String::from).collect();
+        let bad_at = 1 + bad_at.min(lines.len() - 1); // after the header
+        lines.insert(bad_at, "not,a,valid,row".to_string());
+        let csv = lines.join("\n") + "\n";
+
+        let eager_err = request_table_from_csv(&csv).unwrap_err();
+        // Record-at-a-time streaming reports the identical global line.
+        let stream_err = TraceReader::<_, RequestRecord>::new(csv.as_bytes())
+            .find_map(Result::err)
+            .expect("the injected row must fail to parse");
+        prop_assert_eq!(stream_err.to_string(), eager_err.to_string());
+        // And so does chunked streaming, at every chunk size.
+        let chunk_err = TraceReader::<_, RequestRecord>::new(csv.as_bytes())
+            .chunks(chunk_size)
+            .find_map(Result::err)
+            .expect("the injected row must fail a chunk");
+        prop_assert_eq!(chunk_err.to_string(), eager_err.to_string());
     }
 
     #[test]

@@ -68,7 +68,10 @@ pub use multi_region::MultiRegionWorkload;
 pub use population::{FunctionPopulation, FunctionSpec, PopulationConfig};
 pub use presets::ScenarioPreset;
 pub use profile::{Calibration, HolidayResponse, RegionProfile};
-pub use replay::TraceReplayWorkload;
+pub use replay::{
+    DiskReplayStream, ReplayStatsBuilder, StreamedTraceDir, TraceReplayWorkload, TraceStreamError,
+    WindowedReplayOrder, DEFAULT_REPLAY_WINDOW_MS,
+};
 pub use shard::ShardPlan;
 pub use simio::{WorkloadEvent, WorkloadSource, WorkloadSpec};
 pub use stream::{

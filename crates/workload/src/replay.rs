@@ -48,14 +48,24 @@
 //! assert_eq!(workload.region, RegionId::new(3));
 //! ```
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use fntrace::{Dataset, FunctionId, PodId, RegionTrace, TriggerType, MILLIS_PER_DAY};
+use fntrace::csv::CsvError;
+use fntrace::stream::TraceReader;
+use fntrace::{
+    ColdStartRecord, Dataset, FunctionId, FunctionTable, PodId, RegionId, RegionTrace,
+    RequestRecord, TraceDirPaths, TriggerType, MILLIS_PER_DAY, MILLIS_PER_HOUR,
+};
 
 use crate::population::FunctionSpec;
 use crate::profile::{Calibration, RegionProfile};
-use crate::simio::{WorkloadSource, WorkloadSpec};
-use crate::stream::ReplayStream;
+use crate::simio::{WorkloadEvent, WorkloadSource, WorkloadSpec};
+use crate::stream::{ArrivalStream, ReplayStream};
 
 /// Builder lowering trace records into replayable [`WorkloadSpec`]s.
 ///
@@ -146,134 +156,936 @@ impl TraceReplayWorkload {
     }
 }
 
-/// Per-function accumulation while scanning the request table.
-#[derive(Default)]
-struct FunctionAccum {
-    timestamps_ms: Vec<u64>,
-    exec_us: Vec<u64>,
-    cpu_millicores: Vec<f64>,
-    memory_bytes: Vec<u64>,
-    /// Request intervals `[start, end)` per pod, for concurrency inference.
-    per_pod: BTreeMap<PodId, Vec<(u64, u64)>>,
+/// Errors from streaming trace-directory ingestion.
+#[derive(Debug)]
+pub enum TraceStreamError {
+    /// Parsing or I/O failure in one of the CSV files.
+    Csv(CsvError),
+    /// A request record was out of order by more than the reorder window.
+    Disorder {
+        /// 0-based data-row index of the offending record.
+        seq: u64,
+        /// Its timestamp.
+        timestamp_ms: u64,
+        /// Largest timestamp seen before it.
+        max_seen_ms: u64,
+        /// The configured reorder window.
+        window_ms: u64,
+    },
+}
+
+impl std::fmt::Display for TraceStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceStreamError::Csv(e) => write!(f, "{e}"),
+            TraceStreamError::Disorder {
+                seq,
+                timestamp_ms,
+                max_seen_ms,
+                window_ms,
+            } => write!(
+                f,
+                "request record {seq} at {timestamp_ms}ms arrives more than {window_ms}ms \
+                 after later timestamps (max seen {max_seen_ms}ms); raise the reorder window \
+                 or sort the trace"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceStreamError {}
+
+impl From<CsvError> for TraceStreamError {
+    fn from(e: CsvError) -> Self {
+        TraceStreamError::Csv(e)
+    }
+}
+
+/// Exact multiset median over `u64` keys with a memory cap.
+///
+/// Keys are collected verbatim up to `cap`; the `cap + 1`-th observation
+/// drops the collection and only counts from then on. An overflowed median
+/// must be [`resolve`](Self::resolve)d externally (the streaming path runs
+/// an exact out-of-core radix selection over the re-streamable request file
+/// — see `select_medians`) before it can be read. With `cap = usize::MAX`
+/// (the eager path, where the whole table is resident anyway) overflow never
+/// happens.
+#[derive(Debug, Clone)]
+struct ValueMedian {
+    keys: Vec<u64>,
+    total: u64,
+    cap: usize,
+    overflowed: bool,
+    resolved: Option<u64>,
+}
+
+impl ValueMedian {
+    fn new(cap: usize) -> Self {
+        Self {
+            keys: Vec::new(),
+            total: 0,
+            cap,
+            overflowed: false,
+            resolved: None,
+        }
+    }
+
+    fn add(&mut self, key: u64) {
+        self.total += 1;
+        if self.overflowed {
+            return;
+        }
+        if self.keys.len() < self.cap {
+            self.keys.push(key);
+        } else {
+            self.overflowed = true;
+            self.keys = Vec::new();
+        }
+    }
+
+    /// 0-based sorted index of the median (the upper median, matching
+    /// `sorted[len / 2]` over the materialised vector).
+    fn rank(&self) -> u64 {
+        self.total / 2
+    }
+
+    fn resolve(&mut self, value: u64) {
+        debug_assert!(self.overflowed, "only overflowed medians need resolving");
+        self.resolved = Some(value);
+    }
+
+    /// The value at sorted index `total / 2`.
+    fn median(mut self) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        if self.overflowed {
+            return Some(
+                self.resolved
+                    .expect("overflowed median was never resolved by selection"),
+            );
+        }
+        self.keys.sort_unstable();
+        Some(self.keys[(self.total / 2) as usize])
+    }
+}
+
+/// Order-preserving bijection from `f64` to `u64` under `f64::total_cmp`,
+/// so float medians can ride the same counting structure.
+fn f64_total_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+fn f64_from_total_key(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & !(1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// In-flight request end-times on one pod (min-heap), for streaming
+/// concurrency inference.
+#[derive(Debug, Default, Clone)]
+struct PodLoad {
+    ends: BinaryHeap<Reverse<u64>>,
+    /// Largest end time ever pushed, for garbage collection.
+    last_end: u64,
+}
+
+/// Per-function streaming accumulation state.
+#[derive(Debug, Clone)]
+struct StreamAccum {
+    count: u64,
+    exec_us: ValueMedian,
+    /// CPU medians keyed through [`f64_total_key`].
+    cpu_keys: ValueMedian,
+    memory_bytes: ValueMedian,
+    prev_ts: Option<u64>,
+    gaps_ms: ValueMedian,
+    pods: HashMap<PodId, PodLoad>,
+    max_concurrency: u32,
+    records_since_gc: u32,
+}
+
+impl StreamAccum {
+    fn new(median_cap: usize) -> Self {
+        Self {
+            count: 0,
+            exec_us: ValueMedian::new(median_cap),
+            cpu_keys: ValueMedian::new(median_cap),
+            memory_bytes: ValueMedian::new(median_cap),
+            prev_ts: None,
+            gaps_ms: ValueMedian::new(median_cap),
+            pods: HashMap::new(),
+            max_concurrency: 0,
+            records_since_gc: 0,
+        }
+    }
+
+    fn stat(&mut self, stat: ReplayStat) -> &mut ValueMedian {
+        match stat {
+            ReplayStat::ExecUs => &mut self.exec_us,
+            ReplayStat::CpuKey => &mut self.cpu_keys,
+            ReplayStat::MemoryBytes => &mut self.memory_bytes,
+            ReplayStat::GapMs => &mut self.gaps_ms,
+        }
+    }
+}
+
+/// One of the four per-function statistics inferred by median.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayStat {
+    /// Request execution time, microseconds.
+    ExecUs,
+    /// CPU usage, as the order-preserving total-order key of millicores
+    /// (the `f64` bits mapped so `u64` ordering matches `f64::total_cmp`).
+    CpuKey,
+    /// Memory usage, bytes.
+    MemoryBytes,
+    /// Gap between consecutive same-function arrivals in replay order,
+    /// milliseconds.
+    GapMs,
+}
+
+impl ReplayStat {
+    const ALL: [ReplayStat; 4] = [
+        ReplayStat::ExecUs,
+        ReplayStat::CpuKey,
+        ReplayStat::MemoryBytes,
+        ReplayStat::GapMs,
+    ];
+}
+
+/// A median the capped builder could not hold in memory: selection must find
+/// the key at sorted index `rank` of the named per-function statistic.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingMedian {
+    /// Function whose statistic overflowed the cap.
+    pub function: FunctionId,
+    /// Which statistic.
+    pub stat: ReplayStat,
+    /// 0-based index into the sorted multiset of that statistic's keys.
+    pub rank: u64,
+}
+
+/// Streaming two-pass function-stat inference.
+///
+/// Feed every request record in `(timestamp, function, record index)` order
+/// (the [`ReplayStream`] order — [`WindowedReplayOrder`] produces exactly
+/// this from nearly-sorted disk files), then every cold-start record in any
+/// order, then call [`finish`](Self::finish). The result is identical to
+/// scanning a fully materialised [`RegionTrace`]: medians are exact (capped
+/// key collections, finished out-of-core by `select_medians` when a
+/// function's observations outgrow the cap), timer gaps come from the sorted
+/// per-function
+/// arrival sequence, and per-pod concurrency replays the same
+/// ends-release-before-starts sweep the eager sort performed.
+///
+/// # Memory contract
+///
+/// Resident state is per *function*, never per request: at most
+/// [`with_median_cap`](Self::with_median_cap) keys per statistic (overflowed
+/// medians are finished by out-of-core selection) plus the live per-pod heaps
+/// (idle pods are garbage-collected as timestamps advance). A trace 100×
+/// longer with the same function population accumulates in the same
+/// footprint.
+#[derive(Debug)]
+pub struct ReplayStatsBuilder {
+    accum: BTreeMap<FunctionId, StreamAccum>,
+    has_deps: BTreeMap<FunctionId, bool>,
+    requests: u64,
+    cold_starts: u64,
+    span: Option<(u64, u64)>,
+    median_cap: usize,
+}
+
+impl Default for ReplayStatsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplayStatsBuilder {
+    /// Creates an empty builder with an unbounded median cap (exact medians
+    /// held fully in memory — the eager path).
+    pub fn new() -> Self {
+        Self::with_median_cap(usize::MAX)
+    }
+
+    /// Creates an empty builder that keeps at most `cap` raw keys per
+    /// (function, statistic) median. A median that overflows the cap keeps an
+    /// exact count but forgets its keys; [`pending_medians`](Self::pending_medians)
+    /// reports those, and each must be [`resolve_median`](Self::resolve_median)d
+    /// (the streaming path re-scans the request file with `select_medians`)
+    /// before [`finish`](Self::finish).
+    pub fn with_median_cap(cap: usize) -> Self {
+        Self {
+            accum: BTreeMap::new(),
+            has_deps: BTreeMap::new(),
+            requests: 0,
+            cold_starts: 0,
+            span: None,
+            median_cap: cap,
+        }
+    }
+
+    fn widen_span(&mut self, ts: u64) {
+        self.span = Some(match self.span {
+            Some((lo, hi)) => (lo.min(ts), hi.max(ts)),
+            None => (ts, ts),
+        });
+    }
+
+    /// Accumulates one request record. Records of the same function **must**
+    /// arrive in non-decreasing timestamp order (debug-asserted).
+    pub fn record_request(&mut self, r: &RequestRecord) {
+        self.requests += 1;
+        self.widen_span(r.timestamp_ms);
+        let cap = self.median_cap;
+        let a = self
+            .accum
+            .entry(r.function)
+            .or_insert_with(|| StreamAccum::new(cap));
+        a.count += 1;
+        a.exec_us.add(r.execution_time_us);
+        a.cpu_keys.add(f64_total_key(r.cpu_usage_millicores));
+        a.memory_bytes.add(r.memory_usage_bytes);
+        if let Some(prev) = a.prev_ts {
+            debug_assert!(
+                prev <= r.timestamp_ms,
+                "requests must be fed in per-function timestamp order"
+            );
+            a.gaps_ms.add(r.timestamp_ms.saturating_sub(prev));
+        }
+        a.prev_ts = Some(r.timestamp_ms);
+
+        let start = r.timestamp_ms;
+        let end = (start + r.execution_time_us.div_ceil(1000)).max(start + 1);
+        let pod = a.pods.entry(r.pod).or_default();
+        // Requests ending at or before this start are no longer in flight:
+        // releases happen before the new arrival, so back-to-back requests
+        // never count as overlapping (matching the eager sweep's tie rule).
+        while pod.ends.peek().is_some_and(|Reverse(e)| *e <= start) {
+            pod.ends.pop();
+        }
+        pod.ends.push(Reverse(end));
+        pod.last_end = pod.last_end.max(end);
+        a.max_concurrency = a.max_concurrency.max(pod.ends.len() as u32);
+
+        a.records_since_gc += 1;
+        if a.records_since_gc >= POD_GC_INTERVAL {
+            a.records_since_gc = 0;
+            // Pods whose every request already ended would start from an
+            // empty heap anyway; dropping their state changes nothing.
+            a.pods.retain(|_, p| p.last_end > start);
+        }
+    }
+
+    /// Accumulates one cold-start record (order-independent).
+    pub fn record_cold_start(&mut self, cs: &ColdStartRecord) {
+        self.cold_starts += 1;
+        self.widen_span(cs.timestamp_ms);
+        *self.has_deps.entry(cs.function).or_default() |= cs.deploy_dep_us > 0;
+    }
+
+    /// Number of request records accumulated.
+    pub fn request_count(&self) -> u64 {
+        self.requests
+    }
+
+    /// Number of cold-start records accumulated.
+    pub fn cold_start_count(&self) -> u64 {
+        self.cold_starts
+    }
+
+    /// Timestamp span `[min, max]` across both record kinds.
+    pub fn span_ms(&self) -> Option<(u64, u64)> {
+        self.span
+    }
+
+    /// The medians whose key collections overflowed the cap, so their exact
+    /// value must come from an out-of-core selection pass. Empty when the cap
+    /// is unbounded or every per-function statistic stayed small.
+    pub fn pending_medians(&self) -> Vec<PendingMedian> {
+        let mut pending = Vec::new();
+        for (&function, a) in &self.accum {
+            for stat in ReplayStat::ALL {
+                let m = match stat {
+                    ReplayStat::ExecUs => &a.exec_us,
+                    ReplayStat::CpuKey => &a.cpu_keys,
+                    ReplayStat::MemoryBytes => &a.memory_bytes,
+                    ReplayStat::GapMs => &a.gaps_ms,
+                };
+                if m.overflowed {
+                    pending.push(PendingMedian {
+                        function,
+                        stat,
+                        rank: m.rank(),
+                    });
+                }
+            }
+        }
+        pending
+    }
+
+    /// Supplies the selected key for one overflowed median reported by
+    /// [`pending_medians`](Self::pending_medians).
+    pub fn resolve_median(&mut self, function: FunctionId, stat: ReplayStat, key: u64) {
+        self.accum
+            .get_mut(&function)
+            .expect("resolving a median for an unseen function")
+            .stat(stat)
+            .resolve(key);
+    }
+
+    /// Reconstructs a [`FunctionSpec`] per distinct function seen in the
+    /// request feed, in ascending function-id order.
+    pub fn finish(self, functions: &FunctionTable, calibration: &Calibration) -> Vec<FunctionSpec> {
+        let days = f64::from(calibration.duration_days.max(1));
+        self.accum
+            .into_iter()
+            .map(|(function, a)| {
+                let meta = functions.get(function);
+                let triggers = meta
+                    .map(|m| m.triggers.clone())
+                    .filter(|t| !t.is_empty())
+                    .unwrap_or_else(|| vec![TriggerType::Unknown]);
+                let primary = triggers[0];
+                let config = functions.config_of(function);
+                let user = meta
+                    .map(|m| m.user)
+                    .unwrap_or_else(|| fntrace::UserId::new(function.raw()));
+
+                let requests_per_day = a.count as f64 / days;
+                let timer_period_secs = if primary == TriggerType::Timer {
+                    a.gaps_ms
+                        .median()
+                        .map(|g| g as f64 / 1e3)
+                        .unwrap_or(86_400.0 / requests_per_day.max(1e-9))
+                        .max(1.0)
+                } else {
+                    0.0
+                };
+
+                FunctionSpec {
+                    function,
+                    user,
+                    runtime: functions.runtime_of(function),
+                    triggers,
+                    config,
+                    base_requests_per_day: requests_per_day,
+                    timer_period_secs,
+                    // Replay takes arrival times verbatim from the records,
+                    // so the generative shape parameters stay neutral.
+                    diurnal_amplitude: 0.0,
+                    peak_offset_hours: 0.0,
+                    median_execution_secs: (a.exec_us.median().unwrap_or(0) as f64 / 1e6).max(1e-4),
+                    cpu_millicores: a
+                        .cpu_keys
+                        .median()
+                        .map(f64_from_total_key)
+                        .unwrap_or(0.0)
+                        .max(1.0),
+                    memory_bytes: a.memory_bytes.median().unwrap_or(0).max(1),
+                    has_dependencies: self.has_deps.get(&function).copied().unwrap_or(false),
+                    concurrency: a.max_concurrency.max(1),
+                    upstream: None,
+                }
+            })
+            .collect()
+    }
+}
+
+/// How many records a function accumulates between idle-pod sweeps.
+const POD_GC_INTERVAL: u32 = 1024;
+
+/// Raw keys kept per (function, statistic) median on the streaming path
+/// before it falls back to out-of-core selection.
+const MEDIAN_COLLECT_CAP: usize = 1024;
+
+/// One overflowed median being narrowed down by [`select_medians`].
+struct Selector {
+    function: FunctionId,
+    stat: ReplayStat,
+    rank: u64,
+    /// Key bits fixed so far, left-aligned; only the top `bits` are valid.
+    prefix: u64,
+    bits: u32,
+    mode: SelectorMode,
+    result: Option<u64>,
+}
+
+enum SelectorMode {
+    /// Histogram the next key byte of every key matching the prefix.
+    Narrow(Box<[u64; 256]>),
+    /// Few enough keys match the prefix: gather and sort them outright.
+    Collect(Vec<u64>),
+}
+
+impl Selector {
+    fn matches(&self, key: u64) -> bool {
+        self.bits == 0 || (key >> (64 - self.bits)) == (self.prefix >> (64 - self.bits))
+    }
+
+    fn observe(&mut self, key: u64) {
+        if !self.matches(key) {
+            return;
+        }
+        match &mut self.mode {
+            SelectorMode::Narrow(hist) => {
+                hist[((key >> (56 - self.bits)) & 0xFF) as usize] += 1;
+            }
+            SelectorMode::Collect(keys) => keys.push(key),
+        }
+    }
+
+    /// Digests one pass: fixes the next key byte (or finishes), choosing
+    /// direct collection once at most `cap` keys remain under the prefix.
+    fn conclude_pass(&mut self, cap: usize) {
+        match std::mem::replace(&mut self.mode, SelectorMode::Collect(Vec::new())) {
+            SelectorMode::Narrow(hist) => {
+                let mut before = 0u64;
+                let mut bucket = None;
+                for (b, &n) in hist.iter().enumerate() {
+                    if self.rank < before + n {
+                        bucket = Some((b, n));
+                        break;
+                    }
+                    before += n;
+                }
+                let (b, n) =
+                    bucket.expect("median rank exceeds key population: trace file changed");
+                self.rank -= before;
+                self.prefix |= (b as u64) << (56 - self.bits);
+                self.bits += 8;
+                if self.bits == 64 {
+                    self.result = Some(self.prefix);
+                } else if n <= cap as u64 {
+                    self.mode = SelectorMode::Collect(Vec::with_capacity(n as usize));
+                } else {
+                    self.mode = SelectorMode::Narrow(Box::new([0u64; 256]));
+                }
+            }
+            SelectorMode::Collect(mut keys) => {
+                keys.sort_unstable();
+                self.result = Some(
+                    *keys
+                        .get(self.rank as usize)
+                        .expect("median rank exceeds key population: trace file changed"),
+                );
+            }
+        }
+    }
+}
+
+/// Exact out-of-core median selection for the statistics that overflowed the
+/// streaming builder's cap.
+///
+/// Each pass re-streams the request file through the same
+/// [`WindowedReplayOrder`] the builder consumed (the order is deterministic,
+/// and gap keys depend on it) and refines every unresolved selector: byte-wise
+/// radix narrowing fixes one more key byte per pass until fewer than `cap`
+/// keys remain under a selector's prefix, at which point one final pass
+/// collects and sorts them. At most nine passes over the file; resident
+/// memory is `O(selectors × cap)`, independent of trace length.
+fn select_medians(
+    requests_path: &Path,
+    window_ms: u64,
+    pending: Vec<PendingMedian>,
+    cap: usize,
+) -> Result<Vec<(FunctionId, ReplayStat, u64)>, TraceStreamError> {
+    let mut selectors: Vec<Selector> = pending
+        .into_iter()
+        .map(|p| Selector {
+            function: p.function,
+            stat: p.stat,
+            rank: p.rank,
+            prefix: 0,
+            bits: 0,
+            mode: SelectorMode::Narrow(Box::new([0u64; 256])),
+            result: None,
+        })
+        .collect();
+
+    while selectors.iter().any(|s| s.result.is_none()) {
+        // Index the unresolved selectors by function for the scan.
+        let mut by_function: HashMap<FunctionId, Vec<usize>> = HashMap::new();
+        for (i, s) in selectors.iter().enumerate() {
+            if s.result.is_none() {
+                by_function.entry(s.function).or_default().push(i);
+            }
+        }
+
+        let reader = TraceReader::<_, RequestRecord>::from_path(requests_path)?;
+        let mut prev_ts: HashMap<FunctionId, u64> = HashMap::new();
+        for rec in WindowedReplayOrder::new(reader, window_ms) {
+            let r = rec?;
+            let gap = prev_ts
+                .insert(r.function, r.timestamp_ms)
+                .map(|prev| r.timestamp_ms.saturating_sub(prev));
+            let Some(indices) = by_function.get(&r.function) else {
+                continue;
+            };
+            for &i in indices {
+                let s = &mut selectors[i];
+                match s.stat {
+                    ReplayStat::ExecUs => s.observe(r.execution_time_us),
+                    ReplayStat::CpuKey => s.observe(f64_total_key(r.cpu_usage_millicores)),
+                    ReplayStat::MemoryBytes => s.observe(r.memory_usage_bytes),
+                    ReplayStat::GapMs => {
+                        if let Some(g) = gap {
+                            s.observe(g);
+                        }
+                    }
+                }
+            }
+        }
+
+        for s in &mut selectors {
+            if s.result.is_none() {
+                s.conclude_pass(cap);
+            }
+        }
+    }
+
+    Ok(selectors
+        .into_iter()
+        .map(|s| {
+            (
+                s.function,
+                s.stat,
+                s.result.expect("loop ran to resolution"),
+            )
+        })
+        .collect())
 }
 
 /// Reconstructs a [`FunctionSpec`] per distinct function in the request
 /// table, in ascending function-id order.
+///
+/// Routes through [`ReplayStatsBuilder`] fed in [`ReplayStream`] order, so
+/// eager and streaming inference agree by construction.
 fn infer_functions(trace: &RegionTrace, calibration: &Calibration) -> Vec<FunctionSpec> {
-    let mut accum: BTreeMap<FunctionId, FunctionAccum> = BTreeMap::new();
-    for r in trace.requests.records() {
-        let a = accum.entry(r.function).or_default();
-        a.timestamps_ms.push(r.timestamp_ms);
-        a.exec_us.push(r.execution_time_us);
-        a.cpu_millicores.push(r.cpu_usage_millicores);
-        a.memory_bytes.push(r.memory_usage_bytes);
-        a.per_pod.entry(r.pod).or_default().push((
-            r.timestamp_ms,
-            r.timestamp_ms + r.execution_time_us.div_ceil(1000),
-        ));
+    let requests = trace.requests.records();
+    assert!(
+        u32::try_from(requests.len()).is_ok(),
+        "replay indexes requests with u32"
+    );
+    let mut order: Vec<u32> = (0..requests.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let r = &requests[i as usize];
+        (r.timestamp_ms, r.function.raw(), i)
+    });
+    let mut builder = ReplayStatsBuilder::new();
+    for &i in &order {
+        builder.record_request(&requests[i as usize]);
     }
-
-    let mut has_deps: BTreeMap<FunctionId, bool> = BTreeMap::new();
     for cs in trace.cold_starts.records() {
-        *has_deps.entry(cs.function).or_default() |= cs.deploy_dep_us > 0;
+        builder.record_cold_start(cs);
     }
+    builder.finish(&trace.functions, calibration)
+}
 
-    let days = f64::from(calibration.duration_days.max(1));
-    accum
-        .into_iter()
-        .map(|(function, mut a)| {
-            let meta = trace.functions.get(function);
-            let triggers = meta
-                .map(|m| m.triggers.clone())
-                .filter(|t| !t.is_empty())
-                .unwrap_or_else(|| vec![TriggerType::Unknown]);
-            let primary = triggers[0];
-            let config = trace.functions.config_of(function);
-            let user = meta
-                .map(|m| m.user)
-                .unwrap_or_else(|| fntrace::UserId::new(function.raw()));
+/// One buffered record inside [`WindowedReplayOrder`], ordered by the replay
+/// key `(timestamp, function, sequence)`.
+#[derive(Debug, Clone)]
+struct PendingRecord {
+    key: (u64, u64, u64),
+    rec: RequestRecord,
+}
 
-            let requests_per_day = a.timestamps_ms.len() as f64 / days;
-            a.timestamps_ms.sort_unstable();
-            let timer_period_secs = if primary == TriggerType::Timer {
-                median_gap_secs(&a.timestamps_ms)
-                    .unwrap_or(86_400.0 / requests_per_day.max(1e-9))
-                    .max(1.0)
-            } else {
-                0.0
-            };
+impl PartialEq for PendingRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for PendingRecord {}
+impl PartialOrd for PendingRecord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingRecord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
 
-            FunctionSpec {
-                function,
-                user,
-                runtime: trace.functions.runtime_of(function),
-                triggers,
-                config,
-                base_requests_per_day: requests_per_day,
-                timer_period_secs,
-                // Replay takes arrival times verbatim from the records, so
-                // the generative shape parameters stay neutral.
-                diurnal_amplitude: 0.0,
-                peak_offset_hours: 0.0,
-                median_execution_secs: (median_u64(&mut a.exec_us) as f64 / 1e6).max(1e-4),
-                cpu_millicores: median_f64(&mut a.cpu_millicores).max(1.0),
-                memory_bytes: median_u64(&mut a.memory_bytes).max(1),
-                has_dependencies: has_deps.get(&function).copied().unwrap_or(false),
-                concurrency: max_pod_concurrency(&a.per_pod).max(1),
-                upstream: None,
+/// Re-orders a nearly-sorted request-record stream into exact
+/// `(timestamp, function, record index)` order — the [`ReplayStream`] sort
+/// key — using a bounded time window.
+///
+/// A record is held in the buffer until every record that could still sort
+/// before it has been read: record `r` is emitted once the largest timestamp
+/// seen exceeds `r.timestamp_ms + window_ms`. A record arriving more than
+/// `window_ms` behind the largest seen timestamp is a hard
+/// [`TraceStreamError::Disorder`] — silently emitting it out of order would
+/// break the byte-determinism contract with the eager full-sort path.
+///
+/// # Memory contract
+///
+/// The buffer holds only the records of the trailing `window_ms` of trace
+/// time (plus ties), never the file: memory is bounded by the peak arrival
+/// rate × window, independent of trace length. Sorted input never errors at
+/// any window.
+pub struct WindowedReplayOrder<I: Iterator<Item = Result<RequestRecord, CsvError>>> {
+    source: Option<I>,
+    window_ms: u64,
+    heap: BinaryHeap<Reverse<PendingRecord>>,
+    max_seen_ms: u64,
+    next_seq: u64,
+}
+
+impl<I: Iterator<Item = Result<RequestRecord, CsvError>>> WindowedReplayOrder<I> {
+    /// Wraps a record source with the given reorder window.
+    pub fn new(source: I, window_ms: u64) -> Self {
+        Self {
+            source: Some(source),
+            window_ms,
+            heap: BinaryHeap::new(),
+            max_seen_ms: 0,
+            next_seq: 0,
+        }
+    }
+}
+
+impl<I: Iterator<Item = Result<RequestRecord, CsvError>>> Iterator for WindowedReplayOrder<I> {
+    type Item = Result<RequestRecord, TraceStreamError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            // Emit once no unread record can sort before the buffered
+            // minimum: strictly below the watermark, so equal timestamps are
+            // always buffered together and tie-break by (function, seq).
+            if let Some(Reverse(min)) = self.heap.peek() {
+                let drained = self.source.is_none();
+                if drained || min.key.0 + self.window_ms < self.max_seen_ms {
+                    let rec = self.heap.pop().map(|Reverse(p)| p.rec)?;
+                    return Some(Ok(rec));
+                }
             }
+            let source = self.source.as_mut()?;
+            match source.next() {
+                Some(Ok(rec)) => {
+                    if rec.timestamp_ms + self.window_ms < self.max_seen_ms {
+                        self.source = None;
+                        self.heap.clear();
+                        return Some(Err(TraceStreamError::Disorder {
+                            seq: self.next_seq,
+                            timestamp_ms: rec.timestamp_ms,
+                            max_seen_ms: self.max_seen_ms,
+                            window_ms: self.window_ms,
+                        }));
+                    }
+                    self.max_seen_ms = self.max_seen_ms.max(rec.timestamp_ms);
+                    let key = (rec.timestamp_ms, rec.function.raw(), self.next_seq);
+                    self.next_seq += 1;
+                    self.heap.push(Reverse(PendingRecord { key, rec }));
+                }
+                Some(Err(e)) => {
+                    self.source = None;
+                    self.heap.clear();
+                    return Some(Err(e.into()));
+                }
+                None => {
+                    self.source = None;
+                }
+            }
+        }
+    }
+}
+
+/// Default reorder window for disk-backed replay: one hour of trace time.
+pub const DEFAULT_REPLAY_WINDOW_MS: u64 = MILLIS_PER_HOUR;
+
+/// A trace directory opened for streaming replay: an event-free header spec
+/// (inferred in a first streaming pass) plus the ability to stream the
+/// request file's events in [`ReplayStream`] order on demand.
+///
+/// Built by [`TraceReplayWorkload::open_csv_dir`]. The header is identical
+/// to what [`TraceReplayWorkload::build_streamed`] produces from the fully
+/// materialised [`RegionTrace`] of the same directory; [`stream`](Self::stream)
+/// yields exactly the same event sequence as the in-memory [`ReplayStream`].
+#[derive(Debug, Clone)]
+pub struct StreamedTraceDir {
+    header: Arc<WorkloadSpec>,
+    requests_path: PathBuf,
+    window_ms: u64,
+    requests: u64,
+    cold_starts: u64,
+    functions: u64,
+}
+
+impl StreamedTraceDir {
+    /// The event-free replay header (functions, profile, calibration).
+    pub fn header(&self) -> &Arc<WorkloadSpec> {
+        &self.header
+    }
+
+    /// Number of request records counted in the inference pass.
+    pub fn request_count(&self) -> u64 {
+        self.requests
+    }
+
+    /// Number of cold-start records counted in the inference pass.
+    pub fn cold_start_count(&self) -> u64 {
+        self.cold_starts
+    }
+
+    /// Number of rows in the directory's function metadata table (which may
+    /// differ from the inferred [`header`](Self::header) specs when the
+    /// table lists functions that never appear in the request file).
+    pub fn function_count(&self) -> u64 {
+        self.functions
+    }
+
+    /// Opens a fresh disk-backed event stream (the second pass). Every call
+    /// replays the same deterministic sequence.
+    pub fn stream(&self) -> Result<DiskReplayStream, TraceStreamError> {
+        let reader = TraceReader::<_, RequestRecord>::from_path(&self.requests_path)?;
+        Ok(DiskReplayStream {
+            inner: WindowedReplayOrder::new(reader, self.window_ms),
+            horizon_ms: self.header.duration_ms(),
+            remaining: self.requests,
         })
-        .collect()
-}
-
-/// Median of the observed gaps between consecutive arrivals, in seconds.
-fn median_gap_secs(sorted_timestamps_ms: &[u64]) -> Option<f64> {
-    if sorted_timestamps_ms.len() < 2 {
-        return None;
     }
-    let mut gaps: Vec<u64> = sorted_timestamps_ms
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .collect();
-    Some(median_u64(&mut gaps) as f64 / 1e3)
 }
 
-fn median_u64(values: &mut [u64]) -> u64 {
-    if values.is_empty() {
-        return 0;
-    }
-    values.sort_unstable();
-    values[values.len() / 2]
+/// Disk-backed replay events in `(timestamp, function)` order — the
+/// streaming counterpart of [`ReplayStream`], produced by
+/// [`StreamedTraceDir::stream`].
+///
+/// The request file was fully validated (parse and ordering) by the
+/// inference pass, so mid-stream errors can only mean the file changed or
+/// failed underneath a running simulation; they panic rather than silently
+/// truncating the replay.
+pub struct DiskReplayStream {
+    inner: WindowedReplayOrder<TraceReader<BufReader<File>, RequestRecord>>,
+    horizon_ms: u64,
+    remaining: u64,
 }
 
-fn median_f64(values: &mut [f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    values.sort_by(f64::total_cmp);
-    values[values.len() / 2]
-}
+impl Iterator for DiskReplayStream {
+    type Item = WorkloadEvent;
 
-/// Largest number of simultaneously in-flight requests observed on any single
-/// pod — a lower bound on the function's configured concurrency.
-fn max_pod_concurrency(per_pod: &BTreeMap<PodId, Vec<(u64, u64)>>) -> u32 {
-    let mut max = 0i64;
-    for intervals in per_pod.values() {
-        let mut edges: Vec<(u64, i64)> = Vec::with_capacity(intervals.len() * 2);
-        for &(start, end) in intervals {
-            edges.push((start, 1));
-            edges.push((end.max(start + 1), -1));
-        }
-        // Ends sort before starts at the same instant, so back-to-back
-        // requests do not count as overlapping.
-        edges.sort_by_key(|&(t, delta)| (t, delta));
-        let mut live = 0i64;
-        for (_, delta) in edges {
-            live += delta;
-            max = max.max(live);
+    fn next(&mut self) -> Option<WorkloadEvent> {
+        match self.inner.next()? {
+            Ok(rec) => {
+                self.remaining = self.remaining.saturating_sub(1);
+                Some(WorkloadEvent {
+                    timestamp_ms: rec.timestamp_ms,
+                    function: rec.function,
+                })
+            }
+            Err(e) => panic!("trace file changed underneath a running replay: {e}"),
         }
     }
-    max.max(0) as u32
+}
+
+impl ArrivalStream for DiskReplayStream {
+    fn horizon_ms(&self) -> u64 {
+        self.horizon_ms
+    }
+
+    fn events_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+impl TraceReplayWorkload {
+    /// Opens a trace directory (the [`RegionTrace::write_csv_dir`] layout)
+    /// for streaming replay with the default one-hour reorder window.
+    ///
+    /// This is the larger-than-memory counterpart of
+    /// [`RegionTrace::read_csv_dir`] + [`build_streamed`](Self::build_streamed):
+    /// one streaming pass over the three files infers the function specs
+    /// (via [`ReplayStatsBuilder`]) and validates every row; the returned
+    /// [`StreamedTraceDir`] then replays events straight from disk. Only the
+    /// function table is held resident.
+    pub fn open_csv_dir(
+        &self,
+        region: RegionId,
+        dir: &Path,
+    ) -> Result<StreamedTraceDir, TraceStreamError> {
+        self.open_csv_dir_with_window(region, dir, DEFAULT_REPLAY_WINDOW_MS)
+    }
+
+    /// [`open_csv_dir`](Self::open_csv_dir) with an explicit reorder window:
+    /// request rows may be out of timestamp order by up to `window_ms`
+    /// (anything worse is a [`TraceStreamError::Disorder`]).
+    pub fn open_csv_dir_with_window(
+        &self,
+        region: RegionId,
+        dir: &Path,
+        window_ms: u64,
+    ) -> Result<StreamedTraceDir, TraceStreamError> {
+        let paths = TraceDirPaths::new(region, dir);
+        let mut functions = FunctionTable::new();
+        for rec in TraceReader::<_, fntrace::FunctionMeta>::from_path(&paths.functions)? {
+            functions.insert(rec?);
+        }
+
+        let mut builder = ReplayStatsBuilder::with_median_cap(MEDIAN_COLLECT_CAP);
+        for rec in TraceReader::<_, ColdStartRecord>::from_path(&paths.cold_starts)? {
+            builder.record_cold_start(&rec?);
+        }
+        let reader = TraceReader::<_, RequestRecord>::from_path(&paths.requests)?;
+        for rec in WindowedReplayOrder::new(reader, window_ms) {
+            builder.record_request(&rec?);
+        }
+        // Functions with more than `MEDIAN_COLLECT_CAP` distinct observations
+        // per statistic dropped their key collections; finish those medians
+        // exactly by re-streaming the file (bounded extra passes, bounded
+        // memory) instead of letting resident state grow with trace length.
+        let pending = builder.pending_medians();
+        if !pending.is_empty() {
+            for (function, stat, key) in
+                select_medians(&paths.requests, window_ms, pending, MEDIAN_COLLECT_CAP)?
+            {
+                builder.resolve_median(function, stat, key);
+            }
+        }
+
+        let calibration = self.calibration.unwrap_or_else(|| {
+            let span_end = builder.span_ms().map(|(_, hi)| hi + 1).unwrap_or(0);
+            Calibration {
+                duration_days: (span_end.div_ceil(MILLIS_PER_DAY) as u32).max(1),
+                ..Calibration::default()
+            }
+        });
+        let profile = self.profile.clone().unwrap_or_else(|| {
+            let base =
+                RegionProfile::paper_region(region.index()).unwrap_or_else(RegionProfile::r2);
+            RegionProfile { region, ..base }
+        });
+        let requests = builder.request_count();
+        let cold_starts = builder.cold_start_count();
+        let function_rows = functions.len() as u64;
+        let specs = builder.finish(&functions, &calibration);
+
+        let header = Arc::new(WorkloadSpec {
+            region,
+            profile,
+            calibration,
+            functions: specs,
+            events: Vec::new(),
+            source: WorkloadSource::Replay,
+        });
+        Ok(StreamedTraceDir {
+            header,
+            requests_path: paths.requests,
+            window_ms,
+            requests,
+            cold_starts,
+            functions: function_rows,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -431,6 +1243,136 @@ mod tests {
         assert_eq!(spec.runtime, Runtime::Unknown);
         assert_eq!(spec.triggers, vec![TriggerType::Unknown]);
         assert_eq!(spec.function, FunctionId::new(77));
+    }
+
+    #[test]
+    fn streamed_dir_matches_eager_build_exactly() {
+        let dir = std::env::temp_dir().join("faas_workload_streamdir_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let trace = synth_trace(7);
+        trace.write_csv_dir(&dir).unwrap();
+
+        let eager_trace = RegionTrace::read_csv_dir(trace.region, &dir).unwrap();
+        let (eager_header, eager_stream) = TraceReplayWorkload::new().build_streamed(&eager_trace);
+        let eager_events: Vec<WorkloadEvent> = eager_stream.collect();
+
+        let streamed = TraceReplayWorkload::new()
+            .open_csv_dir(trace.region, &dir)
+            .unwrap();
+        assert_eq!(**streamed.header(), eager_header);
+        assert_eq!(streamed.request_count(), trace.requests.len() as u64);
+        assert_eq!(streamed.cold_start_count(), trace.cold_starts.len() as u64);
+
+        let disk = streamed.stream().unwrap();
+        assert_eq!(disk.horizon_ms(), eager_header.duration_ms());
+        assert_eq!(disk.events_hint(), Some(eager_events.len() as u64));
+        let disk_events: Vec<WorkloadEvent> = disk.collect();
+        assert_eq!(disk_events, eager_events);
+
+        // Repeated streams replay the same sequence.
+        let again: Vec<WorkloadEvent> = streamed.stream().unwrap().collect();
+        assert_eq!(again, disk_events);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn capped_medians_resolved_by_selection_match_the_eager_build() {
+        let dir = std::env::temp_dir().join("faas_workload_median_cap_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let trace = synth_trace(11);
+        trace.write_csv_dir(&dir).unwrap();
+        let paths = TraceDirPaths::new(trace.region, &dir);
+
+        let calibration = Calibration {
+            duration_days: 2,
+            ..Calibration::default()
+        };
+        let eager = infer_functions(&trace, &calibration);
+
+        // A cap this small forces every function's medians through the
+        // out-of-core selection passes.
+        let cap = 4;
+        let mut builder = ReplayStatsBuilder::with_median_cap(cap);
+        for cs in trace.cold_starts.records() {
+            builder.record_cold_start(cs);
+        }
+        let reader = TraceReader::<_, RequestRecord>::from_path(&paths.requests).unwrap();
+        for rec in WindowedReplayOrder::new(reader, DEFAULT_REPLAY_WINDOW_MS) {
+            builder.record_request(&rec.unwrap());
+        }
+        let pending = builder.pending_medians();
+        assert!(!pending.is_empty(), "the tiny cap must overflow");
+        for (function, stat, key) in
+            select_medians(&paths.requests, DEFAULT_REPLAY_WINDOW_MS, pending, cap).unwrap()
+        {
+            builder.resolve_median(function, stat, key);
+        }
+        let streamed = builder.finish(&trace.functions, &calibration);
+        assert_eq!(streamed, eager);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn windowed_order_tolerates_bounded_disorder_and_rejects_worse() {
+        let trace = synth_trace(8);
+        let records = trace.requests.records();
+        // Reverse pairs: disorder of at most one record's gap.
+        let mut shuffled: Vec<RequestRecord> = records.to_vec();
+        for pair in shuffled.chunks_mut(2) {
+            pair.reverse();
+        }
+        let max_gap = shuffled
+            .windows(2)
+            .map(|w| w[0].timestamp_ms.saturating_sub(w[1].timestamp_ms))
+            .max()
+            .unwrap();
+
+        let ordered: Vec<RequestRecord> =
+            WindowedReplayOrder::new(shuffled.iter().cloned().map(Ok), max_gap + 1)
+                .collect::<Result<_, _>>()
+                .unwrap();
+        // The windowed sort equals the eager full sort on the same multiset.
+        let mut expected = shuffled.clone();
+        expected.sort_by_key(|r| (r.timestamp_ms, r.function.raw()));
+        let keys = |v: &[RequestRecord]| {
+            v.iter()
+                .map(|r| (r.timestamp_ms, r.function.raw()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(keys(&ordered), keys(&expected));
+
+        // Disorder beyond the window is a hard error, not a reorder.
+        let span = records.last().unwrap().timestamp_ms - records[0].timestamp_ms;
+        let mut reversed: Vec<RequestRecord> = records.to_vec();
+        reversed.reverse();
+        let err = WindowedReplayOrder::new(reversed.into_iter().map(Ok), span / 4)
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(matches!(err, TraceStreamError::Disorder { .. }));
+    }
+
+    #[test]
+    fn streaming_stats_builder_matches_eager_inference() {
+        let trace = synth_trace(9);
+        let calibration = Calibration {
+            duration_days: 2,
+            ..Calibration::default()
+        };
+        let eager = infer_functions(&trace, &calibration);
+
+        // Feed the builder through the windowed reorderer, as the disk path
+        // does, rather than pre-sorting.
+        let mut builder = ReplayStatsBuilder::new();
+        let feed = trace.requests.records().iter().cloned().map(Ok);
+        for rec in WindowedReplayOrder::new(feed, DEFAULT_REPLAY_WINDOW_MS) {
+            builder.record_request(&rec.unwrap());
+        }
+        for cs in trace.cold_starts.records() {
+            builder.record_cold_start(cs);
+        }
+        assert_eq!(builder.span_ms(), trace.time_span_ms());
+        let streamed = builder.finish(&trace.functions, &calibration);
+        assert_eq!(streamed, eager);
     }
 
     #[test]

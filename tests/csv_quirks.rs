@@ -1,0 +1,102 @@
+//! Golden-fixture tests for CSV ingestion quirks.
+//!
+//! The files under `tests/fixtures/quirks/` pin down how the parser treats
+//! real-world trace-file irregularities: CRLF line endings, a missing
+//! trailing newline, repeated headers at concatenation boundaries, header
+//! lines that *almost* match, and rows with extra trailing columns. Each
+//! fixture is committed byte-exactly (`fntrace::csv::read_text` preserves
+//! the bytes it reads), so these tests cover the on-disk path, not just
+//! in-memory strings.
+
+use std::path::PathBuf;
+
+use fntrace::csv::{read_text, request_table_from_csv, request_table_to_csv, CsvError};
+use fntrace::{RequestRecord, TraceReader};
+
+fn quirk_text(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/quirks")
+        .join(name);
+    read_text(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+/// Streaming and eager ingestion of the same text must agree, record for
+/// record, at every chunk size — including on the quirk fixtures.
+fn assert_streamed_matches_eager(text: &str, expected_rows: usize) {
+    let eager = request_table_from_csv(text).expect("fixture parses eagerly");
+    assert_eq!(eager.len(), expected_rows);
+    for chunk_size in 1..=expected_rows.max(1) + 1 {
+        let mut streamed: Vec<RequestRecord> = Vec::new();
+        for chunk in TraceReader::<_, RequestRecord>::new(text.as_bytes()).chunks(chunk_size) {
+            streamed.extend(chunk.expect("fixture parses streamed"));
+        }
+        assert_eq!(streamed.as_slice(), eager.records());
+    }
+}
+
+#[test]
+fn read_text_preserves_fixture_bytes_exactly() {
+    // CRLF endings survive reading; nothing normalises or appends.
+    let crlf = quirk_text("crlf_requests.csv");
+    assert!(crlf.contains("\r\n"), "CRLF fixture must keep its CRLFs");
+    assert!(crlf.ends_with("\r\n"));
+    // A file without a trailing newline stays that way.
+    let bare = quirk_text("no_trailing_newline_requests.csv");
+    assert!(!bare.ends_with('\n'), "no newline must be appended");
+}
+
+#[test]
+fn crlf_line_endings_parse_like_lf() {
+    let crlf = quirk_text("crlf_requests.csv");
+    assert_streamed_matches_eager(&crlf, 2);
+    let parsed = request_table_from_csv(&crlf).unwrap();
+    // Re-serialising emits the canonical LF form of the same records.
+    let canonical = request_table_to_csv(&parsed);
+    assert!(!canonical.contains('\r'));
+    assert_eq!(request_table_from_csv(&canonical).unwrap(), parsed);
+    assert_eq!(parsed.records()[1].timestamp_ms, 60_000);
+}
+
+#[test]
+fn missing_trailing_newline_still_parses_the_last_row() {
+    let text = quirk_text("no_trailing_newline_requests.csv");
+    assert_streamed_matches_eager(&text, 2);
+    let parsed = request_table_from_csv(&text).unwrap();
+    assert_eq!(parsed.records()[1].timestamp_ms, 60_000);
+}
+
+#[test]
+fn repeated_headers_at_concatenation_boundaries_are_skipped() {
+    let text = quirk_text("concatenated_requests.csv");
+    assert_streamed_matches_eager(&text, 2);
+}
+
+#[test]
+fn near_miss_headers_are_parse_errors_not_skips() {
+    let text = quirk_text("bad_header_requests.csv");
+    match request_table_from_csv(&text) {
+        Err(CsvError::Parse { line, .. }) => assert_eq!(line, 1),
+        other => panic!("a truncated header must fail on line 1, got {other:?}"),
+    }
+    // The streaming reader reports the identical error.
+    let stream_err = TraceReader::<_, RequestRecord>::new(text.as_bytes())
+        .find_map(Result::err)
+        .expect("streamed parse must fail too");
+    let eager_err = request_table_from_csv(&text).unwrap_err();
+    assert_eq!(stream_err.to_string(), eager_err.to_string());
+}
+
+#[test]
+fn extra_trailing_columns_are_rejected() {
+    let text = quirk_text("extra_column_requests.csv");
+    match request_table_from_csv(&text) {
+        Err(CsvError::Parse { line, message }) => {
+            assert_eq!(line, 2);
+            assert!(
+                message.contains("extra trailing data"),
+                "unexpected message: {message}"
+            );
+        }
+        other => panic!("an extra column must be rejected, got {other:?}"),
+    }
+}

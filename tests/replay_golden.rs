@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use coldstarts::evaluation::Scenario;
 use coldstarts::replay::ReplayGrid;
+use coldstarts::session::{ExperimentSession, ReplayTraceSource, TraceDirSource, WorkloadSource};
 use faas_workload::replay::TraceReplayWorkload;
 use fntrace::csv::{cold_start_table_to_csv, function_table_to_csv, request_table_to_csv};
 use fntrace::{FunctionId, RegionId, RegionTrace, Runtime, TriggerType, MILLIS_PER_HOUR};
@@ -92,6 +93,48 @@ fn fixture_replay_infers_the_hand_written_structure() {
     assert_eq!(api.concurrency, 2);
     assert!(api.has_dependencies, "fixture API function deploys deps");
     assert_eq!(api.timer_period_secs, 0.0);
+}
+
+#[test]
+fn streamed_ingestion_yields_byte_identical_session_envelopes() {
+    // The same fixture directory, ingested two ways: eagerly (the whole
+    // request table resident, then `ReplayTraceSource`) and streamed from
+    // disk (`TraceDirSource`, bounded-memory inference + disk-backed event
+    // streams). The rendered session reports and the serialised envelopes
+    // must agree byte for byte.
+    let scenarios = [
+        Scenario::Baseline,
+        Scenario::AdaptiveKeepAlive,
+        Scenario::TimerPrewarm,
+    ];
+    let run = |source: Arc<dyn WorkloadSource>| {
+        ExperimentSession::new()
+            .scenarios(&scenarios)
+            .source_arcs(std::iter::once(source))
+            .with_seeds(vec![5, 6])
+            .with_threads(2)
+            .run()
+    };
+
+    let eager = run(Arc::new(ReplayTraceSource::from_trace(
+        "replay/r7",
+        &fixture_trace(),
+    )));
+    let streamed_source =
+        TraceDirSource::open("replay/r7", RegionId::new(7), &fixture_dir()).expect("fixture opens");
+    let streamed = run(Arc::new(streamed_source));
+
+    assert_eq!(eager, streamed);
+    assert_eq!(
+        eager.render().as_bytes(),
+        streamed.render().as_bytes(),
+        "rendered session reports must be byte-identical"
+    );
+    assert_eq!(
+        eager.envelope("replay").to_json(),
+        streamed.envelope("replay").to_json(),
+        "serialised envelopes must be byte-identical"
+    );
 }
 
 #[test]
