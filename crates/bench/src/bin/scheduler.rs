@@ -28,6 +28,12 @@
 //!   with epoch reconciliation; same report, different wall-clock. On
 //!   single-core runners the barrier overhead makes this row *slower* than
 //!   `x1` — scaling needs cores ≥ shards — so no cross-row ratio is gated.
+//! * `node_model_x1` / `node_model_x4`: the same workload with the
+//!   node-level cluster model enabled (cache-cold-failover node pool), so
+//!   the hot-path cost of placement, per-node image caches, and pull
+//!   contention is visible and gated next to the plain engine rows. Both
+//!   rows assert that per-component cold-start attribution sums exactly to
+//!   the total charged latency before reporting.
 //!
 //! Writes `BENCH_engine.json` (`faas-coldstarts/engine/v1`): one entry per
 //! scenario with `events` (pushes + pops; processed arrivals for the
@@ -39,7 +45,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use faas_platform::{Event, EventQueue, PlatformConfig, SimulationSpec};
+use faas_platform::{Event, EventQueue, NodeScenario, PlatformConfig, SimulationSpec};
 use faas_stats::rng::Xoshiro256pp;
 use faas_workload::population::PopulationConfig;
 use faas_workload::profile::RegionProfile;
@@ -216,34 +222,35 @@ fn cascade_far_future(n: usize, rng: &mut Xoshiro256pp) -> ScenarioResult {
     }
 }
 
-/// End-to-end sharded engine run: a diurnal preset workload sized to
-/// roughly `n` arrivals, streamed through `shards` engine threads. The
-/// reported `events` count is the engine's processed-arrival counter, which
-/// is byte-identical for every shard count — only `wall_ms` varies.
-fn sharded_run(n: usize, seed: u64, shards: u32) -> ScenarioResult {
+/// The end-to-end bench workload: a diurnal preset sized to roughly `n`
+/// arrivals (~700 events per function over two days at these scales).
+fn bench_workload(n: usize, seed: u64) -> StreamedWorkload {
     let preset = ScenarioPreset::Diurnal;
     let profile = RegionProfile::r2();
-    // ~700 events per function over two days at these scales.
     let population = PopulationConfig {
         function_scale: 0.01,
         volume_scale: 2.0e-4,
         max_requests_per_day: 200_000.0,
         min_functions: (n / 700).max(50),
     };
-    let workload = StreamedWorkload::generate(
+    StreamedWorkload::generate(
         &preset.profile(&profile),
         preset.calibration(2),
         &population,
         seed,
-    );
-    let spec = SimulationSpec::new()
-        .with_config(PlatformConfig {
-            record_trace: false,
-            ..PlatformConfig::default()
-        })
-        .with_seed(seed);
-    let start = Instant::now();
-    let report = if shards > 1 {
+    )
+}
+
+/// Runs the bench workload through the engine: streamed single-shard, or
+/// sharded across `shards` threads with epoch reconciliation.
+fn run_engine(
+    workload: &StreamedWorkload,
+    config: PlatformConfig,
+    seed: u64,
+    shards: u32,
+) -> faas_platform::SimReport {
+    let spec = SimulationSpec::new().with_config(config).with_seed(seed);
+    if shards > 1 {
         let plan = ShardPlan::new(&workload.header().functions, shards);
         let streams: Vec<_> = (0..plan.shards())
             .map(|s| workload.stream_shard(&plan, s))
@@ -251,7 +258,21 @@ fn sharded_run(n: usize, seed: u64, shards: u32) -> ScenarioResult {
         spec.run_sharded(workload.header(), &plan, streams).0
     } else {
         spec.run_streamed(workload.header(), workload.stream()).0
+    }
+}
+
+/// End-to-end sharded engine run: a diurnal preset workload sized to
+/// roughly `n` arrivals, streamed through `shards` engine threads. The
+/// reported `events` count is the engine's processed-arrival counter, which
+/// is byte-identical for every shard count — only `wall_ms` varies.
+fn sharded_run(n: usize, seed: u64, shards: u32) -> ScenarioResult {
+    let workload = bench_workload(n, seed);
+    let config = PlatformConfig {
+        record_trace: false,
+        ..PlatformConfig::default()
     };
+    let start = Instant::now();
+    let report = run_engine(&workload, config, seed, shards);
     ScenarioResult {
         name: if shards > 1 {
             "sharded_run_x4"
@@ -260,6 +281,43 @@ fn sharded_run(n: usize, seed: u64, shards: u32) -> ScenarioResult {
         },
         events: report.events_processed,
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// End-to-end run with the node-level cluster model enabled: the same
+/// workload as `sharded_run`, but every pod creation routes through
+/// placement, per-node image caches, and bandwidth-shared layer pulls (the
+/// cache-cold-failover scenario — all caches start empty, so this is the
+/// node layer's worst-case hot-path cost). Before reporting, the row
+/// asserts the engine's per-component invariant: charged cold-start
+/// components sum exactly to the total charged latency.
+fn node_model_run(n: usize, seed: u64, shards: u32) -> ScenarioResult {
+    let workload = bench_workload(n, seed);
+    let config = PlatformConfig {
+        record_trace: false,
+        node: Some(NodeScenario::CacheColdFailover.node_config()),
+        ..PlatformConfig::default()
+    };
+    let start = Instant::now();
+    let report = run_engine(&workload, config, seed, shards);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        report.cold_components.total_us(),
+        report.cold_us_total,
+        "per-component cold-start attribution must sum exactly to the total"
+    );
+    assert!(
+        report.layer_pulls > 0,
+        "a cache-cold run must pull at least one layer"
+    );
+    ScenarioResult {
+        name: if shards > 1 {
+            "node_model_x4"
+        } else {
+            "node_model_x1"
+        },
+        events: report.events_processed,
+        wall_ms,
     }
 }
 
@@ -336,6 +394,8 @@ fn main() -> ExitCode {
         cascade_far_future(per_scenario, &mut rng),
         sharded_run(per_scenario, args.seed, 1),
         sharded_run(per_scenario, args.seed, 4),
+        node_model_run(per_scenario, args.seed, 1),
+        node_model_run(per_scenario, args.seed, 4),
     ];
     for r in &results {
         println!(

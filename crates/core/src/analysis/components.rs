@@ -132,6 +132,72 @@ impl ComponentAnalysis {
     }
 }
 
+/// Cross-checks a simulator report's aggregate per-component attribution
+/// against the per-record component columns of the trace the same run
+/// recorded.
+///
+/// The simulator now charges cold starts as a sum of explicit components
+/// (`SimReport::cold_components`, fed by the node layer when
+/// `PlatformConfig::node` is set), and the recorded trace carries the same
+/// four columns per [`fntrace::ColdStartRecord`]. This is the validation the
+/// component figures rely on: if it fails, Figures 11–13 computed from the
+/// trace would disagree with the report's attribution block.
+///
+/// Returns `Err` with a description of the first violated invariant:
+///
+/// 1. every record's components sum exactly to its `cold_start_us`,
+/// 2. the per-component column sums equal the report's
+///    `cold_components` fields (and therefore `cold_us_total`),
+/// 3. the record count equals the report's charged `cold_starts`.
+pub fn validate_report_attribution(
+    report: &faas_platform::SimReport,
+    trace: &RegionTrace,
+) -> Result<(), String> {
+    let records = trace.cold_starts.records();
+    if records.len() as u64 != report.cold_starts {
+        return Err(format!(
+            "trace has {} cold-start records but the report charged {}",
+            records.len(),
+            report.cold_starts
+        ));
+    }
+    let mut sums = [0u64; 4];
+    for r in records {
+        if r.component_sum_us() != r.cold_start_us {
+            return Err(format!(
+                "record at {} ms: components sum to {} us but cold_start_us is {}",
+                r.timestamp_ms,
+                r.component_sum_us(),
+                r.cold_start_us
+            ));
+        }
+        sums[0] += r.pod_alloc_us;
+        sums[1] += r.deploy_code_us;
+        sums[2] += r.deploy_dep_us;
+        sums[3] += r.scheduling_us;
+    }
+    let c = &report.cold_components;
+    let reported = [
+        c.pod_alloc_us,
+        c.deploy_code_us,
+        c.deploy_dep_us,
+        c.scheduling_us,
+    ];
+    if sums != reported {
+        return Err(format!(
+            "trace component sums {sums:?} != report cold_components {reported:?}"
+        ));
+    }
+    if c.total_us() != report.cold_us_total {
+        return Err(format!(
+            "report cold_components sum {} != cold_us_total {}",
+            c.total_us(),
+            report.cold_us_total
+        ));
+    }
+    Ok(())
+}
+
 fn region_components(trace: &RegionTrace, calibration: &Calibration) -> RegionComponents {
     let duration_ms = u64::from(calibration.duration_days).max(1) * MILLIS_PER_DAY;
 
@@ -356,5 +422,46 @@ mod tests {
         let a = ComponentAnalysis::compute(&Dataset::new(), &Calibration::default());
         assert!(a.regions.is_empty());
         assert!(a.region(1).is_none());
+    }
+
+    #[test]
+    fn simulator_attribution_matches_its_recorded_trace() {
+        use faas_platform::{NodeScenario, PlatformConfig, SimulationSpec};
+        use faas_workload::population::PopulationConfig;
+        use faas_workload::{ScenarioPreset, WorkloadSpec};
+
+        let preset = ScenarioPreset::RegionFailover;
+        let workload = WorkloadSpec::generate(
+            &preset.profile(&RegionProfile::r2()),
+            preset.calibration(1),
+            &PopulationConfig {
+                function_scale: 0.002,
+                volume_scale: 2.0e-6,
+                max_requests_per_day: 2_000.0,
+                min_functions: 12,
+            },
+            5,
+        );
+        // With and without the node layer: the recorded per-record component
+        // columns must reproduce the report's attribution block exactly.
+        for node in [None, Some(NodeScenario::CacheColdFailover.node_config())] {
+            let (report, trace) = SimulationSpec::new()
+                .with_config(PlatformConfig {
+                    record_trace: true,
+                    node,
+                    ..PlatformConfig::default()
+                })
+                .with_seed(5)
+                .run(&workload);
+            let trace = trace.expect("trace recording enabled");
+            assert!(report.cold_starts > 0);
+            validate_report_attribution(&report, &trace).unwrap();
+
+            // A perturbed report is caught.
+            let mut broken = report.clone();
+            broken.cold_components.deploy_dep_us += 1;
+            let err = validate_report_attribution(&broken, &trace).unwrap_err();
+            assert!(err.contains("cold_components"), "{err}");
+        }
     }
 }

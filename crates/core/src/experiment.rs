@@ -256,23 +256,6 @@ impl Default for ExperimentGrid {
 }
 
 impl ExperimentGrid {
-    /// The paper's full ablation: all eight scenarios over all five paper
-    /// regions, one seed, scaled-down populations so the grid runs in
-    /// seconds.
-    #[deprecated(
-        since = "0.1.0",
-        note = "declare an ExperimentSession over RegionSource::multi instead; \
-                this shimmed constructor remains for the transition"
-    )]
-    pub fn full_ablation() -> Self {
-        Self {
-            regions: (1..=5)
-                .map(|i| RegionProfile::paper_region(i).expect("regions 1..=5 exist"))
-                .collect(),
-            ..Self::default()
-        }
-    }
-
     /// Number of cells the grid declares.
     pub fn cell_count(&self) -> usize {
         self.scenarios.len() * self.regions.len() * self.seeds.len()

@@ -75,9 +75,9 @@
 //!
 //! The pre-session entry points — [`ExperimentGrid`],
 //! [`sweep::PolicySweep`], [`ReplayGrid`], and [`PolicyEvaluation`] — are
-//! kept as thin shims that build sessions internally; their dedicated
-//! constructors are `#[deprecated]` and CI fails if the examples or bench
-//! binaries still call them. Prefer declaring sessions in new code.
+//! kept as thin shims that build sessions internally. Their one-shot
+//! convenience constructors have been removed: construct the shims as plain
+//! struct literals, or better, declare sessions directly in new code.
 //!
 //! # Parameter sweeps
 //!

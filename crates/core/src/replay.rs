@@ -55,26 +55,6 @@ pub struct ReplayGrid {
 }
 
 impl ReplayGrid {
-    /// Creates a grid running every scenario over `workload` with one seed.
-    #[deprecated(
-        since = "0.1.0",
-        note = "declare an ExperimentSession over a ReplayTraceSource instead; \
-                this shimmed constructor remains for the transition"
-    )]
-    pub fn new(workload: Arc<WorkloadSpec>) -> Self {
-        Self {
-            workload,
-            scenarios: Scenario::ALL.to_vec(),
-            seeds: vec![seeds::DEFAULT_SEED],
-            platform: PlatformConfig {
-                record_trace: false,
-                ..PlatformConfig::default()
-            },
-            peak_shaving_delay_ms: 180_000,
-            threads: 0,
-        }
-    }
-
     /// Number of cells the grid declares.
     pub fn cell_count(&self) -> usize {
         self.scenarios.len() * self.seeds.len()
@@ -198,14 +178,18 @@ mod tests {
         Arc::new(TraceReplayWorkload::new().build(&trace))
     }
 
-    #[allow(deprecated)]
     fn tiny_grid() -> ReplayGrid {
         ReplayGrid {
+            workload: replayed_workload(),
             scenarios: vec![Scenario::Baseline, Scenario::TimerPrewarm],
             seeds: vec![3, 4],
+            platform: PlatformConfig {
+                record_trace: false,
+                ..PlatformConfig::default()
+            },
+            peak_shaving_delay_ms: 180_000,
             // Real worker threads so the parallel path is exercised.
             threads: 4,
-            ..ReplayGrid::new(replayed_workload())
         }
     }
 

@@ -199,6 +199,30 @@ pub fn cell_value(
             JsonValue::F64(report.cold_start_latency.p99_s),
         ),
         ("mem_gb_s_wasted", JsonValue::F64(report.mem_gb_s_wasted)),
+        ("cold_us_total", JsonValue::U64(report.cold_us_total)),
+        (
+            "cold_components",
+            JsonValue::object(vec![
+                (
+                    "pod_alloc_us",
+                    JsonValue::U64(report.cold_components.pod_alloc_us),
+                ),
+                (
+                    "deploy_code_us",
+                    JsonValue::U64(report.cold_components.deploy_code_us),
+                ),
+                (
+                    "deploy_dep_us",
+                    JsonValue::U64(report.cold_components.deploy_dep_us),
+                ),
+                (
+                    "scheduling_us",
+                    JsonValue::U64(report.cold_components.scheduling_us),
+                ),
+            ]),
+        ),
+        ("layer_pulls", JsonValue::U64(report.layer_pulls)),
+        ("layer_cache_hits", JsonValue::U64(report.layer_cache_hits)),
     ])
 }
 

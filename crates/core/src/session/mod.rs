@@ -81,7 +81,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
-use faas_platform::{PlatformConfig, PolicyFactory, SimReport, SimulationSpec};
+use faas_platform::{NodeScenario, PlatformConfig, PolicyFactory, SimReport, SimulationSpec};
 use faas_workload::WorkloadSpec;
 use fntrace::RegionId;
 
@@ -117,6 +117,10 @@ enum PolicyKind {
         peak_shaving_delay_ms: u64,
     },
     Sweep(SweepConfig),
+    /// A node-model scenario: baseline policies over a platform with
+    /// `PlatformConfig::node` set to the scenario's pool (see
+    /// [`NodeScenario::platform`]).
+    NodeScenario(NodeScenario),
 }
 
 impl PolicyConfig {
@@ -142,11 +146,22 @@ impl PolicyConfig {
         }
     }
 
+    /// A node-model scenario: enables `PlatformConfig::node` with the
+    /// scenario's node pool and runs the baseline policy set, so cells
+    /// isolate the node layer's effect (placement, image caches, pull
+    /// contention) from mitigation policies.
+    pub fn node_scenario(scenario: NodeScenario) -> Self {
+        Self {
+            kind: PolicyKind::NodeScenario(scenario),
+        }
+    }
+
     /// Stable label of the policy (scenario name or sweep config label).
     pub fn label(&self) -> &str {
         match &self.kind {
             PolicyKind::Scenario { scenario, .. } => scenario.name(),
             PolicyKind::Sweep(config) => config.label(),
+            PolicyKind::NodeScenario(scenario) => scenario.name(),
         }
     }
 
@@ -154,7 +169,7 @@ impl PolicyConfig {
     pub fn as_scenario(&self) -> Option<Scenario> {
         match &self.kind {
             PolicyKind::Scenario { scenario, .. } => Some(*scenario),
-            PolicyKind::Sweep(_) => None,
+            _ => None,
         }
     }
 
@@ -162,7 +177,15 @@ impl PolicyConfig {
     pub fn as_sweep(&self) -> Option<&SweepConfig> {
         match &self.kind {
             PolicyKind::Sweep(config) => Some(config),
-            PolicyKind::Scenario { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// The node scenario, when this policy is a node-model scenario.
+    pub fn as_node_scenario(&self) -> Option<NodeScenario> {
+        match &self.kind {
+            PolicyKind::NodeScenario(scenario) => Some(*scenario),
+            _ => None,
         }
     }
 
@@ -172,6 +195,7 @@ impl PolicyConfig {
         match &self.kind {
             PolicyKind::Scenario { .. } => base.clone(),
             PolicyKind::Sweep(config) => config.platform(base),
+            PolicyKind::NodeScenario(scenario) => scenario.platform(base),
         }
     }
 
@@ -179,7 +203,7 @@ impl PolicyConfig {
     /// workload, decidable without building one.
     pub fn adjusts_workload(&self) -> bool {
         match &self.kind {
-            PolicyKind::Scenario { .. } => false,
+            PolicyKind::Scenario { .. } | PolicyKind::NodeScenario(_) => false,
             PolicyKind::Sweep(config) => config.adjusts_workload(),
         }
     }
@@ -188,7 +212,7 @@ impl PolicyConfig {
     /// untransformed workload (sweep concurrency family scales limits).
     pub fn adjust_workload(&self, workload: &WorkloadSpec) -> Option<WorkloadSpec> {
         match &self.kind {
-            PolicyKind::Scenario { .. } => None,
+            PolicyKind::Scenario { .. } | PolicyKind::NodeScenario(_) => None,
             PolicyKind::Sweep(config) => config.apply_workload(workload),
         }
     }
@@ -209,6 +233,13 @@ impl PolicyConfig {
                 *peak_shaving_delay_ms,
             )),
             PolicyKind::Sweep(config) => Arc::new(config.clone()),
+            // Node scenarios isolate the platform's node layer: the policy
+            // set is the unmodified baseline.
+            PolicyKind::NodeScenario(_) => Arc::new(ScenarioPolicies::new(
+                Scenario::Baseline,
+                platform,
+                DEFAULT_PEAK_SHAVING_DELAY_MS,
+            )),
         }
     }
 }
@@ -537,6 +568,12 @@ impl ExperimentSession {
     /// [`PolicyConfig::scenario`].
     pub fn scenarios(self, scenarios: &[Scenario]) -> Self {
         self.policies(scenarios.iter().copied().map(PolicyConfig::scenario))
+    }
+
+    /// Adds one node-model scenario per entry — shorthand for
+    /// [`PolicyConfig::node_scenario`].
+    pub fn node_scenarios(self, scenarios: &[NodeScenario]) -> Self {
+        self.policies(scenarios.iter().copied().map(PolicyConfig::node_scenario))
     }
 
     /// Adds one workload source.
@@ -961,6 +998,53 @@ mod tests {
         assert!(p.as_scenario().is_none());
         assert_eq!(p.as_sweep(), Some(&config[0]));
         assert_eq!(p.label(), config[0].label());
+    }
+
+    #[test]
+    fn node_scenario_policies_enable_the_node_layer() {
+        let session = ExperimentSession::new()
+            .policy(PolicyConfig::scenario(Scenario::Baseline))
+            .node_scenarios(&NodeScenario::ALL)
+            .source(PresetSource::new(
+                ScenarioPreset::RegionFailover,
+                RegionProfile::r2(),
+                1,
+                tiny_population(),
+            ))
+            .with_seeds(vec![7])
+            .with_threads(4);
+        assert_eq!(session.cell_count(), 4);
+        let report = session.run();
+        assert_eq!(
+            report.policies,
+            vec![
+                "baseline",
+                "cache-cold-failover",
+                "rolling-deploy",
+                "heterogeneous-pool",
+            ]
+        );
+        // The plain baseline never touches the node layer; every node
+        // scenario routes pod creation through it and the per-component
+        // attribution stays exact.
+        assert_eq!(report.cells[0].report.layer_pulls, 0);
+        for cell in &report.cells[1..] {
+            assert!(cell.report.layer_pulls > 0, "{}", cell.policy);
+            assert_eq!(
+                cell.report.cold_components.total_us(),
+                cell.report.cold_us_total,
+                "{}",
+                cell.policy
+            );
+            assert_eq!(cell.report.requests, report.cells[0].report.requests);
+        }
+        // Policy kind accessors.
+        let p = PolicyConfig::node_scenario(NodeScenario::RollingDeploy);
+        assert_eq!(p.label(), "rolling-deploy");
+        assert_eq!(p.as_node_scenario(), Some(NodeScenario::RollingDeploy));
+        assert!(p.as_scenario().is_none());
+        assert!(p.as_sweep().is_none());
+        assert!(p.platform(&PlatformConfig::default()).node.is_some());
     }
 
     #[test]

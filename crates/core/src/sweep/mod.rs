@@ -30,7 +30,6 @@
 //! directly; the sweep type remains for the parameter-space vocabulary
 //! (spaces, configurations, Pareto fronts).
 
-pub mod json;
 pub mod params;
 pub mod pareto;
 
@@ -54,30 +53,15 @@ pub use pareto::pareto_front;
 /// A replayed-trace workload mixed into a sweep alongside the synthetic
 /// presets.
 ///
-/// Kept as a shim for the transition to the session API, which models the
-/// same thing as a [`ReplayTraceSource`]; the sweep lowers each entry into
-/// one when it builds its session.
+/// Sweep-level vocabulary for what the session API models as a
+/// [`ReplayTraceSource`]; the sweep lowers each entry into one when it
+/// builds its session. Construct it as a plain struct literal.
 #[derive(Debug, Clone)]
 pub struct ReplaySource {
     /// Stable label identifying the trace in cells, tables, and JSON.
     pub label: String,
     /// The replay-tagged workload every configuration runs against.
     pub workload: Arc<WorkloadSpec>,
-}
-
-impl ReplaySource {
-    /// Wraps a replayed workload under a label.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use coldstarts::session::ReplayTraceSource instead; this \
-                shimmed constructor remains for the transition"
-    )]
-    pub fn new(label: impl Into<String>, workload: Arc<WorkloadSpec>) -> Self {
-        Self {
-            label: label.into(),
-            workload,
-        }
-    }
 }
 
 /// Workload origin of one sweep cell.
@@ -152,23 +136,6 @@ impl Default for PolicySweep {
 }
 
 impl PolicySweep {
-    /// The reduced sweep the CI bench-smoke job runs: all four presets, all
-    /// four families, one region, one seed, one day.
-    #[deprecated(
-        since = "0.1.0",
-        note = "build the smoke spaces with PolicyFamily::smoke_space and \
-                declare an ExperimentSession (or a PolicySweep literal); this \
-                shimmed constructor remains for the transition"
-    )]
-    pub fn smoke(seed: u64) -> Self {
-        Self {
-            seeds: vec![seed],
-            spaces: PolicyFamily::ALL.iter().map(|f| f.smoke_space()).collect(),
-            duration_days: 1,
-            ..Self::default()
-        }
-    }
-
     /// Concrete configurations of every space, in declaration order.
     pub fn configs(&self) -> Vec<SweepConfig> {
         self.spaces.iter().flat_map(|s| s.expand()).collect()
@@ -745,7 +712,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // exercises the transition shim on purpose
     fn replay_sources_add_columns_next_to_presets() {
         use faas_workload::replay::TraceReplayWorkload;
         use fntrace::synth::{SynthShape, SynthTraceSpec};
@@ -762,7 +728,10 @@ mod tests {
         .generate();
         let replayed = Arc::new(TraceReplayWorkload::new().build(&trace));
         let sweep = PolicySweep {
-            replays: vec![ReplaySource::new("synth-r2", replayed)],
+            replays: vec![ReplaySource {
+                label: "synth-r2".into(),
+                workload: replayed,
+            }],
             ..tiny_sweep()
         };
         // 6 configs × (2 preset columns + 1 replay column).

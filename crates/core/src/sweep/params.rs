@@ -14,8 +14,8 @@ use serde::{Deserialize, Serialize};
 
 use faas_platform::{
     AdaptiveKeepAlive, AdmissionPolicy, FixedKeepAlive, KeepAlivePolicy, NoAdmissionControl,
-    NoPrewarm, PlatformConfig, PlatformView, PolicyFactory, PrewarmPolicy, PrewarmRequest,
-    TimerAwareKeepAlive,
+    NoPrewarm, PlacementPolicy, PlatformConfig, PlatformView, PolicyFactory, PrewarmPolicy,
+    PrewarmRequest, TimerAwareKeepAlive,
 };
 use faas_workload::WorkloadSpec;
 
@@ -32,15 +32,20 @@ pub enum PolicyFamily {
     PoolPrediction,
     /// Per-function concurrency limits.
     Concurrency,
+    /// Node placement under the node-level cluster model: which placement
+    /// policy pods land with, and how many image layers each node caches.
+    /// Points in this space enable `PlatformConfig::node`.
+    NodePlacement,
 }
 
 impl PolicyFamily {
     /// All families in deterministic sweep order.
-    pub const ALL: [PolicyFamily; 4] = [
+    pub const ALL: [PolicyFamily; 5] = [
         PolicyFamily::KeepAlive,
         PolicyFamily::Prewarm,
         PolicyFamily::PoolPrediction,
         PolicyFamily::Concurrency,
+        PolicyFamily::NodePlacement,
     ];
 
     /// Stable machine-readable name.
@@ -50,6 +55,7 @@ impl PolicyFamily {
             PolicyFamily::Prewarm => "prewarm",
             PolicyFamily::PoolPrediction => "pool-prediction",
             PolicyFamily::Concurrency => "concurrency",
+            PolicyFamily::NodePlacement => "node-placement",
         }
     }
 
@@ -80,6 +86,13 @@ impl PolicyFamily {
             PolicyFamily::Concurrency => ParamSpace {
                 family: *self,
                 axes: vec![ParamAxis::u64s("concurrency_boost", &[1, 2, 4])],
+            },
+            PolicyFamily::NodePlacement => ParamSpace {
+                family: *self,
+                axes: vec![
+                    ParamAxis::strings("placement", &["affine", "spread", "binpack"]),
+                    ParamAxis::u64s("cache_layers", &[4, 16]),
+                ],
             },
         }
     }
@@ -112,6 +125,10 @@ impl PolicyFamily {
             PolicyFamily::Concurrency => ParamSpace {
                 family: *self,
                 axes: vec![ParamAxis::u64s("concurrency_boost", &[1, 4])],
+            },
+            PolicyFamily::NodePlacement => ParamSpace {
+                family: *self,
+                axes: vec![ParamAxis::strings("placement", &["affine", "spread"])],
             },
         }
     }
@@ -254,14 +271,32 @@ impl SweepConfig {
     }
 
     /// Platform configuration for this point: the pool-prediction family
-    /// rewrites the pool knobs, every other family runs `base` unchanged.
+    /// rewrites the pool knobs, the node-placement family enables the node
+    /// model with its placement and cache knobs, every other family runs
+    /// `base` unchanged.
     pub fn platform(&self, base: &PlatformConfig) -> PlatformConfig {
         let mut config = base.clone();
-        if self.family == PolicyFamily::PoolPrediction {
-            config.pool.target_per_config =
-                self.get_u64("target_per_config", config.pool.target_per_config as u64) as u32;
-            config.pool.replenish_per_tick =
-                self.get_u64("replenish_per_tick", config.pool.replenish_per_tick as u64) as u32;
+        match self.family {
+            PolicyFamily::PoolPrediction => {
+                config.pool.target_per_config =
+                    self.get_u64("target_per_config", config.pool.target_per_config as u64) as u32;
+                config.pool.replenish_per_tick = self
+                    .get_u64("replenish_per_tick", config.pool.replenish_per_tick as u64)
+                    as u32;
+            }
+            PolicyFamily::NodePlacement => {
+                let mut node = config.node.clone().unwrap_or_default();
+                if let Some(p) = PlacementPolicy::from_name(self.get_str("placement", "affine")) {
+                    node.placement = p;
+                }
+                if let Some(ParamValue::U64(layers)) = self.get("cache_layers") {
+                    for (class, _) in &mut node.classes_per_cluster {
+                        class.cache_layers = layers as u32;
+                    }
+                }
+                config.node = Some(node);
+            }
+            _ => {}
         }
         config
     }
@@ -425,6 +460,31 @@ mod tests {
             vec![("duration_ms", ParamValue::U64(10_000))],
         );
         assert_eq!(ka.platform(&base), base);
+    }
+
+    #[test]
+    fn node_family_enables_the_node_model_with_its_knobs() {
+        let base = PlatformConfig::default();
+        assert!(base.node.is_none());
+        let config = SweepConfig::new(
+            PolicyFamily::NodePlacement,
+            vec![
+                ("placement", ParamValue::Str("binpack")),
+                ("cache_layers", ParamValue::U64(4)),
+            ],
+        );
+        let platform = config.platform(&base);
+        let node = platform
+            .node
+            .expect("node-placement points enable the node model");
+        assert_eq!(node.placement, PlacementPolicy::BinPack);
+        assert!(node
+            .classes_per_cluster
+            .iter()
+            .all(|(class, _)| class.cache_layers == 4));
+        // The family tunes platform knobs only — no policy objects, no
+        // workload transformation.
+        assert!(!config.adjusts_workload());
     }
 
     #[test]

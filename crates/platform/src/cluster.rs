@@ -36,21 +36,40 @@ impl ClusterState {
         (function.raw() % self.in_flight.len() as u64) as ClusterId
     }
 
-    /// Chooses the cluster for a new pod of `function`: the home cluster
-    /// unless it is hot, in which case the least-loaded cluster is used.
+    /// Chooses the cluster for a new pod of `function`.
+    ///
+    /// Placement contract (pinned by unit tests; the node layer in
+    /// [`crate::node`] builds on it):
+    ///
+    /// 1. The home cluster is used unless it is *hot*: carrying at least
+    ///    `hot_spot_threshold` more in-flight requests than the least-loaded
+    ///    cluster.
+    /// 2. A hot home spills to the least-loaded cluster. Ties between
+    ///    equally least-loaded clusters break by rotating over the tied set
+    ///    with the function id (`function.raw() % ties`), not by picking the
+    ///    lowest index, so simultaneous spills from many functions spread
+    ///    over the tied clusters instead of herding onto the first one.
+    ///
+    /// The choice is a pure function of `(self, function)` — no RNG, no
+    /// hidden state — so for a given seed it is byte-identical whatever the
+    /// shard count or evaluation order.
     pub fn place_pod(&self, function: FunctionId) -> ClusterId {
         let home = self.home_cluster(function) as usize;
-        let (least_idx, &least_load) = self
-            .in_flight
+        let least = *self.in_flight.iter().min().expect("at least one cluster");
+        let hot = u64::from(self.in_flight[home])
+            >= u64::from(least) + u64::from(self.hot_spot_threshold);
+        if !hot {
+            return home as ClusterId;
+        }
+        let ties = self.in_flight.iter().filter(|&&l| l == least).count() as u64;
+        let pick = (function.raw() % ties) as usize;
+        self.in_flight
             .iter()
             .enumerate()
-            .min_by_key(|(_, &load)| load)
-            .expect("at least one cluster");
-        if self.in_flight[home] >= least_load + self.hot_spot_threshold {
-            least_idx as ClusterId
-        } else {
-            home as ClusterId
-        }
+            .filter(|(_, &l)| l == least)
+            .nth(pick)
+            .map(|(i, _)| i as ClusterId)
+            .expect("tie set is non-empty")
     }
 
     /// Records the start of a request on a cluster.
@@ -150,5 +169,54 @@ mod tests {
             s.complete_request(0);
         }
         assert_eq!(s.place_pod(f), 0);
+    }
+
+    #[test]
+    fn hot_spill_rotates_over_least_loaded_ties_by_function_id() {
+        let mut s = ClusterState::new(4, 2);
+        // Home cluster 0 hot; clusters 1..4 all idle -> a three-way tie.
+        for _ in 0..5 {
+            s.begin_request(0);
+        }
+        // Functions with home cluster 0 rotate over the tied set {1, 2, 3}:
+        // raw % 3 picks the 0th, 1st, 2nd tied cluster respectively.
+        assert_eq!(s.place_pod(FunctionId::new(0)), 1);
+        assert_eq!(s.place_pod(FunctionId::new(4)), 2);
+        assert_eq!(s.place_pod(FunctionId::new(8)), 3);
+        assert_eq!(s.place_pod(FunctionId::new(12)), 1);
+        // Breaking the tie collapses the choice to the unique minimum.
+        s.begin_request(1);
+        s.begin_request(3);
+        assert_eq!(s.place_pod(FunctionId::new(0)), 2);
+        assert_eq!(s.place_pod(FunctionId::new(4)), 2);
+    }
+
+    #[test]
+    fn hot_threshold_boundary_is_inclusive() {
+        let mut s = ClusterState::new(2, 3);
+        let f = FunctionId::new(0); // Home cluster 0.
+        s.begin_request(0);
+        s.begin_request(0);
+        // Load 2 < least (0) + threshold (3): still home.
+        assert_eq!(s.place_pod(f), 0);
+        s.begin_request(0);
+        // Load 3 >= 0 + 3: exactly at the threshold counts as hot.
+        assert_eq!(s.place_pod(f), 1);
+    }
+
+    #[test]
+    fn placement_is_a_pure_function_of_state() {
+        let mut s = ClusterState::new(4, 1);
+        for _ in 0..9 {
+            s.begin_request(2);
+        }
+        s.begin_request(1);
+        for f in 0..64 {
+            let f = FunctionId::new(f);
+            let first = s.place_pod(f);
+            // Same state, same function -> same cluster, every time.
+            assert_eq!(s.place_pod(f), first);
+            assert_eq!(s.place_pod(f), first);
+        }
     }
 }

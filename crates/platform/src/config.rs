@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::node::NodeModelConfig;
 use crate::pool::PoolConfig;
 
 /// Static configuration of the simulated platform.
@@ -32,6 +33,12 @@ pub struct PlatformConfig {
     /// single-shard and an `n`-shard run to compare them, and changing it
     /// changes reported numbers.
     pub epoch_ms: u64,
+    /// Node-level fidelity: per-node image caches, placement, and pull
+    /// contention (see [`crate::node`]). `None` — the default — keeps the
+    /// pre-node behaviour: pods land on clusters only and the
+    /// dependency-deployment component of a cold start is the calibrated
+    /// latency-model sample.
+    pub node: Option<NodeModelConfig>,
 }
 
 impl Default for PlatformConfig {
@@ -43,6 +50,7 @@ impl Default for PlatformConfig {
             record_trace: true,
             hot_spot_threshold: 64,
             epoch_ms: 60_000,
+            node: None,
         }
     }
 }
@@ -59,5 +67,6 @@ mod tests {
         assert!(c.record_trace);
         assert_eq!(c.pool.replenish_interval_ms, 60_000);
         assert_eq!(c.epoch_ms, 60_000);
+        assert!(c.node.is_none(), "node model is opt-in");
     }
 }

@@ -21,7 +21,11 @@
 //!   a keep-alive period (one minute by default) and is deleted if no request
 //!   arrives (Figure 2).
 //! * Cold-start component times are sampled from the calibrated
-//!   [`faas_workload::ColdStartLatencyModel`].
+//!   [`faas_workload::ColdStartLatencyModel`]. With the opt-in node layer
+//!   ([`node`]) enabled, the dependency-deployment component is replaced by
+//!   an explicit layer pull against per-node LRU image caches — zero on a
+//!   cache hit, bandwidth-shared under pull contention — and pods land on
+//!   specific nodes chosen by a deterministic placement policy.
 //!
 //! The simulator emits both a [`SimReport`] (aggregate outcome metrics) and,
 //! optionally, a full [`fntrace::RegionTrace`] so the characterization
@@ -51,6 +55,7 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod keepalive;
+pub mod node;
 pub mod pod;
 pub mod policy;
 pub mod pool;
@@ -66,6 +71,9 @@ pub use config::PlatformConfig;
 pub use engine::SimulationEngine;
 pub use event::{Event, EventQueue};
 pub use keepalive::{AdaptiveKeepAlive, FixedKeepAlive, KeepAlivePolicy, TimerAwareKeepAlive};
+pub use node::{
+    LayerKey, NodeClass, NodeModelConfig, NodePool, NodeScenario, NodeSnapshot, PlacementPolicy,
+};
 pub use pod::{Pod, PodState};
 pub use policy::{
     AdmissionPolicy, FunctionView, NoAdmissionControl, NoPrewarm, PlatformView, PrewarmPolicy,

@@ -33,6 +33,9 @@ pub struct Pod {
     pub function: FunctionId,
     /// Cluster hosting the pod.
     pub cluster: ClusterId,
+    /// Node hosting the pod, when the node model is enabled (`None`
+    /// otherwise). Indexes the run's [`crate::node::NodePool`] roster.
+    pub node: Option<u32>,
     /// Resource configuration of the pod.
     pub config: ResourceConfig,
     /// Current state.
@@ -78,6 +81,7 @@ impl Pod {
             id,
             function,
             cluster,
+            node: None,
             config,
             state: if prewarmed {
                 PodState::Prewarmed

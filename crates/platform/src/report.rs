@@ -40,6 +40,42 @@ impl LatencyStats {
     }
 }
 
+/// Summed per-component cold-start times, in microseconds.
+///
+/// Components follow the paper's decomposition (pod allocation, code
+/// deployment, dependency deployment, scheduling). Each charged cold start
+/// contributes its exact integer component samples, so
+/// [`total_us`](Self::total_us) — a plain `u64` sum — always equals the sum
+/// of the individual cold-start totals: the attribution block is exact, not
+/// an estimate. With the node layer enabled the dependency component is the
+/// explicit layer-pull time (zero on cache hits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct ComponentTotals {
+    /// Pod allocation time, microseconds.
+    pub pod_alloc_us: u64,
+    /// Code deployment time, microseconds.
+    pub deploy_code_us: u64,
+    /// Dependency deployment (layer pull) time, microseconds.
+    pub deploy_dep_us: u64,
+    /// Scheduling time, microseconds.
+    pub scheduling_us: u64,
+}
+
+impl ComponentTotals {
+    /// Exact sum of the four components.
+    pub fn total_us(&self) -> u64 {
+        self.pod_alloc_us + self.deploy_code_us + self.deploy_dep_us + self.scheduling_us
+    }
+
+    /// Adds another total in (commutative, so shard-merge safe).
+    pub fn add(&mut self, other: &ComponentTotals) {
+        self.pod_alloc_us += other.pod_alloc_us;
+        self.deploy_code_us += other.deploy_code_us;
+        self.deploy_dep_us += other.deploy_dep_us;
+        self.scheduling_us += other.scheduling_us;
+    }
+}
+
 /// Per-function request and cold-start counters.
 ///
 /// Attributed only for replay-tagged workloads (see
@@ -53,6 +89,9 @@ pub struct FunctionStats {
     pub requests: u64,
     /// Cold starts charged to the function.
     pub cold_starts: u64,
+    /// Per-component time attribution of the function's charged cold
+    /// starts; `components.total_us()` is exactly their summed latency.
+    pub components: ComponentTotals,
 }
 
 /// Aggregate outcome of one simulation run.
@@ -83,6 +122,18 @@ pub struct SimReport {
     pub total_admission_delay_s: f64,
     /// Cold-start latency distribution (user-visible cold starts only).
     pub cold_start_latency: LatencyStats,
+    /// Per-component attribution of all charged cold starts, microseconds.
+    /// Exact: `cold_components.total_us() == cold_us_total` always.
+    pub cold_components: ComponentTotals,
+    /// Total charged cold-start latency in microseconds — the integer sum of
+    /// every charged cold start's component sum.
+    pub cold_us_total: u64,
+    /// Dependency layers pulled onto nodes, counting cold-start and
+    /// pre-warm pod creations alike (node model only; zero otherwise).
+    pub layer_pulls: u64,
+    /// Pod creations whose dependency layer was already cached on the
+    /// chosen node (node model only; zero otherwise).
+    pub layer_cache_hits: u64,
     /// End-to-end latency added on top of execution time (cold start plus
     /// admission delay), averaged over all requests, in seconds.
     pub mean_added_latency_s: f64,
@@ -142,6 +193,7 @@ impl SimReport {
         format!(
             "requests {:>9}  cold starts {:>8} ({:>5.1}%)  warm {:>9}  prewarmed {:>6} (used {})\n\
              cold start p50/p95/p99 {:.3}/{:.3}/{:.3} s  mean added latency {:.4} s\n\
+             cold components (s): alloc {:.3}  code {:.3}  dep {:.3}  sched {:.3}  layer pulls {} (hits {})\n\
              pods: pool hits {}  scratch {}  peak live {}  idle fraction {:.1}%  mem waste {:.1} GB-s\n\
              policies: keep-alive={} prewarm={} admission={}",
             self.requests,
@@ -154,6 +206,12 @@ impl SimReport {
             self.cold_start_latency.p95_s,
             self.cold_start_latency.p99_s,
             self.mean_added_latency_s,
+            self.cold_components.pod_alloc_us as f64 / 1e6,
+            self.cold_components.deploy_code_us as f64 / 1e6,
+            self.cold_components.deploy_dep_us as f64 / 1e6,
+            self.cold_components.scheduling_us as f64 / 1e6,
+            self.layer_pulls,
+            self.layer_cache_hits,
             self.pool_hits,
             self.scratch_creations,
             self.peak_live_pods,
@@ -201,5 +259,29 @@ mod tests {
         let text = r.render();
         assert!(text.contains("cold starts"));
         assert!(text.contains("25.0%"));
+        assert!(text.contains("cold components"));
+    }
+
+    #[test]
+    fn component_totals_sum_exactly_and_commute() {
+        let a = ComponentTotals {
+            pod_alloc_us: 1,
+            deploy_code_us: 2,
+            deploy_dep_us: 3,
+            scheduling_us: 4,
+        };
+        let b = ComponentTotals {
+            pod_alloc_us: 10,
+            deploy_code_us: 0,
+            deploy_dep_us: 7,
+            scheduling_us: 5,
+        };
+        assert_eq!(a.total_us(), 10);
+        let mut ab = a;
+        ab.add(&b);
+        let mut ba = b;
+        ba.add(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.total_us(), a.total_us() + b.total_us());
     }
 }

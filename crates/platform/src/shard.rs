@@ -46,8 +46,9 @@ use fntrace::{RegionTrace, ResourceConfig};
 
 use crate::cluster::ClusterState;
 use crate::config::PlatformConfig;
+use crate::node::{NodeDelta, NodePool, NodeSnapshot};
 use crate::pool::ResourcePools;
-use crate::report::{FunctionStats, LatencyStats, SimReport};
+use crate::report::{ComponentTotals, FunctionStats, LatencyStats, SimReport};
 
 /// Shared-capacity state as of an epoch boundary.
 ///
@@ -63,6 +64,9 @@ pub struct EpochSnapshot {
     pub clusters: ClusterState,
     /// Live pods across all shards at the boundary.
     pub live_pods: u64,
+    /// Node pod counts, pull pressure, and cache membership as of the
+    /// boundary; present iff the node model is enabled.
+    pub nodes: Option<NodeSnapshot>,
 }
 
 impl EpochSnapshot {
@@ -94,6 +98,9 @@ pub struct ShardDelta {
     pub cluster_delta: Vec<i64>,
     /// Pods live on the shard at the boundary instant.
     pub live_pods: u64,
+    /// Node-state contribution (pod deltas, pull records); present iff the
+    /// node model is enabled.
+    pub node: Option<NodeDelta>,
 }
 
 /// The authoritative shared state, advanced once per epoch boundary.
@@ -107,6 +114,7 @@ pub struct ShardDelta {
 pub struct EpochLedger {
     pools: ResourcePools,
     clusters: ClusterState,
+    nodes: Option<NodePool>,
     replenish_interval_ms: u64,
     last_replenish_ms: u64,
     last_live_pods: u64,
@@ -119,6 +127,10 @@ impl EpochLedger {
         Self {
             pools: ResourcePools::new(config.pool.clone()),
             clusters: ClusterState::new(config.clusters, config.hot_spot_threshold),
+            nodes: config
+                .node
+                .as_ref()
+                .map(|nc| NodePool::new(nc, config.clusters)),
             replenish_interval_ms: config.pool.replenish_interval_ms,
             last_replenish_ms: 0,
             last_live_pods: 0,
@@ -134,6 +146,7 @@ impl EpochLedger {
             pool_idle: self.pools.snapshot_idle(),
             clusters: self.clusters.clone(),
             live_pods: self.last_live_pods,
+            nodes: self.nodes.as_ref().map(NodePool::snapshot),
         }
     }
 
@@ -148,6 +161,7 @@ impl EpochLedger {
         let mut draws = vec![0u64; self.pools.snapshot_idle().len()];
         let mut cluster = vec![0i64; usize::from(self.clusters.clusters())];
         let mut live = 0u64;
+        let mut node_deltas: Vec<&NodeDelta> = Vec::new();
         for d in deltas {
             for (acc, &x) in draws.iter_mut().zip(&d.pool_draws) {
                 *acc += x;
@@ -156,6 +170,7 @@ impl EpochLedger {
                 *acc += x;
             }
             live += d.live_pods;
+            node_deltas.extend(d.node.as_ref());
         }
         // Draws settle first (they happened during the epoch), then any
         // replenish intervals that became due at or before this boundary —
@@ -170,6 +185,9 @@ impl EpochLedger {
             }
         }
         self.clusters.apply_delta(&cluster);
+        if let Some(pool) = self.nodes.as_mut() {
+            pool.apply(boundary_ms, node_deltas.iter().copied());
+        }
         self.last_live_pods = live;
         self.peak_live_pods = self.peak_live_pods.max(live);
     }
@@ -277,6 +295,12 @@ pub(crate) struct FnAccum {
     pub mem_gb_s_wasted: f64,
     pub added_latency_s: f64,
     pub admission_delay_s: f64,
+    /// Per-component cold-start attribution, microseconds (exact sums).
+    pub cold: ComponentTotals,
+    /// Total charged cold-start latency, microseconds, accumulated
+    /// independently of `cold` so the components-sum invariant is a real
+    /// cross-check rather than a tautology.
+    pub cold_us: u64,
 }
 
 impl FnAccum {
@@ -286,6 +310,8 @@ impl FnAccum {
         self.mem_gb_s_wasted += other.mem_gb_s_wasted;
         self.added_latency_s += other.added_latency_s;
         self.admission_delay_s += other.admission_delay_s;
+        self.cold.add(&other.cold);
+        self.cold_us += other.cold_us;
     }
 }
 
@@ -337,6 +363,8 @@ pub(crate) fn merge_outcomes(
         merged.pool_hits += r.pool_hits;
         merged.scratch_creations += r.scratch_creations;
         merged.delayed_requests += r.delayed_requests;
+        merged.layer_pulls += r.layer_pulls;
+        merged.layer_cache_hits += r.layer_cache_hits;
         for (&idx, acc) in outcome.members.iter().zip(&outcome.accum) {
             dense[idx as usize].add(acc);
         }
@@ -366,6 +394,8 @@ pub(crate) fn merge_outcomes(
         merged.mem_gb_s_wasted += acc.mem_gb_s_wasted;
         merged.total_admission_delay_s += acc.admission_delay_s;
         added_latency_s += acc.added_latency_s;
+        merged.cold_components.add(&acc.cold);
+        merged.cold_us_total += acc.cold_us;
     }
     merged.cold_start_latency = LatencyStats::from_secs(&cold);
     merged.mean_added_latency_s = if merged.requests == 0 {

@@ -38,10 +38,11 @@ use crate::arena::{FnIdx, PodArena, PodIdx};
 use crate::config::PlatformConfig;
 use crate::event::{Event, EventQueue};
 use crate::keepalive::{FunctionHistory, KeepAlivePolicy};
+use crate::node::{LayerKey, NodeDelta, PullRecord};
 use crate::pod::{Pod, PodState};
 use crate::policy::{FunctionView, PlatformView};
 use crate::pool::PoolAcquire;
-use crate::report::{FunctionStats, SimReport};
+use crate::report::{ComponentTotals, FunctionStats, SimReport};
 use crate::shard::{EpochSnapshot, FnAccum, ShardDelta, ShardOutcome};
 
 /// Hasher for the arrival-path `FunctionId -> FnIdx` map.
@@ -144,8 +145,28 @@ pub struct SimState<'a> {
     /// `draw_counts[i]` is current, anything else means zero draws so far.
     pub(crate) draw_marks: Vec<u32>,
     pub(crate) draw_counts: Vec<u32>,
+    /// Net live-pod change per node this epoch (node model only; empty when
+    /// the model is off).
+    pub(crate) node_pod_delta: Vec<i64>,
+    /// Layer pulls started this epoch (node model only).
+    pub(crate) pull_records: Vec<PullRecord>,
+    /// Per-member epoch stamp for `fn_node_use`, mirroring `draw_marks`.
+    pub(crate) node_marks: Vec<u32>,
+    /// A function's *own* node activity this epoch: placements count toward
+    /// the load it sees, and its own pulls read as cache hits immediately.
+    /// Other functions' activity stays invisible until the boundary — the
+    /// same epoch-granularity approximation the pool-draw budget uses.
+    pub(crate) fn_node_use: Vec<Vec<FnNodeUse>>,
     /// Current epoch number, starting at 1 so zeroed marks read as stale.
     pub(crate) epoch: u32,
+}
+
+/// One function's within-epoch activity on one node.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FnNodeUse {
+    pub(crate) node: u32,
+    pub(crate) placed: u32,
+    pub(crate) pulled: bool,
 }
 
 impl<'a> SimState<'a> {
@@ -191,6 +212,7 @@ impl<'a> SimState<'a> {
         };
         let pool_slots = snapshot.pool_idle.len();
         let clusters = usize::from(snapshot.clusters.clusters());
+        let node_slots = snapshot.nodes.as_ref().map_or(0, |nodes| nodes.len());
         Self {
             workload,
             config: config.clone(),
@@ -216,6 +238,10 @@ impl<'a> SimState<'a> {
             cluster_delta: vec![0; clusters],
             draw_marks: vec![0; n],
             draw_counts: vec![0; n],
+            node_pod_delta: vec![0; node_slots],
+            pull_records: Vec::new(),
+            node_marks: vec![0; n],
+            fn_node_use: vec![Vec::new(); n],
             epoch: 1,
         }
     }
@@ -246,6 +272,10 @@ impl<'a> SimState<'a> {
     /// This shard's contribution to shared state since the last boundary,
     /// leaving the accumulators zeroed for the next epoch.
     pub(crate) fn take_delta(&mut self) -> ShardDelta {
+        let node = self.snapshot.nodes.as_ref().map(|nodes| NodeDelta {
+            pod_delta: std::mem::replace(&mut self.node_pod_delta, vec![0; nodes.len()]),
+            pulls: std::mem::take(&mut self.pull_records),
+        });
         ShardDelta {
             pool_draws: std::mem::replace(
                 &mut self.pool_draws,
@@ -256,6 +286,7 @@ impl<'a> SimState<'a> {
                 vec![0; usize::from(self.snapshot.clusters.clusters())],
             ),
             live_pods: u64::from(self.pods.live()),
+            node,
         }
     }
 
@@ -342,7 +373,26 @@ impl<'a> SimState<'a> {
     /// microseconds.
     pub(crate) fn create_pod(&mut self, function: FnIdx, t: u64, prewarmed: bool) -> (PodIdx, u64) {
         let spec = self.specs[function.index()];
-        let cluster = self.snapshot.clusters.place_pod(spec.function);
+        // With the node model on, the placement policy picks a node and the
+        // pod's cluster is the node's; otherwise clusters are placed
+        // directly as before. Placement reads only the epoch-start snapshot
+        // plus the function's own placements this epoch, so it cannot
+        // depend on the sharding.
+        let (cluster, node) = match self.snapshot.nodes.as_ref() {
+            Some(nodes) => {
+                let i = function.index();
+                if self.node_marks[i] != self.epoch {
+                    self.node_marks[i] = self.epoch;
+                    self.fn_node_use[i].clear();
+                }
+                let own = &self.fn_node_use[i];
+                let node = nodes.choose_node(spec.function, &self.snapshot.clusters, |n| {
+                    own.iter().find(|e| e.node == n).map_or(0, |e| e.placed)
+                });
+                (nodes.nodes[node as usize].cluster, Some(node))
+            }
+            None => (self.snapshot.clusters.place_pod(spec.function), None),
+        };
         let acquire = self.try_draw(function, spec.config, spec.runtime.has_reserved_pool());
         let day = (t / MILLIS_PER_DAY) as u32;
         let hour = ((t % MILLIS_PER_DAY) / MILLIS_PER_HOUR) as f64;
@@ -363,6 +413,44 @@ impl<'a> SimState<'a> {
                 * self.config.pool.scratch_allocation_multiplier)
                 as u64;
         }
+        if let Some(node) = node {
+            let i = function.index();
+            let mut pulled = false;
+            if spec.has_dependencies {
+                let nodes = self.snapshot.nodes.as_ref().expect("node snapshot exists");
+                let layer = LayerKey::of(spec.function);
+                let own_pulled = self.fn_node_use[i]
+                    .iter()
+                    .any(|e| e.node == node && e.pulled);
+                if own_pulled || nodes.cache_hit(node, layer) {
+                    // The layer is already on the node: the dependency
+                    // component collapses to zero (the paper's cache hit).
+                    components.deploy_dep_us = 0;
+                    self.report.layer_cache_hits += 1;
+                } else {
+                    components.deploy_dep_us = nodes.pull_micros(node);
+                    self.pull_records.push(PullRecord {
+                        time_ms: t,
+                        node,
+                        layer,
+                    });
+                    self.report.layer_pulls += 1;
+                    pulled = true;
+                }
+            }
+            match self.fn_node_use[i].iter_mut().find(|e| e.node == node) {
+                Some(e) => {
+                    e.placed += 1;
+                    e.pulled |= pulled;
+                }
+                None => self.fn_node_use[i].push(FnNodeUse {
+                    node,
+                    placed: 1,
+                    pulled,
+                }),
+            }
+            self.node_pod_delta[node as usize] += 1;
+        }
 
         // Public pod ids are minted from a per-function never-reused counter
         // tagged with the function's global index, so they are unique across
@@ -375,7 +463,7 @@ impl<'a> SimState<'a> {
                 | (global << 26)
                 | u64::from(self.pod_counters[function.index()]),
         );
-        let pod = Pod::new(
+        let mut pod = Pod::new(
             pod_id,
             spec.function,
             cluster,
@@ -384,13 +472,25 @@ impl<'a> SimState<'a> {
             components.total_us(),
             prewarmed,
         );
+        pod.node = node;
         let pod_idx = self.pods.insert(pod, function);
         self.warm_by_function[function.index()].push(pod_idx);
 
         if !prewarmed {
             self.report.cold_starts += 1;
             self.cold_latencies_s.push(components.total_secs());
-            self.accum[function.index()].added_latency_s += components.total_secs();
+            let acc = &mut self.accum[function.index()];
+            acc.added_latency_s += components.total_secs();
+            // Exact integer attribution: `cold` sums the components, while
+            // `cold_us` sums each cold start's total independently, so the
+            // merge-level components-sum invariant is a real cross-check.
+            acc.cold.add(&ComponentTotals {
+                pod_alloc_us: components.pod_alloc_us,
+                deploy_code_us: components.deploy_code_us,
+                deploy_dep_us: components.deploy_dep_us,
+                scheduling_us: components.scheduling_us,
+            });
+            acc.cold_us += components.total_us();
             self.histories[function.index()].observe_cold_start();
             if let Some(trace) = self.trace.as_mut() {
                 trace.cold_starts.push(ColdStartRecord {
@@ -540,6 +640,11 @@ impl<'a> SimState<'a> {
         let idle_s = lifetime_ms.saturating_sub(busy_ms + startup_ms) as f64 / 1e3;
         acc.idle_pod_time_s += idle_s;
         acc.mem_gb_s_wasted += idle_s * pod.config.memory_mb as f64 / 1024.0;
+        if let Some(node) = pod.node {
+            if let Some(d) = self.node_pod_delta.get_mut(node as usize) {
+                *d -= 1;
+            }
+        }
         self.warm_by_function[function.index()].retain(|&idx| idx != pod_idx);
     }
 
@@ -578,6 +683,7 @@ impl<'a> SimState<'a> {
                     function: self.specs[i].function,
                     requests: h.arrivals,
                     cold_starts: h.cold_starts,
+                    components: self.accum[i].cold,
                 })
                 .chain(
                     self.extra_histories
@@ -587,6 +693,9 @@ impl<'a> SimState<'a> {
                             function,
                             requests: h.arrivals,
                             cold_starts: h.cold_starts,
+                            // Unknown functions are never dispatched, so no
+                            // cold time is ever charged to them.
+                            components: ComponentTotals::default(),
                         }),
                 )
                 .collect()

@@ -26,15 +26,21 @@ pub enum ScenarioPreset {
     /// A long tail of rarely invoked functions at a quarter of the traffic —
     /// the worst case for cold starts per request. Stresses retention cost.
     LowTrafficTail,
+    /// Post-failover traffic: another region's load lands here at once —
+    /// doubled volume, flattened diurnal shape, more hot functions. Pairs
+    /// with the platform's cache-cold-failover node scenario, where the
+    /// receiving nodes have empty image caches.
+    RegionFailover,
 }
 
 impl ScenarioPreset {
     /// All presets, in the deterministic order sweeps use.
-    pub const ALL: [ScenarioPreset; 4] = [
+    pub const ALL: [ScenarioPreset; 5] = [
         ScenarioPreset::Diurnal,
         ScenarioPreset::Bursty,
         ScenarioPreset::HolidayPeak,
         ScenarioPreset::LowTrafficTail,
+        ScenarioPreset::RegionFailover,
     ];
 
     /// Stable machine-readable name.
@@ -44,6 +50,7 @@ impl ScenarioPreset {
             ScenarioPreset::Bursty => "bursty",
             ScenarioPreset::HolidayPeak => "holiday-peak",
             ScenarioPreset::LowTrafficTail => "low-traffic-tail",
+            ScenarioPreset::RegionFailover => "region-failover",
         }
     }
 
@@ -59,6 +66,9 @@ impl ScenarioPreset {
             ScenarioPreset::Bursty => "bursty high-load functions with heavy cold-start tails",
             ScenarioPreset::HolidayPeak => "holiday-style load surge early in the window",
             ScenarioPreset::LowTrafficTail => "long tail of rarely invoked functions at low volume",
+            ScenarioPreset::RegionFailover => {
+                "doubled, flattened load as if failed over from another region"
+            }
         }
     }
 
@@ -89,6 +99,13 @@ impl ScenarioPreset {
                 p.total_requests = (base.total_requests / 4).max(1);
                 p.high_load_fraction = (base.high_load_fraction / 4.0).max(0.002);
                 p.diurnal_strength = 0.3;
+            }
+            ScenarioPreset::RegionFailover => {
+                p.total_requests = base.total_requests.saturating_mul(2);
+                p.high_load_fraction = (base.high_load_fraction * 1.5).min(0.5);
+                // The arriving traffic follows the *other* region's clock, so
+                // the combined shape is nearly flat.
+                p.diurnal_strength = 0.2;
             }
         }
         p
@@ -124,12 +141,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn four_presets_with_unique_names() {
+    fn five_presets_with_unique_names() {
         let mut names: Vec<&str> = ScenarioPreset::ALL.iter().map(|p| p.name()).collect();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 5);
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 4);
+        assert_eq!(names.len(), 5);
         for p in ScenarioPreset::ALL {
             assert_eq!(ScenarioPreset::from_name(p.name()), Some(p));
             assert!(!p.description().is_empty());
@@ -152,6 +169,9 @@ mod tests {
         let bursty = ScenarioPreset::Bursty.profile(&base);
         assert!(bursty.high_load_fraction > base.high_load_fraction);
         assert!(bursty.component_sigma > base.component_sigma);
+        let failover = ScenarioPreset::RegionFailover.profile(&base);
+        assert_eq!(failover.total_requests, base.total_requests * 2);
+        assert!(failover.diurnal_strength < base.diurnal_strength);
     }
 
     #[test]
@@ -178,6 +198,7 @@ mod tests {
             ScenarioPreset::Diurnal,
             ScenarioPreset::Bursty,
             ScenarioPreset::LowTrafficTail,
+            ScenarioPreset::RegionFailover,
         ] {
             for days in [1u32, 2, 31] {
                 let c = preset.calibration(days);

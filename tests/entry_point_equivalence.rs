@@ -104,13 +104,12 @@ fn replay_cell_is_byte_identical_across_all_entry_points() {
 
     // Entry point 3: the policy sweep shim, with the replayed trace as its
     // only column and the baseline-equivalent keep-alive point.
-    #[allow(deprecated)]
     let sweep = PolicySweep {
         presets: Vec::new(),
-        replays: vec![coldstarts::sweep::ReplaySource::new(
-            "replay/r2",
-            Arc::clone(&workload),
-        )],
+        replays: vec![coldstarts::sweep::ReplaySource {
+            label: "replay/r2".into(),
+            workload: Arc::clone(&workload),
+        }],
         seeds: vec![SEED],
         spaces: vec![baseline_sweep_space()],
         duration_days: 1,
@@ -194,13 +193,12 @@ fn sweep_replay_columns_share_the_session_seed_derivation_per_seed() {
     // the session cell for the same seed (this is the "sweep re-derives
     // seeds per column" regression).
     let workload = replayed_workload();
-    #[allow(deprecated)]
     let sweep = PolicySweep {
         presets: Vec::new(),
-        replays: vec![coldstarts::sweep::ReplaySource::new(
-            "replay/r2",
-            Arc::clone(&workload),
-        )],
+        replays: vec![coldstarts::sweep::ReplaySource {
+            label: "replay/r2".into(),
+            workload: Arc::clone(&workload),
+        }],
         seeds: vec![SEED, SEED + 1],
         spaces: vec![baseline_sweep_space()],
         duration_days: 1,

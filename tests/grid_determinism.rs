@@ -105,14 +105,16 @@ fn grid_cells_match_independent_single_runs() {
 }
 
 #[test]
-#[allow(deprecated)] // exercises the transition shim on purpose
 fn full_ablation_covers_eight_scenarios_and_five_regions() {
     let grid = ExperimentGrid {
+        regions: (1..=5)
+            .map(|i| RegionProfile::paper_region(i).expect("regions 1..=5 exist"))
+            .collect(),
         calibration: Calibration {
             duration_days: 1,
             ..Calibration::default()
         },
-        ..ExperimentGrid::full_ablation()
+        ..ExperimentGrid::default()
     };
     assert_eq!(grid.scenarios.len(), 8);
     assert_eq!(grid.regions.len(), 5);

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use coldstarts::evaluation::Scenario;
 use coldstarts::replay::ReplayGrid;
 use coldstarts::session::{ExperimentSession, ReplayTraceSource, TraceDirSource, WorkloadSource};
+use faas_platform::PlatformConfig;
 use faas_workload::replay::TraceReplayWorkload;
 use fntrace::csv::{cold_start_table_to_csv, function_table_to_csv, request_table_to_csv};
 use fntrace::{FunctionId, RegionId, RegionTrace, Runtime, TriggerType, MILLIS_PER_HOUR};
@@ -138,19 +139,23 @@ fn streamed_ingestion_yields_byte_identical_session_envelopes() {
 }
 
 #[test]
-#[allow(deprecated)] // exercises the transition shim on purpose
 fn fixture_replay_simulation_is_byte_deterministic_across_grid_modes() {
     let workload = Arc::new(TraceReplayWorkload::new().build(&fixture_trace()));
     let grid = ReplayGrid {
+        workload,
         scenarios: vec![
             Scenario::Baseline,
             Scenario::AdaptiveKeepAlive,
             Scenario::TimerPrewarm,
         ],
         seeds: vec![5, 6],
+        platform: PlatformConfig {
+            record_trace: false,
+            ..PlatformConfig::default()
+        },
+        peak_shaving_delay_ms: 180_000,
         // Real worker threads so parallel scheduling is actually exercised.
         threads: 4,
-        ..ReplayGrid::new(workload)
     };
     let parallel = grid.run();
     let sequential = grid.run_sequential();

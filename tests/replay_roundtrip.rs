@@ -103,7 +103,6 @@ fn preset_to_trace_to_replay_roundtrip_stays_within_one_percent() {
 }
 
 #[test]
-#[allow(deprecated)] // exercises the transition shim on purpose
 fn full_policy_sweep_runs_end_to_end_on_a_replayed_trace() {
     // Build a replayed workload out of a recorded simulation trace.
     let seed = 11;
@@ -125,10 +124,10 @@ fn full_policy_sweep_runs_end_to_end_on_a_replayed_trace() {
     // Sweep two policy families over one preset plus the replayed trace.
     let sweep = PolicySweep {
         presets: vec![ScenarioPreset::Diurnal],
-        replays: vec![ReplaySource::new(
-            "replayed-bursty-r2",
-            Arc::clone(&replayed),
-        )],
+        replays: vec![ReplaySource {
+            label: "replayed-bursty-r2".into(),
+            workload: Arc::clone(&replayed),
+        }],
         spaces: vec![
             PolicyFamily::KeepAlive.smoke_space(),
             PolicyFamily::Prewarm.smoke_space(),
