@@ -13,7 +13,11 @@
 //! * [`cross_region`] — migrating functions between regions to exploit the
 //!   differing peak hours and cold-start costs.
 //! * [`concurrency`] — advising per-function concurrency increases.
+//! * [`adaptive`] — the autonomic layer: histogram-based adaptive
+//!   keep-alive, forecast-driven pre-warming, and a per-function hybrid
+//!   switcher that routes each traffic class to the sub-policy suiting it.
 
+pub mod adaptive;
 pub mod concurrency;
 pub mod cross_region;
 pub mod keepalive;
@@ -21,6 +25,10 @@ pub mod peak_shaving;
 pub mod pool_prediction;
 pub mod prewarm;
 
+pub use adaptive::{
+    Classifier, ForecastPrewarm, HybridAdaptive, HybridKeepAlive, HybridPrewarm, QuantileKeepAlive,
+    TrafficClass,
+};
 pub use concurrency::{ConcurrencyAdvisor, ConcurrencyRecommendation};
 pub use cross_region::{CrossRegionPlan, CrossRegionScheduler, FunctionMigration};
 pub use keepalive::keep_alive_for_scenario;

@@ -712,6 +712,36 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_family_sweeps_and_reports_its_cells() {
+        let sweep = PolicySweep {
+            presets: vec![ScenarioPreset::Diurnal],
+            spaces: vec![PolicyFamily::Adaptive.smoke_space()],
+            duration_days: 1,
+            threads: 4,
+            ..PolicySweep::default()
+        };
+        // 3 modes × 1 quantile × 1 hysteresis × 1 horizon × 1 preset.
+        assert_eq!(sweep.cell_count(), 3);
+        let report = sweep.run();
+        assert_eq!(report.families(), vec!["adaptive"]);
+        assert_eq!(report.cells.len(), 3);
+        for cell in &report.cells {
+            assert!(cell.report.requests > 0);
+            assert!(report.configs[cell.config_index]
+                .config
+                .label()
+                .starts_with("adaptive/mode="));
+        }
+        // The three modes install different policy stacks, so their outcomes
+        // must not be three copies of the same run.
+        let rates: Vec<u64> = report.cells.iter().map(|c| c.report.cold_starts).collect();
+        assert!(
+            rates.windows(2).any(|w| w[0] != w[1]),
+            "modes produced identical cold-start counts: {rates:?}"
+        );
+    }
+
+    #[test]
     fn replay_sources_add_columns_next_to_presets() {
         use faas_workload::replay::TraceReplayWorkload;
         use fntrace::synth::{SynthShape, SynthTraceSpec};

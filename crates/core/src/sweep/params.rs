@@ -19,6 +19,7 @@ use faas_platform::{
 };
 use faas_workload::WorkloadSpec;
 
+use crate::policies::adaptive::{ForecastPrewarm, HybridAdaptive, QuantileKeepAlive};
 use crate::policies::prewarm::{DemandPrewarm, TimerPrewarm};
 
 /// The tunable policy families a sweep can cover.
@@ -36,16 +37,21 @@ pub enum PolicyFamily {
     /// policy pods land with, and how many image layers each node caches.
     /// Points in this space enable `PlatformConfig::node`.
     NodePlacement,
+    /// The autonomic layer: online policies that learn per-function behaviour
+    /// during the run — quantile keep-alive with hysteresis, forecast-driven
+    /// pre-warming, and the per-function hybrid switcher.
+    Adaptive,
 }
 
 impl PolicyFamily {
     /// All families in deterministic sweep order.
-    pub const ALL: [PolicyFamily; 5] = [
+    pub const ALL: [PolicyFamily; 6] = [
         PolicyFamily::KeepAlive,
         PolicyFamily::Prewarm,
         PolicyFamily::PoolPrediction,
         PolicyFamily::Concurrency,
         PolicyFamily::NodePlacement,
+        PolicyFamily::Adaptive,
     ];
 
     /// Stable machine-readable name.
@@ -56,6 +62,7 @@ impl PolicyFamily {
             PolicyFamily::PoolPrediction => "pool-prediction",
             PolicyFamily::Concurrency => "concurrency",
             PolicyFamily::NodePlacement => "node-placement",
+            PolicyFamily::Adaptive => "adaptive",
         }
     }
 
@@ -94,6 +101,15 @@ impl PolicyFamily {
                     ParamAxis::u64s("cache_layers", &[4, 16]),
                 ],
             },
+            PolicyFamily::Adaptive => ParamSpace {
+                family: *self,
+                axes: vec![
+                    ParamAxis::strings("mode", &["quantile", "forecast", "hybrid"]),
+                    ParamAxis::u64s("quantile_pct", &[75, 90, 95]),
+                    ParamAxis::u64s("hysteresis_pct", &[10, 25]),
+                    ParamAxis::u64s("horizon_ticks", &[1, 3]),
+                ],
+            },
         }
     }
 
@@ -129,6 +145,15 @@ impl PolicyFamily {
             PolicyFamily::NodePlacement => ParamSpace {
                 family: *self,
                 axes: vec![ParamAxis::strings("placement", &["affine", "spread"])],
+            },
+            PolicyFamily::Adaptive => ParamSpace {
+                family: *self,
+                axes: vec![
+                    ParamAxis::strings("mode", &["quantile", "forecast", "hybrid"]),
+                    ParamAxis::u64s("quantile_pct", &[90]),
+                    ParamAxis::u64s("hysteresis_pct", &[20]),
+                    ParamAxis::u64s("horizon_ticks", &[2]),
+                ],
             },
         }
     }
@@ -301,6 +326,16 @@ impl SweepConfig {
         config
     }
 
+    /// Shared hybrid-switcher configuration for adaptive-family points.
+    fn hybrid(&self) -> HybridAdaptive {
+        HybridAdaptive {
+            quantile: self.get_u64("quantile_pct", 90) as f64 / 100.0,
+            hysteresis: self.get_u64("hysteresis_pct", 20) as f64 / 100.0,
+            horizon_ticks: self.get_u64("horizon_ticks", 2).max(1),
+            ..HybridAdaptive::default()
+        }
+    }
+
     /// Whether [`apply_workload`](Self::apply_workload) would transform a
     /// workload — lets callers skip building one to find out (the session's
     /// streamed path uses this to avoid cloning event-owning headers).
@@ -326,6 +361,16 @@ impl SweepConfig {
 
 impl PolicyFactory for SweepConfig {
     fn keep_alive(&self, workload: &WorkloadSpec) -> Box<dyn KeepAlivePolicy> {
+        if self.family == PolicyFamily::Adaptive {
+            let hybrid = self.hybrid();
+            return match self.get_str("mode", "quantile") {
+                // Pure forecast mode keeps retention at the fixed baseline
+                // so the pre-warm signal is evaluated in isolation.
+                "forecast" => Box::new(FixedKeepAlive::default()),
+                "hybrid" => Box::new(hybrid.keep_alive()),
+                _ => Box::new(QuantileKeepAlive::new(hybrid.quantile, hybrid.hysteresis)),
+            };
+        }
         if self.family != PolicyFamily::KeepAlive {
             return Box::new(FixedKeepAlive::default());
         }
@@ -350,6 +395,18 @@ impl PolicyFactory for SweepConfig {
     }
 
     fn prewarm(&self, workload: &WorkloadSpec) -> Box<dyn PrewarmPolicy> {
+        if self.family == PolicyFamily::Adaptive {
+            let hybrid = self.hybrid();
+            return match self.get_str("mode", "quantile") {
+                // Pure quantile mode tunes retention only.
+                "quantile" => Box::new(NoPrewarm),
+                "hybrid" => Box::new(hybrid.prewarm()),
+                _ => Box::new(ForecastPrewarm::new(
+                    hybrid.horizon_ticks,
+                    Default::default(),
+                )),
+            };
+        }
         if self.family != PolicyFamily::Prewarm {
             return Box::new(NoPrewarm);
         }
@@ -485,6 +542,59 @@ mod tests {
         // The family tunes platform knobs only — no policy objects, no
         // workload transformation.
         assert!(!config.adjusts_workload());
+    }
+
+    #[test]
+    fn adaptive_family_builds_per_mode_policy_sets() {
+        use faas_workload::population::PopulationConfig;
+        use faas_workload::profile::{Calibration, RegionProfile};
+
+        let workload = WorkloadSpec::generate(
+            &RegionProfile::r2(),
+            Calibration {
+                duration_days: 1,
+                ..Calibration::default()
+            },
+            &PopulationConfig {
+                function_scale: 0.002,
+                volume_scale: 2.0e-6,
+                max_requests_per_day: 2_000.0,
+                min_functions: 10,
+            },
+            7,
+        );
+        let point = |mode: &'static str| {
+            SweepConfig::new(
+                PolicyFamily::Adaptive,
+                vec![
+                    ("mode", ParamValue::Str(mode)),
+                    ("quantile_pct", ParamValue::U64(90)),
+                    ("hysteresis_pct", ParamValue::U64(20)),
+                    ("horizon_ticks", ParamValue::U64(2)),
+                ],
+            )
+        };
+
+        // Quantile mode tunes retention only.
+        let q = point("quantile");
+        assert_eq!(q.keep_alive(&workload).name(), "quantile-keepalive");
+        assert_eq!(q.prewarm(&workload).name(), "no-prewarm");
+        // Forecast mode tunes pre-warming only.
+        let f = point("forecast");
+        assert_eq!(f.keep_alive(&workload).name(), "fixed");
+        assert_eq!(f.prewarm(&workload).name(), "forecast-prewarm");
+        // Hybrid mode switches both halves per function.
+        let h = point("hybrid");
+        assert_eq!(h.keep_alive(&workload).name(), "hybrid-keepalive");
+        assert_eq!(h.prewarm(&workload).name(), "hybrid-prewarm");
+        // The family never rewrites platform or workload knobs.
+        let base = PlatformConfig::default();
+        assert_eq!(h.platform(&base), base);
+        assert!(!h.adjusts_workload());
+        assert_eq!(
+            q.label(),
+            "adaptive/mode=quantile,quantile_pct=90,hysteresis_pct=20,horizon_ticks=2"
+        );
     }
 
     #[test]

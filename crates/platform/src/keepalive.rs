@@ -35,6 +35,10 @@ pub struct FunctionHistory {
     sorted_cache: RefCell<Vec<u64>>,
     /// Whether `sorted_cache` is out of date with the ring.
     sorted_stale: Cell<bool>,
+    /// How many times the sorted cache has actually been rebuilt — at most
+    /// once per window mutation, regardless of how many quantile queries run
+    /// between arrivals (pinned by a regression test).
+    sorted_rebuilds: Cell<u64>,
     /// Timestamp of the most recent arrival.
     last_arrival_ms: Option<u64>,
     /// Total arrivals observed.
@@ -79,7 +83,55 @@ impl FunctionHistory {
             cache.clear();
             cache.extend_from_slice(&self.recent_iat_ms);
             cache.sort_unstable();
+            self.sorted_rebuilds.set(self.sorted_rebuilds.get() + 1);
         }
+    }
+
+    /// Number of inter-arrival samples currently in the window.
+    pub fn sample_count(&self) -> usize {
+        self.recent_iat_ms.len()
+    }
+
+    /// How many times the lazy percentile cache has been rebuilt. Exposed so
+    /// tests can pin the dirty-flag contract: at most one rebuild per window
+    /// mutation, however many quantile queries run in between.
+    pub fn sorted_rebuilds(&self) -> u64 {
+        self.sorted_rebuilds.get()
+    }
+
+    /// An arbitrary quantile of the recent inter-arrival times (exact order
+    /// statistic at `ceil(q * n) - 1`), or `None` when fewer than four
+    /// observations exist. `q` is clamped into `[0, 1]`; queries share the
+    /// lazily rebuilt sorted cache with [`iat_p90_ms`](Self::iat_p90_ms).
+    pub fn iat_quantile_ms(&self, q: f64) -> Option<u64> {
+        self.refresh_sorted();
+        let sorted = self.sorted_cache.borrow();
+        if sorted.len() < 4 {
+            return None;
+        }
+        let q = if q.is_finite() {
+            q.clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        let idx = if q <= 0.0 {
+            0
+        } else {
+            (((sorted.len() as f64) * q).ceil() as usize).saturating_sub(1)
+        };
+        Some(sorted[idx.min(sorted.len() - 1)])
+    }
+
+    /// Dispersion of the window: the p90 / median inter-arrival ratio.
+    /// Near 1 for metronomic (timer-like) traffic, large for bursty traffic.
+    /// `None` without enough history, or when the median is zero.
+    pub fn iat_dispersion(&self) -> Option<f64> {
+        let median = self.iat_median_ms()?;
+        if median == 0 {
+            return None;
+        }
+        let p90 = self.iat_p90_ms()?;
+        Some(p90 as f64 / median as f64)
     }
 
     /// A high percentile (approximately p90) of the recent inter-arrival
@@ -311,6 +363,81 @@ mod tests {
             // Repeat queries without a new arrival hit the cached copy.
             assert_eq!(h.iat_p90_ms(), h.iat_p90_ms());
         }
+    }
+
+    #[test]
+    fn arbitrary_quantiles_match_the_sorted_window() {
+        let h = history_with_iats(&[100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]);
+        assert_eq!(h.iat_quantile_ms(0.0), Some(100));
+        assert_eq!(h.iat_quantile_ms(0.5), Some(500));
+        assert_eq!(h.iat_quantile_ms(0.75), Some(800));
+        assert_eq!(h.iat_quantile_ms(0.9), Some(900));
+        assert_eq!(h.iat_quantile_ms(1.0), Some(1000));
+        // Out-of-range and non-finite inputs degrade gracefully.
+        assert_eq!(h.iat_quantile_ms(7.0), Some(1000));
+        assert_eq!(h.iat_quantile_ms(-1.0), Some(100));
+        assert_eq!(h.iat_quantile_ms(f64::NAN), Some(500));
+        // The p90 shortcut is the same order statistic.
+        assert_eq!(h.iat_quantile_ms(0.9), h.iat_p90_ms());
+        // Too little history: no estimate.
+        let sparse = history_with_iats(&[100, 200]);
+        assert_eq!(sparse.iat_quantile_ms(0.5), None);
+        assert_eq!(sparse.sample_count(), 2);
+    }
+
+    #[test]
+    fn dispersion_separates_regular_from_bursty_traffic() {
+        let regular = history_with_iats(&[300, 300, 300, 300, 300, 300]);
+        let d = regular.iat_dispersion().expect("enough history");
+        assert!((d - 1.0).abs() < 1e-9, "regular dispersion {d}");
+        let bursty = history_with_iats(&[10, 10, 10, 10, 10, 10, 10, 5_000]);
+        assert!(bursty.iat_dispersion().expect("enough history") > 4.0);
+        assert_eq!(FunctionHistory::default().iat_dispersion(), None);
+        // An all-zero window (same-millisecond bursts) has no defined ratio.
+        let zeros = history_with_iats(&[0, 0, 0, 0, 0]);
+        assert_eq!(zeros.iat_dispersion(), None);
+    }
+
+    /// Regression test for the dirty-flag path: the sorted percentile cache
+    /// must be rebuilt **at most once per window mutation** — repeated
+    /// queries between arrivals (every access pattern the adaptive policies
+    /// produce: p90, median, arbitrary quantiles, dispersion) hit the cached
+    /// copy, never a fresh sort.
+    #[test]
+    fn percentile_cache_rebuilds_at_most_once_per_mutation() {
+        let mut h = FunctionHistory::default();
+        let mut t = 0u64;
+        // Arrivals with no queries in between never rebuild the cache.
+        for i in 0..10 {
+            t += 50 + i;
+            h.observe_arrival(t);
+        }
+        assert_eq!(h.sorted_rebuilds(), 0, "no query, no rebuild");
+        // A burst of mixed queries after one mutation costs one rebuild.
+        let _ = h.iat_p90_ms();
+        let _ = h.iat_median_ms();
+        let _ = h.iat_quantile_ms(0.75);
+        let _ = h.iat_dispersion();
+        assert_eq!(h.sorted_rebuilds(), 1, "one rebuild per mutation");
+        // Interleave mutations and query bursts across ring evictions: the
+        // rebuild count tracks the mutation count, not the query count.
+        for round in 0..(HISTORY_CAP as u64 * 2) {
+            t += 30 + round % 7;
+            h.observe_arrival(t);
+            for q in [0.1, 0.5, 0.9, 0.99] {
+                let _ = h.iat_quantile_ms(q);
+            }
+            let _ = h.iat_p90_ms();
+            assert_eq!(h.sorted_rebuilds(), 2 + round, "round {round}");
+        }
+        // A mutation nobody queries stays un-sorted until the next query.
+        let before = h.sorted_rebuilds();
+        t += 40;
+        h.observe_arrival(t);
+        assert_eq!(h.sorted_rebuilds(), before);
+        let _ = h.iat_median_ms();
+        let _ = h.iat_median_ms();
+        assert_eq!(h.sorted_rebuilds(), before + 1);
     }
 
     #[test]

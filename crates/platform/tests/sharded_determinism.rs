@@ -11,8 +11,11 @@
 //! shards), an epoch longer than the whole horizon, a one-second epoch, and
 //! pools so scarce they exhaust within an epoch.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
 
+use faas_platform::keepalive::FunctionHistory;
 use faas_platform::{
     AdaptiveKeepAlive, AdmissionPolicy, FunctionView, KeepAlivePolicy, PlatformConfig,
     PlatformView, PolicyFactory, PrewarmPolicy, PrewarmRequest, SimulationSpec,
@@ -21,6 +24,7 @@ use faas_workload::population::PopulationConfig;
 use faas_workload::profile::{Calibration, RegionProfile};
 use faas_workload::stream::StreamedWorkload;
 use faas_workload::{ShardPlan, WorkloadSpec};
+use fntrace::FunctionId;
 use fntrace::TriggerType;
 use proptest::prelude::*;
 
@@ -130,6 +134,60 @@ impl AdmissionPolicy for EveryOtherDelay {
     }
 }
 
+/// Keep-alive driven by the lazily sorted quantile cache with a hysteresis
+/// map — the platform substrate the adaptive policy layer builds on. Reads
+/// `iat_quantile_ms`/`iat_dispersion` on every decision so the sorted-cache
+/// rebuild path runs under sharding, and keeps interior-mutable per-function
+/// state exactly the way the core-crate quantile policy does.
+struct QuantileProbeKeepAlive {
+    applied: RefCell<HashMap<u64, u64>>,
+}
+
+impl KeepAlivePolicy for QuantileProbeKeepAlive {
+    fn keep_alive_ms(&self, function: FunctionId, history: &FunctionHistory) -> u64 {
+        let Some(q90) = history.iat_quantile_ms(0.9) else {
+            return 45_000;
+        };
+        // Fold the dispersion in so both new accessors sit on the hot path.
+        let spread = history.iat_dispersion().unwrap_or(1.0).clamp(1.0, 8.0);
+        let target = (((q90 as f64) * spread.sqrt()) as u64).clamp(2_000, 600_000);
+        let mut applied = self.applied.borrow_mut();
+        let slot = applied.entry(function.raw()).or_insert(target);
+        if target.abs_diff(*slot) > *slot / 5 {
+            *slot = target;
+        }
+        *slot
+    }
+
+    fn name(&self) -> &'static str {
+        "test-quantile-probe"
+    }
+}
+
+struct QuantileProbePolicies;
+
+impl PolicyFactory for QuantileProbePolicies {
+    fn keep_alive(&self, _workload: &WorkloadSpec) -> Box<dyn KeepAlivePolicy> {
+        Box::new(QuantileProbeKeepAlive {
+            applied: RefCell::new(HashMap::new()),
+        })
+    }
+
+    fn prewarm(&self, _workload: &WorkloadSpec) -> Box<dyn PrewarmPolicy> {
+        Box::new(DemandPrewarm)
+    }
+
+    fn admission(&self, _workload: &WorkloadSpec) -> Box<dyn AdmissionPolicy> {
+        Box::new(EveryOtherDelay {
+            seen: std::collections::HashMap::new(),
+        })
+    }
+
+    fn label(&self) -> &str {
+        "quantile-probe-policies"
+    }
+}
+
 struct BusyPolicies;
 
 impl PolicyFactory for BusyPolicies {
@@ -170,6 +228,15 @@ fn stateful_policies_are_shard_count_invariant() {
         .with_seed(6)
         .with_policies(Arc::new(BusyPolicies));
     assert_shard_invariant(&spec, &streamed, &[2, 3, 4, 7]);
+}
+
+#[test]
+fn quantile_cache_backed_keepalive_is_shard_count_invariant_1_through_8() {
+    let streamed = streamed_workload(18, 16, 1);
+    let spec = SimulationSpec::new()
+        .with_seed(12)
+        .with_policies(Arc::new(QuantileProbePolicies));
+    assert_shard_invariant(&spec, &streamed, &[1, 2, 3, 4, 5, 6, 7, 8]);
 }
 
 #[test]

@@ -54,4 +54,7 @@ pub use histogram::{Histogram, LogHistogram};
 pub use ks::ks_statistic;
 pub use rng::Xoshiro256pp;
 pub use summary::Summary;
-pub use timeseries::{detect_peaks, moving_average, peak_to_trough_ratio, PeakDetector};
+pub use timeseries::{
+    detect_peaks, moving_average, peak_to_trough_ratio, quantile, ForecastConfig, Forecaster,
+    PeakDetector,
+};

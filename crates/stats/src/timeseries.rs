@@ -194,6 +194,187 @@ pub fn rebin_mean(series: &[f64], factor: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Exact quantile of a series by partial selection (`select_nth_unstable`),
+/// without sorting the whole input: the `q`-quantile is the order statistic
+/// at index `ceil(q * n) - 1` (clamped into range), matching the convention
+/// of the platform's inter-arrival percentile cache. Returns `None` for an
+/// empty series or a non-finite `q`. NaN values are ordered last.
+pub fn quantile(series: &[f64], q: f64) -> Option<f64> {
+    if series.is_empty() || !q.is_finite() {
+        return None;
+    }
+    let n = series.len();
+    let idx = if q <= 0.0 {
+        0
+    } else {
+        (((n as f64) * q.min(1.0)).ceil() as usize).saturating_sub(1)
+    }
+    .min(n - 1);
+    let mut scratch = series.to_vec();
+    let (_, nth, _) = scratch.select_nth_unstable_by(idx, |a, b| {
+        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    Some(*nth)
+}
+
+/// Configuration of the online [`Forecaster`]: Holt's linear (level + trend)
+/// exponential smoothing with an optional additive seasonal component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForecastConfig {
+    /// Level smoothing factor in `(0, 1]`.
+    pub alpha: f64,
+    /// Trend smoothing factor in `[0, 1]`.
+    pub beta: f64,
+    /// Seasonal smoothing factor in `[0, 1]` (ignored when
+    /// `season_len == 0`).
+    pub gamma: f64,
+    /// Number of buckets in one season (0 disables the seasonal component;
+    /// e.g. bins-per-day for diurnal recovery).
+    pub season_len: usize,
+}
+
+impl Default for ForecastConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.4,
+            beta: 0.1,
+            gamma: 0.3,
+            season_len: 0,
+        }
+    }
+}
+
+/// Online trend + seasonality forecaster over a bucketed rate series.
+///
+/// Additive Holt–Winters: the smoothed `level` follows the deseasonalised
+/// observations, `trend` follows the level's drift, and `season` holds one
+/// additive offset per bucket of the configured season. When a season is
+/// configured, the first full period is buffered and used as the classical
+/// initialisation — `level` starts at the period mean and each seasonal
+/// offset at its bucket's deviation from that mean. Zero-initialised
+/// seasonals would instead let the level chase a slowly-varying signal and
+/// leave the offsets near zero, flattening the forecast (visible at high
+/// bins-per-day in the diurnal-recovery property). Every update — including
+/// the first-season mean — is a fixed linear combination of the
+/// observations, so the whole state — and therefore every forecast — scales
+/// linearly with the input: feeding `c · xᵢ` yields `c ·` the original
+/// forecast for any `c ≥ 0`. The property suite pins this (scaled-input
+/// monotonicity) together with diurnal recovery.
+///
+/// Forecasts are floored at zero: arrival rates cannot be negative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Forecaster {
+    config: ForecastConfig,
+    level: f64,
+    trend: f64,
+    season: Vec<f64>,
+    /// First-season buffer; drained into `level`/`season` once full.
+    warmup: Vec<f64>,
+    observations: u64,
+}
+
+impl Forecaster {
+    /// A fresh forecaster with no observations.
+    pub fn new(config: ForecastConfig) -> Self {
+        let season = vec![0.0; config.season_len];
+        Self {
+            config,
+            level: 0.0,
+            trend: 0.0,
+            season,
+            warmup: Vec::new(),
+            observations: 0,
+        }
+    }
+
+    /// Fits a forecaster over a whole series, observing in order.
+    pub fn fit(config: ForecastConfig, series: &[f64]) -> Self {
+        let mut f = Self::new(config);
+        for &v in series {
+            f.observe(v);
+        }
+        f
+    }
+
+    /// Number of observations consumed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Feeds the next bucket's observed value (one fixed time step).
+    pub fn observe(&mut self, value: f64) {
+        let value = if value.is_finite() { value } else { 0.0 };
+        if !self.season.is_empty() && (self.observations as usize) < self.season.len() {
+            // Classical initialisation: buffer the first full season, then
+            // seed the level with the period mean and each seasonal offset
+            // with its bucket's deviation from it.
+            self.warmup.push(value);
+            if self.warmup.len() == self.season.len() {
+                let mean = self.warmup.iter().sum::<f64>() / self.warmup.len() as f64;
+                self.level = mean;
+                for (slot, &v) in self.season.iter_mut().zip(&self.warmup) {
+                    *slot = v - mean;
+                }
+                self.warmup = Vec::new();
+            }
+            self.observations += 1;
+            return;
+        }
+        if self.observations == 0 {
+            // Seed the level directly so the first forecasts track the
+            // observed magnitude instead of decaying up from zero.
+            self.level = value;
+        } else {
+            let seasonal = self.seasonal_at(self.observations);
+            let deseasoned = value - seasonal;
+            let prev_level = self.level;
+            self.level = self.config.alpha * deseasoned
+                + (1.0 - self.config.alpha) * (prev_level + self.trend);
+            self.trend = self.config.beta * (self.level - prev_level)
+                + (1.0 - self.config.beta) * self.trend;
+            if !self.season.is_empty() {
+                let idx = (self.observations as usize) % self.season.len();
+                self.season[idx] = self.config.gamma * (value - self.level)
+                    + (1.0 - self.config.gamma) * self.season[idx];
+            }
+        }
+        self.observations += 1;
+    }
+
+    fn seasonal_at(&self, step: u64) -> f64 {
+        if self.season.is_empty() {
+            0.0
+        } else {
+            self.season[(step as usize) % self.season.len()]
+        }
+    }
+
+    /// Predicted value `steps_ahead` buckets after the last observation
+    /// (`steps_ahead = 1` is the next bucket), floored at zero.
+    pub fn forecast(&self, steps_ahead: u64) -> f64 {
+        if self.observations == 0 {
+            return 0.0;
+        }
+        if !self.warmup.is_empty() {
+            // Still inside the first season: predict the running mean of the
+            // buffered observations (linear in the input, like the rest of
+            // the state).
+            let mean = self.warmup.iter().sum::<f64>() / self.warmup.len() as f64;
+            return mean.max(0.0);
+        }
+        let h = steps_ahead.max(1);
+        let linear = self.level + (h as f64) * self.trend;
+        let seasonal = self.seasonal_at(self.observations + h - 1);
+        (linear + seasonal).max(0.0)
+    }
+
+    /// The largest forecast over the next `horizon` buckets — the peak the
+    /// model expects inside the horizon (0 for an empty horizon).
+    pub fn forecast_peak(&self, horizon: u64) -> f64 {
+        (1..=horizon).map(|h| self.forecast(h)).fold(0.0, f64::max)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +458,77 @@ mod tests {
         series[50] = 1000.0;
         let ratio = peak_to_trough_ratio(&series, 0, 1.0);
         assert!((ratio - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_matches_order_statistics() {
+        let series = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(quantile(&series, 0.0), Some(1.0));
+        assert_eq!(quantile(&series, 0.5), Some(3.0));
+        assert_eq!(quantile(&series, 1.0), Some(5.0));
+        assert_eq!(quantile(&series, 0.9), Some(5.0));
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[7.0], 0.25), Some(7.0));
+        assert_eq!(quantile(&series, f64::NAN), None);
+    }
+
+    #[test]
+    fn forecaster_tracks_level_and_trend() {
+        // A pure linear ramp: Holt smoothing converges on the slope, so the
+        // h-step forecast extrapolates ahead of the last observation.
+        let series: Vec<f64> = (0..200).map(|i| 10.0 + 2.0 * i as f64).collect();
+        let f = Forecaster::fit(ForecastConfig::default(), &series);
+        let last = *series.last().unwrap();
+        let one = f.forecast(1);
+        assert!(one > last, "forecast {one} should extend the ramp {last}");
+        assert!(f.forecast(10) > one, "longer horizons extrapolate further");
+        assert!((one - (last + 2.0)).abs() < 2.0, "one-step forecast {one}");
+        assert_eq!(f.observations(), 200);
+        // A fresh forecaster predicts nothing.
+        assert_eq!(Forecaster::new(ForecastConfig::default()).forecast(1), 0.0);
+    }
+
+    #[test]
+    fn forecaster_recovers_diurnal_seasonality() {
+        let bins = 48;
+        let series = diurnal_series(6, bins, 0.0);
+        let cfg = ForecastConfig {
+            season_len: bins,
+            ..ForecastConfig::default()
+        };
+        let f = Forecaster::fit(cfg, &series);
+        // Forecast one full day ahead and compare phases: the predicted peak
+        // bucket must clearly exceed the predicted trough bucket.
+        let day_ahead: Vec<f64> = (1..=bins as u64).map(|h| f.forecast(h)).collect();
+        let max = day_ahead.iter().cloned().fold(f64::MIN, f64::max);
+        let min = day_ahead.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max > min + 80.0,
+            "seasonal swing not recovered: max {max}, min {min}"
+        );
+        // The peak forecast over the horizon is the maximum of the steps.
+        assert_eq!(f.forecast_peak(bins as u64), max);
+        assert_eq!(f.forecast_peak(0), 0.0);
+    }
+
+    #[test]
+    fn forecaster_scales_linearly_with_input() {
+        let series = diurnal_series(3, 24, 0.5);
+        let scaled: Vec<f64> = series.iter().map(|v| v * 3.0).collect();
+        let cfg = ForecastConfig {
+            season_len: 24,
+            ..ForecastConfig::default()
+        };
+        let base = Forecaster::fit(cfg, &series);
+        let tripled = Forecaster::fit(cfg, &scaled);
+        for h in 1..=30 {
+            let expected = 3.0 * base.forecast(h);
+            let got = tripled.forecast(h);
+            assert!(
+                (got - expected).abs() < 1e-6 * expected.abs().max(1.0),
+                "h={h}: {got} vs {expected}"
+            );
+        }
     }
 
     #[test]

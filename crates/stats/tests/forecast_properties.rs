@@ -1,0 +1,112 @@
+//! Property suite for the `faas_stats::timeseries` forecasters, pinned in
+//! CI with a fixed `PROPTEST_CASES` budget:
+//!
+//! * forecast monotonicity / linearity under scaled input — feeding
+//!   `c · xᵢ` must yield `c ·` the original forecast for any `c ≥ 0`,
+//!   and scaling up must never scale a forecast down;
+//! * seasonality recovery — fitting over synthetic diurnal series of
+//!   arbitrary amplitude, phase, and bin count must reproduce the
+//!   peak/trough phase one full period ahead;
+//! * exactness of the quantile estimator — the selection-based
+//!   [`faas_stats::quantile`] must agree with a fully sorted-vec oracle
+//!   on every input and every quantile.
+
+use faas_stats::timeseries::{quantile, ForecastConfig, Forecaster};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn diurnal(days: usize, bins_per_day: usize, base: f64, amplitude: f64, phase: f64) -> Vec<f64> {
+    (0..days * bins_per_day)
+        .map(|i| {
+            let t = i as f64 / bins_per_day as f64 * std::f64::consts::TAU;
+            (base + amplitude * (t - phase).sin()).max(0.0)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    #[test]
+    fn quantile_matches_the_sorted_vec_oracle(
+        raw in vec(0u32..100_000, 1..80),
+        q_milli in 0u32..1_001,
+    ) {
+        let series: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        let q = q_milli as f64 / 1000.0;
+
+        // Oracle: full sort, order statistic at ceil(q * n) - 1.
+        let mut sorted = series.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = if q <= 0.0 {
+            0
+        } else {
+            (((sorted.len() as f64) * q).ceil() as usize).saturating_sub(1)
+        }
+        .min(sorted.len() - 1);
+
+        prop_assert_eq!(quantile(&series, q), Some(sorted[idx]));
+    }
+
+    #[test]
+    fn forecasts_scale_linearly_and_monotonically(
+        raw in vec(0u32..10_000, 8..120),
+        scale_tenths in 0u32..50,
+        season_len in 0usize..24,
+        horizon in 1u64..20,
+    ) {
+        let series: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        let c = scale_tenths as f64 / 10.0;
+        let scaled: Vec<f64> = series.iter().map(|v| v * c).collect();
+        let cfg = ForecastConfig { season_len, ..ForecastConfig::default() };
+
+        let base = Forecaster::fit(cfg, &series);
+        let big = Forecaster::fit(cfg, &scaled);
+        let expected = c * base.forecast(horizon);
+        let got = big.forecast(horizon);
+        // Linearity: every smoothing update is a fixed linear combination of
+        // the observations, and the zero floor commutes with c >= 0.
+        prop_assert!(
+            (got - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+            "horizon {}: {} vs {} (c = {})", horizon, got, expected, c
+        );
+        // Monotonicity under scaling up: c >= 1 never shrinks a forecast.
+        if c >= 1.0 {
+            prop_assert!(
+                got + 1e-9 >= base.forecast(horizon),
+                "scaling by {} shrank the forecast", c
+            );
+        }
+        // Rates are never negative, and the horizon peak bounds every step.
+        prop_assert!(got >= 0.0);
+        let peak = big.forecast_peak(horizon);
+        prop_assert!(peak + 1e-9 >= got);
+    }
+
+    #[test]
+    fn seasonality_is_recovered_on_synthetic_diurnal_series(
+        bins_pow in 2u32..6,          // 4..32 bins per day
+        amplitude in 20u32..200,
+        phase_milli in 0u32..6_283,   // phase in [0, tau)
+    ) {
+        let bins = 1usize << bins_pow;
+        let amplitude = amplitude as f64;
+        let base = amplitude + 10.0;
+        let phase = phase_milli as f64 / 1000.0;
+        let series = diurnal(6, bins, base, amplitude, phase);
+        let cfg = ForecastConfig { season_len: bins, ..ForecastConfig::default() };
+        let f = Forecaster::fit(cfg, &series);
+
+        // One full period ahead, the forecast must swing with the input: the
+        // predicted peak clearly exceeds the predicted trough, recovering a
+        // large share of the true amplitude.
+        let ahead: Vec<f64> = (1..=bins as u64).map(|h| f.forecast(h)).collect();
+        let max = ahead.iter().cloned().fold(f64::MIN, f64::max);
+        let min = ahead.iter().cloned().fold(f64::MAX, f64::min);
+        prop_assert!(
+            max - min >= 0.5 * amplitude,
+            "swing {} too small for amplitude {} ({} bins)",
+            max - min, amplitude, bins
+        );
+    }
+}

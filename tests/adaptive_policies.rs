@@ -1,0 +1,153 @@
+//! Shard-count invariance and behavioural properties of the adaptive
+//! (autonomic) policy layer.
+//!
+//! The three adaptive policies — quantile keep-alive, forecast-driven
+//! pre-warming, and the hybrid per-function switcher — keep per-function
+//! state only, so `run_sharded` must reproduce `run_streamed` byte for byte
+//! under every one of them. This suite pins that contract at shard counts
+//! 1 through 8 for each mode, driving the policies through the same
+//! [`SweepConfig`] factory the parameter sweep uses, and adds a
+//! property-based sweep over seeds, populations, shard counts, and modes
+//! (pinned in CI with a fixed `PROPTEST_CASES` budget).
+
+use std::sync::Arc;
+
+use coldstarts::sweep::{ParamValue, PolicyFamily, SweepConfig};
+use faas_platform::SimulationSpec;
+use faas_workload::population::PopulationConfig;
+use faas_workload::profile::{Calibration, RegionProfile};
+use faas_workload::stream::StreamedWorkload;
+use faas_workload::ShardPlan;
+use proptest::prelude::*;
+
+const MODES: [&str; 3] = ["quantile", "forecast", "hybrid"];
+
+/// The sweep point for one adaptive mode — the exact factory a sweep cell
+/// would use, so the invariance pinned here is the invariance the committed
+/// BENCH_sweep.json numbers rely on.
+fn adaptive_point(mode: &'static str) -> SweepConfig {
+    SweepConfig::new(
+        PolicyFamily::Adaptive,
+        vec![
+            ("mode", ParamValue::Str(mode)),
+            ("quantile_pct", ParamValue::U64(90)),
+            ("hysteresis_pct", ParamValue::U64(20)),
+            ("horizon_ticks", ParamValue::U64(2)),
+        ],
+    )
+}
+
+fn streamed_workload(seed: u64, min_functions: usize) -> StreamedWorkload {
+    StreamedWorkload::generate(
+        &RegionProfile::r2(),
+        Calibration {
+            duration_days: 1,
+            ..Calibration::default()
+        },
+        &PopulationConfig {
+            function_scale: 0.002,
+            volume_scale: 2.0e-6,
+            max_requests_per_day: 2_000.0,
+            min_functions,
+        },
+        seed,
+    )
+}
+
+/// Runs the unsharded baseline once and asserts every sharded run over the
+/// same workload reproduces its report and trace exactly.
+fn assert_shard_invariant(
+    spec: &SimulationSpec,
+    streamed: &StreamedWorkload,
+    shard_counts: &[u32],
+) {
+    let header = streamed.header();
+    let (base_report, base_trace) = spec.run_streamed(header, streamed.stream());
+    assert!(base_report.requests > 0, "workload must exercise the run");
+    for &shards in shard_counts {
+        let plan = ShardPlan::new(&header.functions, shards);
+        let streams: Vec<_> = (0..plan.shards())
+            .map(|s| streamed.stream_shard(&plan, s))
+            .collect();
+        let (report, trace) = spec.run_sharded(header, &plan, streams);
+        assert_eq!(report, base_report, "report diverged at shards={shards}");
+        assert_eq!(trace, base_trace, "trace diverged at shards={shards}");
+    }
+}
+
+#[test]
+fn quantile_keepalive_is_shard_count_invariant_1_through_8() {
+    let streamed = streamed_workload(21, 16);
+    let spec = SimulationSpec::new()
+        .with_seed(3)
+        .with_policies(Arc::new(adaptive_point("quantile")));
+    assert_shard_invariant(&spec, &streamed, &[1, 2, 3, 4, 5, 6, 7, 8]);
+}
+
+#[test]
+fn forecast_prewarm_is_shard_count_invariant_1_through_8() {
+    let streamed = streamed_workload(22, 16);
+    let spec = SimulationSpec::new()
+        .with_seed(4)
+        .with_policies(Arc::new(adaptive_point("forecast")));
+    assert_shard_invariant(&spec, &streamed, &[1, 2, 3, 4, 5, 6, 7, 8]);
+}
+
+#[test]
+fn hybrid_switcher_is_shard_count_invariant_1_through_8() {
+    let streamed = streamed_workload(23, 16);
+    let spec = SimulationSpec::new()
+        .with_seed(5)
+        .with_policies(Arc::new(adaptive_point("hybrid")));
+    assert_shard_invariant(&spec, &streamed, &[1, 2, 3, 4, 5, 6, 7, 8]);
+}
+
+#[test]
+fn adaptive_modes_change_outcomes_not_workload() {
+    // The three modes must conserve the request stream (policies shape
+    // pods, not arrivals) while actually differing in cold-start behaviour
+    // somewhere — otherwise the sweep's adaptive axes are dead knobs.
+    let streamed = streamed_workload(24, 20);
+    let header = streamed.header();
+    let mut requests = Vec::new();
+    let mut outcomes = Vec::new();
+    for mode in MODES {
+        let spec = SimulationSpec::new()
+            .with_seed(6)
+            .with_policies(Arc::new(adaptive_point(mode)));
+        let (report, _) = spec.run_streamed(header, streamed.stream());
+        requests.push(report.requests);
+        outcomes.push((report.cold_starts, report.idle_pod_time_s.to_bits()));
+    }
+    assert!(requests.windows(2).all(|w| w[0] == w[1]));
+    assert!(
+        outcomes.windows(2).any(|w| w[0] != w[1]),
+        "all adaptive modes produced identical outcomes: {outcomes:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::default())]
+
+    #[test]
+    fn adaptive_policies_hold_the_shard_contract(
+        seed in 0u64..120,
+        min_functions in 6usize..18,
+        shards in 2u32..9,
+        mode_choice in 0usize..3,
+    ) {
+        let streamed = streamed_workload(seed, min_functions);
+        let spec = SimulationSpec::new()
+            .with_seed(seed.wrapping_add(7))
+            .with_policies(Arc::new(adaptive_point(MODES[mode_choice])));
+        let header = streamed.header();
+        let (base_report, base_trace) = spec.run_streamed(header, streamed.stream());
+        let plan = ShardPlan::new(&header.functions, shards);
+        let streams: Vec<_> = (0..plan.shards())
+            .map(|s| streamed.stream_shard(&plan, s))
+            .collect();
+        let (report, trace) = spec.run_sharded(header, &plan, streams);
+        prop_assert_eq!(report, base_report);
+        prop_assert_eq!(trace, base_trace);
+    }
+}
